@@ -1,0 +1,15 @@
+// Fig. 10 reproduction: rate-distortion on the Miranda stand-in for the
+// four base compressors with and without QP. Paper annotation: max 45%
+// CR increase (SZ3 at PSNR 101).
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<float> f = make_field(
+      DatasetId::kMiranda, 1, bench_dims(dataset_spec(DatasetId::kMiranda)), 1);
+  rd_figure("Miranda (Fig. 10)", f);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 11 reproduction: rate-distortion on the SegSalt stand-in. Paper
+// annotation: max 47% CR increase (QoZ at PSNR 108.9); SZ3 switches to
+// Lorenzo at the smallest bounds, where QP gains vanish.
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<float> f = make_field(
+      DatasetId::kSegSalt, 0, bench_dims(dataset_spec(DatasetId::kSegSalt)),
+      2000);
+  rd_figure("SegSalt (Fig. 11)", f);
+  return 0;
+}

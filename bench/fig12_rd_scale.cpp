@@ -1,0 +1,14 @@
+// Fig. 12 reproduction: rate-distortion on the SCALE stand-in. Paper:
+// MGARD shows the largest QP improvement on SCALE.
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<float> f = make_field(
+      DatasetId::kScale, 2, bench_dims(dataset_spec(DatasetId::kScale)), 7);
+  rd_figure("SCALE (Fig. 12)", f);
+  return 0;
+}

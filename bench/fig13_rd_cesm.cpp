@@ -1,0 +1,15 @@
+// Fig. 13 reproduction: rate-distortion on the CESM stand-in. Paper:
+// the largest overall QP improvement (95% on MGARD at PSNR 75.8); HPEZ
+// gains are negligible here.
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<float> f = make_field(
+      DatasetId::kCESM, 0, bench_dims(dataset_spec(DatasetId::kCESM)), 11);
+  rd_figure("CESM (Fig. 13)", f);
+  return 0;
+}

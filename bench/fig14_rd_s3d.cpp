@@ -1,0 +1,14 @@
+// Fig. 14 reproduction: rate-distortion on the S3D stand-in (double
+// precision).
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<double> f = make_field_f64(
+      DatasetId::kS3D, 0, bench_dims(dataset_spec(DatasetId::kS3D)), 3);
+  rd_figure("S3D (Fig. 14, double precision)", f);
+  return 0;
+}

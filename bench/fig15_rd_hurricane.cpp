@@ -1,0 +1,15 @@
+// Fig. 15 reproduction: rate-distortion on the Hurricane stand-in.
+// Paper: the weakest dataset for QP (no improvement for MGARD/SZ3/HPEZ).
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const Field<float> f = make_field(
+      DatasetId::kHurricane, 0, bench_dims(dataset_spec(DatasetId::kHurricane)),
+      5);
+  rd_figure("Hurricane (Fig. 15)", f);
+  return 0;
+}

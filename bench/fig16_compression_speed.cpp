@@ -1,0 +1,52 @@
+// Fig. 16 reproduction: compression speed of the base compressors with
+// and without QP at error bounds 1e-3 / 1e-4 / 1e-5 across the four
+// generic-comparison datasets. Expected shape: QP costs ~15-25% on
+// SZ3/QoZ/HPEZ and almost nothing on MGARD (whose baseline is slow);
+// the overhead disappears when SZ3 switches to Lorenzo.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  header("Fig. 16: compression speed (MB/s), base vs +QP");
+  const struct {
+    DatasetId id;
+    int field;
+    std::uint64_t seed;
+  } sets[] = {{DatasetId::kMiranda, 1, 1},
+              {DatasetId::kSegSalt, 0, 2000},
+              {DatasetId::kScale, 2, 7},
+              {DatasetId::kCESM, 0, 11}};
+
+  std::printf("%-9s %-7s %-8s | %10s | %10s | %8s\n", "dataset", "comp",
+              "rel_eb", "base MB/s", "+QP MB/s", "overhead");
+  for (const auto& s : sets) {
+    const auto& spec = dataset_spec(s.id);
+    const Field<float> f = make_field(s.id, s.field, bench_dims(spec), s.seed);
+    for (const auto* e : qp_base_compressors()) {
+      {
+        // Warm caches/allocators so the first timed run is not penalized.
+        GenericOptions warm;
+        warm.error_bound = abs_eb(f, 1e-3);
+        run_once(*e, f, warm);
+      }
+      for (double rel : {1e-3, 1e-4, 1e-5}) {
+        GenericOptions base;
+        base.error_bound = abs_eb(f, rel);
+        GenericOptions withqp = base;
+        withqp.qp = QPConfig::best_fit();
+        const RunResult r0 = run_once(*e, f, base);
+        const RunResult r1 = run_once(*e, f, withqp);
+        std::printf("%-9s %-7s %-8.0e | %10.1f | %10.1f | %+7.1f%%\n",
+                    spec.name, e->name.c_str(), rel, r0.compress_mbps,
+                    r1.compress_mbps,
+                    100.0 * (r0.compress_mbps / r1.compress_mbps - 1.0));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 3 reproduction: selection of clustering regions in SZ3's
+// quantization index array on SegSalt Pressure2000. The paper visualizes
+// one slice per plane and zooms into three regions whose stage strides
+// are 2x2, 1x2 and 1x1 (the three interpolation stages of a level); we
+// report the regional entropies and an ASCII rendering of the indices.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compressors/sz3.hpp"
+#include "core/characterize.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+namespace {
+
+/// ASCII rendering of a region of signed indices, clipped to [-8, 8]
+/// like the paper's color scale.
+void render_region(const std::vector<std::uint32_t>& codes, const Dims& dims,
+                   int fixed_axis, std::size_t slice, std::size_t lo0,
+                   std::size_t hi0, std::size_t lo1, std::size_t hi1,
+                   std::size_t s0, std::size_t s1) {
+  const char* shades = " .:-=+*#%@";
+  const int a0 = fixed_axis == 0 ? 1 : 0;
+  const int a1 = fixed_axis == 2 ? 1 : 2;
+  std::array<std::size_t, kMaxRank> c{0, 0, 0, 0};
+  c[fixed_axis] = slice;
+  const std::size_t max_rows = 24, max_cols = 64;
+  std::size_t rows = 0;
+  for (std::size_t i = lo0; i < hi0 && rows < max_rows; i += s0, ++rows) {
+    c[a0] = i;
+    std::size_t cols = 0;
+    for (std::size_t j = lo1; j < hi1 && cols < max_cols; j += s1, ++cols) {
+      c[a1] = j;
+      const std::int64_t q =
+          static_cast<std::int64_t>(codes[dims.index(c[0], c[1], c[2], c[3])]) -
+          32768;
+      const int mag = static_cast<int>(std::min<std::int64_t>(std::llabs(q), 8));
+      std::putchar(q == 0 ? ' ' : shades[1 + mag]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& spec = dataset_spec(DatasetId::kSegSalt);
+  const Dims dims = bench_dims(spec);
+  const Field<float> f = make_field(DatasetId::kSegSalt, 0, dims, 2000);
+
+  SZ3Config cfg;
+  cfg.error_bound = abs_eb(f, 1e-3);
+  cfg.auto_fallback = false;
+  SZ3Artifacts art;
+  sz3_compress(f.data(), f.dims(), cfg, &art);
+
+  header("Fig. 3: clustering regions of SZ3 quantization indices "
+         "(SegSalt Pressure2000, " + dims.str() + ")");
+
+  // Region boxes scaled from the paper's coordinates (at 1008x1008x352)
+  // to the bench dims.
+  struct Region {
+    const char* name;
+    int fixed_axis;
+    double slice_frac;
+    double lo0, hi0, lo1, hi1;  // fractions of the in-plane extents
+    std::size_t s0, s1;         // stage strides (2x2 / 1x2 / 2x2 per Fig 5)
+  };
+  const Region regions[] = {
+      {"Region 0 (xy plane, stride 2x2)", 0, 0.60, 0.45, 0.55, 0.05, 0.15, 2, 2},
+      {"Region 1 (xz plane, stride 1x2)", 1, 0.22, 0.40, 0.60, 0.05, 0.15, 1, 2},
+      {"Region 2 (yz plane, stride 2x2)", 2, 0.15, 0.32, 0.42, 0.50, 0.60, 2, 2},
+  };
+
+  for (const auto& rg : regions) {
+    const int a0 = rg.fixed_axis == 0 ? 1 : 0;
+    const int a1 = rg.fixed_axis == 2 ? 1 : 2;
+    const std::size_t slice =
+        static_cast<std::size_t>(rg.slice_frac * (dims.extent(rg.fixed_axis) - 1));
+    const std::size_t lo0 = static_cast<std::size_t>(rg.lo0 * dims.extent(a0));
+    const std::size_t hi0 = static_cast<std::size_t>(rg.hi0 * dims.extent(a0));
+    const std::size_t lo1 = static_cast<std::size_t>(rg.lo1 * dims.extent(a1));
+    const std::size_t hi1 = static_cast<std::size_t>(rg.hi1 * dims.extent(a1));
+    const double ent = region_entropy(art.codes, dims, rg.fixed_axis, slice,
+                                      lo0, hi0, lo1, hi1, rg.s0, rg.s1);
+    std::printf("\n%s  slice=%zu box=[%zu:%zu, %zu:%zu]  entropy=%.3f bits\n",
+                rg.name, slice, lo0, hi0, lo1, hi1, ent);
+    render_region(art.codes, dims, rg.fixed_axis, slice, lo0, hi0, lo1, hi1,
+                  rg.s0, rg.s1);
+  }
+  return 0;
+}

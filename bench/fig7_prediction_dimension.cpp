@@ -1,0 +1,58 @@
+// Fig. 7 reproduction: compression-ratio increase rate of QP with
+// different prediction dimensions (1D-Back / 1D-Top / 1D-Left / 2D / 3D)
+// on Miranda Velocityx and SegSalt Pressure2000 with SZ3, across error
+// bounds. Expected shape: 2D dominates, 1D-Back degrades.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compressors/sz3.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+namespace {
+
+void sweep(const char* name, const Field<float>& f) {
+  std::printf("\n--- %s (%s) ---\n", name, f.dims().str().c_str());
+  std::printf("%-8s |", "rel_eb");
+  for (auto d : {QPDimension::k1DBack, QPDimension::k1DTop,
+                 QPDimension::k1DLeft, QPDimension::k2D, QPDimension::k3D})
+    std::printf(" %9s", to_string(d));
+  std::printf("\n");
+
+  for (double rel : {1e-2, 1e-3, 1e-4}) {
+    SZ3Config base;
+    base.error_bound = abs_eb(f, rel);
+    base.auto_fallback = false;
+    const auto arc0 = sz3_compress(f.data(), f.dims(), base);
+    std::printf("%-8.0e |", rel);
+    for (auto d : {QPDimension::k1DBack, QPDimension::k1DTop,
+                   QPDimension::k1DLeft, QPDimension::k2D, QPDimension::k3D}) {
+      SZ3Config c = base;
+      c.qp.enabled = true;
+      c.qp.dimension = d;
+      c.qp.condition = QPCondition::kCaseIII;
+      c.qp.max_level = 2;
+      const auto arc1 = sz3_compress(f.data(), f.dims(), c);
+      std::printf(" %+8.1f%%", 100.0 * (static_cast<double>(arc0.size()) /
+                                            arc1.size() - 1.0));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 7: CR increase rate vs QP prediction dimension (SZ3, "
+         "Case III, levels 1-2)");
+  const Field<float> miranda = make_field(
+      DatasetId::kMiranda, 1, bench_dims(dataset_spec(DatasetId::kMiranda)), 1);
+  const Field<float> segsalt = make_field(
+      DatasetId::kSegSalt, 0, bench_dims(dataset_spec(DatasetId::kSegSalt)),
+      2000);
+  sweep("Miranda Velocityx", miranda);
+  sweep("SegSalt Pressure2000", segsalt);
+  return 0;
+}

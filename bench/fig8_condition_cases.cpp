@@ -1,0 +1,57 @@
+// Fig. 8 reproduction: compression-ratio increase rate of QP with
+// different gating conditions (Cases I-IV) using the 2D Lorenzo
+// predictor. Expected shape: Case III best overall; Case I/II can go
+// negative at the extremes; Case IV too conservative.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compressors/sz3.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+namespace {
+
+void sweep(const char* name, const Field<float>& f) {
+  std::printf("\n--- %s (%s) ---\n", name, f.dims().str().c_str());
+  std::printf("%-8s |", "rel_eb");
+  for (auto c : {QPCondition::kCaseI, QPCondition::kCaseII,
+                 QPCondition::kCaseIII, QPCondition::kCaseIV})
+    std::printf(" %9s", to_string(c));
+  std::printf("\n");
+
+  for (double rel : {3e-2, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    SZ3Config base;
+    base.error_bound = abs_eb(f, rel);
+    base.auto_fallback = false;
+    const auto arc0 = sz3_compress(f.data(), f.dims(), base);
+    std::printf("%-8.0e |", rel);
+    for (auto cond : {QPCondition::kCaseI, QPCondition::kCaseII,
+                      QPCondition::kCaseIII, QPCondition::kCaseIV}) {
+      SZ3Config c = base;
+      c.qp.enabled = true;
+      c.qp.dimension = QPDimension::k2D;
+      c.qp.condition = cond;
+      c.qp.max_level = 2;
+      const auto arc1 = sz3_compress(f.data(), f.dims(), c);
+      std::printf(" %+8.1f%%", 100.0 * (static_cast<double>(arc0.size()) /
+                                            arc1.size() - 1.0));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 8: CR increase rate vs QP condition case (SZ3, 2D, levels 1-2)");
+  const Field<float> miranda = make_field(
+      DatasetId::kMiranda, 1, bench_dims(dataset_spec(DatasetId::kMiranda)), 1);
+  const Field<float> segsalt = make_field(
+      DatasetId::kSegSalt, 0, bench_dims(dataset_spec(DatasetId::kSegSalt)),
+      2000);
+  sweep("Miranda Velocityx", miranda);
+  sweep("SegSalt Pressure2000", segsalt);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 9 reproduction: compression-ratio increase rate of QP with
+// different level coverage (apply on levels 1..k). Expected shape:
+// levels 1-2 carry over 98% of the points and nearly all of the gain;
+// adding level 3+ brings modest improvement or degradation.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compressors/sz3.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+namespace {
+
+void sweep(const char* name, const Field<float>& f) {
+  std::printf("\n--- %s (%s) ---\n", name, f.dims().str().c_str());
+  std::printf("%-8s |", "rel_eb");
+  for (int ml : {1, 2, 3, 4, 99})
+    std::printf("  lvl<=%-3d", ml);
+  std::printf("\n");
+
+  for (double rel : {1e-2, 1e-3, 1e-4}) {
+    SZ3Config base;
+    base.error_bound = abs_eb(f, rel);
+    base.auto_fallback = false;
+    const auto arc0 = sz3_compress(f.data(), f.dims(), base);
+    std::printf("%-8.0e |", rel);
+    for (int ml : {1, 2, 3, 4, 99}) {
+      SZ3Config c = base;
+      c.qp = QPConfig::best_fit();
+      c.qp.max_level = ml;
+      const auto arc1 = sz3_compress(f.data(), f.dims(), c);
+      std::printf(" %+7.1f%%", 100.0 * (static_cast<double>(arc0.size()) /
+                                            arc1.size() - 1.0));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 9: CR increase rate vs QP level coverage (SZ3, 2D Case III)");
+  const Field<float> miranda = make_field(
+      DatasetId::kMiranda, 1, bench_dims(dataset_spec(DatasetId::kMiranda)), 1);
+  const Field<float> segsalt = make_field(
+      DatasetId::kSegSalt, 0, bench_dims(dataset_spec(DatasetId::kSegSalt)),
+      2000);
+  sweep("Miranda Velocityx", miranda);
+  sweep("SegSalt Pressure2000", segsalt);
+  return 0;
+}

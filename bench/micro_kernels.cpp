@@ -1,0 +1,116 @@
+// google-benchmark microbenches for the library's hot kernels: Huffman,
+// LZB, data-domain Lorenzo, the interpolation engine and the quantizer.
+// Not tied to a paper figure; used to track regressions in the pieces
+// the end-to-end throughput (Figs. 16-17) is built from.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "compressors/interp_engine.hpp"
+#include "compressors/lorenzo_path.hpp"
+#include "encode/huffman.hpp"
+#include "lossless/lzb.hpp"
+#include "predict/multilevel.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+namespace {
+
+std::vector<std::uint32_t> quant_like_symbols(std::size_t n) {
+  std::mt19937 rng(5);
+  std::geometric_distribution<int> geo(0.4);
+  std::vector<std::uint32_t> s(n);
+  for (auto& v : s) v = static_cast<std::uint32_t>(geo(rng));
+  return s;
+}
+
+Field<float> wavefield(std::size_t edge) {
+  Field<float> f(Dims{edge, edge, edge});
+  for (std::size_t z = 0; z < edge; ++z)
+    for (std::size_t y = 0; y < edge; ++y)
+      for (std::size_t x = 0; x < edge; ++x) {
+        const float r = std::sqrt(static_cast<float>(z * z + y * y + x * x));
+        f.at(z, y, x) = std::sin(0.2f * r) / (1.f + 0.05f * r);
+      }
+  return f;
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_encode(syms));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  const auto enc = huffman_encode(syms);
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_decode(enc));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LzbCompress(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  const auto bytes = huffman_encode(syms);
+  for (auto _ : state) benchmark::DoNotOptimize(lzb_compress(bytes));
+  state.SetBytesProcessed(state.iterations() * bytes.size());
+}
+BENCHMARK(BM_LzbCompress)->Arg(1 << 18);
+
+void BM_LzbDecompress(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  const auto enc = lzb_compress(huffman_encode(syms));
+  for (auto _ : state) benchmark::DoNotOptimize(lzb_decompress(enc));
+  state.SetBytesProcessed(state.iterations() * enc.size());
+}
+BENCHMARK(BM_LzbDecompress)->Arg(1 << 18);
+
+void BM_LorenzoEncode(benchmark::State& state) {
+  const auto f = wavefield(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto work = f.clone();
+    LinearQuantizer<float> q(1e-3);
+    std::vector<std::uint32_t> syms;
+    syms.reserve(f.size());
+    std::size_t cur = 0;
+    lorenzo_walk<float, true>(work.data(), f.dims(), q, syms, cur);
+    benchmark::DoNotOptimize(syms);
+  }
+  state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
+}
+BENCHMARK(BM_LorenzoEncode)->Arg(64);
+
+void BM_InterpEngineEncode(benchmark::State& state) {
+  const auto f = wavefield(static_cast<std::size_t>(state.range(0)));
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(f.dims()), LevelPlan{});
+  for (auto _ : state) {
+    auto work = f.clone();
+    LinearQuantizer<float> q(1e-3);
+    benchmark::DoNotOptimize(InterpEngine<float>::encode(
+        work.data(), f.dims(), plan, 1e-3, q, QPConfig{}));
+  }
+  state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
+}
+BENCHMARK(BM_InterpEngineEncode)->Arg(64);
+
+void BM_InterpEngineEncodeWithQP(benchmark::State& state) {
+  const auto f = wavefield(static_cast<std::size_t>(state.range(0)));
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(f.dims()), LevelPlan{});
+  for (auto _ : state) {
+    auto work = f.clone();
+    LinearQuantizer<float> q(1e-3);
+    benchmark::DoNotOptimize(InterpEngine<float>::encode(
+        work.data(), f.dims(), plan, 1e-3, q, QPConfig::best_fit()));
+  }
+  state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
+}
+BENCHMARK(BM_InterpEngineEncodeWithQP)->Arg(64);
+
+}  // namespace
+}  // namespace qip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table II reproduction: compression statistics on the SegSalt
+// Pressure2000 stand-in with every base compressor aligned at PSNR ~75,
+// reporting max relative error, PSNR, CR without QP, and CR with QP.
+//
+// Paper values (for shape comparison, absolute numbers are testbed- and
+// data-dependent):
+//   MGARD 46.5 -> 54.7, SZ3 119.7 -> 144.3, QoZ 162.6 -> 179.6,
+//   HPEZ 277.7 -> 286.6.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  const auto& spec = dataset_spec(DatasetId::kSegSalt);
+  const Dims dims = bench_dims(spec);
+  const Field<float> f = make_field(DatasetId::kSegSalt, /*Pressure2000*/ 0,
+                                    dims, 2000);
+
+  header("Table II: compression statistics on SegSalt Pressure2000 (" +
+         dims.str() + "), all compressors aligned at PSNR ~75");
+  std::printf("%-7s | %12s | %8s | %12s | %12s | %7s\n", "comp",
+              "max rel err", "PSNR", "CR (orig)", "CR with QP", "dCR%");
+
+  for (const auto* e : qp_base_compressors()) {
+    const double eb = find_eb_for_psnr(*e, f, 75.0);
+    GenericOptions base;
+    base.error_bound = eb;
+    GenericOptions withqp = base;
+    withqp.qp = QPConfig::best_fit();
+    const RunResult r0 = run_once(*e, f, base);
+    const RunResult r1 = run_once(*e, f, withqp);
+    std::printf("%-7s | %12.5f | %8.2f | %12.2f | %12.2f | %+6.1f%%\n",
+                e->name.c_str(), r0.max_rel_err, r0.psnr, r0.cr, r1.cr,
+                100.0 * (r1.cr / r0.cr - 1.0));
+  }
+  return 0;
+}

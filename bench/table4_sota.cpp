@@ -1,0 +1,50 @@
+// Table IV reproduction: CR / PSNR / compression and decompression speed
+// for all seven compressors (and the +QP variants of the interpolation
+// four) on Miranda and SegSalt at absolute-scaled bounds 1e-3 and 1e-5.
+//
+// Expected shape: HPEZ+QP and SPERR lead the ratios; ZFP leads both
+// speeds with the lowest ratios; TTHRESH is the slowest compressor;
+// QP turns SZ3/QoZ competitive with HPEZ.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace qip;
+using namespace qip::bench;
+
+int main() {
+  header("Table IV: comparison with the state of the art");
+  const struct {
+    DatasetId id;
+    int field;
+    std::uint64_t seed;
+  } sets[] = {{DatasetId::kMiranda, 1, 1}, {DatasetId::kSegSalt, 0, 2000}};
+
+  for (const auto& s : sets) {
+    const auto& spec = dataset_spec(s.id);
+    const Field<float> f = make_field(s.id, s.field, bench_dims(spec), s.seed);
+    for (double rel : {1e-3, 1e-5}) {
+      std::printf("\n-- %s, rel eb %.0e (%s) --\n", spec.name, rel,
+                  f.dims().str().c_str());
+      std::printf("%-11s | %9s %8s %9s %9s\n", "compressor", "CR", "PSNR",
+                  "Sc MB/s", "Sd MB/s");
+      for (const auto& e : compressor_registry()) {
+        GenericOptions opt;
+        opt.error_bound = abs_eb(f, rel);
+        const RunResult r = run_once(e, f, opt);
+        std::printf("%-11s | %9.2f %8.2f %9.1f %9.1f\n", e.name.c_str(), r.cr,
+                    r.psnr, r.compress_mbps, r.decompress_mbps);
+        if (e.supports_qp) {
+          GenericOptions qopt = opt;
+          qopt.qp = QPConfig::best_fit();
+          const RunResult rq = run_once(e, f, qopt);
+          std::printf("%-11s | %9.2f %8.2f %9.1f %9.1f\n",
+                      (e.name + "+QP").c_str(), rq.cr, rq.psnr,
+                      rq.compress_mbps, rq.decompress_mbps);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Climate archive scenario: compress a batch of CESM-like climate
+// fields (the paper intro's motivating use case — tens of terabytes per
+// climate snapshot) with every interpolation compressor, with and
+// without QP, and report the storage saved across the batch.
+//
+//   $ ./climate_archive [n_fields]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "compressors/registry.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qip;
+
+  const int n_fields = argc > 1 ? std::atoi(argv[1]) : 6;
+  const Dims dims{26, 256, 512};  // CESM-like thin atmosphere stack
+  const double rel_eb = 1e-3;
+
+  std::printf("Archiving %d CESM-like fields (%s) at rel eb %.0e\n\n",
+              n_fields, dims.str().c_str(), rel_eb);
+  std::printf("%-7s | %14s | %14s | %7s\n", "comp", "bytes (base)",
+              "bytes (+QP)", "saved");
+
+  for (const auto* e : qp_base_compressors()) {
+    std::size_t bytes_base = 0, bytes_qp = 0, original = 0;
+    for (int i = 0; i < n_fields; ++i) {
+      const Field<float> f = make_field(DatasetId::kCESM, i, dims, 77);
+      original += f.size() * sizeof(float);
+      GenericOptions base;
+      base.error_bound =
+          rel_eb * static_cast<double>(value_range(f.span()).width());
+      GenericOptions withqp = base;
+      withqp.qp = QPConfig::best_fit();
+      bytes_base += e->compress_f32(f.data(), dims, base).size();
+      bytes_qp += e->compress_f32(f.data(), dims, withqp).size();
+    }
+    std::printf("%-7s | %14zu | %14zu | %+5.1f%%\n", e->name.c_str(),
+                bytes_base, bytes_qp,
+                100.0 * (1.0 - static_cast<double>(bytes_qp) / bytes_base));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Compressor shootout: run every compressor in the registry on a chosen
+// dataset stand-in and print a ranking — the "which compressor should I
+// use for my data?" starting point.
+//
+//   $ ./compressor_shootout [dataset] [rel_eb]
+// datasets: miranda hurricane segsalt scale s3d cesm
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "compressors/registry.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qip;
+
+  DatasetId id = DatasetId::kMiranda;
+  if (argc > 1) {
+    const std::string want = argv[1];
+    for (const auto& s : dataset_specs()) {
+      std::string n = s.name;
+      for (auto& ch : n) ch = static_cast<char>(std::tolower(ch));
+      if (n == want) id = s.id;
+    }
+  }
+  const double rel_eb = argc > 2 ? std::atof(argv[2]) : 1e-3;
+  const auto& spec = dataset_spec(id);
+  if (spec.paper_dims.rank() == 4) {
+    std::fprintf(stderr, "use seismic_transfer for the 4-D RTM dataset\n");
+    return 1;
+  }
+
+  const Field<float> f = make_field(id, 0, bench_dims(spec), 9);
+  const double eb = rel_eb * static_cast<double>(value_range(f.span()).width());
+  std::printf("%s %s, abs eb %.3e (rel %.0e)\n\n", spec.name,
+              f.dims().str().c_str(), eb, rel_eb);
+  std::printf("%-11s | %9s %8s %9s %9s %9s\n", "compressor", "CR", "PSNR",
+              "Sc MB/s", "Sd MB/s", "max err");
+
+  for (const auto& e : compressor_registry()) {
+    for (int qp = 0; qp <= (e.supports_qp ? 1 : 0); ++qp) {
+      GenericOptions opt;
+      opt.error_bound = eb;
+      if (qp) opt.qp = QPConfig::best_fit();
+      Timer tc;
+      const auto arc = e.compress_f32(f.data(), f.dims(), opt);
+      const double sc = f.size() * sizeof(float) / tc.seconds() / 1e6;
+      Timer td;
+      const auto dec = e.decompress_f32(arc);
+      const double sd = f.size() * sizeof(float) / td.seconds() / 1e6;
+      std::printf("%-11s | %9.2f %8.2f %9.1f %9.1f %9.2e\n",
+                  (e.name + (qp ? "+QP" : "")).c_str(),
+                  static_cast<double>(f.size() * sizeof(float)) / arc.size(),
+                  psnr(f.span(), dec.span()), sc, sd,
+                  max_abs_error(f.span(), dec.span()));
+    }
+  }
+  return 0;
+}

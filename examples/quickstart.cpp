@@ -1,0 +1,52 @@
+// Quickstart: compress a 3-D field with SZ3+QP, decompress it, verify
+// the error bound, and print the ratio — the 30-second tour of the
+// public API.
+//
+//   $ ./quickstart
+//
+// See README.md for the full API walkthrough.
+
+#include <cmath>
+#include <cstdio>
+
+#include "compressors/sz3.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace qip;
+
+  // 1. Make (or load) a field. Fields are dense row-major arrays of rank
+  //    1..4; here a smooth analytic 128^3 volume.
+  const Dims dims{128, 128, 128};
+  Field<float> field(dims);
+  for (std::size_t z = 0; z < 128; ++z)
+    for (std::size_t y = 0; y < 128; ++y)
+      for (std::size_t x = 0; x < 128; ++x)
+        field.at(z, y, x) =
+            std::sin(0.05f * z) * std::cos(0.04f * y) + 0.3f * std::sin(0.06f * x);
+
+  // 2. Configure the compressor: an absolute error bound plus the
+  //    paper's best-fit quantization index prediction (2-D Lorenzo,
+  //    Case III, levels 1-2). QP never changes the decompressed data;
+  //    it only shrinks the archive.
+  SZ3Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.qp = QPConfig::best_fit();
+
+  // 3. Compress.
+  const std::vector<std::uint8_t> archive =
+      sz3_compress(field.data(), field.dims(), cfg);
+
+  // 4. Decompress (archives are self-describing).
+  const Field<float> decoded = sz3_decompress<float>(archive);
+
+  // 5. Verify and report.
+  const double err = max_abs_error(field.span(), decoded.span());
+  const double ratio =
+      static_cast<double>(field.size() * sizeof(float)) / archive.size();
+  std::printf("compressed %zu MB -> %zu KB  (ratio %.1fx)\n",
+              field.size() * sizeof(float) >> 20, archive.size() >> 10, ratio);
+  std::printf("max |error| = %.3e  (bound %.3e)  PSNR = %.2f dB\n", err,
+              cfg.error_bound, psnr(field.span(), decoded.span()));
+  return err <= cfg.error_bound ? 0 : 1;
+}

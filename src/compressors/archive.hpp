@@ -1,0 +1,96 @@
+#pragma once
+
+// Common archive framing shared by all compressors in the library.
+//
+// Outer layout:  magic(4) | compressor id(1) | dtype(1) | LZB block
+// where the LZB block losslessly wraps the compressor-specific inner
+// payload (header + entropy-coded streams), mirroring the
+// Huffman-then-ZSTD pipeline of the original implementations.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "lossless/lzb.hpp"
+#include "util/bytes.hpp"
+#include "util/dims.hpp"
+
+namespace qip {
+
+inline constexpr std::uint32_t kArchiveMagic = 0x5A504951;  // "QIPZ"
+
+/// Compressor identifiers stored in archives.
+enum class CompressorId : std::uint8_t {
+  kSZ3 = 1,
+  kQoZ = 2,
+  kHPEZ = 3,
+  kMGARD = 4,
+  kZFP = 5,
+  kSPERR = 6,
+  kTTHRESH = 7,
+};
+
+/// Scalar type tag stored in archives.
+template <class T>
+constexpr std::uint8_t dtype_tag();
+template <>
+constexpr std::uint8_t dtype_tag<float>() { return 1; }
+template <>
+constexpr std::uint8_t dtype_tag<double>() { return 2; }
+
+/// Wrap an inner payload into the outer framing (applies LZB).
+inline std::vector<std::uint8_t> seal_archive(CompressorId id,
+                                              std::uint8_t dtype,
+                                              std::span<const std::uint8_t> inner) {
+  ByteWriter w;
+  w.put(kArchiveMagic);
+  w.put(static_cast<std::uint8_t>(id));
+  w.put(dtype);
+  const auto packed = lzb_compress(inner);
+  w.put_bytes(packed);
+  return w.take();
+}
+
+/// Validate the outer framing and return the decompressed inner payload.
+inline std::vector<std::uint8_t> open_archive(std::span<const std::uint8_t> bytes,
+                                              CompressorId expect_id,
+                                              std::uint8_t expect_dtype) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kArchiveMagic)
+    throw std::runtime_error("qip: bad archive magic");
+  const auto id = static_cast<CompressorId>(r.get<std::uint8_t>());
+  if (id != expect_id) throw std::runtime_error("qip: archive compressor mismatch");
+  const std::uint8_t dt = r.get<std::uint8_t>();
+  if (dt != expect_dtype) throw std::runtime_error("qip: archive dtype mismatch");
+  return lzb_decompress(r.get_bytes(r.remaining()));
+}
+
+/// Peek at an archive's compressor id without decoding it.
+inline CompressorId archive_compressor(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kArchiveMagic)
+    throw std::runtime_error("qip: bad archive magic");
+  return static_cast<CompressorId>(r.get<std::uint8_t>());
+}
+
+inline void write_dims(ByteWriter& w, const Dims& dims) {
+  w.put_varint(static_cast<std::uint64_t>(dims.rank()));
+  for (int a = 0; a < dims.rank(); ++a) w.put_varint(dims.extent(a));
+}
+
+inline Dims read_dims(ByteReader& r) {
+  const int rank = static_cast<int>(r.get_varint());
+  if (rank < 1 || rank > kMaxRank)
+    throw std::runtime_error("qip: bad rank in archive");
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  for (int a = 0; a < rank; ++a) e[a] = static_cast<std::size_t>(r.get_varint());
+  switch (rank) {
+    case 1: return Dims{e[0]};
+    case 2: return Dims{e[0], e[1]};
+    case 3: return Dims{e[0], e[1], e[2]};
+    default: return Dims{e[0], e[1], e[2], e[3]};
+  }
+}
+
+}  // namespace qip

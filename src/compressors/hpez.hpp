@@ -1,0 +1,52 @@
+#pragma once
+
+// HPEZ-like compressor (Liu et al., SIGMOD'24): auto-tuned
+// multi-component interpolation. Key moving parts reproduced here:
+//  * multi-dimensional (parity-class) interpolation, which consumes the
+//    orthogonal-plane correlation that plain directional interpolation
+//    leaves behind — exactly why the paper finds HPEZ's quantization
+//    indices the least clustered and QP's gains on it the smallest;
+//  * block-wise (32^3) interpolation tuning: each block independently
+//    picks its interpolant/direction from a candidate set (the paper's
+//    Fig. 5 highlights the lone block that chose z-first);
+//  * QoZ-style level-wise error-bound scaling;
+//  * the QP hook, like every interpolation compressor in this library.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+struct HPEZConfig {
+  double error_bound = 1e-3;
+  QPConfig qp;
+  std::int32_t radius = 32768;
+  std::size_t block_size = 32;
+  double alpha = 1.5;  ///< level-wise eb decay
+  double beta = 4.0;   ///< level-wise eb floor divisor
+  bool tune_blocks = true;
+};
+
+template <class T>
+std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
+                                        const HPEZConfig& cfg,
+                                        IndexArtifacts* artifacts = nullptr);
+
+template <class T>
+Field<T> hpez_decompress(std::span<const std::uint8_t> archive);
+
+extern template std::vector<std::uint8_t> hpez_compress<float>(
+    const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);
+extern template std::vector<std::uint8_t> hpez_compress<double>(
+    const double*, const Dims&, const HPEZConfig&, IndexArtifacts*);
+extern template Field<float> hpez_decompress<float>(
+    std::span<const std::uint8_t>);
+extern template Field<double> hpez_decompress<double>(
+    std::span<const std::uint8_t>);
+
+}  // namespace qip

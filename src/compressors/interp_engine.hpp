@@ -1,0 +1,486 @@
+#pragma once
+
+// Shared multilevel interpolation engine (paper Sec. IV-A, Algorithm 1).
+//
+// SZ3-, QoZ-, HPEZ- and MGARD-like compressors all traverse the field
+// level by level, predict each point by interpolation from already
+// processed points, quantize the residual, and keep the *reconstructed*
+// value in the working buffer so later predictions see exactly what the
+// decompressor will see. This class implements that traversal once, for
+// both directions (encode/decode template parameter), with:
+//
+//  * sequential direction orders (SZ3/QoZ) and parity-class
+//    multi-dimensional interpolation (HPEZ-like),
+//  * optional block-wise plans with cross-block stencil guards
+//    (HPEZ-like 32^3 adaptive blocks),
+//  * per-level error-bound scaling (QoZ-like),
+//  * inline quantization-index prediction (the paper's QP, Algorithm 1
+//    line 7) driven by core/qp.hpp.
+//
+// Decode replays the identical traversal, so QP compensations are
+// recomputed from already-recovered indices — information symmetry is by
+// construction.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compressors/plan.hpp"
+#include "core/qp.hpp"
+#include "predict/interpolation.hpp"
+#include "predict/multilevel.hpp"
+#include "quant/quantizer.hpp"
+#include "util/dims.hpp"
+
+namespace qip {
+
+template <class T>
+class InterpEngine {
+ public:
+  struct EncodeResult {
+    /// Entropy-coder input, in traversal order (anchor, then levels).
+    std::vector<std::uint32_t> symbols;
+    /// Spatial array of stored codes (q + radius; 0 = unpredictable),
+    /// retained only when requested — used by the characterization tools.
+    std::vector<std::uint32_t> codes;
+    /// Spatial arrangement of the encoded symbols (Q' in the paper),
+    /// retained with `codes`; lets the Fig. 5 bench compare regional
+    /// entropy before and after quantization index prediction.
+    std::vector<std::uint32_t> symbols_spatial;
+  };
+
+  /// Compress `data` in place (it holds the reconstruction afterwards).
+  static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
+                             double base_eb, LinearQuantizer<T>& quant,
+                             const QPConfig& qp, bool keep_codes = false) {
+    EncodeResult res;
+    res.symbols.reserve(dims.size());
+    std::vector<std::uint32_t> codes(dims.size(), 0);
+    if (keep_codes) res.symbols_spatial.assign(dims.size(), 0);
+    walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols, codes,
+               keep_codes ? &res.symbols_spatial : nullptr);
+    if (keep_codes) res.codes = std::move(codes);
+    return res;
+  }
+
+  /// Reverse of encode(); fills `data` with the reconstruction.
+  static void decode(std::span<const std::uint32_t> symbols, const Dims& dims,
+                     const InterpPlan& plan, double base_eb,
+                     LinearQuantizer<T>& quant, const QPConfig& qp, T* data) {
+    std::vector<std::uint32_t> syms(symbols.begin(), symbols.end());
+    std::vector<std::uint32_t> codes(dims.size(), 0);
+    walk<false>(data, dims, plan, base_eb, quant, qp, syms, codes, nullptr);
+  }
+
+  /// Dry-run prediction of one stage on a subsample of its points, using
+  /// original (unquantized) values for both targets and stencils. Returns
+  /// a bit-cost proxy: sum over sampled points of log2(2|q|+1)+1. Used by
+  /// the QoZ-like per-level tuner and the HPEZ-like block tuner to rank
+  /// candidate plans cheaply and deterministically.
+  static double sample_stage_cost(const T* data, const Dims& dims,
+                                  const StageGrid& g, const LevelPlan& lp,
+                                  double eb, std::size_t sample_step);
+
+  /// Total sampled bit-cost of one whole level under candidate plan `lp`,
+  /// optionally restricted to box [lo, hi). The workhorse of the QoZ-like
+  /// per-level tuner and the HPEZ-like per-block tuner.
+  static double level_cost_sample(const T* data, const Dims& dims, int level,
+                                  const LevelPlan& lp, double eb,
+                                  std::size_t sample_step,
+                                  const std::array<std::size_t, kMaxRank>* lo =
+                                      nullptr,
+                                  const std::array<std::size_t, kMaxRank>* hi =
+                                      nullptr);
+
+ private:
+  /// Per-stage constants for interpolation + QP.
+  struct StageCtx {
+    StageGrid g;
+    std::uint32_t md_mask = 0;  // parity-class axes; 0 => sequential stage
+    int back_axis = -1, left_axis = -1, top_axis = -1;
+    std::size_t back_off = 0, left_off = 0, top_off = 0;
+  };
+
+  static constexpr std::size_t kNoBlock = ~std::size_t{0};
+
+  /// Fill the StageCtx QP fields from the shared axis-assignment rule.
+  static void assign_qp_axes(StageCtx& ctx, const Dims& dims) {
+    const QPAxes ax = qip::assign_qp_axes(ctx.g, dims, ctx.back_axis);
+    ctx.back_axis = ax.back;
+    ctx.left_axis = ax.left;
+    ctx.top_axis = ax.top;
+    ctx.back_off = ax.back_off;
+    ctx.left_off = ax.left_off;
+    ctx.top_off = ax.top_off;
+  }
+
+  /// Build the sequential-order stage for position k of `order`.
+  static StageCtx make_seq_stage(const Dims& dims, std::size_t stride,
+                                 const LevelPlan& lp, int k, int level) {
+    int order[kMaxRank];
+    for (int a = 0; a < dims.rank(); ++a) order[a] = lp.order[a];
+    StageCtx ctx;
+    ctx.g = make_stage_grid(dims, stride,
+                            std::span<const int>(order, dims.rank()), k, level);
+    ctx.back_axis = ctx.g.dim;
+    assign_qp_axes(ctx, dims);
+    return ctx;
+  }
+
+  /// Build the parity-class stage for axis set `mask` (HPEZ-like md mode).
+  static StageCtx make_md_stage(const Dims& dims, std::size_t stride,
+                                std::uint32_t mask, int level) {
+    StageCtx ctx;
+    ctx.md_mask = mask;
+    ctx.g.stride = stride;
+    ctx.g.level = level;
+    for (int a = 0; a < kMaxRank; ++a) {
+      ctx.g.start[a] = 0;
+      ctx.g.step[a] = 1;
+    }
+    for (int a = 0; a < dims.rank(); ++a) {
+      ctx.g.start[a] = (mask >> a) & 1 ? stride : 0;
+      ctx.g.step[a] = 2 * stride;
+    }
+    // Interpolation "direction" for QP purposes: fastest axis in the class.
+    for (int a = dims.rank() - 1; a >= 0; --a) {
+      if ((mask >> a) & 1) {
+        ctx.g.dim = a;
+        break;
+      }
+    }
+    ctx.back_axis = ctx.g.dim;
+    assign_qp_axes(ctx, dims);
+    return ctx;
+  }
+
+  /// 1-D interpolation along `axis` with spacing `s`, honoring the SZ3
+  /// boundary rules (cubic -> quadratic -> linear -> copy) and an
+  /// optional usability predicate for cross-block guards.
+  template <class Usable>
+  static T interp_1d(const T* data, const Dims& dims,
+                     const std::array<std::size_t, kMaxRank>& c,
+                     std::size_t idx, int axis, std::size_t s,
+                     InterpKind kind, Usable&& usable) {
+    const std::size_t x = c[axis];
+    const std::size_t n = dims.extent(axis);
+    const std::ptrdiff_t st =
+        static_cast<std::ptrdiff_t>(s * dims.stride(axis));
+
+    // b = f(x-s) always exists (x is an odd multiple of s, so x >= s).
+    const T b = data[idx - st];
+    T cv{}, av{}, dv{};
+    const bool has_c = x + s < n && usable(axis, x + s);
+    if (has_c) cv = data[idx + st];
+    const bool has_a = x >= 3 * s && usable(axis, x - 3 * s);
+    if (has_a) av = data[idx - 3 * st];
+    const bool has_d = x + 3 * s < n && usable(axis, x + 3 * s);
+    if (has_d) dv = data[idx + 3 * st];
+
+    if (!has_c) return b;
+    if (kind == InterpKind::kLinear) return interp_linear(b, cv);
+    if (has_a && has_d) return interp_cubic(av, b, cv, dv);
+    if (has_a) return interp_quad(cv, b, av);
+    if (has_d) return interp_quad(b, cv, dv);
+    return interp_linear(b, cv);
+  }
+
+  /// Full prediction for a stage point: sequential stages interpolate
+  /// along the stage direction; parity-class stages average the 1-D
+  /// interpolations along every class axis.
+  template <class Usable>
+  static T predict_point(const T* data, const Dims& dims, const StageCtx& ctx,
+                         const std::array<std::size_t, kMaxRank>& c,
+                         std::size_t idx, InterpKind kind, Usable&& usable) {
+    if (ctx.md_mask == 0) {
+      return interp_1d(data, dims, c, idx, ctx.g.dim, ctx.g.stride, kind,
+                       usable);
+    }
+    double acc = 0.0;
+    int cnt = 0;
+    for (int a = 0; a < dims.rank(); ++a) {
+      if ((ctx.md_mask >> a) & 1) {
+        acc += static_cast<double>(
+            interp_1d(data, dims, c, idx, a, ctx.g.stride, kind, usable));
+        ++cnt;
+      }
+    }
+    return static_cast<T>(acc / cnt);
+  }
+
+  /// Process every point of one stage, restricted to [lo, hi) when
+  /// `blocked` (HPEZ-like). kEncode selects direction.
+  template <bool kEncode>
+  static void run_stage(T* data, const Dims& dims, const StageCtx& ctx,
+                        InterpKind kind, LinearQuantizer<T>& quant,
+                        const QPConfig& qp, std::vector<std::uint32_t>& symbols,
+                        std::size_t& cursor, std::vector<std::uint32_t>& codes,
+                        std::vector<std::uint32_t>* sym_spatial, bool blocked,
+                        const std::array<std::size_t, kMaxRank>& lo,
+                        const std::array<std::size_t, kMaxRank>& hi) {
+    const std::int32_t radius = quant.radius();
+    const std::size_t s2 = 2 * ctx.g.stride;
+
+    // Cross-block stencil guard. A stencil point differs from the current
+    // point only along `axis`; it is usable iff it lies
+    //  * inside the current block (earlier stage of the same block), or
+    //  * in an earlier block along `axis` (blocks are processed in
+    //    lexicographic order, so with all other block coordinates equal
+    //    the smaller-axis block is already fully processed), or
+    //  * on the level-entry grid: *every* coordinate a multiple of 2s —
+    //    the along-axis coordinate must divide 2s AND the current point's
+    //    other coordinates must too, because the stencil point inherits
+    //    them. Anything else in a forward block is unprocessed at decode
+    //    time and must not be read.
+    const std::array<std::size_t, kMaxRank>* cur = nullptr;
+    auto usable = [&](int axis, std::size_t y) -> bool {
+      if (!blocked) return true;
+      if (y >= lo[axis] && y < hi[axis]) return true;
+      if (y < lo[axis]) return true;  // earlier block along this axis
+      if (y % s2 != 0) return false;
+      for (int a = 0; a < dims.rank(); ++a)
+        if (a != axis && (*cur)[a] % s2 != 0) return false;
+      return true;
+    };
+
+    auto visit = [&](const std::array<std::size_t, kMaxRank>& c,
+                     std::size_t idx) {
+      cur = &c;
+      const T pred =
+          predict_point(data, dims, ctx, c, idx, kind, usable);
+
+      QPNeighborhood nb;
+      auto avail = [&](int axis, std::size_t off) -> bool {
+        if (axis < 0 || off == 0) return false;
+        const std::size_t floor_coord =
+            blocked ? std::max(ctx.g.start[axis],
+                               first_on(ctx.g.start[axis], ctx.g.step[axis],
+                                        lo[axis]))
+                    : ctx.g.start[axis];
+        return c[axis] >= floor_coord + ctx.g.step[axis];
+      };
+      nb.back = ctx.back_off;
+      nb.left = ctx.left_off;
+      nb.top = ctx.top_off;
+      nb.avail_back = avail(ctx.back_axis, ctx.back_off);
+      nb.avail_left = avail(ctx.left_axis, ctx.left_off);
+      nb.avail_top = avail(ctx.top_axis, ctx.top_off);
+
+      const std::int64_t comp =
+          qp_compensation(codes.data(), idx, nb, qp, ctx.g.level, radius);
+
+      if constexpr (kEncode) {
+        T recon;
+        const std::uint32_t code = quant.quantize(data[idx], pred, &recon);
+        data[idx] = recon;
+        codes[idx] = code;
+        const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
+        if (sym_spatial) (*sym_spatial)[idx] = sym;
+        symbols.push_back(sym);
+      } else {
+        const std::uint32_t code =
+            qp_decode_symbol(symbols[cursor++], comp, radius);
+        codes[idx] = code;
+        data[idx] = quant.recover(code, pred);
+      }
+    };
+
+    if (blocked) {
+      for_each_stage_point_in_box(dims, ctx.g, lo, hi, visit);
+    } else {
+      for_each_stage_point(dims, ctx.g, visit);
+    }
+  }
+
+  static std::size_t first_on(std::size_t start, std::size_t step,
+                              std::size_t at_least) {
+    if (at_least <= start) return start;
+    const std::size_t k = (at_least - start + step - 1) / step;
+    return start + k * step;
+  }
+
+  /// Enumerate the stages of `lp` at stride s and feed them to `fn`.
+  template <class F>
+  static void for_each_stage(const Dims& dims, std::size_t stride,
+                             const LevelPlan& lp, int level, F&& fn) {
+    if (!lp.md) {
+      for (int k = 0; k < dims.rank(); ++k)
+        fn(make_seq_stage(dims, stride, lp, k, level));
+      return;
+    }
+    const std::uint32_t nmask = 1u << dims.rank();
+    for (int pc = 1; pc <= dims.rank(); ++pc) {
+      for (std::uint32_t mask = 1; mask < nmask; ++mask) {
+        if (std::popcount(mask) == pc)
+          fn(make_md_stage(dims, stride, mask, level));
+      }
+    }
+  }
+
+  template <bool kEncode>
+  static void walk(T* data, const Dims& dims, const InterpPlan& plan,
+                   double base_eb, LinearQuantizer<T>& quant,
+                   const QPConfig& qp, std::vector<std::uint32_t>& symbols,
+                   std::vector<std::uint32_t>& codes,
+                   std::vector<std::uint32_t>* sym_spatial) {
+    std::size_t cursor = 0;
+
+    // Anchor: the origin, predicted as 0, never QP-compensated.
+    quant.set_error_bound(base_eb);
+    if constexpr (kEncode) {
+      T recon;
+      const std::uint32_t code = quant.quantize(data[0], T{0}, &recon);
+      data[0] = recon;
+      codes[0] = code;
+      const std::uint32_t sym = qp_encode_symbol(code, 0, quant.radius());
+      if (sym_spatial) (*sym_spatial)[0] = sym;
+      symbols.push_back(sym);
+    } else {
+      const std::uint32_t code =
+          qp_decode_symbol(symbols[cursor++], 0, quant.radius());
+      codes[0] = code;
+      data[0] = quant.recover(code, T{0});
+    }
+
+    const int level_count = static_cast<int>(plan.levels.size());
+    const std::array<std::size_t, kMaxRank> whole_lo{0, 0, 0, 0};
+    std::array<std::size_t, kMaxRank> whole_hi{};
+    for (int a = 0; a < kMaxRank; ++a) whole_hi[a] = dims.extent(a);
+
+    for (int level = level_count; level >= 1; --level) {
+      const std::size_t stride = std::size_t{1} << (level - 1);
+      const LevelPlan& lp = plan.levels[static_cast<std::size_t>(level - 1)];
+      quant.set_error_bound(base_eb * lp.eb_scale);
+
+      if (!plan.blockwise(level)) {
+        for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
+          run_stage<kEncode>(data, dims, ctx, lp.kind, quant, qp, symbols,
+                             cursor, codes, sym_spatial, /*blocked=*/false,
+                             whole_lo, whole_hi);
+        });
+        continue;
+      }
+
+      // Block-wise traversal (HPEZ-like): lexicographic block order, each
+      // block fully processed (all its stages) before the next.
+      const std::size_t bs = plan.block_size;
+      std::array<std::size_t, kMaxRank> nblk{1, 1, 1, 1};
+      for (int a = 0; a < dims.rank(); ++a)
+        nblk[a] = (dims.extent(a) + bs - 1) / bs;
+      const auto& choice =
+          plan.block_choice[static_cast<std::size_t>(level - 1)];
+      std::size_t bidx = 0;
+      std::array<std::size_t, kMaxRank> b{};
+      for (b[0] = 0; b[0] < nblk[0]; ++b[0])
+        for (b[1] = 0; b[1] < nblk[1]; ++b[1])
+          for (b[2] = 0; b[2] < nblk[2]; ++b[2])
+            for (b[3] = 0; b[3] < nblk[3]; ++b[3]) {
+              std::array<std::size_t, kMaxRank> lo{0, 0, 0, 0};
+              std::array<std::size_t, kMaxRank> hi{1, 1, 1, 1};
+              for (int a = 0; a < kMaxRank; ++a) {
+                if (a < dims.rank()) {
+                  lo[a] = b[a] * bs;
+                  hi[a] = std::min(lo[a] + bs, dims.extent(a));
+                } else {
+                  lo[a] = 0;
+                  hi[a] = dims.extent(a);
+                }
+              }
+              LevelPlan blp = plan.candidates[choice[bidx]];
+              blp.eb_scale = lp.eb_scale;
+              for_each_stage(dims, stride, blp, level,
+                             [&](const StageCtx& ctx) {
+                               run_stage<kEncode>(data, dims, ctx, blp.kind,
+                                                  quant, qp, symbols, cursor,
+                                                  codes, sym_spatial,
+                                                  /*blocked=*/true, lo, hi);
+                             });
+              ++bidx;
+            }
+    }
+    quant.set_error_bound(base_eb);
+  }
+};
+
+template <class T>
+double InterpEngine<T>::sample_stage_cost(const T* data, const Dims& dims,
+                                          const StageGrid& g,
+                                          const LevelPlan& lp, double eb,
+                                          std::size_t sample_step) {
+  StageCtx ctx;
+  ctx.g = g;
+  ctx.back_axis = g.dim;
+  if (lp.md) {
+    // Rebuild the class mask from the grid starts.
+    for (int a = 0; a < dims.rank(); ++a)
+      if (g.start[a] == g.stride) ctx.md_mask |= 1u << a;
+  }
+  auto usable = [](int, std::size_t) { return true; };
+
+  // Subsampled grid: inflate every step by sample_step.
+  StageGrid sg = g;
+  for (int a = 0; a < dims.rank(); ++a) sg.step[a] *= sample_step;
+
+  double bits = 0.0;
+  std::size_t count = 0;
+  for_each_stage_point(dims, sg, [&](const std::array<std::size_t, kMaxRank>& c,
+                                     std::size_t idx) {
+    const T pred = predict_point(data, dims, ctx, c, idx, lp.kind, usable);
+    const double q =
+        std::abs(static_cast<double>(data[idx]) - static_cast<double>(pred)) /
+        (2.0 * eb);
+    bits += std::log2(2.0 * q + 1.0) + 1.0;
+    ++count;
+  });
+  return count ? bits : 0.0;
+}
+
+template <class T>
+double InterpEngine<T>::level_cost_sample(
+    const T* data, const Dims& dims, int level, const LevelPlan& lp, double eb,
+    std::size_t sample_step, const std::array<std::size_t, kMaxRank>* lo,
+    const std::array<std::size_t, kMaxRank>* hi) {
+  const std::size_t stride = std::size_t{1} << (level - 1);
+  double bits = 0.0;
+  for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
+    StageCtx sctx = ctx;
+    if (lo && hi) {
+      // Apply the same cross-block stencil guard the blocked encoder will
+      // use, so the proxy cost includes the boundary-prediction penalty of
+      // block independence.
+      const std::size_t s2 = 2 * ctx.g.stride;
+      const std::array<std::size_t, kMaxRank>* cur = nullptr;
+      auto usable = [&](int axis, std::size_t y) -> bool {
+        if (y >= (*lo)[axis] && y < (*hi)[axis]) return true;
+        if (y < (*lo)[axis]) return true;
+        if (y % s2 != 0) return false;
+        for (int a = 0; a < dims.rank(); ++a)
+          if (a != axis && (*cur)[a] % s2 != 0) return false;
+        return true;
+      };
+      StageGrid sg = ctx.g;
+      for (int a = 0; a < dims.rank(); ++a) sg.step[a] *= sample_step;
+      double stage_bits = 0.0;
+      for_each_stage_point_in_box(
+          dims, sg, *lo, *hi,
+          [&](const std::array<std::size_t, kMaxRank>& c, std::size_t idx) {
+            cur = &c;
+            const T pred =
+                predict_point(data, dims, sctx, c, idx, lp.kind, usable);
+            const double q = std::abs(static_cast<double>(data[idx]) -
+                                      static_cast<double>(pred)) /
+                             (2.0 * eb);
+            stage_bits += std::log2(2.0 * q + 1.0) + 1.0;
+          });
+      bits += stage_bits;
+    } else {
+      bits += sample_stage_cost(data, dims, ctx.g, lp, eb, sample_step);
+    }
+  });
+  return bits;
+}
+
+}  // namespace qip

@@ -1,0 +1,80 @@
+#pragma once
+
+// Multidimensional Lorenzo compression path — SZ3's fallback predictor
+// for small error bounds (paper Sec. VI-B: "SZ3 switches to the
+// multidimensional Lorenzo predictor"). Shared by the SZ3-like compressor
+// and the sampling-based predictor selector.
+//
+// Out-of-bounds stencil values are treated as zero (SZ-style implicit
+// zero padding), and prediction uses reconstructed values so the decoder
+// stays in lockstep. QP never applies on this path: Lorenzo indices lack
+// the stage-grid clustering QP exploits (paper Sec. VI-B).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "quant/quantizer.hpp"
+#include "util/dims.hpp"
+
+namespace qip {
+
+/// Encode (kEncode=true) or decode the whole field with rank-d Lorenzo.
+/// On encode, `data` is replaced by its reconstruction and symbols are
+/// appended; on decode, symbols are consumed from `cursor`.
+template <class T, bool kEncode>
+void lorenzo_walk(T* data, const Dims& dims, LinearQuantizer<T>& quant,
+                  std::vector<std::uint32_t>& symbols, std::size_t& cursor) {
+  const int rank = dims.rank();
+  const std::uint32_t nsub = (1u << rank) - 1;  // nonempty axis subsets
+
+  // Precompute, per subset, the linear offset and the sign of its term.
+  std::array<std::size_t, 16> off{};
+  std::array<int, 16> sign{};
+  for (std::uint32_t s = 1; s <= nsub; ++s) {
+    std::size_t o = 0;
+    int bits = 0;
+    for (int a = 0; a < rank; ++a) {
+      if ((s >> a) & 1) {
+        o += dims.stride(a);
+        ++bits;
+      }
+    }
+    off[s] = o;
+    sign[s] = (bits % 2 == 1) ? 1 : -1;
+  }
+
+  const std::int32_t radius = quant.radius();
+  std::array<std::size_t, kMaxRank> c{};
+  const std::size_t e0 = dims.extent(0), e1 = dims.extent(1);
+  const std::size_t e2 = dims.extent(2), e3 = dims.extent(3);
+  for (c[0] = 0; c[0] < e0; ++c[0])
+    for (c[1] = 0; c[1] < e1; ++c[1])
+      for (c[2] = 0; c[2] < e2; ++c[2])
+        for (c[3] = 0; c[3] < e3; ++c[3]) {
+          const std::size_t idx = dims.index(c[0], c[1], c[2], c[3]);
+          std::uint32_t zmask = 0;  // axes where the stencil falls off
+          for (int a = 0; a < rank; ++a)
+            if (c[a] == 0) zmask |= 1u << a;
+
+          T pred{};
+          for (std::uint32_t s = 1; s <= nsub; ++s) {
+            if (s & zmask) continue;  // zero-padded term
+            pred += static_cast<T>(sign[s]) * data[idx - off[s]];
+          }
+
+          if constexpr (kEncode) {
+            T recon;
+            const std::uint32_t code = quant.quantize(data[idx], pred, &recon);
+            data[idx] = recon;
+            symbols.push_back(qp_encode_symbol(code, 0, radius));
+          } else {
+            const std::uint32_t code =
+                qp_decode_symbol(symbols[cursor++], 0, radius);
+            data[idx] = quant.recover(code, pred);
+          }
+        }
+}
+
+}  // namespace qip

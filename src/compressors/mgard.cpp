@@ -1,0 +1,268 @@
+#include "compressors/mgard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compressors/archive.hpp"
+#include "encode/huffman.hpp"
+#include "predict/interpolation.hpp"
+#include "predict/multilevel.hpp"
+#include "quant/quantizer.hpp"
+
+namespace qip {
+namespace {
+
+/// Piecewise-linear prediction along `axis` at spacing `s` from the
+/// hierarchy source `src` (original data during encode, reconstruction
+/// during decode).
+template <class T>
+T linear_pred(const T* src, const Dims& dims,
+              const std::array<std::size_t, kMaxRank>& c, std::size_t idx,
+              int axis, std::size_t s) {
+  const std::ptrdiff_t st = static_cast<std::ptrdiff_t>(s * dims.stride(axis));
+  const T left = src[idx - st];
+  if (c[axis] + s < dims.extent(axis))
+    return interp_linear(left, src[idx + st]);
+  return left;
+}
+
+/// The level/stage/point traversal shared by encode and decode. During
+/// encode `src == orig` (global transform); during decode `src == recon`.
+template <class T, bool kEncode>
+void mgard_walk(const T* src, T* recon, const Dims& dims,
+                const std::vector<double>& level_eb, double base_eb,
+                LinearQuantizer<T>& quant, const QPConfig& qp,
+                std::vector<std::uint32_t>& symbols, std::size_t& cursor,
+                std::vector<std::uint32_t>& codes,
+                std::vector<std::uint32_t>* sym_spatial = nullptr,
+                int min_level = 1) {
+  const std::int32_t radius = quant.radius();
+  const int levels = static_cast<int>(level_eb.size());
+  const auto order = default_order(dims.rank());
+
+  quant.set_error_bound(base_eb);
+  if constexpr (kEncode) {
+    T r;
+    const std::uint32_t code = quant.quantize(src[0], T{0}, &r);
+    codes[0] = code;
+    const std::uint32_t sym = qp_encode_symbol(code, 0, radius);
+    if (sym_spatial) (*sym_spatial)[0] = sym;
+    symbols.push_back(sym);
+  } else {
+    const std::uint32_t code =
+        qp_decode_symbol(symbols[cursor++], 0, radius);
+    codes[0] = code;
+    recon[0] = quant.recover(code, T{0});
+  }
+
+  for (int level = levels; level >= min_level; --level) {
+    const std::size_t s = std::size_t{1} << (level - 1);
+    quant.set_error_bound(level_eb[static_cast<std::size_t>(level - 1)]);
+    for (int k = 0; k < dims.rank(); ++k) {
+      const StageGrid g = make_stage_grid(
+          dims, s, std::span<const int>(order.data(), dims.rank()), k, level);
+      const QPAxes ax = assign_qp_axes(g, dims, g.dim);
+
+      for_each_stage_point(dims, g, [&](const std::array<std::size_t,
+                                                         kMaxRank>& c,
+                                        std::size_t idx) {
+        const T pred = linear_pred(src, dims, c, idx, g.dim, s);
+
+        QPNeighborhood nb;
+        nb.back = ax.back_off;
+        nb.left = ax.left_off;
+        nb.top = ax.top_off;
+        auto avail = [&](int axis) {
+          return axis >= 0 && c[axis] >= g.start[axis] + g.step[axis];
+        };
+        nb.avail_back = avail(ax.back);
+        nb.avail_left = avail(ax.left);
+        nb.avail_top = avail(ax.top);
+        const std::int64_t comp =
+            qp_compensation(codes.data(), idx, nb, qp, level, radius);
+
+        if constexpr (kEncode) {
+          T r;
+          const std::uint32_t code = quant.quantize(src[idx], pred, &r);
+          codes[idx] = code;
+          const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
+          if (sym_spatial) (*sym_spatial)[idx] = sym;
+          symbols.push_back(sym);
+        } else {
+          const std::uint32_t code =
+              qp_decode_symbol(symbols[cursor++], comp, radius);
+          codes[idx] = code;
+          recon[idx] = quant.recover(code, pred);
+        }
+      });
+    }
+  }
+  quant.set_error_bound(base_eb);
+}
+
+}  // namespace
+
+template <class T>
+std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
+                                         const MGARDConfig& cfg,
+                                         IndexArtifacts* artifacts) {
+  const int levels = interpolation_level_count(dims);
+  std::vector<double> level_eb(static_cast<std::size_t>(levels));
+  for (int l = 1; l <= levels; ++l) {
+    const double frac = std::max(cfg.fine_fraction * std::pow(cfg.decay, l - 1),
+                                 cfg.floor_fraction);
+    level_eb[static_cast<std::size_t>(l - 1)] = cfg.error_bound * frac;
+  }
+
+  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(dims.size());
+  std::vector<std::uint32_t> codes(dims.size(), 0);
+  std::size_t cursor = 0;
+  std::vector<std::uint32_t> sym_spatial;
+  if (artifacts) sym_spatial.assign(dims.size(), 0);
+  mgard_walk<T, true>(data, nullptr, dims, level_eb, cfg.error_bound, quant,
+                      cfg.qp, symbols, cursor, codes,
+                      artifacts ? &sym_spatial : nullptr);
+  if (artifacts) {
+    artifacts->codes = codes;
+    artifacts->symbols_spatial = std::move(sym_spatial);
+  }
+
+  // Correction pass: replay the decoder, then patch every point whose
+  // accumulated hierarchy error exceeds the bound. Bin eb/2 leaves the
+  // patched error at eb/2 worst case.
+  Field<T> recon(dims);
+  {
+    std::vector<std::uint32_t> scratch_codes(dims.size(), 0);
+    std::size_t cur = 0;
+    quant.reset_cursor();
+    mgard_walk<T, false>(recon.data(), recon.data(), dims, level_eb,
+                         cfg.error_bound, quant, cfg.qp, symbols, cur,
+                         scratch_codes);
+  }
+  const double ebc = cfg.error_bound / 2.0;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> corrections;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const double r = static_cast<double>(data[i]) -
+                     static_cast<double>(recon[i]);
+    if (std::abs(r) > cfg.error_bound) {
+      const std::int64_t qc = std::llround(r / (2.0 * ebc));
+      corrections.emplace_back(i - prev, qc);
+      prev = i;
+    }
+  }
+
+  ByteWriter inner;
+  write_dims(inner, dims);
+  inner.put(cfg.error_bound);
+  inner.put(cfg.radius);
+  cfg.qp.save(inner);
+  inner.put_varint(static_cast<std::uint64_t>(levels));
+  for (double e : level_eb) inner.put(e);
+  quant.save(inner);
+  inner.put_block(huffman_encode(symbols));
+  inner.put_varint(corrections.size());
+  for (const auto& [delta, qc] : corrections) {
+    inner.put_varint(delta);
+    inner.put_svarint(qc);
+  }
+  return seal_archive(CompressorId::kMGARD, dtype_tag<T>(), inner.bytes());
+}
+
+template <class T>
+Field<T> mgard_decompress(std::span<const std::uint8_t> archive) {
+  const auto inner = open_archive(archive, CompressorId::kMGARD, dtype_tag<T>());
+  ByteReader r(inner);
+  const Dims dims = read_dims(r);
+  const double eb = r.get<double>();
+  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
+  const QPConfig qp = QPConfig::load(r);
+  const int levels = static_cast<int>(r.get_varint());
+  std::vector<double> level_eb(static_cast<std::size_t>(levels));
+  for (auto& e : level_eb) e = r.get<double>();
+  LinearQuantizer<T> quant(eb);
+  quant.load(r);
+  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+
+  Field<T> out(dims);
+  std::vector<std::uint32_t> codes(dims.size(), 0);
+  std::size_t cursor = 0;
+  mgard_walk<T, false>(out.data(), out.data(), dims, level_eb, eb, quant, qp,
+                       symbols, cursor, codes);
+
+  const double ebc = eb / 2.0;
+  const std::uint64_t ncorr = r.get_varint();
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < ncorr; ++i) {
+    pos += static_cast<std::size_t>(r.get_varint());
+    const std::int64_t qc = r.get_svarint();
+    out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
+  }
+  return out;
+}
+
+template <class T>
+Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
+                                  int skip_levels) {
+  const auto inner = open_archive(archive, CompressorId::kMGARD, dtype_tag<T>());
+  ByteReader r(inner);
+  const Dims dims = read_dims(r);
+  const double eb = r.get<double>();
+  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
+  const QPConfig qp = QPConfig::load(r);
+  const int levels = static_cast<int>(r.get_varint());
+  std::vector<double> level_eb(static_cast<std::size_t>(levels));
+  for (auto& e : level_eb) e = r.get<double>();
+  LinearQuantizer<T> quant(eb);
+  quant.load(r);
+  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+
+  const int skip = std::clamp(skip_levels, 0, levels - 1);
+  Field<T> full(dims);
+  std::vector<std::uint32_t> codes(dims.size(), 0);
+  std::size_t cursor = 0;
+  mgard_walk<T, false>(full.data(), full.data(), dims, level_eb, eb, quant, qp,
+                       symbols, cursor, codes, nullptr, 1 + skip);
+
+  // Decimate the coarse grid (stride 2^skip per axis).
+  const std::size_t stride = std::size_t{1} << skip;
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  for (int a = 0; a < dims.rank(); ++a)
+    e[a] = (dims.extent(a) + stride - 1) / stride;
+  Dims out_dims = [&] {
+    switch (dims.rank()) {
+      case 1: return Dims{e[0]};
+      case 2: return Dims{e[0], e[1]};
+      case 3: return Dims{e[0], e[1], e[2]};
+      default: return Dims{e[0], e[1], e[2], e[3]};
+    }
+  }();
+  Field<T> out(out_dims);
+  std::array<std::size_t, kMaxRank> c{};
+  for (c[0] = 0; c[0] < out_dims.extent(0); ++c[0])
+    for (c[1] = 0; c[1] < out_dims.extent(1); ++c[1])
+      for (c[2] = 0; c[2] < out_dims.extent(2); ++c[2])
+        for (c[3] = 0; c[3] < out_dims.extent(3); ++c[3])
+          out[out_dims.index(c[0], c[1], c[2], c[3])] =
+              full[dims.index(c[0] * stride,
+                              dims.rank() > 1 ? c[1] * stride : 0,
+                              dims.rank() > 2 ? c[2] * stride : 0,
+                              dims.rank() > 3 ? c[3] * stride : 0)];
+  return out;
+}
+
+template Field<float> mgard_decompress_reduced<float>(
+    std::span<const std::uint8_t>, int);
+template Field<double> mgard_decompress_reduced<double>(
+    std::span<const std::uint8_t>, int);
+
+template std::vector<std::uint8_t> mgard_compress<float>(
+    const float*, const Dims&, const MGARDConfig&, IndexArtifacts*);
+template std::vector<std::uint8_t> mgard_compress<double>(
+    const double*, const Dims&, const MGARDConfig&, IndexArtifacts*);
+template Field<float> mgard_decompress<float>(std::span<const std::uint8_t>);
+template Field<double> mgard_decompress<double>(std::span<const std::uint8_t>);
+
+}  // namespace qip

@@ -1,0 +1,74 @@
+#pragma once
+
+// MGARD-like compressor (Ainsworth et al., multilevel techniques for
+// compression and reduction of scientific data).
+//
+// Unlike the SZ3/QoZ/HPEZ feedback loop, this is a *global* hierarchical
+// transform: multilinear (piecewise-linear, dimension-by-dimension)
+// interpolation coefficients are computed level-wise from the original
+// data, quantized with conservative level-dependent bins (coarse-level
+// errors propagate through the hierarchy to many points), and the error
+// bound is enforced exactly by a final correction pass that re-runs the
+// decoder on the encode side and patches every violating point — the
+// practical stand-in for MGARD's norm-based bin selection. This makes
+// the compressor noticeably slower and less ratio-efficient than the
+// SZ3 family, matching its placement in the paper's Table I/II, while
+// the quantization indices still live on the same stage grids, so the
+// QP hook applies unchanged.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+struct MGARDConfig {
+  double error_bound = 1e-3;
+  QPConfig qp;
+  std::int32_t radius = 32768;
+  /// Level bin schedule: eb_l = eb * max(fine_fraction * decay^(l-1),
+  /// floor_fraction). Conservative by design; the correction pass
+  /// guarantees the bound regardless.
+  double fine_fraction = 0.6;
+  double decay = 0.75;
+  double floor_fraction = 0.05;
+};
+
+template <class T>
+std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
+                                         const MGARDConfig& cfg,
+                                         IndexArtifacts* artifacts = nullptr);
+
+template <class T>
+Field<T> mgard_decompress(std::span<const std::uint8_t> archive);
+
+/// Resolution reduction -- the capability that distinguishes MGARD in the
+/// paper's Table I. Decodes only interpolation levels > `skip_levels`
+/// and returns the coarse grid (stride 2^skip_levels per axis,
+/// ceil-divided extents), reading just the prefix of the coefficient
+/// stream. With skip_levels == 0 this matches mgard_decompress() except
+/// that the full-resolution correction pass is skipped, so the strict
+/// pointwise bound only applies to the skip_levels == 0 full decode.
+template <class T>
+Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
+                                  int skip_levels);
+
+extern template Field<float> mgard_decompress_reduced<float>(
+    std::span<const std::uint8_t>, int);
+extern template Field<double> mgard_decompress_reduced<double>(
+    std::span<const std::uint8_t>, int);
+
+extern template std::vector<std::uint8_t> mgard_compress<float>(
+    const float*, const Dims&, const MGARDConfig&, IndexArtifacts*);
+extern template std::vector<std::uint8_t> mgard_compress<double>(
+    const double*, const Dims&, const MGARDConfig&, IndexArtifacts*);
+extern template Field<float> mgard_decompress<float>(
+    std::span<const std::uint8_t>);
+extern template Field<double> mgard_decompress<double>(
+    std::span<const std::uint8_t>);
+
+}  // namespace qip

@@ -1,0 +1,122 @@
+#include "compressors/qoz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "compressors/archive.hpp"
+#include "compressors/interp_engine.hpp"
+#include "compressors/tuning.hpp"
+#include "encode/huffman.hpp"
+#include "predict/multilevel.hpp"
+
+namespace qip {
+namespace {
+
+/// Candidate (kind, order) pairs for the per-level interpolation tuner:
+/// cubic/linear crossed with slowest-first and fastest-first orders.
+std::vector<LevelPlan> interp_candidates(int rank) {
+  std::array<std::int8_t, kMaxRank> fwd{0, 1, 2, 3};
+  std::array<std::int8_t, kMaxRank> rev{0, 1, 2, 3};
+  for (int a = 0; a < rank; ++a) rev[a] = static_cast<std::int8_t>(rank - 1 - a);
+  std::vector<LevelPlan> cands;
+  for (InterpKind k : {InterpKind::kCubic, InterpKind::kLinear}) {
+    for (const auto& o : {fwd, rev}) {
+      LevelPlan lp;
+      lp.kind = k;
+      lp.order = o;
+      cands.push_back(lp);
+    }
+  }
+  return cands;
+}
+
+}  // namespace
+
+template <class T>
+std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
+                                       const QoZConfig& cfg,
+                                       IndexArtifacts* artifacts) {
+  const int levels = interpolation_level_count(dims);
+
+  // Per-level interpolation tuning (coarse levels are nearly free to
+  // sample; fine levels are subsampled harder).
+  std::vector<LevelPlan> per_level(static_cast<std::size_t>(levels));
+  if (cfg.tune_interp) {
+    const auto cands = interp_candidates(dims.rank());
+    for (int l = 1; l <= levels; ++l) {
+      const std::size_t step = l == 1 ? 5 : (l == 2 ? 3 : 1);
+      double best_cost = std::numeric_limits<double>::infinity();
+      LevelPlan best = cands.front();
+      for (const auto& cand : cands) {
+        const double cost = InterpEngine<T>::level_cost_sample(
+            data, dims, l, cand, cfg.error_bound, step);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+      per_level[static_cast<std::size_t>(l - 1)] = best;
+    }
+  }
+
+  double alpha = cfg.alpha, beta = cfg.beta;
+  if (cfg.tune_level_eb) {
+    std::tie(alpha, beta) =
+        tune_alpha_beta(data, dims, cfg.error_bound, cfg.radius, per_level);
+  }
+
+  InterpPlan plan;
+  plan.levels.resize(static_cast<std::size_t>(levels));
+  for (int l = 1; l <= levels; ++l) {
+    LevelPlan lp = per_level[static_cast<std::size_t>(l - 1)];
+    lp.eb_scale = level_eb_scale(l, alpha, beta);
+    plan.levels[static_cast<std::size_t>(l - 1)] = lp;
+  }
+
+  Field<T> work(dims, std::vector<T>(data, data + dims.size()));
+  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
+  auto res = InterpEngine<T>::encode(work.data(), dims, plan, cfg.error_bound,
+                                     quant, cfg.qp, artifacts != nullptr);
+  if (artifacts) {
+    artifacts->codes = std::move(res.codes);
+    artifacts->symbols_spatial = std::move(res.symbols_spatial);
+  }
+
+  ByteWriter inner;
+  write_dims(inner, dims);
+  inner.put(cfg.error_bound);
+  inner.put(cfg.radius);
+  cfg.qp.save(inner);
+  plan.save(inner);
+  quant.save(inner);
+  inner.put_block(huffman_encode(res.symbols));
+  return seal_archive(CompressorId::kQoZ, dtype_tag<T>(), inner.bytes());
+}
+
+template <class T>
+Field<T> qoz_decompress(std::span<const std::uint8_t> archive) {
+  const auto inner = open_archive(archive, CompressorId::kQoZ, dtype_tag<T>());
+  ByteReader r(inner);
+  const Dims dims = read_dims(r);
+  const double eb = r.get<double>();
+  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
+  const QPConfig qp = QPConfig::load(r);
+  const InterpPlan plan = InterpPlan::load(r);
+  LinearQuantizer<T> quant(eb);
+  quant.load(r);
+  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+
+  Field<T> out(dims);
+  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out.data());
+  return out;
+}
+
+template std::vector<std::uint8_t> qoz_compress<float>(
+    const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
+template std::vector<std::uint8_t> qoz_compress<double>(
+    const double*, const Dims&, const QoZConfig&, IndexArtifacts*);
+template Field<float> qoz_decompress<float>(std::span<const std::uint8_t>);
+template Field<double> qoz_decompress<double>(std::span<const std::uint8_t>);
+
+}  // namespace qip

@@ -1,0 +1,50 @@
+#pragma once
+
+// QoZ-like quality-oriented compressor (Liu et al., SC'22): SZ3's
+// multilevel interpolation enhanced with (a) per-level auto-tuning of the
+// interpolant and direction order on sampled stage points, and (b)
+// level-wise error-bound scaling (smaller bounds on coarse levels, whose
+// errors propagate through interpolation to many points), with the
+// (alpha, beta) pair selected by a rate-distortion trial on a sampled
+// sub-box. No Lorenzo fallback — matching the paper's observation that
+// QoZ's QP overhead is steady because it never switches predictors.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+struct QoZConfig {
+  double error_bound = 1e-3;
+  QPConfig qp;
+  std::int32_t radius = 32768;
+  /// Level-wise bound: eb_l = eb * max(alpha^-(l-1), 1/beta). Tuned over a
+  /// small candidate set when `tune_level_eb` is set.
+  double alpha = 1.5;
+  double beta = 4.0;
+  bool tune_level_eb = true;
+  /// Per-level interpolant/direction tuning on sampled stage points.
+  bool tune_interp = true;
+};
+
+template <class T>
+std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
+                                       const QoZConfig& cfg,
+                                       IndexArtifacts* artifacts = nullptr);
+
+template <class T>
+Field<T> qoz_decompress(std::span<const std::uint8_t> archive);
+
+extern template std::vector<std::uint8_t> qoz_compress<float>(
+    const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
+extern template std::vector<std::uint8_t> qoz_compress<double>(
+    const double*, const Dims&, const QoZConfig&, IndexArtifacts*);
+extern template Field<float> qoz_decompress<float>(std::span<const std::uint8_t>);
+extern template Field<double> qoz_decompress<double>(std::span<const std::uint8_t>);
+
+}  // namespace qip

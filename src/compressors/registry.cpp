@@ -1,0 +1,247 @@
+#include "compressors/registry.hpp"
+
+#include <stdexcept>
+
+#include "compressors/archive.hpp"
+
+#include "compressors/hpez.hpp"
+#include "compressors/mgard.hpp"
+#include "compressors/qoz.hpp"
+#include "compressors/sperr_like.hpp"
+#include "compressors/sz3.hpp"
+#include "compressors/tthresh_like.hpp"
+#include "compressors/zfp_like.hpp"
+
+namespace qip {
+namespace {
+
+CompressorEntry make_mgard() {
+  CompressorEntry e;
+  e.name = "MGARD";
+  e.interpolation = true;
+  e.supports_qp = true;
+  auto cfg_of = [](const GenericOptions& o) {
+    MGARDConfig c;
+    c.error_bound = o.error_bound;
+    c.qp = o.qp;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return mgard_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return mgard_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return mgard_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return mgard_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_sz3() {
+  CompressorEntry e;
+  e.name = "SZ3";
+  e.interpolation = true;
+  e.supports_qp = true;
+  auto cfg_of = [](const GenericOptions& o) {
+    SZ3Config c;
+    c.error_bound = o.error_bound;
+    c.qp = o.qp;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return sz3_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return sz3_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return sz3_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return sz3_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_qoz() {
+  CompressorEntry e;
+  e.name = "QoZ";
+  e.interpolation = true;
+  e.supports_qp = true;
+  auto cfg_of = [](const GenericOptions& o) {
+    QoZConfig c;
+    c.error_bound = o.error_bound;
+    c.qp = o.qp;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return qoz_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return qoz_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return qoz_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return qoz_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_hpez() {
+  CompressorEntry e;
+  e.name = "HPEZ";
+  e.interpolation = true;
+  e.supports_qp = true;
+  auto cfg_of = [](const GenericOptions& o) {
+    HPEZConfig c;
+    c.error_bound = o.error_bound;
+    c.qp = o.qp;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return hpez_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return hpez_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return hpez_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return hpez_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_zfp() {
+  CompressorEntry e;
+  e.name = "ZFP";
+  e.interpolation = false;
+  e.supports_qp = false;
+  auto cfg_of = [](const GenericOptions& o) {
+    ZFPConfig c;
+    c.error_bound = o.error_bound;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return zfp_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return zfp_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return zfp_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return zfp_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_tthresh() {
+  CompressorEntry e;
+  e.name = "TTHRESH";
+  e.interpolation = false;
+  e.supports_qp = false;
+  auto cfg_of = [](const GenericOptions& o) {
+    TTHRESHConfig c;
+    c.error_bound = o.error_bound;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return tthresh_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return tthresh_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return tthresh_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return tthresh_decompress<double>(a);
+  };
+  return e;
+}
+
+CompressorEntry make_sperr() {
+  CompressorEntry e;
+  e.name = "SPERR";
+  e.interpolation = false;
+  e.supports_qp = false;
+  auto cfg_of = [](const GenericOptions& o) {
+    SPERRConfig c;
+    c.error_bound = o.error_bound;
+    return c;
+  };
+  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return sperr_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return sperr_decompress<float>(a);
+  };
+  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
+                            const GenericOptions& o) {
+    return sperr_compress(d, dims, cfg_of(o));
+  };
+  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
+    return sperr_decompress<double>(a);
+  };
+  return e;
+}
+
+}  // namespace
+
+const std::vector<CompressorEntry>& compressor_registry() {
+  static const std::vector<CompressorEntry> entries = {
+      make_mgard(), make_sz3(),     make_qoz(),  make_hpez(),
+      make_zfp(),   make_tthresh(), make_sperr()};
+  return entries;
+}
+
+const CompressorEntry& find_compressor(std::string_view name) {
+  for (const auto& e : compressor_registry())
+    if (e.name == name) return e;
+  throw std::runtime_error("qip: unknown compressor: " + std::string(name));
+}
+
+const CompressorEntry& find_compressor_for(
+    std::span<const std::uint8_t> archive) {
+  switch (archive_compressor(archive)) {
+    case CompressorId::kMGARD: return find_compressor("MGARD");
+    case CompressorId::kSZ3: return find_compressor("SZ3");
+    case CompressorId::kQoZ: return find_compressor("QoZ");
+    case CompressorId::kHPEZ: return find_compressor("HPEZ");
+    case CompressorId::kZFP: return find_compressor("ZFP");
+    case CompressorId::kTTHRESH: return find_compressor("TTHRESH");
+    case CompressorId::kSPERR: return find_compressor("SPERR");
+  }
+  throw std::runtime_error("qip: unknown compressor id in archive");
+}
+
+std::vector<const CompressorEntry*> qp_base_compressors() {
+  std::vector<const CompressorEntry*> out;
+  for (const auto& e : compressor_registry())
+    if (e.supports_qp) out.push_back(&e);
+  return out;
+}
+
+}  // namespace qip

@@ -1,0 +1,57 @@
+#pragma once
+
+// Type-erased access to every compressor in the library, for benchmark
+// harnesses, examples, and anything that iterates "all compressors".
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+/// Options understood by every compressor. Compressor-specific knobs use
+/// their native config structs; the registry exposes the common surface
+/// the paper's experiments sweep.
+struct GenericOptions {
+  double error_bound = 1e-3;
+  QPConfig qp;  ///< honored only when the entry's supports_qp is true
+};
+
+/// One registered compressor.
+struct CompressorEntry {
+  std::string name;     ///< "MGARD", "SZ3", "QoZ", "HPEZ", "ZFP", ...
+  bool interpolation;   ///< member of the interpolation family
+  bool supports_qp;     ///< QP hook available (the four base compressors)
+
+  std::function<std::vector<std::uint8_t>(const float*, const Dims&,
+                                          const GenericOptions&)>
+      compress_f32;
+  std::function<Field<float>(std::span<const std::uint8_t>)> decompress_f32;
+  std::function<std::vector<std::uint8_t>(const double*, const Dims&,
+                                          const GenericOptions&)>
+      compress_f64;
+  std::function<Field<double>(std::span<const std::uint8_t>)> decompress_f64;
+};
+
+/// All compressors, in the paper's Table IV order:
+/// MGARD, SZ3, QoZ, HPEZ, ZFP, TTHRESH, SPERR.
+const std::vector<CompressorEntry>& compressor_registry();
+
+/// Lookup by name; throws std::runtime_error if unknown.
+const CompressorEntry& find_compressor(std::string_view name);
+
+/// Lookup by the id an archive carries (archive_compressor()); throws
+/// std::runtime_error if unknown.
+const CompressorEntry& find_compressor_for(std::span<const std::uint8_t> archive);
+
+/// The four interpolation-based compressors the paper integrates QP into.
+std::vector<const CompressorEntry*> qp_base_compressors();
+
+}  // namespace qip

@@ -1,0 +1,167 @@
+#include "compressors/sz3.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compressors/archive.hpp"
+#include "compressors/interp_engine.hpp"
+#include "compressors/lorenzo_path.hpp"
+#include "encode/huffman.hpp"
+#include "predict/multilevel.hpp"
+
+namespace qip {
+namespace {
+
+/// Extract a centered sub-box (up to `edge` per axis) for predictor
+/// selection sampling.
+template <class T>
+Field<T> sample_box(const T* data, const Dims& dims, std::size_t edge) {
+  std::array<std::size_t, kMaxRank> ext{1, 1, 1, 1}, lo{0, 0, 0, 0};
+  for (int a = 0; a < dims.rank(); ++a) {
+    ext[a] = std::min(dims.extent(a), edge);
+    lo[a] = (dims.extent(a) - ext[a]) / 2;
+  }
+  Dims sub = [&] {
+    switch (dims.rank()) {
+      case 1: return Dims{ext[0]};
+      case 2: return Dims{ext[0], ext[1]};
+      case 3: return Dims{ext[0], ext[1], ext[2]};
+      default: return Dims{ext[0], ext[1], ext[2], ext[3]};
+    }
+  }();
+  Field<T> out(sub);
+  std::array<std::size_t, kMaxRank> c{};
+  for (c[0] = 0; c[0] < ext[0]; ++c[0])
+    for (c[1] = 0; c[1] < ext[1]; ++c[1])
+      for (c[2] = 0; c[2] < ext[2]; ++c[2])
+        for (c[3] = 0; c[3] < ext[3]; ++c[3])
+          out[sub.index(c[0], c[1], c[2], c[3])] =
+              data[dims.index(lo[0] + c[0], lo[1] + c[1], lo[2] + c[2],
+                              lo[3] + c[3])];
+  return out;
+}
+
+/// Estimated archive bits for a symbol stream + outliers.
+template <class T>
+double estimate_bits(const std::vector<std::uint32_t>& symbols,
+                     std::size_t outliers) {
+  return static_cast<double>(huffman_cost_bits(symbols)) +
+         static_cast<double>(outliers) * sizeof(T) * 8.0;
+}
+
+/// Decide between interpolation and Lorenzo on a sampled sub-box,
+/// mirroring SZ3's sampling-based predictor selection.
+template <class T>
+SZ3Predictor select_predictor(const T* data, const Dims& dims,
+                              const SZ3Config& cfg, const InterpPlan& plan_tmpl) {
+  if (!cfg.auto_fallback) return SZ3Predictor::kInterpolation;
+
+  Field<T> box_i = sample_box(data, dims, 64);
+  const Dims& sd = box_i.dims();
+  Field<T> box_l = box_i.clone();
+
+  LinearQuantizer<T> qi(cfg.error_bound, cfg.radius);
+  InterpPlan plan = InterpPlan::uniform(
+      interpolation_level_count(sd),
+      plan_tmpl.levels.empty() ? LevelPlan{} : plan_tmpl.levels.front());
+  const auto res = InterpEngine<T>::encode(box_i.data(), sd, plan,
+                                           cfg.error_bound, qi, QPConfig{});
+  const double bits_interp = estimate_bits<T>(res.symbols, qi.outlier_count());
+
+  LinearQuantizer<T> ql(cfg.error_bound, cfg.radius);
+  std::vector<std::uint32_t> lsym;
+  lsym.reserve(sd.size());
+  std::size_t cur = 0;
+  lorenzo_walk<T, true>(box_l.data(), sd, ql, lsym, cur);
+  const double bits_lorenzo = estimate_bits<T>(lsym, ql.outlier_count());
+
+  // Mild hysteresis toward interpolation, SZ3's default path.
+  return bits_lorenzo < 0.95 * bits_interp ? SZ3Predictor::kLorenzo
+                                           : SZ3Predictor::kInterpolation;
+}
+
+}  // namespace
+
+template <class T>
+std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
+                                       const SZ3Config& cfg,
+                                       SZ3Artifacts* artifacts) {
+  LevelPlan lp;
+  lp.kind = cfg.kind;
+  InterpPlan plan = InterpPlan::uniform(interpolation_level_count(dims), lp);
+
+  const SZ3Predictor predictor = select_predictor(data, dims, cfg, plan);
+
+  Field<T> work(dims, std::vector<T>(data, data + dims.size()));
+  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
+  std::vector<std::uint32_t> symbols;
+
+  if (predictor == SZ3Predictor::kInterpolation) {
+    auto res = InterpEngine<T>::encode(work.data(), dims, plan,
+                                       cfg.error_bound, quant, cfg.qp,
+                                       artifacts != nullptr);
+    symbols = std::move(res.symbols);
+    if (artifacts) {
+      artifacts->codes = std::move(res.codes);
+      artifacts->symbols_spatial = std::move(res.symbols_spatial);
+    }
+  } else {
+    symbols.reserve(dims.size());
+    std::size_t cur = 0;
+    lorenzo_walk<T, true>(work.data(), dims, quant, symbols, cur);
+    if (artifacts) {
+      artifacts->codes.clear();
+      artifacts->symbols_spatial.clear();
+    }
+  }
+  if (artifacts) artifacts->predictor = predictor;
+
+  ByteWriter inner;
+  write_dims(inner, dims);
+  inner.put(cfg.error_bound);
+  inner.put(cfg.radius);
+  cfg.qp.save(inner);
+  inner.put(static_cast<std::uint8_t>(predictor));
+  if (predictor == SZ3Predictor::kInterpolation) plan.save(inner);
+  quant.save(inner);
+  inner.put_block(huffman_encode(symbols));
+
+  return seal_archive(CompressorId::kSZ3, dtype_tag<T>(), inner.bytes());
+}
+
+template <class T>
+Field<T> sz3_decompress(std::span<const std::uint8_t> archive) {
+  const auto inner = open_archive(archive, CompressorId::kSZ3, dtype_tag<T>());
+  ByteReader r(inner);
+  const Dims dims = read_dims(r);
+  const double eb = r.get<double>();
+  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
+  const QPConfig qp = QPConfig::load(r);
+  const auto predictor = static_cast<SZ3Predictor>(r.get<std::uint8_t>());
+  InterpPlan plan;
+  if (predictor == SZ3Predictor::kInterpolation) plan = InterpPlan::load(r);
+  LinearQuantizer<T> quant(eb);
+  quant.load(r);
+  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+
+  Field<T> out(dims);
+  if (predictor == SZ3Predictor::kInterpolation) {
+    InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out.data());
+  } else {
+    std::size_t cur = 0;
+    lorenzo_walk<T, false>(out.data(), dims, quant, symbols, cur);
+  }
+  return out;
+}
+
+template std::vector<std::uint8_t> sz3_compress<float>(const float*, const Dims&,
+                                                       const SZ3Config&,
+                                                       SZ3Artifacts*);
+template std::vector<std::uint8_t> sz3_compress<double>(const double*,
+                                                        const Dims&,
+                                                        const SZ3Config&,
+                                                        SZ3Artifacts*);
+template Field<float> sz3_decompress<float>(std::span<const std::uint8_t>);
+template Field<double> sz3_decompress<double>(std::span<const std::uint8_t>);
+
+}  // namespace qip

@@ -1,0 +1,59 @@
+#pragma once
+
+// SZ3-like error-bounded lossy compressor (Zhao et al., ICDE'21 /
+// Liang et al., TBD'22): multilevel dynamic spline interpolation with a
+// sampling-based fallback to multidimensional Lorenzo prediction, linear
+// scaling quantization, Huffman coding and a byte-level lossless pass —
+// plus the paper's optional quantization index prediction (QP) hook.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/qp.hpp"
+#include "predict/interpolation.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+/// Which value predictor an SZ3-like archive committed to.
+enum class SZ3Predictor : std::uint8_t {
+  kInterpolation = 0,
+  kLorenzo = 1,  ///< the small-error-bound fallback; QP is never applied here
+};
+
+struct SZ3Config {
+  double error_bound = 1e-3;     ///< absolute error bound
+  QPConfig qp;                   ///< disabled by default
+  std::int32_t radius = 32768;   ///< quantizer radius
+  InterpKind kind = InterpKind::kCubic;
+  /// Try Lorenzo on a sample and switch when it is estimated cheaper
+  /// (the behavior the paper observes on SegSalt at eb = 1e-5).
+  bool auto_fallback = true;
+};
+
+/// Introspection data for the characterization experiments (Figs. 3-5):
+/// the spatial quantization-code array and the chosen predictor.
+struct SZ3Artifacts {
+  std::vector<std::uint32_t> codes;  ///< code = q + radius, 0 = unpredictable
+  std::vector<std::uint32_t> symbols_spatial;  ///< Q' arranged spatially
+  SZ3Predictor predictor = SZ3Predictor::kInterpolation;
+};
+
+template <class T>
+std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
+                                       const SZ3Config& cfg,
+                                       SZ3Artifacts* artifacts = nullptr);
+
+template <class T>
+Field<T> sz3_decompress(std::span<const std::uint8_t> archive);
+
+extern template std::vector<std::uint8_t> sz3_compress<float>(
+    const float*, const Dims&, const SZ3Config&, SZ3Artifacts*);
+extern template std::vector<std::uint8_t> sz3_compress<double>(
+    const double*, const Dims&, const SZ3Config&, SZ3Artifacts*);
+extern template Field<float> sz3_decompress<float>(std::span<const std::uint8_t>);
+extern template Field<double> sz3_decompress<double>(std::span<const std::uint8_t>);
+
+}  // namespace qip

@@ -1,0 +1,113 @@
+#include "core/characterize.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+/// The two in-plane axes (ascending) for a pinned axis of a rank-3 field.
+std::array<int, 2> plane_axes(int fixed_axis) {
+  switch (fixed_axis) {
+    case 0: return {1, 2};
+    case 1: return {0, 2};
+    default: return {0, 1};
+  }
+}
+
+/// Gather the subsampled in-plane symbols of one slice region.
+std::vector<std::uint32_t> gather_plane(std::span<const std::uint32_t> codes,
+                                        const Dims& dims, int fixed_axis,
+                                        std::size_t slice, std::size_t lo0,
+                                        std::size_t hi0, std::size_t lo1,
+                                        std::size_t hi1, std::size_t stride0,
+                                        std::size_t stride1) {
+  const auto [a0, a1] = plane_axes(fixed_axis);
+  std::vector<std::uint32_t> out;
+  out.reserve(((hi0 - lo0) / stride0 + 1) * ((hi1 - lo1) / stride1 + 1));
+  std::array<std::size_t, kMaxRank> c{0, 0, 0, 0};
+  c[fixed_axis] = slice;
+  for (std::size_t i = lo0; i < hi0; i += stride0) {
+    c[a0] = i;
+    for (std::size_t j = lo1; j < hi1; j += stride1) {
+      c[a1] = j;
+      out.push_back(codes[dims.index(c[0], c[1], c[2], c[3])]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> slice_entropies(std::span<const std::uint32_t> codes,
+                                    const Dims& dims, int fixed_axis,
+                                    std::size_t stride) {
+  assert(dims.rank() == 3);
+  const auto [a0, a1] = plane_axes(fixed_axis);
+  std::vector<double> out(dims.extent(fixed_axis));
+  for (std::size_t s = 0; s < dims.extent(fixed_axis); ++s) {
+    const auto plane = gather_plane(codes, dims, fixed_axis, s, 0,
+                                    dims.extent(a0), 0, dims.extent(a1),
+                                    stride, stride);
+    out[s] = shannon_entropy(std::span<const std::uint32_t>(plane));
+  }
+  return out;
+}
+
+double region_entropy(std::span<const std::uint32_t> codes, const Dims& dims,
+                      int fixed_axis, std::size_t slice, std::size_t lo0,
+                      std::size_t hi0, std::size_t lo1, std::size_t hi1,
+                      std::size_t stride0, std::size_t stride1) {
+  const auto plane = gather_plane(codes, dims, fixed_axis, slice, lo0, hi0,
+                                  lo1, hi1, stride0, stride1);
+  return shannon_entropy(std::span<const std::uint32_t>(plane));
+}
+
+ClusterStats cluster_stats(std::span<const std::uint32_t> codes,
+                           const Dims& dims, int fixed_axis, std::size_t slice,
+                           std::size_t stride0, std::size_t stride1,
+                           std::int32_t radius) {
+  const auto [a0, a1] = plane_axes(fixed_axis);
+  const std::size_t n0 = dims.extent(a0) / stride0;
+  const std::size_t n1 = dims.extent(a1) / stride1;
+  const auto plane = gather_plane(codes, dims, fixed_axis, slice, 0,
+                                  n0 * stride0, 0, n1 * stride1, stride0,
+                                  stride1);
+  ClusterStats st;
+  st.entropy = shannon_entropy(std::span<const std::uint32_t>(plane));
+
+  auto q = [&](std::size_t i, std::size_t j) -> std::int64_t {
+    return static_cast<std::int64_t>(plane[i * n1 + j]) - radius;
+  };
+  std::vector<std::uint32_t> residual;
+  residual.reserve(plane.size());
+  double abs_sum = 0.0;
+  std::size_t same_sign = 0, pairs = 0;
+  for (std::size_t i = 1; i < n0; ++i) {
+    for (std::size_t j = 1; j < n1; ++j) {
+      const std::int64_t r =
+          q(i, j) - (q(i - 1, j) + q(i, j - 1) - q(i - 1, j - 1));
+      residual.push_back(static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(r) << 1) ^
+          static_cast<std::uint64_t>(r >> 63)));
+      abs_sum += static_cast<double>(std::llabs(r));
+      ++pairs;
+      const std::int64_t a = q(i - 1, j), b = q(i, j - 1);
+      if ((a > 0 && b > 0) || (a < 0 && b < 0)) ++same_sign;
+    }
+  }
+  if (!residual.empty()) {
+    st.residual_entropy =
+        shannon_entropy(std::span<const std::uint32_t>(residual));
+    st.mean_abs_residual = abs_sum / static_cast<double>(pairs);
+    st.same_sign_fraction =
+        static_cast<double>(same_sign) / static_cast<double>(pairs);
+  }
+  return st;
+}
+
+}  // namespace qip

@@ -1,0 +1,51 @@
+#pragma once
+
+// Quantization-index characterization tools (paper Sec. IV-B): per-slice
+// and per-region Shannon entropy of the quantization index array at
+// stage-dependent strides, plus clustering statistics. These drive the
+// Fig. 3/4/5 reproduction benches.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/dims.hpp"
+
+namespace qip {
+
+/// Entropy (bits/symbol) of the quantization indices of each slice
+/// perpendicular to `fixed_axis`, subsampled with `stride` along the two
+/// in-plane axes (the paper's Fig. 4 uses stride 2 to isolate the last
+/// interpolation level). Requires rank-3 dims.
+std::vector<double> slice_entropies(std::span<const std::uint32_t> codes,
+                                    const Dims& dims, int fixed_axis,
+                                    std::size_t stride);
+
+/// Entropy of a rectangular region of one slice: `fixed_axis` pinned at
+/// `slice`, in-plane box [lo0,hi0) x [lo1,hi1) over the two remaining
+/// axes in ascending order, subsampled by (stride0, stride1) — the
+/// paper's Fig. 3/5 "regional entropy" with stage strides 2x2 / 1x2 /
+/// 1x1.
+double region_entropy(std::span<const std::uint32_t> codes, const Dims& dims,
+                      int fixed_axis, std::size_t slice, std::size_t lo0,
+                      std::size_t hi0, std::size_t lo1, std::size_t hi1,
+                      std::size_t stride0, std::size_t stride1);
+
+/// Clustering statistics of an index array: how predictable the indices
+/// are from their in-plane neighbors. `mean_abs_residual` is the mean
+/// |q - lorenzo2(q)| over the subsampled plane grid; low values mean the
+/// clustering QP exploits is present.
+struct ClusterStats {
+  double entropy = 0.0;            ///< plain symbol entropy
+  double residual_entropy = 0.0;   ///< entropy after 2-D Lorenzo residual
+  double mean_abs_residual = 0.0;
+  double same_sign_fraction = 0.0; ///< fraction of neighbor pairs with equal
+                                   ///< nonzero sign (Case III gate hit rate)
+};
+
+ClusterStats cluster_stats(std::span<const std::uint32_t> codes,
+                           const Dims& dims, int fixed_axis, std::size_t slice,
+                           std::size_t stride0, std::size_t stride1,
+                           std::int32_t radius = 32768);
+
+}  // namespace qip

@@ -1,0 +1,53 @@
+#include "core/qp.hpp"
+
+namespace qip {
+
+void QPConfig::save(ByteWriter& w) const {
+  w.put<std::uint8_t>(enabled ? 1 : 0);
+  w.put(static_cast<std::uint8_t>(dimension));
+  w.put(static_cast<std::uint8_t>(condition));
+  w.put(static_cast<std::int32_t>(max_level));
+}
+
+QPConfig QPConfig::load(ByteReader& r) {
+  QPConfig c;
+  c.enabled = r.get<std::uint8_t>() != 0;
+  c.dimension = static_cast<QPDimension>(r.get<std::uint8_t>());
+  c.condition = static_cast<QPCondition>(r.get<std::uint8_t>());
+  c.max_level = r.get<std::int32_t>();
+  return c;
+}
+
+std::string QPConfig::str() const {
+  if (!enabled) return "QP(off)";
+  std::string s = "QP(";
+  s += to_string(dimension);
+  s += ", ";
+  s += to_string(condition);
+  s += ", levels<=" + std::to_string(max_level) + ")";
+  return s;
+}
+
+const char* to_string(QPDimension d) {
+  switch (d) {
+    case QPDimension::kNone: return "none";
+    case QPDimension::k1DBack: return "1D-Back";
+    case QPDimension::k1DTop: return "1D-Top";
+    case QPDimension::k1DLeft: return "1D-Left";
+    case QPDimension::k2D: return "2D";
+    case QPDimension::k3D: return "3D";
+  }
+  return "?";
+}
+
+const char* to_string(QPCondition c) {
+  switch (c) {
+    case QPCondition::kCaseI: return "Case I";
+    case QPCondition::kCaseII: return "Case II";
+    case QPCondition::kCaseIII: return "Case III";
+    case QPCondition::kCaseIV: return "Case IV";
+  }
+  return "?";
+}
+
+}  // namespace qip

@@ -1,0 +1,230 @@
+#pragma once
+
+// Adaptive Quantization Index Prediction (QP) — the paper's contribution
+// (Sec. V). Interpolation-based compressors leave exploitable spatial
+// correlation in their quantization index array Q; QP applies a reversible
+// integer prediction f so that the entropy coder sees Q' = Q - pred(Q)
+// instead, lowering entropy (and thus raising the compression ratio)
+// without changing the decompressed data at all.
+//
+// The module mirrors paper Algorithms 1 and 2:
+//  * prediction runs inline with the level-wise interpolation traversal,
+//    using only already-processed indices (decoder-available information);
+//  * the predictor is a Lorenzo stencil on the *stage grid* — the set of
+//    points produced by one (level, direction) interpolation stage, whose
+//    orthogonal spacing is the paper's observed 2x2 / 1x2 / 1x1 clustering
+//    stride;
+//  * prediction is gated adaptively (Cases I-IV) on the unpredictable
+//    label and on neighbor signs, and restricted to the finest levels.
+//
+// Best-fit configuration from the paper's exploration: 2-D Lorenzo,
+// Case III, levels 1-2. That is QPConfig's default.
+
+#include <cstdint>
+#include <string>
+
+#include "quant/quantizer.hpp"
+#include "util/bytes.hpp"
+
+namespace qip {
+
+/// Prediction stencil dimensionality (paper Fig. 7).
+enum class QPDimension : std::uint8_t {
+  kNone = 0,   ///< QP disabled for this point class
+  k1DBack = 1, ///< previous index along the interpolation direction
+  k1DTop = 2,  ///< previous index along the slower orthogonal axis
+  k1DLeft = 3, ///< previous index along the faster orthogonal axis
+  k2D = 4,     ///< 2-D Lorenzo in the orthogonal plane (best fit)
+  k3D = 5,     ///< 3-D Lorenzo on the full stage grid
+};
+
+/// Adaptive gating condition (paper Fig. 8 / Sec. V-C2).
+enum class QPCondition : std::uint8_t {
+  kCaseI = 0,   ///< predict everywhere
+  kCaseII = 1,  ///< skip when any involved neighbor is unpredictable
+  kCaseIII = 2, ///< Case II + left/top neighbors share a nonzero sign
+  kCaseIV = 3,  ///< Case II + all involved neighbors share a nonzero sign
+};
+
+/// Full QP configuration carried in the archive header.
+struct QPConfig {
+  bool enabled = false;
+  QPDimension dimension = QPDimension::k2D;
+  QPCondition condition = QPCondition::kCaseIII;
+  int max_level = 2;  ///< apply on interpolation levels 1..max_level
+
+  /// Convenience: the paper's best-fit configuration, enabled.
+  static QPConfig best_fit() {
+    QPConfig c;
+    c.enabled = true;
+    return c;
+  }
+
+  void save(ByteWriter& w) const;
+  static QPConfig load(ByteReader& r);
+  std::string str() const;
+};
+
+/// Per-point neighborhood of a stage-grid point: linear offsets of the
+/// previous same-stage points along the interpolation ("back") axis and
+/// the two fastest orthogonal axes ("left" = fastest). An unavailable
+/// neighbor (stage-grid boundary, block boundary, or rank too small) has
+/// avail_* == false.
+struct QPNeighborhood {
+  std::size_t back = 0, left = 0, top = 0;
+  bool avail_back = false, avail_left = false, avail_top = false;
+};
+
+namespace detail {
+
+inline std::int64_t signed_q(std::uint32_t code, std::int32_t radius) {
+  return static_cast<std::int64_t>(code) - radius;
+}
+
+inline bool same_nonzero_sign(std::int64_t a, std::int64_t b) {
+  return (a > 0 && b > 0) || (a < 0 && b < 0);
+}
+
+}  // namespace detail
+
+/// Compute the compensation factor c for the point at linear index `idx`
+/// (paper Algorithm 2, generalized over dimension/condition choices).
+/// `codes` is the spatial array of stored quantization codes
+/// (q + radius; kUnpredictableCode for outliers), valid at all processed
+/// positions. Returns 0 whenever the gate rejects.
+inline std::int64_t qp_compensation(const std::uint32_t* codes,
+                                    std::size_t idx,
+                                    const QPNeighborhood& nb,
+                                    const QPConfig& cfg, int level,
+                                    std::int32_t radius) {
+  if (!cfg.enabled || level > cfg.max_level ||
+      cfg.dimension == QPDimension::kNone)
+    return 0;
+
+  using detail::same_nonzero_sign;
+  using detail::signed_q;
+  const bool check_u = cfg.condition != QPCondition::kCaseI;
+
+  switch (cfg.dimension) {
+    case QPDimension::k1DBack:
+    case QPDimension::k1DTop:
+    case QPDimension::k1DLeft: {
+      std::size_t off = 0;
+      bool avail = false;
+      if (cfg.dimension == QPDimension::k1DBack) {
+        off = nb.back;
+        avail = nb.avail_back;
+      } else if (cfg.dimension == QPDimension::k1DTop) {
+        off = nb.top;
+        avail = nb.avail_top;
+      } else {
+        off = nb.left;
+        avail = nb.avail_left;
+      }
+      if (!avail) return 0;
+      const std::uint32_t c = codes[idx - off];
+      if (check_u && c == kUnpredictableCode) return 0;
+      const std::int64_t q = signed_q(c, radius);
+      if ((cfg.condition == QPCondition::kCaseIII ||
+           cfg.condition == QPCondition::kCaseIV) &&
+          q == 0)
+        return 0;
+      return q;
+    }
+
+    case QPDimension::k2D: {
+      if (!nb.avail_left || !nb.avail_top) return 0;
+      const std::uint32_t cl = codes[idx - nb.left];
+      const std::uint32_t ct = codes[idx - nb.top];
+      const std::uint32_t cd = codes[idx - nb.left - nb.top];
+      if (check_u && (cl == kUnpredictableCode || ct == kUnpredictableCode ||
+                      cd == kUnpredictableCode))
+        return 0;
+      const std::int64_t ql = signed_q(cl, radius);
+      const std::int64_t qt = signed_q(ct, radius);
+      const std::int64_t qd = signed_q(cd, radius);
+      if (cfg.condition == QPCondition::kCaseIII &&
+          !same_nonzero_sign(ql, qt))
+        return 0;
+      if (cfg.condition == QPCondition::kCaseIV &&
+          !(same_nonzero_sign(ql, qt) && same_nonzero_sign(ql, qd)))
+        return 0;
+      return ql + qt - qd;
+    }
+
+    case QPDimension::k3D: {
+      if (!nb.avail_left || !nb.avail_top || !nb.avail_back) return 0;
+      const std::size_t ol = nb.left, ot = nb.top, ob = nb.back;
+      const std::uint32_t c[7] = {
+          codes[idx - ol],           codes[idx - ot],
+          codes[idx - ob],           codes[idx - ol - ot],
+          codes[idx - ol - ob],      codes[idx - ot - ob],
+          codes[idx - ol - ot - ob],
+      };
+      if (check_u) {
+        for (std::uint32_t ci : c)
+          if (ci == kUnpredictableCode) return 0;
+      }
+      std::int64_t q[7];
+      for (int i = 0; i < 7; ++i) q[i] = signed_q(c[i], radius);
+      if (cfg.condition == QPCondition::kCaseIII &&
+          !same_nonzero_sign(q[0], q[1]))
+        return 0;
+      if (cfg.condition == QPCondition::kCaseIV) {
+        bool all_pos = true, all_neg = true;
+        for (int i = 0; i < 7; ++i) {
+          all_pos = all_pos && q[i] > 0;
+          all_neg = all_neg && q[i] < 0;
+        }
+        if (!all_pos && !all_neg) return 0;
+      }
+      return q[0] + q[1] + q[2] - q[3] - q[4] - q[5] + q[6];
+    }
+
+    case QPDimension::kNone:
+      break;
+  }
+  return 0;
+}
+
+/// Map a stored quantization code plus compensation to the symbol that is
+/// entropy-coded (paper Algorithm 1 line 7, adapted to a zigzag alphabet):
+/// symbol 0 is reserved for the unpredictable label; predictable points
+/// encode zigzag(q - c) + 1. With c == 0 this is frequency-equivalent to
+/// SZ3's shifted-code alphabet, so disabling QP reproduces the base
+/// compressor exactly.
+inline std::uint32_t qp_encode_symbol(std::uint32_t code, std::int64_t c,
+                                      std::int32_t radius) {
+  if (code == kUnpredictableCode) return 0;
+  const std::int64_t q = detail::signed_q(code, radius);
+  const std::int64_t r = q - c;
+  const std::uint64_t zz = (static_cast<std::uint64_t>(r) << 1) ^
+                           static_cast<std::uint64_t>(r >> 63);
+  return static_cast<std::uint32_t>(zz) + 1;
+}
+
+/// Inverse of qp_encode_symbol(): recover the stored code from the symbol
+/// and the (decoder-recomputed) compensation.
+inline std::uint32_t qp_decode_symbol(std::uint32_t symbol, std::int64_t c,
+                                      std::int32_t radius) {
+  if (symbol == 0) return kUnpredictableCode;
+  const std::uint64_t zz = symbol - 1;
+  const std::int64_t r =
+      static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  const std::int64_t q = r + c;
+  return static_cast<std::uint32_t>(q + radius);
+}
+
+const char* to_string(QPDimension d);
+const char* to_string(QPCondition c);
+
+/// Introspection output offered by the four base compressors for the
+/// characterization experiments: the spatial quantization index array Q
+/// (stored codes) and the spatially-arranged encoded symbols Q'
+/// (compensated when QP is enabled).
+struct IndexArtifacts {
+  std::vector<std::uint32_t> codes;
+  std::vector<std::uint32_t> symbols_spatial;
+};
+
+}  // namespace qip

@@ -1,0 +1,70 @@
+#pragma once
+
+// Synthetic stand-ins for the paper's SDRBench evaluation datasets
+// (Table III). The real archives are multi-GB downloads that are not
+// available offline, so each generator reproduces the *character* of its
+// dataset — smoothness spectrum, discontinuities, anisotropy, value
+// distribution — which is what interpolation predictors and the
+// quantization-index clustering phenomenon respond to. All generators are
+// deterministic in (dataset, field index, dims, seed).
+//
+// | Id        | Paper source                | Character reproduced          |
+// |-----------|-----------------------------|-------------------------------|
+// | Miranda   | hydrodynamics turbulence    | multiscale smooth + interfaces|
+// | Hurricane | weather simulation          | vortex + fronts + shear       |
+// | SegSalt   | SEG/EAGE salt model seismic | layered medium + salt body +  |
+// |           |                             | propagating wavefronts        |
+// | SCALE     | SCALE-RM weather            | patchy positive cloud fields  |
+// | S3D       | combustion (double)         | wrinkled flame fronts         |
+// | CESM      | CESM-ATM climate            | zonal bands + continents      |
+// | RTM       | reverse-time migration (4D) | time-stepped wavefield        |
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+enum class DatasetId {
+  kMiranda,
+  kHurricane,
+  kSegSalt,
+  kScale,
+  kS3D,
+  kCESM,
+  kRTM,
+};
+
+/// Static description of a benchmark dataset.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;
+  int field_count;   ///< number of fields in the paper's dataset
+  Dims paper_dims;   ///< full dimensions from Table III
+  Dims bench_dims;   ///< reduced laptop-scale default used by the benches
+  bool is_double;    ///< S3D is double precision
+};
+
+/// All seven benchmark datasets, in Table III order.
+const std::vector<DatasetSpec>& dataset_specs();
+
+/// Spec lookup by id.
+const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Generate field `field_index` (0-based, wraps modulo the dataset's
+/// field count) at the given dims. Deterministic in all arguments.
+Field<float> make_field(DatasetId id, int field_index, const Dims& dims,
+                        std::uint64_t seed = 0);
+
+/// Double-precision variant (used for S3D).
+Field<double> make_field_f64(DatasetId id, int field_index, const Dims& dims,
+                             std::uint64_t seed = 0);
+
+/// Resolve the bench dims: QIP_BENCH_SCALE=full selects paper dims,
+/// anything else (or unset) the reduced bench dims.
+Dims bench_dims(const DatasetSpec& spec);
+
+}  // namespace qip

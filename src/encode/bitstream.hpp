@@ -1,0 +1,136 @@
+#pragma once
+
+// MSB-first bit stream writer/reader shared by the Huffman coder and the
+// bitplane coders of the transform-based baselines (ZFP/SPERR/TTHRESH-like).
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace qip {
+
+/// Packs bits most-significant-first into a byte vector.
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `value` (MSB of that slice first).
+  void write(std::uint64_t value, int nbits) {
+    assert(nbits >= 0 && nbits <= 64);
+    while (nbits > 0) {
+      const int take = std::min(nbits, 64 - fill_);
+      acc_ = (fill_ == 64) ? 0 : acc_;
+      // Shift the next `take` most-significant requested bits into the
+      // accumulator.
+      acc_ |= ((value >> (nbits - take)) & mask(take)) << (64 - fill_ - take);
+      fill_ += take;
+      nbits -= take;
+      if (fill_ == 64) flush_word();
+    }
+  }
+
+  void write_bit(bool b) { write(b ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bytes_.size() * 8 + fill_; }
+
+  /// Pad to a byte boundary and return the buffer.
+  std::vector<std::uint8_t> finish() {
+    // Emit remaining whole-or-partial bytes of the accumulator.
+    int pending = fill_;
+    int shift = 56;
+    while (pending > 0) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ >> shift));
+      shift -= 8;
+      pending -= 8;
+    }
+    acc_ = 0;
+    fill_ = 0;
+    return std::move(bytes_);
+  }
+
+ private:
+  static std::uint64_t mask(int n) {
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+  }
+
+  void flush_word() {
+    for (int shift = 56; shift >= 0; shift -= 8)
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ >> shift));
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;  // bits currently in acc_
+};
+
+/// Reads bits MSB-first from a byte span. Reading past the end yields
+/// zero bits (the embedded coders rely on this for truncated streams);
+/// callers that need strict bounds can check bit_position().
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `nbits` (0..64) bits; the first bit read is the MSB of the result.
+  std::uint64_t read(int nbits) {
+    std::uint64_t v = 0;
+    int left = nbits;
+    // Byte-batched fast path once aligned; bit-by-bit at the edges.
+    while (left > 0 && (pos_ & 7) != 0) {
+      v = (v << 1) | static_cast<std::uint64_t>(read_bit());
+      --left;
+    }
+    while (left >= 8) {
+      const std::size_t byte = pos_ >> 3;
+      const std::uint64_t b = byte < data_.size() ? data_[byte] : 0;
+      v = (v << 8) | b;
+      pos_ += 8;
+      left -= 8;
+    }
+    while (left > 0) {
+      v = (v << 1) | static_cast<std::uint64_t>(read_bit());
+      --left;
+    }
+    return v;
+  }
+
+  int read_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= data_.size()) {
+      ++pos_;
+      return 0;
+    }
+    const int bit = 7 - static_cast<int>(pos_ & 7);
+    ++pos_;
+    return (data_[byte] >> bit) & 1;
+  }
+
+  /// Look at the next `nbits` (<= 16) without consuming them; bits past
+  /// the end of the stream read as zero. Pairs with skip() for
+  /// table-driven decoders.
+  std::uint32_t peek(int nbits) const {
+    const std::size_t byte = pos_ >> 3;
+    const int bitoff = static_cast<int>(pos_ & 7);
+    std::uint32_t window = 0;
+    for (int k = 0; k < 3; ++k) {
+      window <<= 8;
+      if (byte + static_cast<std::size_t>(k) < data_.size())
+        window |= data_[byte + static_cast<std::size_t>(k)];
+    }
+    return (window >> (24 - bitoff - nbits)) & ((1u << nbits) - 1);
+  }
+
+  void skip(int nbits) { pos_ += static_cast<std::size_t>(nbits); }
+
+  std::size_t bit_position() const { return pos_; }
+  bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qip

@@ -1,0 +1,255 @@
+#include "encode/huffman.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "encode/bitstream.hpp"
+#include "util/bytes.hpp"
+
+namespace qip {
+namespace {
+
+struct SymbolInfo {
+  std::uint32_t symbol = 0;
+  std::uint64_t freq = 0;
+  int length = 0;         // canonical code length in bits
+  std::uint64_t code = 0; // canonical code, MSB-aligned at `length` bits
+};
+
+// Compute Huffman code lengths with the classic two-queue method over
+// frequency-sorted leaves; O(n log n) from the sort only.
+void assign_code_lengths(std::vector<SymbolInfo>& syms) {
+  const std::size_t n = syms.size();
+  if (n == 1) {
+    syms[0].length = 1;
+    return;
+  }
+  std::sort(syms.begin(), syms.end(), [](const SymbolInfo& a, const SymbolInfo& b) {
+    return a.freq < b.freq;
+  });
+
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;   // children as node indices; -1/-1 + leaf >= 0
+    int leaf = -1;               // index into syms for leaves
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back({syms[i].freq, -1, -1, static_cast<int>(i)});
+
+  // Two queues: leaves (already sorted) and internal nodes (produced in
+  // nondecreasing weight order).
+  std::size_t leaf_pos = 0;
+  std::deque<int> internal;
+  auto pop_min = [&]() -> int {
+    if (leaf_pos < n && (internal.empty() ||
+                         nodes[leaf_pos].weight <= nodes[internal.front()].weight))
+      return static_cast<int>(leaf_pos++);
+    const int idx = internal.front();
+    internal.pop_front();
+    return idx;
+  };
+
+  for (std::size_t merges = 0; merges + 1 < n; ++merges) {
+    const int a = pop_min();
+    const int b = pop_min();
+    nodes.push_back({nodes[a].weight + nodes[b].weight, a, b, -1});
+    internal.push_back(static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first traversal to compute leaf depths (iterative to handle the
+  // degenerate deep trees produced by exponential frequency distributions).
+  std::vector<std::pair<int, int>> stack;  // (node, depth)
+  stack.emplace_back(static_cast<int>(nodes.size()) - 1, 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[idx];
+    if (nd.leaf >= 0) {
+      syms[nd.leaf].length = std::max(depth, 1);
+    } else {
+      stack.emplace_back(nd.left, depth + 1);
+      stack.emplace_back(nd.right, depth + 1);
+    }
+  }
+}
+
+// Assign canonical codes: sort by (length, symbol) and count codes up.
+void assign_canonical_codes(std::vector<SymbolInfo>& syms) {
+  std::sort(syms.begin(), syms.end(), [](const SymbolInfo& a, const SymbolInfo& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+  std::uint64_t code = 0;
+  int prev_len = syms.empty() ? 0 : syms[0].length;
+  for (auto& s : syms) {
+    code <<= (s.length - prev_len);
+    s.code = code++;
+    prev_len = s.length;
+  }
+}
+
+struct CanonicalTable {
+  // first_code[l] = canonical code value of the first code of length l,
+  // offset[l] = index into `symbols` of that first code.
+  static constexpr int kMaxLen = 64;
+  // Fast path: a direct-mapped table over the next kFastBits of the
+  // stream resolving any code of length <= kFastBits in one lookup.
+  static constexpr int kFastBits = 11;
+  std::vector<std::uint32_t> symbols;                 // sorted by (len, symbol)
+  std::array<std::uint64_t, kMaxLen + 1> first_code{};
+  std::array<std::uint32_t, kMaxLen + 1> offset{};
+  std::array<std::uint32_t, kMaxLen + 1> count{};
+  std::vector<std::uint32_t> fast_sym;  // 1<<kFastBits entries
+  std::vector<std::uint8_t> fast_len;   // 0 = not resolvable in fast path
+  int max_len = 0;
+};
+
+CanonicalTable build_table(const std::vector<SymbolInfo>& syms) {
+  CanonicalTable t;
+  t.symbols.reserve(syms.size());
+  for (const auto& s : syms) t.symbols.push_back(s.symbol);
+  int prev = -1;
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    const int l = syms[i].length;
+    if (l != prev) {
+      t.first_code[l] = syms[i].code;
+      t.offset[l] = static_cast<std::uint32_t>(i);
+      prev = l;
+    }
+    ++t.count[l];
+    t.max_len = std::max(t.max_len, l);
+  }
+  // Populate the fast table: every short code claims all entries whose
+  // top bits equal it.
+  t.fast_sym.assign(std::size_t{1} << CanonicalTable::kFastBits, 0);
+  t.fast_len.assign(std::size_t{1} << CanonicalTable::kFastBits, 0);
+  for (const auto& s : syms) {
+    if (s.length > CanonicalTable::kFastBits) continue;
+    const int fill = CanonicalTable::kFastBits - s.length;
+    const std::uint64_t base = s.code << fill;
+    for (std::uint64_t k = 0; k < (std::uint64_t{1} << fill); ++k) {
+      t.fast_sym[static_cast<std::size_t>(base + k)] = s.symbol;
+      t.fast_len[static_cast<std::size_t>(base + k)] =
+          static_cast<std::uint8_t>(s.length);
+    }
+  }
+  return t;
+}
+
+std::vector<SymbolInfo> collect_symbols(std::span<const std::uint32_t> symbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  freq.reserve(1024);
+  for (std::uint32_t s : symbols) ++freq[s];
+  std::vector<SymbolInfo> syms;
+  syms.reserve(freq.size());
+  for (const auto& [sym, f] : freq) syms.push_back({sym, f, 0, 0});
+  return syms;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols) {
+  ByteWriter out;
+  out.put_varint(symbols.size());
+  if (symbols.empty()) return out.take();
+
+  std::vector<SymbolInfo> syms = collect_symbols(symbols);
+  assign_code_lengths(syms);
+  assign_canonical_codes(syms);
+
+  // Header: distinct-symbol count, then (delta-coded symbol, length) pairs
+  // in canonical order.
+  out.put_varint(syms.size());
+  for (const auto& s : syms) {
+    out.put_varint(s.symbol);
+    out.put_varint(static_cast<std::uint64_t>(s.length));
+  }
+
+  // Dense code lookup for encoding.
+  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, int>> codebook;
+  codebook.reserve(syms.size() * 2);
+  for (const auto& s : syms) codebook[s.symbol] = {s.code, s.length};
+
+  BitWriter bw;
+  for (std::uint32_t s : symbols) {
+    const auto& [code, len] = codebook.at(s);
+    bw.write(code, len);
+  }
+  const std::vector<std::uint8_t> payload = bw.finish();
+  out.put_block(payload);
+  return out.take();
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::uint64_t n = in.get_varint();
+  if (n == 0) return {};
+
+  const std::uint64_t distinct = in.get_varint();
+  if (distinct == 0) throw std::runtime_error("qip: huffman header empty");
+  std::vector<SymbolInfo> syms(distinct);
+  for (auto& s : syms) {
+    s.symbol = static_cast<std::uint32_t>(in.get_varint());
+    s.length = static_cast<int>(in.get_varint());
+    if (s.length <= 0 || s.length > CanonicalTable::kMaxLen)
+      throw std::runtime_error("qip: huffman bad code length");
+  }
+  // Re-derive canonical codes from lengths (header is in canonical order,
+  // but re-sort defensively).
+  assign_canonical_codes(syms);
+  const CanonicalTable table = build_table(syms);
+
+  auto payload = in.get_block();
+  BitReader br(payload);
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+
+  if (distinct == 1) {
+    // Single-symbol stream: codes are 1 bit each; just replicate.
+    out.assign(static_cast<std::size_t>(n), syms[0].symbol);
+    return out;
+  }
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Fast path: resolve short codes with one table lookup.
+    const std::uint32_t window = br.peek(CanonicalTable::kFastBits);
+    const std::uint8_t flen = table.fast_len[window];
+    if (flen != 0) {
+      br.skip(flen);
+      out.push_back(table.fast_sym[window]);
+      continue;
+    }
+    std::uint64_t code = 0;
+    int len = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint64_t>(br.read_bit());
+      ++len;
+      if (len > table.max_len)
+        throw std::runtime_error("qip: huffman bad code stream");
+      if (table.count[len] != 0 && code >= table.first_code[len] &&
+          code - table.first_code[len] < table.count[len]) {
+        out.push_back(
+            table.symbols[table.offset[len] + (code - table.first_code[len])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t huffman_cost_bits(std::span<const std::uint32_t> symbols) {
+  if (symbols.empty()) return 0;
+  std::vector<SymbolInfo> syms = collect_symbols(symbols);
+  assign_code_lengths(syms);
+  std::size_t bits = 0;
+  for (const auto& s : syms)
+    bits += static_cast<std::size_t>(s.length) * s.freq;
+  return bits;
+}
+
+}  // namespace qip

@@ -1,0 +1,32 @@
+#pragma once
+
+// Canonical Huffman coding over a sparse unsigned-integer alphabet.
+//
+// This is the entropy-coding stage of the SZ/QoZ/HPEZ/MGARD pipelines
+// (paper Sec. I & II): quantization-index codes are Huffman-coded and the
+// result is handed to a byte-level lossless pass. The implementation is
+// clean-room: classic two-queue Huffman tree construction, canonical code
+// assignment, and a table-accelerated decoder.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qip {
+
+/// Encode `symbols` into a self-describing byte buffer.
+///
+/// Layout: varint symbol-count table (distinct symbols + code lengths),
+/// varint payload symbol count, then the MSB-first code stream. Empty
+/// input encodes to a short valid buffer.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols);
+
+/// Decode a buffer produced by huffman_encode(). Throws std::runtime_error
+/// on malformed input.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes);
+
+/// Exact size in bits of the code stream huffman_encode() would emit,
+/// without encoding. Used by auto-tuners to cost candidate configurations.
+std::size_t huffman_cost_bits(std::span<const std::uint32_t> symbols);
+
+}  // namespace qip

@@ -1,0 +1,69 @@
+#pragma once
+
+// Zero-run/value split coding for sparse symbol streams.
+//
+// Transform-based compressors (SPERR-like wavelets, TTHRESH-like Tucker
+// cores) produce quantization streams that are overwhelmingly zero. A
+// plain Huffman code floors at 1 bit per symbol, capping the ratio at
+// 32x for floats; splitting the stream into (zero-run length, nonzero
+// value) pairs and entropy-coding the two alphabets separately removes
+// that floor — the classic significance/refinement trick in its simplest
+// form.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encode/huffman.hpp"
+#include "util/bytes.hpp"
+
+namespace qip {
+
+/// Encode a symbol stream as Huffman(run-lengths) + Huffman(values):
+/// the stream is parsed as alternating [run of zeros][one nonzero], with
+/// run length 0 allowed (adjacent nonzeros) and a final zero run.
+inline std::vector<std::uint8_t> rle_encode_symbols(
+    std::span<const std::uint32_t> symbols) {
+  std::vector<std::uint32_t> runs;
+  std::vector<std::uint32_t> values;
+  std::uint32_t run = 0;
+  for (std::uint32_t s : symbols) {
+    if (s == 0) {
+      ++run;
+    } else {
+      runs.push_back(run);
+      values.push_back(s);
+      run = 0;
+    }
+  }
+  ByteWriter w;
+  w.put_varint(symbols.size());
+  w.put_varint(run);  // trailing zero run
+  w.put_block(huffman_encode(runs));
+  w.put_block(huffman_encode(values));
+  return w.take();
+}
+
+/// Inverse of rle_encode_symbols().
+inline std::vector<std::uint32_t> rle_decode_symbols(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::size_t total = static_cast<std::size_t>(r.get_varint());
+  const std::size_t trailing = static_cast<std::size_t>(r.get_varint());
+  const auto runs = huffman_decode(r.get_block());
+  const auto values = huffman_decode(r.get_block());
+  if (runs.size() != values.size())
+    throw std::runtime_error("qip: rle run/value length mismatch");
+  std::vector<std::uint32_t> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out.insert(out.end(), runs[i], 0u);
+    out.push_back(values[i]);
+  }
+  out.insert(out.end(), trailing, 0u);
+  if (out.size() != total)
+    throw std::runtime_error("qip: rle total length mismatch");
+  return out;
+}
+
+}  // namespace qip

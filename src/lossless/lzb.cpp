@@ -1,0 +1,175 @@
+#include "lossless/lzb.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace qip {
+namespace {
+
+constexpr int kMinMatch = 4;
+constexpr int kHashBits = 17;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kWindow = 1u << 20;  // 1 MiB back-reference window
+constexpr int kMaxChainDepth = 48;         // match-search effort bound
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                const std::uint8_t* end) {
+  const std::uint8_t* start = b;
+  while (b + 8 <= end) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff) return static_cast<std::size_t>(b - start) +
+                     (std::countr_zero(diff) >> 3);
+    a += 8;
+    b += 8;
+  }
+  while (b < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(b - start);
+}
+
+struct Match {
+  std::size_t length = 0;
+  std::size_t offset = 0;
+};
+
+class Matcher {
+ public:
+  explicit Matcher(std::span<const std::uint8_t> data)
+      : data_(data),
+        head_(kHashSize, kNone),
+        prev_(data.size(), kNone) {}
+
+  /// Best match at position `pos`, or length 0.
+  Match find(std::size_t pos) const {
+    Match best;
+    if (pos + kMinMatch > data_.size()) return best;
+    const std::uint8_t* end = data_.data() + data_.size();
+    std::size_t cand = head_[hash4(data_.data() + pos)];
+    int depth = kMaxChainDepth;
+    while (cand != kNone && depth-- > 0) {
+      if (pos - cand > kWindow) break;
+      const std::size_t len =
+          match_length(data_.data() + cand, data_.data() + pos, end);
+      if (len > best.length) {
+        best.length = len;
+        best.offset = pos - cand;
+      }
+      cand = prev_[cand];
+    }
+    if (best.length < kMinMatch) best.length = 0;
+    return best;
+  }
+
+  /// Register position `pos` in the hash chains.
+  void insert(std::size_t pos) {
+    if (pos + 4 > data_.size()) return;
+    const std::uint32_t h = hash4(data_.data() + pos);
+    prev_[pos] = head_[h];
+    head_[h] = pos;
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+  std::span<const std::uint8_t> data_;
+  std::vector<std::size_t> head_;
+  std::vector<std::size_t> prev_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input) {
+  ByteWriter out;
+  out.put_varint(input.size());
+  if (input.empty()) return out.take();
+
+  Matcher matcher(input);
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+
+  auto emit = [&](std::size_t match_len, std::size_t offset) {
+    // Sequence = (literal run, optional match). match_len==0 terminates.
+    out.put_varint(pos - lit_start);
+    out.put_bytes(input.subspan(lit_start, pos - lit_start));
+    out.put_varint(match_len);
+    if (match_len) out.put_varint(offset);
+  };
+
+  while (pos < input.size()) {
+    Match m = matcher.find(pos);
+    if (m.length == 0) {
+      matcher.insert(pos);
+      ++pos;
+      continue;
+    }
+    // One-step lazy parsing a la gzip: prefer a strictly longer match that
+    // starts one byte later.
+    if (pos + 1 < input.size()) {
+      matcher.insert(pos);
+      const Match next = matcher.find(pos + 1);
+      if (next.length > m.length + 1) {
+        ++pos;
+        m = next;
+      }
+    } else {
+      matcher.insert(pos);
+    }
+    emit(m.length, m.offset);
+    // Index the covered positions (sparsely for long matches to bound cost).
+    const std::size_t match_end = pos + m.length;
+    const std::size_t step = m.length > 4096 ? 16 : 1;
+    for (std::size_t p = pos + 1; p < match_end; p += step) matcher.insert(p);
+    pos = match_end;
+    lit_start = pos;
+  }
+  emit(0, 0);  // trailing literals + terminator
+  return out.take();
+}
+
+std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.get_varint();
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(raw_size));
+
+  while (out.size() < raw_size) {
+    const std::uint64_t lit_len = in.get_varint();
+    if (out.size() + lit_len > raw_size)
+      throw std::runtime_error("qip: lzb literal overrun");
+    const auto lits = in.get_bytes(static_cast<std::size_t>(lit_len));
+    out.insert(out.end(), lits.begin(), lits.end());
+
+    const std::uint64_t match_len = in.get_varint();
+    if (match_len == 0) {
+      if (out.size() != raw_size)
+        throw std::runtime_error("qip: lzb premature terminator");
+      break;
+    }
+    const std::uint64_t offset = in.get_varint();
+    if (offset == 0 || offset > out.size())
+      throw std::runtime_error("qip: lzb bad offset");
+    if (out.size() + match_len > raw_size)
+      throw std::runtime_error("qip: lzb match overrun");
+    // Overlapping copies are the point (run-length shapes), so copy bytewise.
+    std::size_t src = out.size() - static_cast<std::size_t>(offset);
+    for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src++]);
+  }
+  if (out.size() != raw_size)
+    throw std::runtime_error("qip: lzb size mismatch");
+  return out;
+}
+
+}  // namespace qip

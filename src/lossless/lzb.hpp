@@ -1,0 +1,28 @@
+#pragma once
+
+// LZB: byte-level LZ77 lossless codec with hash-chain matching and lazy
+// parsing. Fills the pipeline role that ZSTD plays in the original
+// SZ3/QoZ/HPEZ/MGARD implementations (paper Sec. I): a generic lossless
+// pass over the entropy-coded quantization stream plus metadata.
+//
+// Substitution note (DESIGN.md Sec. 2): no zstd development headers are
+// available offline, so the library ships its own backend. LZB is a
+// strictly simpler coder (no FSE/entropy stage), so absolute ratios are
+// slightly below ZSTD's, but it preserves the pipeline structure that the
+// paper's quantization-index-prediction gains are measured against.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qip {
+
+/// Compress `input` into a self-describing buffer. Never fails; highly
+/// incompressible input grows by a few bytes of framing at most per 64 KiB.
+std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input);
+
+/// Decompress a buffer produced by lzb_compress(). Throws
+/// std::runtime_error on malformed input.
+std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace qip

@@ -1,0 +1,127 @@
+#include "parallel/chunked.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "compressors/archive.hpp"
+#include "util/bytes.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qip {
+namespace {
+
+constexpr std::uint32_t kChunkMagic = 0x50504951;  // "QIPP"
+
+Dims slab_dims(const Dims& d, std::size_t thickness) {
+  switch (d.rank()) {
+    case 1: return Dims{thickness};
+    case 2: return Dims{thickness, d.extent(1)};
+    case 3: return Dims{thickness, d.extent(1), d.extent(2)};
+    default: return Dims{thickness, d.extent(1), d.extent(2), d.extent(3)};
+  }
+}
+
+template <class T>
+const auto& compress_fn(const CompressorEntry& e) {
+  if constexpr (std::is_same_v<T, float>)
+    return e.compress_f32;
+  else
+    return e.compress_f64;
+}
+
+template <class T>
+const auto& decompress_fn(const CompressorEntry& e) {
+  if constexpr (std::is_same_v<T, float>)
+    return e.decompress_f32;
+  else
+    return e.decompress_f64;
+}
+
+}  // namespace
+
+template <class T>
+std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
+                                           const ChunkedOptions& opt) {
+  const CompressorEntry& comp = find_compressor(opt.compressor);
+  const unsigned workers =
+      opt.workers ? opt.workers
+                  : std::max(1u, std::thread::hardware_concurrency());
+
+  std::size_t slab = opt.slab;
+  if (slab == 0) {
+    const std::size_t target_chunks = std::max<std::size_t>(2 * workers, 1);
+    slab = std::max<std::size_t>(8, (dims.extent(0) + target_chunks - 1) /
+                                        target_chunks);
+  }
+  slab = std::min(slab, dims.extent(0));
+  const std::size_t nchunks = (dims.extent(0) + slab - 1) / slab;
+  const std::size_t plane = dims.size() / dims.extent(0);
+
+  std::vector<std::vector<std::uint8_t>> parts(nchunks);
+  ThreadPool pool(workers);
+  pool.parallel_for(nchunks, [&](std::size_t c) {
+    const std::size_t z0 = c * slab;
+    const std::size_t thick = std::min(slab, dims.extent(0) - z0);
+    parts[c] = compress_fn<T>(comp)(data + z0 * plane,
+                                    slab_dims(dims, thick), opt.options);
+  });
+
+  ByteWriter w;
+  w.put(kChunkMagic);
+  w.put(dtype_tag<T>());
+  write_dims(w, dims);
+  w.put_varint(slab);
+  w.put_varint(nchunks);
+  // Name length-prefixed so future compressors with longer names fit.
+  w.put_varint(opt.compressor.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(opt.compressor.data()),
+               opt.compressor.size()});
+  for (const auto& p : parts) w.put_block(p);
+  return w.take();
+}
+
+template <class T>
+Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
+                            unsigned workers) {
+  ByteReader r(archive);
+  if (r.get<std::uint32_t>() != kChunkMagic)
+    throw std::runtime_error("qip: not a chunked archive");
+  if (r.get<std::uint8_t>() != dtype_tag<T>())
+    throw std::runtime_error("qip: chunked archive dtype mismatch");
+  const Dims dims = read_dims(r);
+  const std::size_t slab = static_cast<std::size_t>(r.get_varint());
+  const std::size_t nchunks = static_cast<std::size_t>(r.get_varint());
+  const std::size_t name_len = static_cast<std::size_t>(r.get_varint());
+  const auto name_bytes = r.get_bytes(name_len);
+  const std::string name(name_bytes.begin(), name_bytes.end());
+  const CompressorEntry& comp = find_compressor(name);
+
+  std::vector<std::span<const std::uint8_t>> parts(nchunks);
+  for (auto& p : parts) p = r.get_block();
+
+  Field<T> out(dims);
+  const std::size_t plane = dims.size() / dims.extent(0);
+  ThreadPool pool(workers ? workers
+                          : std::max(1u, std::thread::hardware_concurrency()));
+  pool.parallel_for(nchunks, [&](std::size_t c) {
+    const std::size_t z0 = c * slab;
+    const std::size_t thick = std::min(slab, dims.extent(0) - z0);
+    const Field<T> dec = decompress_fn<T>(comp)(parts[c]);
+    if (dec.dims() != slab_dims(dims, thick))
+      throw std::runtime_error("qip: chunk shape mismatch");
+    std::copy(dec.data(), dec.data() + dec.size(), out.data() + z0 * plane);
+  });
+  return out;
+}
+
+template std::vector<std::uint8_t> chunked_compress<float>(
+    const float*, const Dims&, const ChunkedOptions&);
+template std::vector<std::uint8_t> chunked_compress<double>(
+    const double*, const Dims&, const ChunkedOptions&);
+template Field<float> chunked_decompress<float>(std::span<const std::uint8_t>,
+                                                unsigned);
+template Field<double> chunked_decompress<double>(std::span<const std::uint8_t>,
+                                                  unsigned);
+
+}  // namespace qip

@@ -1,0 +1,42 @@
+#pragma once
+
+// 1-D interpolation kernels used by the multilevel interpolation
+// compressors (SZ3/QoZ/HPEZ-like): 2-point linear, 3-point quadratic for
+// line boundaries, and the 4-point cubic spline SZ3 uses in its interior.
+
+#include <cstdint>
+
+namespace qip {
+
+/// Which interpolant a compressor/level uses.
+enum class InterpKind : std::uint8_t {
+  kLinear = 0,
+  kCubic = 1,
+};
+
+/// Midpoint of two neighbors at +-1 step.
+template <class T>
+inline T interp_linear(T a, T b) {
+  return static_cast<T>((a + b) / 2);
+}
+
+/// Extrapolating quadratic through samples at -3, -1 steps predicting +1
+/// (used at the right end of a line where only past samples exist):
+/// f(+1) ~ (-f(-3) + 3 f(-1)) / 2 would overshoot; SZ3 uses the milder
+/// (3*b + 6*c - a)/8 form with a=f(-3), b=f(-1), c=f(+1 known side)... we
+/// keep the two-sided quadratic used when exactly three stencil points
+/// are in range: f(0) ~ (3 a + 6 b - c) / 8 with a,b the flanking points
+/// and c the far point on b's side.
+template <class T>
+inline T interp_quad(T a, T b, T c) {
+  return static_cast<T>((3 * a + 6 * b - c) / 8);
+}
+
+/// 4-point cubic through samples at -3, -1, +1, +3 steps evaluated at 0:
+/// (-a + 9b + 9c - d) / 16.
+template <class T>
+inline T interp_cubic(T a, T b, T c, T d) {
+  return static_cast<T>((-a + 9 * b + 9 * c - d) / 16);
+}
+
+}  // namespace qip

@@ -1,0 +1,43 @@
+#pragma once
+
+// Data-domain Lorenzo predictors (Ibarria et al. 2003), used by:
+//  * the SZ3-like compressor's low-error-bound fallback path (the paper's
+//    "SZ3 switches to the multidimensional Lorenzo predictor"), and
+//  * the quantization-index predictor in src/core/qp.hpp, which applies
+//    the same stencils to integer quantization indices on stage grids.
+//
+// The prediction is the value the unique multivariate polynomial fitted to
+// the processed corner neighbors takes at the current point; analytically
+// it is an alternating-sign sum of the neighbors (paper Fig. 6).
+
+#include <cstddef>
+
+#include "util/dims.hpp"
+
+namespace qip {
+
+/// 1-D Lorenzo: previous value along one axis.
+template <class T>
+T lorenzo1(const T* p, std::size_t s0) {
+  return p[-static_cast<std::ptrdiff_t>(s0)];
+}
+
+/// 2-D Lorenzo: f(x-1,y) + f(x,y-1) - f(x-1,y-1).
+template <class T>
+T lorenzo2(const T* p, std::size_t s0, std::size_t s1) {
+  const auto d0 = static_cast<std::ptrdiff_t>(s0);
+  const auto d1 = static_cast<std::ptrdiff_t>(s1);
+  return p[-d0] + p[-d1] - p[-d0 - d1];
+}
+
+/// 3-D Lorenzo: alternating-sign sum over the 7 processed cube corners.
+template <class T>
+T lorenzo3(const T* p, std::size_t s0, std::size_t s1, std::size_t s2) {
+  const auto d0 = static_cast<std::ptrdiff_t>(s0);
+  const auto d1 = static_cast<std::ptrdiff_t>(s1);
+  const auto d2 = static_cast<std::ptrdiff_t>(s2);
+  return p[-d0] + p[-d1] + p[-d2] - p[-d0 - d1] - p[-d0 - d2] -
+         p[-d1 - d2] + p[-d0 - d1 - d2];
+}
+
+}  // namespace qip

@@ -1,0 +1,109 @@
+#pragma once
+
+// Linear-scaling quantizer with out-of-range ("unpredictable") escape,
+// matching the SZ3 scheme recapped in paper Sec. IV-A:
+//
+//   q  = round((d - p) / (2*eb)),   d' = p + 2*eb*q,   |d - d'| <= eb
+//
+// Stored code = q + radius in [1, 2*radius); code 0 is the unpredictable
+// label `u` used by QP's Case II–IV gating, and the corresponding original
+// value is stored verbatim in an outlier list.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace qip {
+
+/// Quantization code reserved for unpredictable data (paper Algorithm 2's
+/// label `u`).
+inline constexpr std::uint32_t kUnpredictableCode = 0;
+
+template <class T>
+class LinearQuantizer {
+ public:
+  /// `radius` bounds |q|; codes occupy [0, 2*radius).
+  explicit LinearQuantizer(double error_bound, std::int32_t radius = 32768)
+      : eb_(error_bound), radius_(radius) {}
+
+  double error_bound() const { return eb_; }
+  std::int32_t radius() const { return radius_; }
+
+  /// Adjust the bin width; used by compressors with level-wise error
+  /// bounds (QoZ-style eb scaling, MGARD-style level budgets).
+  void set_error_bound(double eb) { eb_ = eb; }
+
+  /// Quantize `d` against prediction `p`. Returns the stored code and
+  /// writes the reconstructed value to `*recon`. Unpredictable points
+  /// (|q| >= radius, or rounding that would break the bound) return code 0,
+  /// record the exact value in the outlier list, and reconstruct exactly.
+  std::uint32_t quantize(T d, T p, T* recon) {
+    const double diff = static_cast<double>(d) - static_cast<double>(p);
+    const double qd = diff / (2.0 * eb_);
+    if (std::abs(qd) < static_cast<double>(radius_) - 1) {
+      const std::int32_t q =
+          static_cast<std::int32_t>(std::llround(qd));
+      const T dec = static_cast<T>(static_cast<double>(p) + 2.0 * eb_ * q);
+      if (std::abs(static_cast<double>(dec) - static_cast<double>(d)) <= eb_) {
+        *recon = dec;
+        return static_cast<std::uint32_t>(q + radius_);
+      }
+    }
+    outliers_.push_back(d);
+    *recon = d;
+    return kUnpredictableCode;
+  }
+
+  /// Reconstruct a value from its code and prediction during decompression.
+  /// Code 0 consumes the next outlier.
+  T recover(std::uint32_t code, T p) {
+    if (code == kUnpredictableCode) {
+      const T v = outliers_[outlier_cursor_++];
+      return v;
+    }
+    const std::int32_t q = static_cast<std::int32_t>(code) - radius_;
+    return static_cast<T>(static_cast<double>(p) + 2.0 * eb_ * q);
+  }
+
+  /// Signed quantization index for a stored code (QP works on these).
+  std::int64_t signed_index(std::uint32_t code) const {
+    return static_cast<std::int64_t>(code) - radius_;
+  }
+
+  const std::vector<T>& outliers() const { return outliers_; }
+  std::size_t outlier_count() const { return outliers_.size(); }
+
+  /// Rewind the outlier cursor so recover() replays from the first
+  /// outlier. Used by encoders that re-run the decode path (e.g. the
+  /// MGARD-like correction pass).
+  void reset_cursor() { outlier_cursor_ = 0; }
+
+  /// Serialize quantizer state (eb, radius, outliers) into `w`.
+  void save(ByteWriter& w) const {
+    w.put(eb_);
+    w.put(radius_);
+    w.put_varint(outliers_.size());
+    for (T v : outliers_) w.put(v);
+  }
+
+  /// Restore quantizer state written by save(); resets the outlier cursor.
+  void load(ByteReader& r) {
+    eb_ = r.get<double>();
+    radius_ = r.get<std::int32_t>();
+    const std::uint64_t n = r.get_varint();
+    outliers_.resize(static_cast<std::size_t>(n));
+    for (auto& v : outliers_) v = r.get<T>();
+    outlier_cursor_ = 0;
+  }
+
+ private:
+  double eb_;
+  std::int32_t radius_;
+  std::vector<T> outliers_;
+  std::size_t outlier_cursor_ = 0;
+};
+
+}  // namespace qip

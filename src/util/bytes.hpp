@@ -1,0 +1,127 @@
+#pragma once
+
+// Byte-buffer serialization used by every compressor to assemble its
+// on-"disk" format: POD fields, varints and raw blocks, with a matching
+// cursor-based reader. All multi-byte values are stored little-endian,
+// which is the native order on every platform this library targets.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace qip {
+
+/// Growable output byte buffer.
+class ByteWriter {
+ public:
+  /// Append a trivially-copyable value verbatim.
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Append an unsigned LEB128 varint (7 bits per byte).
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Append a signed value with zigzag encoding.
+  void put_svarint(std::int64_t v) {
+    put_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+  }
+
+  /// Append raw bytes.
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Append a length-prefixed block.
+  void put_block(std::span<const std::uint8_t> bytes) {
+    put_varint(bytes.size());
+    put_bytes(bytes);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Cursor-based reader over a byte span. Throws std::runtime_error on
+/// truncation so that corrupted archives fail loudly instead of reading
+/// out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <class T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      if (shift > 63) throw std::runtime_error("qip: varint overflow");
+    }
+  }
+
+  std::int64_t get_svarint() {
+    const std::uint64_t u = get_varint();
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  /// View over the next `n` raw bytes (no copy).
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// View over a length-prefixed block written by put_block().
+  std::span<const std::uint8_t> get_block() {
+    const std::uint64_t n = get_varint();
+    return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw std::runtime_error("qip: truncated archive (need " +
+                               std::to_string(n) + " bytes at offset " +
+                               std::to_string(pos_) + ")");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qip

@@ -1,0 +1,59 @@
+#pragma once
+
+// Owning dense field container used throughout the library.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/dims.hpp"
+
+namespace qip {
+
+/// A dense row-major scalar field of rank 1..4.
+///
+/// This is the unit of data handed to compressors, dataset generators and
+/// metrics. It is a thin owning wrapper; compressors accept raw pointers +
+/// Dims so that callers with external buffers do not need to copy.
+template <class T>
+class Field {
+ public:
+  Field() = default;
+
+  explicit Field(Dims dims) : dims_(dims), data_(dims.size()) {}
+
+  Field(Dims dims, std::vector<T> data) : dims_(dims), data_(std::move(data)) {
+    assert(data_.size() == dims_.size());
+  }
+
+  const Dims& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Read-only view; metrics take std::span<const T>, so this is the
+  /// common currency. Use data() for mutable access.
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& at(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0,
+        std::size_t i3 = 0) {
+    return data_[dims_.index(i0, i1, i2, i3)];
+  }
+  const T& at(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0,
+              std::size_t i3 = 0) const {
+    return data_[dims_.index(i0, i1, i2, i3)];
+  }
+
+  /// Deep copy; used by benches since compression mutates its working copy.
+  Field clone() const { return Field(dims_, data_); }
+
+ private:
+  Dims dims_{};
+  std::vector<T> data_;
+};
+
+}  // namespace qip

@@ -1,0 +1,136 @@
+#pragma once
+
+// Field <-> file I/O.
+//
+// Two on-disk forms are supported:
+//  * raw SDRBench-style dumps: bare little-endian scalars, shape supplied
+//    out of band (the convention of the paper's datasets);
+//  * the self-describing ".qfld" container: a small header (magic, dtype,
+//    dims) followed by the raw payload, so tools can round-trip fields
+//    without remembering shapes.
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/dims.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+inline constexpr std::uint32_t kFieldMagic = 0x444C4651;  // "QFLD"
+
+namespace detail {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("qip: cannot open " + path);
+  return f;
+}
+
+}  // namespace detail
+
+/// Write bare scalars (SDRBench layout).
+template <class T>
+void write_raw(const std::string& path, const Field<T>& field) {
+  auto f = detail::open_file(path, "wb");
+  if (std::fwrite(field.data(), sizeof(T), field.size(), f.get()) !=
+      field.size())
+    throw std::runtime_error("qip: short write to " + path);
+}
+
+/// Read bare scalars with a caller-supplied shape.
+template <class T>
+Field<T> read_raw(const std::string& path, const Dims& dims) {
+  auto f = detail::open_file(path, "rb");
+  Field<T> out(dims);
+  if (std::fread(out.data(), sizeof(T), out.size(), f.get()) != out.size())
+    throw std::runtime_error("qip: short read from " + path +
+                             " (expected " + dims.str() + ")");
+  return out;
+}
+
+/// Write the self-describing container.
+template <class T>
+void write_qfld(const std::string& path, const Field<T>& field) {
+  ByteWriter header;
+  header.put(kFieldMagic);
+  header.put<std::uint8_t>(sizeof(T) == 4 ? 1 : 2);
+  header.put_varint(static_cast<std::uint64_t>(field.dims().rank()));
+  for (int a = 0; a < field.dims().rank(); ++a)
+    header.put_varint(field.dims().extent(a));
+  auto f = detail::open_file(path, "wb");
+  const auto& hb = header.bytes();
+  if (std::fwrite(hb.data(), 1, hb.size(), f.get()) != hb.size() ||
+      std::fwrite(field.data(), sizeof(T), field.size(), f.get()) !=
+          field.size())
+    throw std::runtime_error("qip: short write to " + path);
+}
+
+/// Read a self-describing container written by write_qfld<T>. Throws on
+/// magic/dtype mismatch.
+template <class T>
+Field<T> read_qfld(const std::string& path) {
+  auto f = detail::open_file(path, "rb");
+  std::uint8_t hdr[64];
+  const std::size_t got = std::fread(hdr, 1, sizeof(hdr), f.get());
+  ByteReader r({hdr, got});
+  if (r.get<std::uint32_t>() != kFieldMagic)
+    throw std::runtime_error("qip: " + path + " is not a .qfld file");
+  const std::uint8_t dt = r.get<std::uint8_t>();
+  if (dt != (sizeof(T) == 4 ? 1 : 2))
+    throw std::runtime_error("qip: dtype mismatch reading " + path);
+  const int rank = static_cast<int>(r.get_varint());
+  if (rank < 1 || rank > kMaxRank)
+    throw std::runtime_error("qip: bad rank in " + path);
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  for (int a = 0; a < rank; ++a) e[a] = static_cast<std::size_t>(r.get_varint());
+  Dims dims = [&] {
+    switch (rank) {
+      case 1: return Dims{e[0]};
+      case 2: return Dims{e[0], e[1]};
+      case 3: return Dims{e[0], e[1], e[2]};
+      default: return Dims{e[0], e[1], e[2], e[3]};
+    }
+  }();
+  // Seek to the end of the header we actually consumed.
+  if (std::fseek(f.get(), static_cast<long>(r.position()), SEEK_SET) != 0)
+    throw std::runtime_error("qip: seek failed on " + path);
+  Field<T> out(dims);
+  if (std::fread(out.data(), sizeof(T), out.size(), f.get()) != out.size())
+    throw std::runtime_error("qip: short read from " + path);
+  return out;
+}
+
+/// Write an arbitrary byte buffer (e.g. a compressed archive).
+inline void write_bytes(const std::string& path,
+                        std::span<const std::uint8_t> bytes) {
+  auto f = detail::open_file(path, "wb");
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
+    throw std::runtime_error("qip: short write to " + path);
+}
+
+/// Read a whole file into a byte buffer.
+inline std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  auto f = detail::open_file(path, "rb");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size < 0) throw std::runtime_error("qip: cannot stat " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(size));
+  if (!out.empty() &&
+      std::fread(out.data(), 1, out.size(), f.get()) != out.size())
+    throw std::runtime_error("qip: short read from " + path);
+  return out;
+}
+
+}  // namespace qip

@@ -1,0 +1,123 @@
+#pragma once
+
+// Quality-assessment metrics from paper Sec. III-A: PSNR, MSE, maximum
+// absolute/relative error, value range, Shannon entropy of integer symbol
+// streams, and the compression-ratio/bit-rate bookkeeping used by every
+// experiment harness.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+
+namespace qip {
+
+/// min/max of a field.
+template <class T>
+struct ValueRange {
+  T lo = std::numeric_limits<T>::max();
+  T hi = std::numeric_limits<T>::lowest();
+  T width() const { return hi - lo; }
+};
+
+template <class T>
+ValueRange<T> value_range(std::span<const T> data) {
+  ValueRange<T> r;
+  for (T v : data) {
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  return r;
+}
+
+/// Mean squared error between original and decompressed data.
+template <class T>
+double mse(std::span<const T> a, std::span<const T> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+/// Largest pointwise absolute error; must stay <= the requested bound.
+template <class T>
+double max_abs_error(std::span<const T> a, std::span<const T> b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                             static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+/// PSNR(d, d') = 20 log10((max(d)-min(d)) / sqrt(MSE)); higher is better.
+template <class T>
+double psnr(std::span<const T> orig, std::span<const T> dec) {
+  const double m = mse(orig, dec);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  const auto r = value_range(orig);
+  return 20.0 * std::log10(static_cast<double>(r.width()) / std::sqrt(m));
+}
+
+/// Shannon entropy (bits/symbol) of an integer stream; the paper's proxy
+/// for the compressibility of the quantization index array.
+template <class I>
+double shannon_entropy(std::span<const I> symbols) {
+  if (symbols.empty()) return 0.0;
+  std::unordered_map<I, std::size_t> freq;
+  freq.reserve(1024);
+  for (I s : symbols) ++freq[s];
+  const double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (const auto& [sym, cnt] : freq) {
+    const double p = static_cast<double>(cnt) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Summary of one compression run, printed by the experiment harnesses.
+struct CompressionStats {
+  double compression_ratio = 0.0;  ///< original bytes / compressed bytes
+  double bit_rate = 0.0;           ///< bits per scalar in the compressed file
+  double psnr = 0.0;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;  ///< max abs err / value range
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+
+  /// Throughput helpers in MB/s over the *original* data size.
+  double compress_mbps(std::size_t original_bytes) const {
+    return original_bytes / compress_seconds / 1e6;
+  }
+  double decompress_mbps(std::size_t original_bytes) const {
+    return original_bytes / decompress_seconds / 1e6;
+  }
+};
+
+/// Fill ratio/PSNR/error fields of CompressionStats from buffers.
+template <class T>
+CompressionStats make_stats(std::span<const T> orig, std::span<const T> dec,
+                            std::size_t compressed_bytes) {
+  CompressionStats s;
+  const std::size_t original_bytes = orig.size() * sizeof(T);
+  s.compression_ratio =
+      static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+  s.bit_rate = 8.0 * static_cast<double>(compressed_bytes) /
+               static_cast<double>(orig.size());
+  s.psnr = psnr(orig, dec);
+  s.max_abs_err = max_abs_error(orig, dec);
+  const auto r = value_range(orig);
+  s.max_rel_err = r.width() > 0 ? s.max_abs_err / static_cast<double>(r.width())
+                                : 0.0;
+  return s;
+}
+
+}  // namespace qip

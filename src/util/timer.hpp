@@ -1,0 +1,26 @@
+#pragma once
+
+// Minimal wall-clock timer for throughput measurements.
+
+#include <chrono>
+
+namespace qip {
+
+/// Steady-clock stopwatch. Constructed running.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qip

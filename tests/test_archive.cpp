@@ -1,0 +1,72 @@
+// Unit tests for the common archive framing.
+
+#include "compressors/archive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qip {
+namespace {
+
+TEST(Archive, SealOpenRoundtrip) {
+  std::vector<std::uint8_t> inner{1, 2, 3, 4, 5, 6, 7};
+  const auto arc = seal_archive(CompressorId::kQoZ, dtype_tag<float>(), inner);
+  const auto back = open_archive(arc, CompressorId::kQoZ, dtype_tag<float>());
+  EXPECT_EQ(back, inner);
+}
+
+TEST(Archive, CompressorPeek) {
+  const auto arc = seal_archive(CompressorId::kSPERR, dtype_tag<double>(), {});
+  EXPECT_EQ(archive_compressor(arc), CompressorId::kSPERR);
+}
+
+TEST(Archive, WrongIdRejected) {
+  const auto arc = seal_archive(CompressorId::kSZ3, dtype_tag<float>(), {});
+  EXPECT_THROW(open_archive(arc, CompressorId::kHPEZ, dtype_tag<float>()),
+               std::runtime_error);
+}
+
+TEST(Archive, WrongDtypeRejected) {
+  const auto arc = seal_archive(CompressorId::kSZ3, dtype_tag<float>(), {});
+  EXPECT_THROW(open_archive(arc, CompressorId::kSZ3, dtype_tag<double>()),
+               std::runtime_error);
+}
+
+TEST(Archive, BadMagicRejected) {
+  std::vector<std::uint8_t> junk{9, 9, 9, 9, 9, 9, 9, 9};
+  EXPECT_THROW(open_archive(junk, CompressorId::kSZ3, dtype_tag<float>()),
+               std::runtime_error);
+  EXPECT_THROW(archive_compressor(junk), std::runtime_error);
+}
+
+TEST(Archive, DimsRoundtripAllRanks) {
+  for (Dims d : {Dims{7}, Dims{3, 4}, Dims{100, 500, 500},
+                 Dims{3600, 449, 449, 235}}) {
+    ByteWriter w;
+    write_dims(w, d);
+    const auto buf = w.bytes();
+    ByteReader r(buf);
+    EXPECT_EQ(read_dims(r), d);
+  }
+}
+
+TEST(Archive, BadRankRejected) {
+  ByteWriter w;
+  w.put_varint(9);  // rank 9
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  EXPECT_THROW(read_dims(r), std::runtime_error);
+}
+
+TEST(Archive, InnerPayloadIsLosslesslyFramed) {
+  // 1 MiB of structured data must come back exactly through the LZB
+  // wrapping.
+  std::vector<std::uint8_t> inner(1 << 20);
+  for (std::size_t i = 0; i < inner.size(); ++i)
+    inner[i] = static_cast<std::uint8_t>((i * i) >> 3);
+  const auto arc = seal_archive(CompressorId::kMGARD, dtype_tag<float>(), inner);
+  EXPECT_EQ(open_archive(arc, CompressorId::kMGARD, dtype_tag<float>()), inner);
+  EXPECT_LT(arc.size(), inner.size());  // structured payload compresses
+}
+
+}  // namespace
+}  // namespace qip

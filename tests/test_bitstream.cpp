@@ -1,0 +1,95 @@
+// Unit tests for the MSB-first bit stream.
+
+#include "encode/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qip {
+namespace {
+
+TEST(Bitstream, SingleBits) {
+  BitWriter w;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  for (int b : pattern) w.write_bit(b);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 2u);  // 9 bits -> 2 bytes
+  EXPECT_EQ(bytes[0], 0b10110010);
+  EXPECT_EQ(bytes[1], 0b10000000);
+  BitReader r(bytes);
+  for (int b : pattern) EXPECT_EQ(r.read_bit(), b);
+}
+
+TEST(Bitstream, MultiBitValuesMsbFirst) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0xFF, 8);
+  w.write(0, 5);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(8), 0xFFu);
+  EXPECT_EQ(r.read(5), 0u);
+}
+
+TEST(Bitstream, SixtyFourBitValues) {
+  BitWriter w;
+  const std::uint64_t v1 = 0xDEADBEEFCAFEBABEull;
+  const std::uint64_t v2 = 1;
+  w.write(v1, 64);
+  w.write(v2, 64);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(64), v1);
+  EXPECT_EQ(r.read(64), v2);
+}
+
+TEST(Bitstream, UnalignedBoundarySpans) {
+  // Values straddling the 64-bit accumulator boundary.
+  BitWriter w;
+  w.write(0x3, 2);
+  w.write(0x1FFFFFFFFFFFFFFFull, 61);  // fills to bit 63
+  w.write(0x5A5A, 16);                 // straddles words
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(2), 0x3u);
+  EXPECT_EQ(r.read(61), 0x1FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.read(16), 0x5A5Au);
+}
+
+TEST(Bitstream, ReadPastEndYieldsZeros) {
+  BitWriter w;
+  w.write_bit(1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bit(), 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.read_bit(), 0);
+}
+
+TEST(Bitstream, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write(0, 5);
+  EXPECT_EQ(w.bit_count(), 5u);
+  w.write(0, 64);
+  EXPECT_EQ(w.bit_count(), 69u);
+}
+
+TEST(Bitstream, RandomizedRoundtrip) {
+  std::mt19937_64 rng(23);
+  std::vector<std::pair<std::uint64_t, int>> entries;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const int n = 1 + static_cast<int>(rng() % 64);
+    const std::uint64_t v = rng() & (n == 64 ? ~0ull : ((1ull << n) - 1));
+    entries.emplace_back(v, n);
+    w.write(v, n);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [v, n] : entries) EXPECT_EQ(r.read(n), v);
+}
+
+}  // namespace
+}  // namespace qip

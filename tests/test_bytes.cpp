@@ -1,0 +1,103 @@
+// Unit tests for ByteWriter/ByteReader serialization primitives.
+
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace qip {
+namespace {
+
+TEST(Bytes, PodRoundtrip) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<double>(3.14159);
+  w.put<std::int8_t>(-7);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_EQ(r.get<std::int8_t>(), -7);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, VarintBoundaries) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,    1,        127,        128,
+                                  129,  16383,    16384,      (1ull << 32),
+                                  ~0ull};
+  for (auto v : values) w.put_varint(v);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(Bytes, SignedVarintZigzag) {
+  ByteWriter w;
+  const std::int64_t values[] = {0, -1, 1, -2, 2, -64, 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) w.put_svarint(v);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  for (auto v : values) EXPECT_EQ(r.get_svarint(), v);
+}
+
+TEST(Bytes, SmallSignedValuesAreOneByte) {
+  for (std::int64_t v : {-64ll, -1ll, 0ll, 1ll, 63ll}) {
+    ByteWriter w;
+    w.put_svarint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+  }
+}
+
+TEST(Bytes, BlockRoundtrip) {
+  std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.put_block(payload);
+  w.put_block({});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  const auto b1 = r.get_block();
+  EXPECT_EQ(std::vector<std::uint8_t>(b1.begin(), b1.end()), payload);
+  EXPECT_TRUE(r.get_block().empty());
+}
+
+TEST(Bytes, TruncationThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(42);
+  auto buf = w.take();
+  buf.resize(4);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never-terminated varint
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), std::runtime_error);
+}
+
+TEST(Bytes, RandomizedMixedStream) {
+  std::mt19937_64 rng(17);
+  ByteWriter w;
+  std::vector<std::uint64_t> u;
+  std::vector<std::int64_t> s;
+  for (int i = 0; i < 1000; ++i) {
+    u.push_back(rng() >> (rng() % 64));
+    s.push_back(static_cast<std::int64_t>(rng()) >> (rng() % 64));
+    w.put_varint(u.back());
+    w.put_svarint(s.back());
+  }
+  const auto buf = w.take();
+  ByteReader r(buf);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(r.get_varint(), u[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(r.get_svarint(), s[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,99 @@
+// Characterization tool tests: slice/region entropy and cluster stats on
+// hand-built index arrays with known entropy.
+
+#include "core/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qip {
+namespace {
+
+constexpr std::int32_t kR = 32768;
+
+std::vector<std::uint32_t> constant_codes(const Dims& d, std::uint32_t v) {
+  return std::vector<std::uint32_t>(d.size(), v);
+}
+
+TEST(Characterize, ConstantSliceHasZeroEntropy) {
+  const Dims d{8, 16, 16};
+  const auto codes = constant_codes(d, kR);
+  const auto ent = slice_entropies(codes, d, 0, 1);
+  ASSERT_EQ(ent.size(), 8u);
+  for (double e : ent) EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+TEST(Characterize, TwoSymbolSliceHasOneBit) {
+  const Dims d{4, 16, 16};
+  std::vector<std::uint32_t> codes(d.size(), kR);
+  // Alternate two symbols in slice 0 of axis 0.
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x)
+      codes[d.index(0, y, x)] = (x % 2) ? kR + 1 : kR - 1;
+  const auto ent = slice_entropies(codes, d, 0, 1);
+  EXPECT_NEAR(ent[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ent[1], 0.0);
+}
+
+TEST(Characterize, StrideSubsamplingSelectsGrid) {
+  const Dims d{2, 8, 8};
+  std::vector<std::uint32_t> codes(d.size(), kR);
+  // Put a distinct symbol only on odd coordinates: stride-2 sampling
+  // starting at 0 must never see it.
+  for (std::size_t y = 0; y < 8; ++y)
+    for (std::size_t x = 0; x < 8; ++x)
+      if (y % 2 == 1 || x % 2 == 1) codes[d.index(0, y, x)] = kR + 5;
+  const auto ent = slice_entropies(codes, d, 0, 2);
+  EXPECT_DOUBLE_EQ(ent[0], 0.0);
+}
+
+TEST(Characterize, RegionEntropyMatchesManualCount) {
+  const Dims d{1, 8, 8};
+  std::vector<std::uint32_t> codes(d.size(), kR);
+  // 4 symbols equally likely in the region -> 2 bits.
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      codes[d.index(0, y, x)] = kR + static_cast<std::uint32_t>((y % 2) * 2 +
+                                                                (x % 2));
+  EXPECT_NEAR(region_entropy(codes, d, 0, 0, 0, 4, 0, 4, 1, 1), 2.0, 1e-12);
+}
+
+TEST(Characterize, PlaneAxesForAllFixedAxes) {
+  const Dims d{4, 6, 8};
+  const auto codes = constant_codes(d, kR);
+  EXPECT_EQ(slice_entropies(codes, d, 0, 1).size(), 4u);
+  EXPECT_EQ(slice_entropies(codes, d, 1, 1).size(), 6u);
+  EXPECT_EQ(slice_entropies(codes, d, 2, 1).size(), 8u);
+}
+
+TEST(Characterize, ClusterStatsDetectClustering) {
+  const Dims d{1, 32, 32};
+  std::vector<std::uint32_t> codes(d.size(), kR);
+  // A clustered positive region: indices predictable from neighbors.
+  for (std::size_t y = 4; y < 28; ++y)
+    for (std::size_t x = 4; x < 28; ++x)
+      codes[d.index(0, y, x)] = kR + 3;
+  const auto st = cluster_stats(codes, d, 0, 0, 1, 1, kR);
+  EXPECT_GT(st.entropy, 0.0);
+  // The 2-D Lorenzo residual collapses the cluster: lower entropy.
+  EXPECT_LT(st.residual_entropy, st.entropy + 1e-12);
+  EXPECT_GT(st.same_sign_fraction, 0.4);
+}
+
+TEST(Characterize, RandomIndicesDoNotCluster) {
+  const Dims d{1, 32, 32};
+  std::vector<std::uint32_t> codes(d.size());
+  std::uint64_t s = 12345;
+  for (auto& c : codes) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    c = kR - 8 + static_cast<std::uint32_t>((s >> 33) % 17);
+  }
+  const auto st = cluster_stats(codes, d, 0, 0, 1, 1, kR);
+  // Lorenzo residual of white noise has *higher* entropy than the input.
+  EXPECT_GT(st.residual_entropy, st.entropy - 0.2);
+  EXPECT_GT(st.mean_abs_residual, 1.0);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,122 @@
+// Unit tests for chunked parallel (de)compression.
+
+#include "parallel/chunked.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+Field<float> field3() {
+  return make_field(DatasetId::kMiranda, 0, Dims{40, 48, 56}, 3);
+}
+
+TEST(Chunked, RoundtripWithinBound) {
+  const auto f = field3();
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  opt.workers = 3;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+  const auto dec = chunked_decompress<float>(arc, 3);
+  EXPECT_EQ(dec.dims(), f.dims());
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
+}
+
+TEST(Chunked, ExplicitSlabNotDividingExtent) {
+  const auto f = field3();  // extent 40, slab 12 -> chunks of 12,12,12,4
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  opt.slab = 12;
+  opt.workers = 2;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+  const auto dec = chunked_decompress<float>(arc, 2);
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
+}
+
+TEST(Chunked, SlabLargerThanExtentIsOneChunk) {
+  const auto f = field3();
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  opt.slab = 1000;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+  EXPECT_LE(max_abs_error(f.span(),
+                          chunked_decompress<float>(arc).span()),
+            1e-3 * (1 + 1e-9));
+}
+
+TEST(Chunked, AllCompressorsWork) {
+  const auto f = make_field(DatasetId::kMiranda, 0, Dims{16, 20, 24}, 5);
+  for (const auto& e : compressor_registry()) {
+    ChunkedOptions opt;
+    opt.compressor = e.name;
+    opt.options.error_bound = 1e-2;
+    opt.slab = 8;
+    opt.workers = 2;
+    const auto arc = chunked_compress(f.data(), f.dims(), opt);
+    const auto dec = chunked_decompress<float>(arc, 2);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-2 * (1 + 1e-9))
+        << e.name;
+  }
+}
+
+TEST(Chunked, QPAppliesPerChunk) {
+  const auto f = make_field(DatasetId::kSegSalt, 0, Dims{64, 96, 96}, 2000);
+  ChunkedOptions base;
+  base.options.error_bound =
+      1e-3 * static_cast<double>(value_range(f.span()).width());
+  base.slab = 32;
+  ChunkedOptions withqp = base;
+  withqp.options.qp = QPConfig::best_fit();
+  const auto a0 = chunked_compress(f.data(), f.dims(), base);
+  const auto a1 = chunked_compress(f.data(), f.dims(), withqp);
+  EXPECT_LT(a1.size(), a0.size());
+  // Reconstruction identical regardless of QP.
+  const auto d0 = chunked_decompress<float>(a0);
+  const auto d1 = chunked_decompress<float>(a1);
+  for (std::size_t i = 0; i < d0.size(); ++i) ASSERT_EQ(d0[i], d1[i]);
+}
+
+TEST(Chunked, DoubleRoundtrip) {
+  Field<double> f(Dims{24, 20, 16});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.01 * static_cast<double>(i));
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-5;
+  opt.slab = 8;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+  const auto dec = chunked_decompress<double>(arc);
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-5 * (1 + 1e-9));
+}
+
+TEST(Chunked, Rank1AndRank4) {
+  for (Dims dims : {Dims{1000}, Dims{12, 10, 8, 6}}) {
+    Field<float> f(dims);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = std::cos(0.02f * static_cast<float>(i));
+    ChunkedOptions opt;
+    opt.options.error_bound = 1e-4;
+    opt.slab = dims.extent(0) / 3 + 1;
+    const auto arc = chunked_compress(f.data(), f.dims(), opt);
+    const auto dec = chunked_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9))
+        << dims.str();
+  }
+}
+
+TEST(Chunked, WrongDtypeAndCorruptionThrow) {
+  const auto f = field3();
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  auto arc = chunked_compress(f.data(), f.dims(), opt);
+  EXPECT_THROW(chunked_decompress<double>(arc), std::runtime_error);
+  arc.resize(arc.size() / 2);
+  EXPECT_THROW(chunked_decompress<float>(arc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qip

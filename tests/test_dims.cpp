@@ -1,0 +1,67 @@
+// Unit tests for Dims shape/stride arithmetic.
+
+#include "util/dims.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qip {
+namespace {
+
+TEST(Dims, Rank1) {
+  const Dims d{100};
+  EXPECT_EQ(d.rank(), 1);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.extent(0), 100u);
+  EXPECT_EQ(d.stride(0), 1u);
+  EXPECT_EQ(d.index(42), 42u);
+}
+
+TEST(Dims, Rank3RowMajor) {
+  const Dims d{4, 5, 6};
+  EXPECT_EQ(d.rank(), 3);
+  EXPECT_EQ(d.size(), 120u);
+  EXPECT_EQ(d.stride(0), 30u);
+  EXPECT_EQ(d.stride(1), 6u);
+  EXPECT_EQ(d.stride(2), 1u);
+  EXPECT_EQ(d.index(1, 2, 3), 30u + 12u + 3u);
+}
+
+TEST(Dims, Rank4) {
+  const Dims d{2, 3, 4, 5};
+  EXPECT_EQ(d.rank(), 4);
+  EXPECT_EQ(d.size(), 120u);
+  EXPECT_EQ(d.stride(0), 60u);
+  EXPECT_EQ(d.index(1, 2, 3, 4), 60u + 40u + 15u + 4u);
+}
+
+TEST(Dims, TrailingAxesAreOne) {
+  const Dims d{7, 9};
+  EXPECT_EQ(d.extent(2), 1u);
+  EXPECT_EQ(d.extent(3), 1u);
+  // Indexing with zero trailing coordinates is always valid.
+  EXPECT_EQ(d.index(6, 8, 0, 0), d.size() - 1);
+}
+
+TEST(Dims, MaxExtentOverRankOnly) {
+  const Dims d{3, 17, 5};
+  EXPECT_EQ(d.max_extent(), 17u);
+}
+
+TEST(Dims, EqualityAndStr) {
+  EXPECT_EQ((Dims{2, 3}), (Dims{2, 3}));
+  EXPECT_NE((Dims{2, 3}), (Dims{3, 2}));
+  EXPECT_NE((Dims{2, 3}), (Dims{2, 3, 1}));  // different rank
+  EXPECT_EQ((Dims{100, 500, 500}).str(), "100x500x500");
+}
+
+TEST(Dims, LinearIndexCoversAllCellsExactlyOnce) {
+  const Dims d{3, 4, 5};
+  std::vector<int> hits(d.size(), 0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t k = 0; k < 5; ++k) ++hits[d.index(i, j, k)];
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,58 @@
+// Unit tests for the Field container.
+
+#include "util/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qip {
+namespace {
+
+TEST(Field, ConstructZeroInitialized) {
+  Field<float> f(Dims{3, 4});
+  EXPECT_EQ(f.size(), 12u);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], 0.f);
+}
+
+TEST(Field, AtMatchesLinearIndexing) {
+  Field<int> f(Dims{2, 3, 4});
+  int v = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = v++;
+  EXPECT_EQ(f.at(0, 0, 0), 0);
+  EXPECT_EQ(f.at(0, 0, 3), 3);
+  EXPECT_EQ(f.at(0, 1, 0), 4);
+  EXPECT_EQ(f.at(1, 2, 3), 23);
+}
+
+TEST(Field, AdoptVector) {
+  std::vector<double> data{1, 2, 3, 4, 5, 6};
+  Field<double> f(Dims{2, 3}, std::move(data));
+  EXPECT_EQ(f.at(1, 2), 6.0);
+}
+
+TEST(Field, CloneIsDeep) {
+  Field<float> f(Dims{4});
+  f[0] = 1.f;
+  Field<float> g = f.clone();
+  g[0] = 2.f;
+  EXPECT_EQ(f[0], 1.f);
+  EXPECT_EQ(g[0], 2.f);
+}
+
+TEST(Field, SpanIsReadOnlyViewOfAll) {
+  Field<float> f(Dims{5});
+  for (std::size_t i = 0; i < 5; ++i) f[i] = static_cast<float>(i);
+  const auto s = f.span();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[4], 4.f);
+  static_assert(std::is_same_v<decltype(s), const std::span<const float>>);
+}
+
+TEST(Field, ConstAccess) {
+  const Field<int> f(Dims{2, 2}, std::vector<int>{1, 2, 3, 4});
+  EXPECT_EQ(f.at(1, 1), 4);
+  EXPECT_EQ(f[0], 1);
+  EXPECT_NE(f.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace qip

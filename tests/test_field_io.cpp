@@ -1,0 +1,86 @@
+// Unit tests for raw/.qfld field I/O.
+
+#include "util/field_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace qip {
+namespace {
+
+class FieldIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qip_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+Field<float> sample_field() {
+  Field<float> f(Dims{4, 6, 8});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = static_cast<float>(i) * 0.5f - 3.f;
+  return f;
+}
+
+TEST_F(FieldIoTest, RawRoundtrip) {
+  const auto f = sample_field();
+  write_raw(path("a.raw"), f);
+  const auto g = read_raw<float>(path("a.raw"), f.dims());
+  for (std::size_t i = 0; i < f.size(); ++i) ASSERT_EQ(f[i], g[i]);
+}
+
+TEST_F(FieldIoTest, RawShortFileThrows) {
+  const auto f = sample_field();
+  write_raw(path("a.raw"), f);
+  EXPECT_THROW(read_raw<float>(path("a.raw"), Dims{4, 6, 9}),
+               std::runtime_error);
+}
+
+TEST_F(FieldIoTest, QfldRoundtripPreservesShape) {
+  const auto f = sample_field();
+  write_qfld(path("a.qfld"), f);
+  const auto g = read_qfld<float>(path("a.qfld"));
+  EXPECT_EQ(g.dims(), f.dims());
+  for (std::size_t i = 0; i < f.size(); ++i) ASSERT_EQ(f[i], g[i]);
+}
+
+TEST_F(FieldIoTest, QfldDoubleAndRank1) {
+  Field<double> f(Dims{777});
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = i * 1.25;
+  write_qfld(path("d.qfld"), f);
+  const auto g = read_qfld<double>(path("d.qfld"));
+  EXPECT_EQ(g.dims(), f.dims());
+  for (std::size_t i = 0; i < f.size(); ++i) ASSERT_EQ(f[i], g[i]);
+}
+
+TEST_F(FieldIoTest, QfldDtypeMismatchThrows) {
+  write_qfld(path("a.qfld"), sample_field());
+  EXPECT_THROW(read_qfld<double>(path("a.qfld")), std::runtime_error);
+}
+
+TEST_F(FieldIoTest, QfldBadMagicThrows) {
+  write_bytes(path("junk.qfld"), std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(read_qfld<float>(path("junk.qfld")), std::runtime_error);
+}
+
+TEST_F(FieldIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_bytes(path("nope.bin")), std::runtime_error);
+}
+
+TEST_F(FieldIoTest, BytesRoundtrip) {
+  std::vector<std::uint8_t> b{0, 255, 42, 7};
+  write_bytes(path("b.bin"), b);
+  EXPECT_EQ(read_bytes(path("b.bin")), b);
+  write_bytes(path("e.bin"), {});
+  EXPECT_TRUE(read_bytes(path("e.bin")).empty());
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,110 @@
+// HPEZ-like compressor tests: roundtrip, block tuning, md interpolation,
+// QP transparency, heterogeneous-data adaptivity.
+
+#include "compressors/hpez.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+/// Heterogeneous field: one half smooth along x, other half smooth along
+/// z — block-wise direction tuning should pick different configs.
+Field<float> heterogeneous_field(Dims dims) {
+  Field<float> f(dims);
+  for (std::size_t z = 0; z < dims.extent(0); ++z)
+    for (std::size_t y = 0; y < dims.extent(1); ++y)
+      for (std::size_t x = 0; x < dims.extent(2); ++x) {
+        if (x < dims.extent(2) / 2) {
+          f.at(z, y, x) = std::sin(0.5f * z) + 0.01f * x;
+        } else {
+          f.at(z, y, x) = std::sin(0.5f * x) + 0.01f * z;
+        }
+      }
+  return f;
+}
+
+TEST(HPEZ, RoundtripRespectsErrorBound) {
+  const auto f = heterogeneous_field(Dims{48, 48, 48});
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    HPEZConfig cfg;
+    cfg.error_bound = eb;
+    const auto arc = hpez_compress(f.data(), f.dims(), cfg);
+    const auto dec = hpez_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), eb * (1 + 1e-9));
+  }
+}
+
+TEST(HPEZ, QPDoesNotChangeDecompressedData) {
+  const auto f = heterogeneous_field(Dims{40, 44, 48});
+  HPEZConfig base;
+  base.error_bound = 1e-3;
+  HPEZConfig withqp = base;
+  withqp.qp = QPConfig::best_fit();
+  const auto d0 =
+      hpez_decompress<float>(hpez_compress(f.data(), f.dims(), base));
+  const auto d1 =
+      hpez_decompress<float>(hpez_compress(f.data(), f.dims(), withqp));
+  for (std::size_t i = 0; i < d0.size(); ++i) ASSERT_EQ(d0[i], d1[i]) << i;
+}
+
+TEST(HPEZ, BlockTuningHelpsHeterogeneousData) {
+  const auto f = heterogeneous_field(Dims{64, 64, 64});
+  HPEZConfig tuned;
+  tuned.error_bound = 1e-3;
+  HPEZConfig untuned = tuned;
+  untuned.tune_blocks = false;
+  const auto a_tuned = hpez_compress(f.data(), f.dims(), tuned);
+  const auto a_untuned = hpez_compress(f.data(), f.dims(), untuned);
+  EXPECT_LE(a_tuned.size(), a_untuned.size() * 105 / 100);
+}
+
+TEST(HPEZ, RoundtripWithQPOnAllLevels) {
+  const auto f = heterogeneous_field(Dims{33, 47, 29});  // awkward extents
+  HPEZConfig cfg;
+  cfg.error_bound = 5e-4;
+  cfg.qp.enabled = true;
+  cfg.qp.max_level = 99;
+  cfg.qp.condition = QPCondition::kCaseI;
+  const auto dec = hpez_decompress<float>(hpez_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 5e-4 * (1 + 1e-9));
+}
+
+TEST(HPEZ, SmallFieldSmallerThanBlock) {
+  Field<float> f(Dims{9, 9, 9});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = static_cast<float>(i % 17) * 0.1f;
+  HPEZConfig cfg;
+  cfg.error_bound = 1e-3;
+  const auto dec = hpez_decompress<float>(hpez_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
+}
+
+TEST(HPEZ, DoubleRoundtrip) {
+  Field<double> f(Dims{30, 34, 38});
+  for (std::size_t z = 0; z < 30; ++z)
+    for (std::size_t y = 0; y < 34; ++y)
+      for (std::size_t x = 0; x < 38; ++x)
+        f.at(z, y, x) = std::exp(-0.01 * (z + y)) * std::sin(0.2 * x);
+  HPEZConfig cfg;
+  cfg.error_bound = 1e-5;
+  const auto dec =
+      hpez_decompress<double>(hpez_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-5 * (1 + 1e-9));
+}
+
+TEST(HPEZ, DeterministicArchives) {
+  const auto f = heterogeneous_field(Dims{32, 32, 32});
+  HPEZConfig cfg;
+  cfg.error_bound = 1e-3;
+  EXPECT_EQ(hpez_compress(f.data(), f.dims(), cfg),
+            hpez_compress(f.data(), f.dims(), cfg));
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,112 @@
+// Unit tests for the canonical Huffman coder.
+
+#include "encode/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qip {
+namespace {
+
+TEST(Huffman, EmptyInput) {
+  const auto enc = huffman_encode({});
+  EXPECT_FALSE(enc.empty());
+  EXPECT_TRUE(huffman_decode(enc).empty());
+}
+
+TEST(Huffman, SingleSymbolStream) {
+  std::vector<std::uint32_t> in(1000, 42);
+  const auto enc = huffman_encode(in);
+  EXPECT_EQ(huffman_decode(enc), in);
+  // 1000 identical symbols should compress to a handful of bytes.
+  EXPECT_LT(enc.size(), 160u);
+}
+
+TEST(Huffman, SingleElement) {
+  std::vector<std::uint32_t> in{7};
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> in;
+  for (int i = 0; i < 500; ++i) in.push_back(i % 2 ? 3u : 9u);
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+TEST(Huffman, SkewedDistributionBeatsFixedWidth) {
+  // Geometric-ish distribution: Huffman should be near entropy, far below
+  // the 32-bit fixed width.
+  std::mt19937 rng(7);
+  std::geometric_distribution<int> geo(0.5);
+  std::vector<std::uint32_t> in(20000);
+  for (auto& v : in) v = static_cast<std::uint32_t>(geo(rng));
+  const auto enc = huffman_encode(in);
+  EXPECT_EQ(huffman_decode(enc), in);
+  EXPECT_LT(enc.size() * 8.0, 3.0 * in.size());  // ~2 bits/symbol expected
+}
+
+TEST(Huffman, UniformRandomRoundtrip) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<std::uint32_t> uni(0, 1u << 20);
+  std::vector<std::uint32_t> in(50000);
+  for (auto& v : in) v = uni(rng);
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+TEST(Huffman, ExtremeSymbolValues) {
+  std::vector<std::uint32_t> in{0u, 0xFFFFFFFFu, 0u, 1u, 0xFFFFFFFFu,
+                                0x80000000u, 0xFFFFFFFFu};
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+TEST(Huffman, DeepTreeFromExponentialFrequencies) {
+  // Fibonacci-like frequencies force maximal code depth; the decoder must
+  // survive long codes.
+  std::vector<std::uint32_t> in;
+  std::uint64_t f = 1;
+  for (std::uint32_t s = 0; s < 30; ++s) {
+    for (std::uint64_t i = 0; i < f && in.size() < 500000; ++i) in.push_back(s);
+    f = f + f / 2 + 1;
+  }
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+TEST(Huffman, CostBitsMatchesEncodedPayload) {
+  std::mt19937 rng(3);
+  std::geometric_distribution<int> geo(0.3);
+  std::vector<std::uint32_t> in(10000);
+  for (auto& v : in) v = static_cast<std::uint32_t>(geo(rng));
+  const std::size_t cost = huffman_cost_bits(in);
+  const auto enc = huffman_encode(in);
+  // Encoded payload = header + ceil(cost/8); total must be >= cost bits
+  // and within a small header overhead of it.
+  EXPECT_GE(enc.size() * 8, cost);
+  EXPECT_LE(enc.size() * 8, cost + 8 * 1024);
+}
+
+TEST(Huffman, TruncatedBufferThrows) {
+  std::vector<std::uint32_t> in(100, 5);
+  for (int i = 0; i < 100; ++i) in.push_back(static_cast<std::uint32_t>(i));
+  auto enc = huffman_encode(in);
+  enc.resize(enc.size() / 4);
+  EXPECT_THROW(huffman_decode(enc), std::runtime_error);
+}
+
+class HuffmanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanSweep, RoundtripAtManySizes) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n));
+  std::poisson_distribution<int> poi(6.0);
+  std::vector<std::uint32_t> in(static_cast<std::size_t>(n));
+  for (auto& v : in) v = static_cast<std::uint32_t>(poi(rng));
+  EXPECT_EQ(huffman_decode(huffman_encode(in)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HuffmanSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 63, 64, 65, 1000,
+                                           4095, 4096, 4097, 100000));
+
+}  // namespace
+}  // namespace qip

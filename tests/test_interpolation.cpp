@@ -1,0 +1,58 @@
+// Unit tests for the 1-D interpolation kernels.
+
+#include "predict/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qip {
+namespace {
+
+TEST(Interpolation, LinearMidpoint) {
+  EXPECT_DOUBLE_EQ(interp_linear(2.0, 4.0), 3.0);
+  EXPECT_FLOAT_EQ(interp_linear(-1.f, 1.f), 0.f);
+}
+
+TEST(Interpolation, CubicExactOnCubicPolynomial) {
+  // Samples of p(t) = t^3 - 2t^2 + 3t - 1 at t = -3, -1, +1, +3 must
+  // reproduce p(0) = -1 exactly (4-point cubic is exact for degree 3).
+  auto p = [](double t) { return t * t * t - 2 * t * t + 3 * t - 1; };
+  const double pred = interp_cubic(p(-3), p(-1), p(1), p(3));
+  EXPECT_NEAR(pred, p(0), 1e-12);
+}
+
+TEST(Interpolation, CubicWeightsSumToOne) {
+  // Constant signals are preserved by any valid interpolant.
+  EXPECT_DOUBLE_EQ(interp_cubic(5.0, 5.0, 5.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(interp_quad(5.0, 5.0, 5.0), 5.0);
+}
+
+TEST(Interpolation, QuadExactOnQuadratic) {
+  // interp_quad(a, b, c) fits samples at +1 (a), -1 (b), -3 (c) and
+  // evaluates at 0.
+  auto p = [](double t) { return 2 * t * t - t + 4; };
+  const double pred = interp_quad(p(1), p(-1), p(-3));
+  EXPECT_NEAR(pred, p(0), 1e-12);
+}
+
+TEST(Interpolation, CubicBeatsLinearOnSmoothSignal) {
+  auto f = [](double t) { return std::sin(0.4 * t); };
+  double err_cubic = 0, err_linear = 0;
+  for (double t0 = 0; t0 < 50; t0 += 1.0) {
+    err_cubic += std::abs(interp_cubic(f(t0 - 3), f(t0 - 1), f(t0 + 1),
+                                       f(t0 + 3)) -
+                          f(t0));
+    err_linear += std::abs(interp_linear(f(t0 - 1), f(t0 + 1)) - f(t0));
+  }
+  EXPECT_LT(err_cubic, err_linear);
+}
+
+TEST(Interpolation, KindEnumStable) {
+  // Serialized into archives; the numeric values must not drift.
+  EXPECT_EQ(static_cast<int>(InterpKind::kLinear), 0);
+  EXPECT_EQ(static_cast<int>(InterpKind::kCubic), 1);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,105 @@
+// Unit tests for the Lorenzo predictor stencils and the Lorenzo
+// compression path.
+
+#include "predict/lorenzo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compressors/lorenzo_path.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+namespace {
+
+TEST(Lorenzo, Stencil1D) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lorenzo1(&v[2], 1), 2.0);
+}
+
+TEST(Lorenzo, Stencil2DExactOnPlanes) {
+  // The 2-D Lorenzo stencil annihilates the mixed difference, so it is
+  // exact on f(y, x) = 3 + 2y + 5x (no yx cross term).
+  const Dims d{8, 8};
+  Field<double> f(d);
+  auto fn = [](double y, double x) { return 3 + 2 * y + 5 * x; };
+  for (std::size_t y = 0; y < 8; ++y)
+    for (std::size_t x = 0; x < 8; ++x) f.at(y, x) = fn(y, x);
+  for (std::size_t y = 1; y < 8; ++y)
+    for (std::size_t x = 1; x < 8; ++x)
+      EXPECT_NEAR(lorenzo2(&f.at(y, x), d.stride(0), d.stride(1)), fn(y, x),
+                  1e-9);
+}
+
+TEST(Lorenzo, Stencil3DExactUpToPairwiseCrossTerms) {
+  // 3-D Lorenzo annihilates the *triple* mixed difference, so all
+  // pairwise cross terms are reproduced exactly; only zyx would break it.
+  const Dims d{6, 6, 6};
+  Field<double> f(d);
+  auto fn = [](double z, double y, double x) {
+    return 1 + z + 2 * y + 3 * x + z * y + z * x + y * x;
+  };
+  for (std::size_t z = 0; z < 6; ++z)
+    for (std::size_t y = 0; y < 6; ++y)
+      for (std::size_t x = 0; x < 6; ++x) f.at(z, y, x) = fn(z, y, x);
+  for (std::size_t z = 1; z < 6; ++z)
+    for (std::size_t y = 1; y < 6; ++y)
+      for (std::size_t x = 1; x < 6; ++x)
+        EXPECT_NEAR(lorenzo3(&f.at(z, y, x), d.stride(0), d.stride(1),
+                             d.stride(2)),
+                    fn(z, y, x), 1e-9);
+}
+
+TEST(LorenzoPath, RoundtripAllRanks) {
+  for (Dims dims : {Dims{777}, Dims{31, 45}, Dims{13, 17, 19},
+                    Dims{5, 7, 9, 11}}) {
+    Field<float> f(dims);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = std::sin(0.02f * static_cast<float>(i));
+    Field<float> work = f.clone();
+    LinearQuantizer<float> enc(1e-4);
+    std::vector<std::uint32_t> syms;
+    std::size_t cur = 0;
+    lorenzo_walk<float, true>(work.data(), dims, enc, syms, cur);
+    ASSERT_EQ(syms.size(), f.size()) << dims.str();
+
+    Field<float> out(dims);
+    ByteWriter w;
+    enc.save(w);
+    const auto buf = w.bytes();
+    ByteReader r(buf);
+    LinearQuantizer<float> dec(0.0);
+    dec.load(r);
+    cur = 0;
+    lorenzo_walk<float, false>(out.data(), dims, dec, syms, cur);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      ASSERT_NEAR(out[i], f[i], 1e-4 * (1 + 1e-9)) << dims.str() << " @" << i;
+      ASSERT_EQ(out[i], work[i]) << "decoder diverged from encoder state";
+    }
+  }
+}
+
+TEST(LorenzoPath, LinearRampQuantizesToNearZeroSymbols) {
+  // A trilinear ramp is predicted exactly: all interior symbols should be
+  // the zero-residual code.
+  const Dims dims{16, 16, 16};
+  Field<float> f(dims);
+  for (std::size_t z = 0; z < 16; ++z)
+    for (std::size_t y = 0; y < 16; ++y)
+      for (std::size_t x = 0; x < 16; ++x)
+        f.at(z, y, x) = 0.5f * z + 0.25f * y + 0.125f * x;
+  LinearQuantizer<float> q(1e-5);
+  std::vector<std::uint32_t> syms;
+  std::size_t cur = 0;
+  lorenzo_walk<float, true>(f.data(), dims, q, syms, cur);
+  // Symbol for q == 0 with zero compensation is zigzag(0)+1 == 1.
+  std::size_t zero_like = 0;
+  for (std::uint32_t s : syms)
+    if (s == 1) ++zero_like;
+  EXPECT_GT(zero_like, syms.size() * 8 / 10);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,122 @@
+// Unit tests for the LZB lossless backend.
+
+#include "lossless/lzb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qip {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& in) {
+  return lzb_decompress(lzb_compress(in));
+}
+
+TEST(Lzb, Empty) {
+  EXPECT_TRUE(roundtrip({}).empty());
+}
+
+TEST(Lzb, TinyInputs) {
+  for (std::size_t n = 1; n <= 16; ++n) {
+    std::vector<std::uint8_t> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::uint8_t>(i * 37);
+    EXPECT_EQ(roundtrip(in), in) << "n=" << n;
+  }
+}
+
+TEST(Lzb, AllZerosCompressWell) {
+  std::vector<std::uint8_t> in(1 << 20, 0);
+  const auto enc = lzb_compress(in);
+  EXPECT_EQ(lzb_decompress(enc), in);
+  EXPECT_LT(enc.size(), in.size() / 100);
+}
+
+TEST(Lzb, RepeatedPattern) {
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 10000; ++i)
+    for (std::uint8_t b : {0x12, 0x34, 0x56, 0x78, 0x9A})
+      in.push_back(b);
+  const auto enc = lzb_compress(in);
+  EXPECT_EQ(lzb_decompress(enc), in);
+  EXPECT_LT(enc.size(), in.size() / 20);
+}
+
+TEST(Lzb, OverlappingMatchRunLength) {
+  // "abcabcabc..." triggers offset < match-length overlapping copies.
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 5000; ++i) in.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lzb, IncompressibleRandomDataSurvives) {
+  std::mt19937 rng(19);
+  std::vector<std::uint8_t> in(1 << 18);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng());
+  const auto enc = lzb_compress(in);
+  EXPECT_EQ(lzb_decompress(enc), in);
+  // Framing overhead must stay tiny even when nothing matches.
+  EXPECT_LT(enc.size(), in.size() + in.size() / 16 + 64);
+}
+
+TEST(Lzb, MixedTextAndBinary) {
+  std::vector<std::uint8_t> in;
+  const std::string text =
+      "error-bounded lossy compression for scientific data; ";
+  std::mt19937 rng(23);
+  for (int rep = 0; rep < 200; ++rep) {
+    in.insert(in.end(), text.begin(), text.end());
+    for (int i = 0; i < 16; ++i) in.push_back(static_cast<std::uint8_t>(rng()));
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lzb, LongRangeMatchWithinWindow) {
+  std::mt19937 rng(29);
+  std::vector<std::uint8_t> chunk(4096);
+  for (auto& b : chunk) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> in = chunk;
+  in.resize(600000, 0);  // push the repeat ~600 KB away (inside 1 MiB window)
+  in.insert(in.end(), chunk.begin(), chunk.end());
+  const auto enc = lzb_compress(in);
+  EXPECT_EQ(lzb_decompress(enc), in);
+  EXPECT_LT(enc.size(), 2 * chunk.size() + 4096);
+}
+
+TEST(Lzb, CorruptedStreamThrows) {
+  std::vector<std::uint8_t> in(10000, 7);
+  auto enc = lzb_compress(in);
+  enc.resize(enc.size() / 2);
+  EXPECT_THROW(lzb_decompress(enc), std::runtime_error);
+}
+
+TEST(Lzb, BadOffsetRejected) {
+  // Hand-crafted stream: 0 literals then a match with offset 5 into an
+  // empty output buffer.
+  std::vector<std::uint8_t> bogus{10 /*raw size*/, 0 /*lit len*/,
+                                  6 /*match len*/, 5 /*offset*/};
+  EXPECT_THROW(lzb_decompress(bogus), std::runtime_error);
+}
+
+class LzbSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzbSizeSweep, RoundtripSemiCompressible) {
+  const int n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n) * 7 + 1);
+  std::vector<std::uint8_t> in(static_cast<std::size_t>(n));
+  // Runs of repeated bytes with random lengths: exercises matcher paths.
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t b = static_cast<std::uint8_t>(rng());
+    std::size_t run = 1 + rng() % 32;
+    while (run-- && i < in.size()) in[i++] = b;
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzbSizeSweep,
+                         ::testing::Values(1, 5, 100, 4096, 65535, 65536,
+                                           65537, 1 << 20));
+
+}  // namespace
+}  // namespace qip

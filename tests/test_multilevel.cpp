@@ -1,0 +1,152 @@
+// Unit tests for the multilevel stage-grid traversal: coverage,
+// uniqueness, stage strides (the paper's 2x2 / 1x2 / 1x1 clustering
+// geometry) and QP axis assignment.
+
+#include "predict/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace qip {
+namespace {
+
+TEST(Multilevel, LevelCount) {
+  EXPECT_EQ(interpolation_level_count(Dims{2}), 1);
+  EXPECT_EQ(interpolation_level_count(Dims{3}), 2);
+  EXPECT_EQ(interpolation_level_count(Dims{256, 256, 256}), 8);
+  EXPECT_EQ(interpolation_level_count(Dims{257}), 9);
+  EXPECT_EQ(interpolation_level_count(Dims{100, 500, 500}), 9);
+}
+
+/// Every point except the origin must be visited exactly once across all
+/// levels and stages.
+void check_coverage(const Dims& dims, bool md) {
+  std::vector<int> hits(dims.size(), 0);
+  const int levels = interpolation_level_count(dims);
+  const auto order = default_order(dims.rank());
+  for (int level = levels; level >= 1; --level) {
+    const std::size_t s = std::size_t{1} << (level - 1);
+    if (!md) {
+      for (int k = 0; k < dims.rank(); ++k) {
+        const StageGrid g = make_stage_grid(
+            dims, s, std::span<const int>(order.data(), dims.rank()), k,
+            level);
+        for_each_stage_point(dims, g,
+                             [&](const auto&, std::size_t idx) { ++hits[idx]; });
+      }
+    } else {
+      for (int pc = 1; pc <= dims.rank(); ++pc) {
+        for (std::uint32_t mask = 1; mask < (1u << dims.rank()); ++mask) {
+          if (std::popcount(mask) != pc) continue;
+          StageGrid g;
+          g.stride = s;
+          for (int a = 0; a < kMaxRank; ++a) {
+            g.start[a] = 0;
+            g.step[a] = 1;
+          }
+          for (int a = 0; a < dims.rank(); ++a) {
+            g.start[a] = (mask >> a) & 1 ? s : 0;
+            g.step[a] = 2 * s;
+          }
+          for_each_stage_point(dims, g, [&](const auto&, std::size_t idx) {
+            ++hits[idx];
+          });
+        }
+      }
+    }
+  }
+  EXPECT_EQ(hits[0], 0) << "origin is the anchor";
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i], 1) << dims.str() << (md ? " md" : " seq") << " @" << i;
+}
+
+TEST(Multilevel, SeqCoverageExactlyOnce) {
+  check_coverage(Dims{17}, false);
+  check_coverage(Dims{9, 13}, false);
+  check_coverage(Dims{8, 9, 10}, false);
+  check_coverage(Dims{5, 6, 7, 8}, false);
+}
+
+TEST(Multilevel, MdCoverageExactlyOnce) {
+  check_coverage(Dims{9, 13}, true);
+  check_coverage(Dims{8, 9, 10}, true);
+  check_coverage(Dims{5, 6, 7, 8}, true);
+}
+
+TEST(Multilevel, StageStridesMatchPaperGeometry) {
+  // Rank-3, order (z, y, x): stage 0 predicts z-odd points on a 2s x 2s
+  // orthogonal grid; stage 1 on s x 2s; stage 2 on s x s.
+  const Dims dims{32, 32, 32};
+  const int order[] = {0, 1, 2};
+  const std::size_t s = 2;
+  const StageGrid g0 = make_stage_grid(dims, s, order, 0, 2);
+  EXPECT_EQ(g0.start[0], s);
+  EXPECT_EQ(g0.step[0], 2 * s);
+  EXPECT_EQ(g0.step[1], 2 * s);  // orthogonal spacing 2s ("2x2")
+  EXPECT_EQ(g0.step[2], 2 * s);
+  const StageGrid g1 = make_stage_grid(dims, s, order, 1, 2);
+  EXPECT_EQ(g1.step[0], s);      // done dim at s ("1x2" with x at 2s)
+  EXPECT_EQ(g1.start[1], s);
+  EXPECT_EQ(g1.step[2], 2 * s);
+  const StageGrid g2 = make_stage_grid(dims, s, order, 2, 2);
+  EXPECT_EQ(g2.step[0], s);      // "1x1"
+  EXPECT_EQ(g2.step[1], s);
+  EXPECT_EQ(g2.start[2], s);
+}
+
+TEST(Multilevel, BoxRestrictionMatchesFilteredFullEnumeration) {
+  const Dims dims{24, 24, 24};
+  const int order[] = {0, 1, 2};
+  const StageGrid g = make_stage_grid(dims, 2, order, 1, 2);
+  const std::array<std::size_t, kMaxRank> lo{8, 4, 10, 0};
+  const std::array<std::size_t, kMaxRank> hi{16, 20, 18, 1};
+  std::set<std::size_t> in_box;
+  for_each_stage_point_in_box(dims, g, lo, hi,
+                              [&](const auto&, std::size_t idx) {
+                                in_box.insert(idx);
+                              });
+  std::set<std::size_t> filtered;
+  for_each_stage_point(dims, g, [&](const auto& c, std::size_t idx) {
+    bool inside = true;
+    for (int a = 0; a < 3; ++a)
+      if (c[a] < lo[a] || c[a] >= hi[a]) inside = false;
+    if (inside) filtered.insert(idx);
+  });
+  EXPECT_EQ(in_box, filtered);
+}
+
+TEST(Multilevel, QpAxisAssignmentRank3) {
+  const Dims dims{16, 16, 16};
+  const int order[] = {0, 1, 2};
+  const StageGrid g = make_stage_grid(dims, 1, order, 0, 1);
+  const QPAxes ax = assign_qp_axes(g, dims, 0);
+  EXPECT_EQ(ax.back, 0);
+  EXPECT_EQ(ax.left, 2);  // fastest orthogonal axis
+  EXPECT_EQ(ax.top, 1);
+  EXPECT_EQ(ax.left_off, g.step[2] * dims.stride(2));
+  EXPECT_EQ(ax.top_off, g.step[1] * dims.stride(1));
+}
+
+TEST(Multilevel, QpAxisAssignmentRank2UsesBackAsSecondPlaneAxis) {
+  const Dims dims{64, 64};
+  const int order[] = {0, 1};
+  const StageGrid g = make_stage_grid(dims, 1, order, 0, 1);
+  const QPAxes ax = assign_qp_axes(g, dims, 0);
+  EXPECT_EQ(ax.left, 1);
+  EXPECT_EQ(ax.top, 0);   // reused back axis
+  EXPECT_EQ(ax.back, -1); // and back is dropped for 3-D stencils
+}
+
+TEST(Multilevel, QpAxisAssignmentRank1HasNoPlane) {
+  const Dims dims{128};
+  const int order[] = {0};
+  const StageGrid g = make_stage_grid(dims, 1, order, 0, 1);
+  const QPAxes ax = assign_qp_axes(g, dims, 0);
+  EXPECT_EQ(ax.left, -1);
+  EXPECT_EQ(ax.top, -1);
+}
+
+}  // namespace
+}  // namespace qip

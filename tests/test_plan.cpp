@@ -1,0 +1,75 @@
+// Unit tests for LevelPlan/InterpPlan serialization and the blockwise
+// switches.
+
+#include "compressors/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qip {
+namespace {
+
+TEST(Plan, LevelPlanRoundtrip) {
+  LevelPlan p;
+  p.kind = InterpKind::kLinear;
+  p.order = {2, 0, 1, 3};
+  p.md = true;
+  p.eb_scale = 0.375;
+  ByteWriter w;
+  p.save(w);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  const LevelPlan q = LevelPlan::load(r);
+  EXPECT_EQ(q.kind, InterpKind::kLinear);
+  EXPECT_EQ(q.order, p.order);
+  EXPECT_TRUE(q.md);
+  EXPECT_DOUBLE_EQ(q.eb_scale, 0.375);
+}
+
+TEST(Plan, UniformBuilder) {
+  LevelPlan lp;
+  lp.kind = InterpKind::kLinear;
+  const InterpPlan p = InterpPlan::uniform(5, lp);
+  ASSERT_EQ(p.levels.size(), 5u);
+  for (const auto& l : p.levels) EXPECT_EQ(l.kind, InterpKind::kLinear);
+  EXPECT_EQ(p.block_size, 0u);
+}
+
+TEST(Plan, FullPlanRoundtrip) {
+  InterpPlan p;
+  p.levels.resize(3);
+  p.levels[1].md = true;
+  p.levels[2].eb_scale = 0.5;
+  p.block_size = 32;
+  p.candidates.resize(2);
+  p.candidates[1].kind = InterpKind::kLinear;
+  p.block_choice = {{0, 1, 1, 0}, {1, 1, 1, 1}, {}};
+  p.level_blockwise = {1, 0, 0};
+  ByteWriter w;
+  p.save(w);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  const InterpPlan q = InterpPlan::load(r);
+  EXPECT_EQ(q.levels.size(), 3u);
+  EXPECT_TRUE(q.levels[1].md);
+  EXPECT_DOUBLE_EQ(q.levels[2].eb_scale, 0.5);
+  EXPECT_EQ(q.block_size, 32u);
+  ASSERT_EQ(q.candidates.size(), 2u);
+  EXPECT_EQ(q.candidates[1].kind, InterpKind::kLinear);
+  EXPECT_EQ(q.block_choice, p.block_choice);
+  EXPECT_EQ(q.level_blockwise, p.level_blockwise);
+}
+
+TEST(Plan, BlockwisePredicate) {
+  InterpPlan p;
+  p.levels.resize(3);
+  EXPECT_FALSE(p.blockwise(1));  // no block size
+  p.block_size = 16;
+  EXPECT_FALSE(p.blockwise(1));  // no per-level flags
+  p.level_blockwise = {1, 0};
+  EXPECT_TRUE(p.blockwise(1));
+  EXPECT_FALSE(p.blockwise(2));
+  EXPECT_FALSE(p.blockwise(3));  // beyond flag vector
+}
+
+}  // namespace
+}  // namespace qip

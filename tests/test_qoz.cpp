@@ -1,0 +1,116 @@
+// QoZ-like compressor tests: roundtrip, bound, tuning determinism, QP
+// transparency, rate-distortion advantage of level-wise bounds.
+
+#include "compressors/qoz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+Field<float> wave_field(Dims dims, unsigned seed = 3) {
+  Field<float> f(dims);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> ph(0.f, 6.28f);
+  const float p1 = ph(rng), p2 = ph(rng);
+  for (std::size_t z = 0; z < dims.extent(0); ++z)
+    for (std::size_t y = 0; y < dims.extent(1); ++y)
+      for (std::size_t x = 0; x < dims.extent(2); ++x) {
+        const float r = std::sqrt(static_cast<float>((z - 20.f) * (z - 20.f) +
+                                                     (y - 30.f) * (y - 30.f) +
+                                                     (x - 30.f) * (x - 30.f)));
+        f.at(z, y, x) =
+            std::sin(0.4f * r + p1) / (1.f + 0.05f * r) +
+            0.2f * std::cos(0.09f * static_cast<float>(x + y) + p2);
+      }
+  return f;
+}
+
+TEST(QoZ, RoundtripRespectsErrorBound) {
+  const auto f = wave_field(Dims{40, 60, 60});
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    QoZConfig cfg;
+    cfg.error_bound = eb;
+    const auto arc = qoz_compress(f.data(), f.dims(), cfg);
+    const auto dec = qoz_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), eb * (1 + 1e-9));
+  }
+}
+
+TEST(QoZ, QPDoesNotChangeDecompressedData) {
+  const auto f = wave_field(Dims{48, 48, 48});
+  QoZConfig base;
+  base.error_bound = 5e-4;
+  QoZConfig withqp = base;
+  withqp.qp = QPConfig::best_fit();
+  const auto dec0 = qoz_decompress<float>(qoz_compress(f.data(), f.dims(), base));
+  const auto dec1 =
+      qoz_decompress<float>(qoz_compress(f.data(), f.dims(), withqp));
+  for (std::size_t i = 0; i < dec0.size(); ++i)
+    ASSERT_EQ(dec0[i], dec1[i]) << i;
+}
+
+TEST(QoZ, LevelwiseBoundsImproveAccuracyAtSimilarRate) {
+  // alpha > 1 shrinks coarse-level bins; PSNR should rise vs alpha = 1.
+  const auto f = wave_field(Dims{64, 64, 64});
+  QoZConfig flat;
+  flat.error_bound = 1e-3;
+  flat.tune_level_eb = false;
+  flat.alpha = 1.0;
+  flat.beta = 1.0;
+  QoZConfig scaled = flat;
+  scaled.alpha = 1.5;
+  scaled.beta = 4.0;
+  const auto d0 = qoz_decompress<float>(qoz_compress(f.data(), f.dims(), flat));
+  const auto d1 =
+      qoz_decompress<float>(qoz_compress(f.data(), f.dims(), scaled));
+  EXPECT_GT(psnr(f.span(), d1.span()), psnr(f.span(), d0.span()));
+}
+
+TEST(QoZ, TuningIsDeterministic) {
+  const auto f = wave_field(Dims{32, 40, 40});
+  QoZConfig cfg;
+  cfg.error_bound = 1e-3;
+  const auto a = qoz_compress(f.data(), f.dims(), cfg);
+  const auto b = qoz_compress(f.data(), f.dims(), cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(QoZ, DoubleRoundtrip) {
+  Field<double> f(Dims{24, 30, 36});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.01 * static_cast<double>(i)) * 1e3;
+  QoZConfig cfg;
+  cfg.error_bound = 1e-2;
+  const auto dec = qoz_decompress<double>(qoz_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-2 * (1 + 1e-9));
+}
+
+TEST(QoZ, ExposesSpatialCodes) {
+  const auto f = wave_field(Dims{32, 32, 32});
+  QoZConfig cfg;
+  cfg.error_bound = 1e-3;
+  IndexArtifacts arts;
+  qoz_compress(f.data(), f.dims(), cfg, &arts);
+  EXPECT_EQ(arts.codes.size(), f.size());
+  EXPECT_EQ(arts.symbols_spatial.size(), f.size());
+}
+
+TEST(QoZ, Anisotropic2D) {
+  Field<float> f(Dims{500, 37});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::cos(0.002f * static_cast<float>(i));
+  QoZConfig cfg;
+  cfg.error_bound = 1e-4;
+  cfg.qp = QPConfig::best_fit();
+  const auto dec = qoz_decompress<float>(qoz_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace qip

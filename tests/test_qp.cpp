@@ -1,0 +1,247 @@
+// Unit tests for the QP core: symbol mapping invertibility, compensation
+// gating (Cases I-IV), dimension stencils, level gating, and config
+// serialization — paper Algorithms 1-2 at the unit level.
+
+#include "core/qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace qip {
+namespace {
+
+constexpr std::int32_t kR = 32768;
+
+std::uint32_t code_of(std::int64_t q) {
+  return static_cast<std::uint32_t>(q + kR);
+}
+
+TEST(QpSymbols, EncodeDecodeInverseExhaustiveSmall) {
+  for (std::int64_t q = -300; q <= 300; ++q) {
+    for (std::int64_t c : {-1000ll, -3ll, 0ll, 5ll, 777ll}) {
+      const std::uint32_t sym = qp_encode_symbol(code_of(q), c, kR);
+      EXPECT_EQ(qp_decode_symbol(sym, c, kR), code_of(q));
+    }
+  }
+}
+
+TEST(QpSymbols, UnpredictableLabelIsPreserved) {
+  const std::uint32_t sym = qp_encode_symbol(kUnpredictableCode, 123, kR);
+  EXPECT_EQ(sym, 0u);
+  EXPECT_EQ(qp_decode_symbol(0, 456, kR), kUnpredictableCode);
+}
+
+TEST(QpSymbols, ZeroCompensationMatchesPlainZigzag) {
+  // With c == 0 the mapping is zigzag(q)+1: residual 0 -> symbol 1.
+  EXPECT_EQ(qp_encode_symbol(code_of(0), 0, kR), 1u);
+  EXPECT_EQ(qp_encode_symbol(code_of(-1), 0, kR), 2u);
+  EXPECT_EQ(qp_encode_symbol(code_of(1), 0, kR), 3u);
+}
+
+TEST(QpSymbols, RandomizedRoundtrip) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const std::int64_t q =
+        static_cast<std::int64_t>(rng() % (2 * kR)) - kR + 1;
+    const std::int64_t c = static_cast<std::int64_t>(rng() % 20001) - 10000;
+    const std::uint32_t code = code_of(q);
+    ASSERT_EQ(qp_decode_symbol(qp_encode_symbol(code, c, kR), c, kR), code);
+  }
+}
+
+/// A tiny 4x4 "stage plane" with unit offsets for compensation tests:
+/// idx = r*4 + c, left = idx-1, top = idx-4.
+struct Plane {
+  std::vector<std::uint32_t> codes = std::vector<std::uint32_t>(16, code_of(0));
+  QPNeighborhood nb(bool left = true, bool top = true, bool back = false) {
+    QPNeighborhood n;
+    n.left = 1;
+    n.top = 4;
+    n.back = 0;
+    n.avail_left = left;
+    n.avail_top = top;
+    n.avail_back = back;
+    return n;
+  }
+};
+
+QPConfig cfg2d(QPCondition cond, int max_level = 2) {
+  QPConfig c;
+  c.enabled = true;
+  c.dimension = QPDimension::k2D;
+  c.condition = cond;
+  c.max_level = max_level;
+  return c;
+}
+
+TEST(QpCompensation, TwoDLorenzoValue) {
+  Plane p;
+  p.codes[5] = code_of(4);  // diag of idx 10... layout: idx 10: left=9, top=6, diag=5
+  p.codes[9] = code_of(7);
+  p.codes[6] = code_of(5);
+  const auto c = qp_compensation(p.codes.data(), 10, p.nb(),
+                                 cfg2d(QPCondition::kCaseI), 1, kR);
+  EXPECT_EQ(c, 7 + 5 - 4);
+}
+
+TEST(QpCompensation, LevelGateRejectsCoarseLevels) {
+  Plane p;
+  p.codes[9] = code_of(3);
+  p.codes[6] = code_of(3);
+  p.codes[5] = code_of(3);
+  EXPECT_NE(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseI, 2), 2, kR),
+            0);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseI, 2), 3, kR),
+            0);
+}
+
+TEST(QpCompensation, DisabledReturnsZero) {
+  Plane p;
+  p.codes[9] = code_of(9);
+  QPConfig off;
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(), off, 1, kR), 0);
+}
+
+TEST(QpCompensation, MissingNeighborsReject) {
+  Plane p;
+  p.codes[9] = code_of(3);
+  p.codes[6] = code_of(3);
+  p.codes[5] = code_of(3);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(false, true),
+                            cfg2d(QPCondition::kCaseI), 1, kR),
+            0);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(true, false),
+                            cfg2d(QPCondition::kCaseI), 1, kR),
+            0);
+}
+
+TEST(QpCompensation, CaseIIRejectsUnpredictableNeighbors) {
+  Plane p;
+  p.codes[9] = code_of(3);
+  p.codes[6] = code_of(3);
+  p.codes[5] = kUnpredictableCode;  // diag unpredictable
+  EXPECT_NE(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseI), 1, kR),
+            0);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseII), 1, kR),
+            0);
+}
+
+TEST(QpCompensation, CaseIIIRequiresSameNonzeroSign) {
+  Plane p;
+  p.codes[5] = code_of(1);
+  // Same positive sign -> fires.
+  p.codes[9] = code_of(2);
+  p.codes[6] = code_of(4);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIII), 1, kR),
+            2 + 4 - 1);
+  // Opposite signs -> rejected.
+  p.codes[6] = code_of(-4);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIII), 1, kR),
+            0);
+  // Zero neighbor -> rejected (sign is not strictly positive).
+  p.codes[6] = code_of(0);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIII), 1, kR),
+            0);
+  // Same negative sign -> fires.
+  p.codes[9] = code_of(-2);
+  p.codes[6] = code_of(-4);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIII), 1, kR),
+            -2 - 4 - 1);
+}
+
+TEST(QpCompensation, CaseIVRequiresAllThreeSameSign) {
+  Plane p;
+  p.codes[9] = code_of(2);
+  p.codes[6] = code_of(4);
+  p.codes[5] = code_of(-1);  // diag opposite
+  EXPECT_NE(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIII), 1, kR),
+            0);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIV), 1, kR),
+            0);
+  p.codes[5] = code_of(1);
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(),
+                            cfg2d(QPCondition::kCaseIV), 1, kR),
+            2 + 4 - 1);
+}
+
+TEST(QpCompensation, OneDVariantsPickTheirNeighbor) {
+  Plane p;
+  p.codes[9] = code_of(7);   // left
+  p.codes[6] = code_of(-3);  // top
+  QPConfig c;
+  c.enabled = true;
+  c.condition = QPCondition::kCaseII;
+  c.max_level = 2;
+  c.dimension = QPDimension::k1DLeft;
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(), c, 1, kR), 7);
+  c.dimension = QPDimension::k1DTop;
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(), c, 1, kR), -3);
+  c.dimension = QPDimension::k1DBack;  // back unavailable in this plane
+  EXPECT_EQ(qp_compensation(p.codes.data(), 10, p.nb(), c, 1, kR), 0);
+}
+
+TEST(QpCompensation, ThreeDLorenzoValue) {
+  // 2x4x4 block, offsets: left=1, top=4, back=16.
+  std::vector<std::uint32_t> codes(32, code_of(0));
+  const std::size_t idx = 16 + 10;  // second slab, row 2, col 2
+  auto set = [&](std::size_t off, std::int64_t q) { codes[idx - off] = code_of(q); };
+  set(1, 1);       // left
+  set(4, 2);       // top
+  set(16, 3);      // back
+  set(1 + 4, 4);   // left+top
+  set(1 + 16, 5);  // left+back
+  set(4 + 16, 6);  // top+back
+  set(1 + 4 + 16, 7);
+  QPNeighborhood nb;
+  nb.left = 1;
+  nb.top = 4;
+  nb.back = 16;
+  nb.avail_left = nb.avail_top = nb.avail_back = true;
+  QPConfig c;
+  c.enabled = true;
+  c.dimension = QPDimension::k3D;
+  c.condition = QPCondition::kCaseI;
+  c.max_level = 2;
+  EXPECT_EQ(qp_compensation(codes.data(), idx, nb, c, 1, kR),
+            1 + 2 + 3 - 4 - 5 - 6 + 7);
+}
+
+TEST(QpConfig, SaveLoadRoundtrip) {
+  QPConfig c;
+  c.enabled = true;
+  c.dimension = QPDimension::k3D;
+  c.condition = QPCondition::kCaseIV;
+  c.max_level = 5;
+  ByteWriter w;
+  c.save(w);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  const QPConfig d = QPConfig::load(r);
+  EXPECT_EQ(d.enabled, true);
+  EXPECT_EQ(d.dimension, QPDimension::k3D);
+  EXPECT_EQ(d.condition, QPCondition::kCaseIV);
+  EXPECT_EQ(d.max_level, 5);
+}
+
+TEST(QpConfig, StrMentionsConfiguration) {
+  EXPECT_EQ(QPConfig{}.str(), "QP(off)");
+  const auto s = QPConfig::best_fit().str();
+  EXPECT_NE(s.find("2D"), std::string::npos);
+  EXPECT_NE(s.find("Case III"), std::string::npos);
+  EXPECT_NE(s.find("levels<=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qip

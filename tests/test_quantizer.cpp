@@ -1,0 +1,119 @@
+// Unit tests for the linear-scaling quantizer (SZ3 scheme).
+
+#include "quant/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qip {
+namespace {
+
+TEST(Quantizer, BasicRoundtripWithinBound) {
+  LinearQuantizer<float> q(1e-3);
+  float recon;
+  const std::uint32_t code = q.quantize(0.5f, 0.2f, &recon);
+  EXPECT_NE(code, kUnpredictableCode);
+  EXPECT_LE(std::abs(recon - 0.5f), 1e-3f);
+  EXPECT_EQ(q.recover(code, 0.2f), recon);
+}
+
+TEST(Quantizer, ZeroResidualIsCenterCode) {
+  LinearQuantizer<float> q(1e-3);
+  float recon;
+  const std::uint32_t code = q.quantize(1.0f, 1.0f, &recon);
+  EXPECT_EQ(q.signed_index(code), 0);
+  EXPECT_EQ(recon, 1.0f);
+}
+
+TEST(Quantizer, OutOfRangeBecomesUnpredictable) {
+  LinearQuantizer<float> q(1e-6, /*radius=*/128);
+  float recon;
+  const std::uint32_t code = q.quantize(10.0f, 0.0f, &recon);
+  EXPECT_EQ(code, kUnpredictableCode);
+  EXPECT_EQ(recon, 10.0f);  // stored exactly
+  EXPECT_EQ(q.outlier_count(), 1u);
+  EXPECT_EQ(q.recover(code, 0.0f), 10.0f);
+}
+
+TEST(Quantizer, SignedIndexMapping) {
+  LinearQuantizer<float> q(1e-2, 32768);
+  float recon;
+  const std::uint32_t cpos = q.quantize(0.10f, 0.0f, &recon);
+  const std::uint32_t cneg = q.quantize(-0.10f, 0.0f, &recon);
+  EXPECT_GT(q.signed_index(cpos), 0);
+  EXPECT_LT(q.signed_index(cneg), 0);
+  EXPECT_EQ(q.signed_index(cpos), -q.signed_index(cneg));
+}
+
+TEST(Quantizer, SaveLoadPreservesOutliers) {
+  LinearQuantizer<double> q(1e-9, 16);
+  double recon;
+  q.quantize(5.0, 0.0, &recon);
+  q.quantize(-3.0, 0.0, &recon);
+  ByteWriter w;
+  q.save(w);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  LinearQuantizer<double> q2(0.0);
+  q2.load(r);
+  EXPECT_EQ(q2.radius(), 16);
+  EXPECT_DOUBLE_EQ(q2.error_bound(), 1e-9);
+  EXPECT_EQ(q2.recover(kUnpredictableCode, 0.0), 5.0);
+  EXPECT_EQ(q2.recover(kUnpredictableCode, 0.0), -3.0);
+}
+
+TEST(Quantizer, ResetCursorReplaysOutliers) {
+  LinearQuantizer<float> q(1e-9, 16);
+  float recon;
+  q.quantize(7.0f, 0.0f, &recon);
+  EXPECT_EQ(q.recover(kUnpredictableCode, 0.0f), 7.0f);
+  q.reset_cursor();
+  EXPECT_EQ(q.recover(kUnpredictableCode, 0.0f), 7.0f);
+}
+
+TEST(Quantizer, ErrorBoundScalingMidstream) {
+  LinearQuantizer<float> q(1e-2);
+  float recon;
+  q.set_error_bound(1e-4);
+  q.quantize(0.123456f, 0.0f, &recon);
+  EXPECT_LE(std::abs(recon - 0.123456f), 1e-4f);
+}
+
+class QuantizerPropertySweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(QuantizerPropertySweep, AlwaysWithinBoundAndDecoderConsistent) {
+  const auto [eb, radius] = GetParam();
+  LinearQuantizer<double> enc(eb, radius);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(-10.0, 10.0);
+  std::vector<std::uint32_t> codes;
+  std::vector<double> preds, recons;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = u(rng), p = u(rng) * 0.1;
+    double recon;
+    codes.push_back(enc.quantize(d, p, &recon));
+    preds.push_back(p);
+    recons.push_back(recon);
+    ASSERT_LE(std::abs(recon - d), eb * (1 + 1e-12));
+  }
+  // Decoder: same codes + predictions must reproduce identical values.
+  ByteWriter w;
+  enc.save(w);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  LinearQuantizer<double> dec(0.0);
+  dec.load(r);
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    ASSERT_EQ(dec.recover(codes[i], preds[i]), recons[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantizerPropertySweep,
+    ::testing::Combine(::testing::Values(1e-1, 1e-3, 1e-6),
+                       ::testing::Values(64, 1024, 32768)));
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,97 @@
+// Registry tests: all seven compressors are reachable through the
+// type-erased interface and honor the common contract.
+
+#include "compressors/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+Field<float> smooth(Dims dims) {
+  Field<float> f(dims);
+  for (std::size_t z = 0; z < dims.extent(0); ++z)
+    for (std::size_t y = 0; y < dims.extent(1); ++y)
+      for (std::size_t x = 0; x < dims.extent(2); ++x)
+        f.at(z, y, x) =
+            std::sin(0.1f * z) * std::cos(0.12f * y) + 0.3f * std::sin(0.08f * x);
+  return f;
+}
+
+TEST(Registry, HasSevenCompressorsInTableOrder) {
+  const auto& reg = compressor_registry();
+  ASSERT_EQ(reg.size(), 7u);
+  const char* expect[] = {"MGARD", "SZ3", "QoZ", "HPEZ", "ZFP", "TTHRESH",
+                          "SPERR"};
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(reg[i].name, expect[i]);
+}
+
+TEST(Registry, QpBaseCompressorsAreTheInterpolationFour) {
+  const auto bases = qp_base_compressors();
+  ASSERT_EQ(bases.size(), 4u);
+  for (const auto* e : bases) {
+    EXPECT_TRUE(e->interpolation);
+    EXPECT_TRUE(e->supports_qp);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(find_compressor("SZ4"), std::runtime_error);
+}
+
+TEST(Registry, AllCompressorsRoundtripF32WithinBound) {
+  const auto f = smooth(Dims{24, 28, 32});
+  GenericOptions opt;
+  opt.error_bound = 1e-3;
+  for (const auto& e : compressor_registry()) {
+    const auto arc = e.compress_f32(f.data(), f.dims(), opt);
+    const auto dec = e.decompress_f32(arc);
+    ASSERT_EQ(dec.dims(), f.dims()) << e.name;
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9))
+        << e.name;
+  }
+}
+
+TEST(Registry, AllCompressorsRoundtripF64WithinBound) {
+  Field<double> f(Dims{16, 20, 24});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.01 * static_cast<double>(i));
+  GenericOptions opt;
+  opt.error_bound = 1e-4;
+  for (const auto& e : compressor_registry()) {
+    const auto arc = e.compress_f64(f.data(), f.dims(), opt);
+    const auto dec = e.decompress_f64(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9))
+        << e.name;
+  }
+}
+
+TEST(Registry, QPImprovesOrMatchesRatioOnClusteredData) {
+  // On wavefield-like data every QP-capable base compressor should gain
+  // (or at worst roughly match) with the paper's best-fit QP config.
+  Field<float> f(Dims{48, 48, 48});
+  for (std::size_t z = 0; z < 48; ++z)
+    for (std::size_t y = 0; y < 48; ++y)
+      for (std::size_t x = 0; x < 48; ++x) {
+        const float r = std::sqrt(static_cast<float>(
+            (z - 16.f) * (z - 16.f) + (y - 24.f) * (y - 24.f) +
+            (x - 24.f) * (x - 24.f)));
+        f.at(z, y, x) = std::sin(0.5f * r) / (1.f + 0.1f * r);
+      }
+  GenericOptions base;
+  base.error_bound = 1e-3;
+  GenericOptions withqp = base;
+  withqp.qp = QPConfig::best_fit();
+  for (const auto* e : qp_base_compressors()) {
+    const auto a0 = e->compress_f32(f.data(), f.dims(), base);
+    const auto a1 = e->compress_f32(f.data(), f.dims(), withqp);
+    EXPECT_LE(a1.size(), a0.size() * 102 / 100) << e->name;
+  }
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,64 @@
+// Tests for the future-work extension: QP generalized to the SPERR-like
+// wavelet archetype (subband index prediction).
+
+#include <gtest/gtest.h>
+
+#include "compressors/sperr_like.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+TEST(SperrIndexPrediction, ReconstructionIsBitIdentical) {
+  const auto f = make_field(DatasetId::kCESM, 0, Dims{26, 96, 96}, 1);
+  SPERRConfig base;
+  base.error_bound = 1e-3 * value_range(f.span()).width();
+  SPERRConfig ip = base;
+  ip.index_prediction = true;
+  const auto d0 = sperr_decompress<float>(sperr_compress(f.data(), f.dims(), base));
+  const auto d1 = sperr_decompress<float>(sperr_compress(f.data(), f.dims(), ip));
+  for (std::size_t i = 0; i < d0.size(); ++i) ASSERT_EQ(d0[i], d1[i]) << i;
+}
+
+TEST(SperrIndexPrediction, HelpsBandedClimateData) {
+  const auto f = make_field(DatasetId::kCESM, 0, Dims{26, 128, 128}, 1);
+  SPERRConfig base;
+  base.error_bound = 1e-3 * value_range(f.span()).width();
+  SPERRConfig ip = base;
+  ip.index_prediction = true;
+  const auto a0 = sperr_compress(f.data(), f.dims(), base);
+  const auto a1 = sperr_compress(f.data(), f.dims(), ip);
+  EXPECT_LT(a1.size(), a0.size());
+}
+
+TEST(SperrIndexPrediction, BoundStillHolds) {
+  for (auto id : {DatasetId::kMiranda, DatasetId::kSegSalt}) {
+    const auto f = make_field(id, 0, Dims{32, 40, 48}, 7);
+    SPERRConfig cfg;
+    cfg.error_bound = 1e-4 * value_range(f.span()).width();
+    cfg.index_prediction = true;
+    const auto dec =
+        sperr_decompress<float>(sperr_compress(f.data(), f.dims(), cfg));
+    EXPECT_LE(max_abs_error(f.span(), dec.span()),
+              cfg.error_bound * (1 + 1e-9));
+  }
+}
+
+TEST(SperrIndexPrediction, Rank2AndOddShapes) {
+  for (Dims dims : {Dims{65, 130}, Dims{17, 33, 9}}) {
+    Field<float> f(dims);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = std::sin(0.02f * static_cast<float>(i));
+    SPERRConfig cfg;
+    cfg.error_bound = 1e-4;
+    cfg.index_prediction = true;
+    const auto dec =
+        sperr_decompress<float>(sperr_compress(f.data(), dims, cfg));
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9))
+        << dims.str();
+  }
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,82 @@
+// Unit tests for the quality metrics (paper Sec. III-A).
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qip {
+namespace {
+
+TEST(Stats, ValueRange) {
+  std::vector<float> v{3.f, -1.f, 2.f, 7.f};
+  const auto r = value_range(std::span<const float>(v));
+  EXPECT_EQ(r.lo, -1.f);
+  EXPECT_EQ(r.hi, 7.f);
+  EXPECT_EQ(r.width(), 8.f);
+}
+
+TEST(Stats, MseAndMaxError) {
+  std::vector<float> a{0.f, 1.f, 2.f};
+  std::vector<float> b{0.f, 1.5f, 1.f};
+  EXPECT_NEAR(mse(std::span<const float>(a), std::span<const float>(b)),
+              (0.25 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(max_abs_error(std::span<const float>(a), std::span<const float>(b)),
+              1.0, 1e-12);
+}
+
+TEST(Stats, PsnrMatchesFormula) {
+  // range 8, rmse known -> PSNR = 20 log10(range / rmse).
+  std::vector<float> a{-1.f, 7.f, 3.f, 3.f};
+  std::vector<float> b{-1.f, 7.f, 3.1f, 2.9f};
+  const double m = mse(std::span<const float>(a), std::span<const float>(b));
+  const double expect = 20.0 * std::log10(8.0 / std::sqrt(m));
+  EXPECT_NEAR(psnr(std::span<const float>(a), std::span<const float>(b)),
+              expect, 1e-9);
+}
+
+TEST(Stats, PsnrInfiniteForIdenticalData) {
+  std::vector<float> a{1.f, 2.f, 3.f};
+  EXPECT_TRUE(std::isinf(psnr(std::span<const float>(a),
+                              std::span<const float>(a))));
+}
+
+TEST(Stats, EntropyUniformAndDegenerate) {
+  std::vector<std::uint32_t> four{0, 1, 2, 3};
+  EXPECT_NEAR(shannon_entropy(std::span<const std::uint32_t>(four)), 2.0,
+              1e-12);
+  std::vector<std::uint32_t> same(100, 9);
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::span<const std::uint32_t>(same)), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::span<const std::uint32_t>{}), 0.0);
+}
+
+TEST(Stats, EntropySkewed) {
+  // p = {3/4, 1/4} -> H = 0.811278 bits.
+  std::vector<std::uint32_t> v{0, 0, 0, 1};
+  EXPECT_NEAR(shannon_entropy(std::span<const std::uint32_t>(v)), 0.8112781,
+              1e-6);
+}
+
+TEST(Stats, MakeStatsBitRateAndRatio) {
+  std::vector<float> a(1000, 1.f);
+  a[0] = 0.f;  // nonzero range
+  std::vector<float> b = a;
+  const auto s = make_stats(std::span<const float>(a),
+                            std::span<const float>(b), 500);
+  EXPECT_DOUBLE_EQ(s.compression_ratio, 8.0);   // 4000 / 500
+  EXPECT_DOUBLE_EQ(s.bit_rate, 4.0);            // 32 / 8
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 0.0);
+}
+
+TEST(Stats, ThroughputHelpers) {
+  CompressionStats s;
+  s.compress_seconds = 2.0;
+  s.decompress_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(s.compress_mbps(200e6), 100.0);
+  EXPECT_DOUBLE_EQ(s.decompress_mbps(200e6), 400.0);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,165 @@
+// SZ3-like compressor: roundtrip, error-bound enforcement, QP
+// transparency (identical reconstruction with and without QP), and ratio
+// improvements on clustered data.
+
+#include "compressors/sz3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+Field<float> smooth_field(Dims dims, unsigned seed = 5) {
+  Field<float> f(dims);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> ph(0.f, 6.28f);
+  const float p1 = ph(rng), p2 = ph(rng), p3 = ph(rng);
+  for (std::size_t z = 0; z < dims.extent(0); ++z)
+    for (std::size_t y = 0; y < dims.extent(1); ++y)
+      for (std::size_t x = 0; x < dims.extent(2); ++x)
+        f.at(z, y, x) = std::sin(0.07f * z + p1) * std::cos(0.05f * y + p2) +
+                        0.5f * std::sin(0.11f * x + p3) +
+                        0.1f * std::sin(0.31f * (x + y + z));
+  return f;
+}
+
+TEST(SZ3, RoundtripRespectsErrorBound) {
+  const auto f = smooth_field(Dims{32, 40, 48});
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    SZ3Config cfg;
+    cfg.error_bound = eb;
+    const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+    const auto dec = sz3_decompress<float>(arc);
+    ASSERT_EQ(dec.dims(), f.dims());
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), eb * (1 + 1e-9))
+        << "eb=" << eb;
+  }
+}
+
+TEST(SZ3, CompressesSmoothDataWell) {
+  const auto f = smooth_field(Dims{64, 64, 64});
+  SZ3Config cfg;
+  cfg.error_bound = 1e-3;
+  const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+  const double cr =
+      static_cast<double>(f.size() * sizeof(float)) / arc.size();
+  EXPECT_GT(cr, 10.0);
+}
+
+TEST(SZ3, QPDoesNotChangeDecompressedData) {
+  const auto f = smooth_field(Dims{48, 56, 40});
+  SZ3Config base;
+  base.error_bound = 1e-3;
+  SZ3Config with_qp = base;
+  with_qp.qp = QPConfig::best_fit();
+
+  const auto arc0 = sz3_compress(f.data(), f.dims(), base);
+  const auto arc1 = sz3_compress(f.data(), f.dims(), with_qp);
+  const auto dec0 = sz3_decompress<float>(arc0);
+  const auto dec1 = sz3_decompress<float>(arc1);
+  ASSERT_EQ(dec0.size(), dec1.size());
+  for (std::size_t i = 0; i < dec0.size(); ++i)
+    ASSERT_EQ(dec0[i], dec1[i]) << "at " << i;
+}
+
+TEST(SZ3, QPRoundtripAllDimensionAndConditionChoices) {
+  const auto f = smooth_field(Dims{24, 30, 36});
+  for (auto dim : {QPDimension::k1DBack, QPDimension::k1DTop,
+                   QPDimension::k1DLeft, QPDimension::k2D, QPDimension::k3D}) {
+    for (auto cond : {QPCondition::kCaseI, QPCondition::kCaseII,
+                      QPCondition::kCaseIII, QPCondition::kCaseIV}) {
+      SZ3Config cfg;
+      cfg.error_bound = 1e-3;
+      cfg.qp.enabled = true;
+      cfg.qp.dimension = dim;
+      cfg.qp.condition = cond;
+      cfg.qp.max_level = 3;
+      const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+      const auto dec = sz3_decompress<float>(arc);
+      EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9))
+          << to_string(dim) << "/" << to_string(cond);
+    }
+  }
+}
+
+TEST(SZ3, DoublePrecisionRoundtrip) {
+  Field<double> f(Dims{20, 24, 28});
+  std::mt19937 rng(9);
+  std::normal_distribution<double> g(0.0, 1.0);
+  double v = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    v = 0.98 * v + 0.02 * g(rng);  // smooth-ish random walk
+    f[i] = v;
+  }
+  SZ3Config cfg;
+  cfg.error_bound = 1e-6;
+  const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+  const auto dec = sz3_decompress<double>(arc);
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-6 * (1 + 1e-9));
+}
+
+TEST(SZ3, RandomNoiseFallsBackToLorenzoAndStaysBounded) {
+  Field<float> f(Dims{40, 40, 40});
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<float> u(-1.f, 1.f);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = u(rng);
+  SZ3Config cfg;
+  cfg.error_bound = 1e-5;
+  SZ3Artifacts art;
+  const auto arc = sz3_compress(f.data(), f.dims(), cfg, &art);
+  const auto dec = sz3_decompress<float>(arc);
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-5 * (1 + 1e-9));
+}
+
+TEST(SZ3, Rank1And2AndAnisotropicShapes) {
+  for (Dims dims : {Dims{5000}, Dims{300, 257}, Dims{3, 500, 11}}) {
+    Field<float> f(dims);
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f[i] = std::sin(0.01f * static_cast<float>(i));
+    SZ3Config cfg;
+    cfg.error_bound = 1e-4;
+    cfg.qp = QPConfig::best_fit();
+    const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+    const auto dec = sz3_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9))
+        << dims.str();
+  }
+}
+
+TEST(SZ3, ConstantFieldCompressesExtremelyWell) {
+  Field<float> f(Dims{50, 50, 50});
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = 3.25f;
+  SZ3Config cfg;
+  cfg.error_bound = 1e-4;
+  const auto arc = sz3_compress(f.data(), f.dims(), cfg);
+  EXPECT_LT(arc.size(), 6000u);
+  const auto dec = sz3_decompress<float>(arc);
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4);
+}
+
+TEST(SZ3, ArtifactsExposeSpatialCodes) {
+  const auto f = smooth_field(Dims{32, 32, 32});
+  SZ3Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.auto_fallback = false;
+  SZ3Artifacts art;
+  sz3_compress(f.data(), f.dims(), cfg, &art);
+  ASSERT_EQ(art.predictor, SZ3Predictor::kInterpolation);
+  ASSERT_EQ(art.codes.size(), f.size());
+}
+
+TEST(SZ3, CorruptedArchiveRejected) {
+  const auto f = smooth_field(Dims{16, 16, 16});
+  SZ3Config cfg;
+  auto arc = sz3_compress(f.data(), f.dims(), cfg);
+  arc[0] ^= 0xFF;
+  EXPECT_THROW(sz3_decompress<float>(arc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,70 @@
+// Unit tests for the thread pool used by the transfer pipeline.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace qip {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(500, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyWaitingTasksDrainOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i)
+      futs.push_back(pool.submit([&] { ++count; }));
+    for (auto& f : futs) f.get();
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorker) {
+  ThreadPool pool(3);
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([] { return 5; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 6);
+}
+
+}  // namespace
+}  // namespace qip

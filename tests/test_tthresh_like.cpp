@@ -1,0 +1,100 @@
+// TTHRESH-like baseline tests: HOSVD roundtrip under strict bounds,
+// factor handling, large-mode guard.
+
+#include "compressors/tthresh_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+/// Low-rank-ish separable field: ideal Tucker fodder.
+Field<float> separable(Dims dims, unsigned seed = 3) {
+  Field<float> f(dims);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> ph(0, 6.28f);
+  const float p1 = ph(rng), p2 = ph(rng), p3 = ph(rng);
+  for (std::size_t z = 0; z < dims.extent(0); ++z)
+    for (std::size_t y = 0; y < dims.extent(1); ++y)
+      for (std::size_t x = 0; x < dims.extent(2); ++x)
+        f.at(z, y, x) =
+            std::sin(0.2f * z + p1) * std::cos(0.15f * y + p2) +
+            0.5f * std::cos(0.1f * x + p3) * std::sin(0.07f * z);
+  return f;
+}
+
+TEST(TthreshLike, RoundtripRespectsErrorBound) {
+  const auto f = separable(Dims{32, 36, 40});
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    TTHRESHConfig cfg;
+    cfg.error_bound = eb;
+    const auto arc = tthresh_compress(f.data(), f.dims(), cfg);
+    const auto dec = tthresh_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), eb * (1 + 1e-9))
+        << "eb=" << eb;
+  }
+}
+
+TEST(TthreshLike, LowRankDataCompressesVeryWell) {
+  const auto f = separable(Dims{48, 48, 48});
+  TTHRESHConfig cfg;
+  cfg.error_bound = 1e-3;
+  const auto arc = tthresh_compress(f.data(), f.dims(), cfg);
+  EXPECT_GT(static_cast<double>(f.size() * 4) / arc.size(), 8.0);
+}
+
+TEST(TthreshLike, LargeModeGuardSkipsDecorrelation) {
+  // One mode above the guard: the compressor must still roundtrip.
+  Field<float> f(Dims{600, 8, 8});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.01f * static_cast<float>(i));
+  TTHRESHConfig cfg;
+  cfg.error_bound = 1e-3;
+  cfg.max_mode_size = 256;
+  const auto dec =
+      tthresh_decompress<float>(tthresh_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
+}
+
+TEST(TthreshLike, Rank2) {
+  Field<float> f(Dims{64, 80});
+  for (std::size_t y = 0; y < 64; ++y)
+    for (std::size_t x = 0; x < 80; ++x)
+      f.at(y, x) = std::sin(0.1f * y) * std::cos(0.08f * x);
+  TTHRESHConfig cfg;
+  cfg.error_bound = 1e-4;
+  const auto dec =
+      tthresh_decompress<float>(tthresh_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
+}
+
+TEST(TthreshLike, DoubleRoundtrip) {
+  Field<double> f(Dims{24, 24, 24});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::cos(0.01 * static_cast<double>(i));
+  TTHRESHConfig cfg;
+  cfg.error_bound = 1e-5;
+  const auto dec =
+      tthresh_decompress<double>(tthresh_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-5 * (1 + 1e-9));
+}
+
+TEST(TthreshLike, RoughDataBounded) {
+  Field<float> f(Dims{20, 20, 20});
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<float> u(-1, 1);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = u(rng);
+  TTHRESHConfig cfg;
+  cfg.error_bound = 1e-2;
+  const auto dec =
+      tthresh_decompress<float>(tthresh_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-2 * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,116 @@
+// ZFP-like baseline tests: transform invertibility is exercised through
+// full roundtrips; bound enforcement; behavior on edge shapes.
+
+#include "compressors/zfp_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "util/stats.hpp"
+
+namespace qip {
+namespace {
+
+template <class T>
+Field<T> smooth(Dims dims, unsigned seed = 7) {
+  Field<T> f(dims);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> ph(0, 6.28);
+  const double p1 = ph(rng), p2 = ph(rng);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = static_cast<T>(std::sin(0.003 * i + p1) +
+                          0.5 * std::cos(0.0011 * i + p2));
+  return f;
+}
+
+TEST(ZfpLike, RoundtripRespectsErrorBound3D) {
+  const auto f = smooth<float>(Dims{36, 44, 52});
+  for (double eb : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    ZFPConfig cfg;
+    cfg.error_bound = eb;
+    const auto arc = zfp_compress(f.data(), f.dims(), cfg);
+    const auto dec = zfp_decompress<float>(arc);
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), eb * (1 + 1e-9))
+        << "eb=" << eb;
+  }
+}
+
+TEST(ZfpLike, NonMultipleOfFourExtents) {
+  for (Dims dims : {Dims{5, 6, 7}, Dims{4, 4, 5}, Dims{13, 1, 9},
+                    Dims{3, 3, 3}}) {
+    const auto f = smooth<float>(dims, 11);
+    ZFPConfig cfg;
+    cfg.error_bound = 1e-3;
+    const auto dec = zfp_decompress<float>(zfp_compress(f.data(), dims, cfg));
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9))
+        << dims.str();
+  }
+}
+
+TEST(ZfpLike, Rank1And2And4) {
+  for (Dims dims : {Dims{1000}, Dims{60, 90}, Dims{6, 8, 10, 12}}) {
+    const auto f = smooth<float>(dims, 13);
+    ZFPConfig cfg;
+    cfg.error_bound = 5e-4;
+    const auto dec = zfp_decompress<float>(zfp_compress(f.data(), dims, cfg));
+    EXPECT_LE(max_abs_error(f.span(), dec.span()), 5e-4 * (1 + 1e-9))
+        << dims.str();
+  }
+}
+
+TEST(ZfpLike, AllZeroBlocksAreOneBit) {
+  Field<float> f(Dims{64, 64, 64});  // all zeros
+  ZFPConfig cfg;
+  cfg.error_bound = 1e-4;
+  const auto arc = zfp_compress(f.data(), f.dims(), cfg);
+  // 4096 blocks, 1 bit each + framing: must be well under 4 KB.
+  EXPECT_LT(arc.size(), 4096u);
+  const auto dec = zfp_decompress<float>(arc);
+  for (std::size_t i = 0; i < dec.size(); ++i) ASSERT_EQ(dec[i], 0.f);
+}
+
+TEST(ZfpLike, MixedMagnitudeBlocks) {
+  // Exponent handling: adjacent blocks with wildly different scales.
+  Field<float> f(Dims{16, 16, 16});
+  for (std::size_t z = 0; z < 16; ++z)
+    for (std::size_t y = 0; y < 16; ++y)
+      for (std::size_t x = 0; x < 16; ++x)
+        f.at(z, y, x) = (x < 8 ? 1e-6f : 1e6f) *
+                        std::sin(0.3f * static_cast<float>(z + y + x));
+  ZFPConfig cfg;
+  cfg.error_bound = 1e-2;
+  const auto dec = zfp_decompress<float>(zfp_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-2 * (1 + 1e-9));
+}
+
+TEST(ZfpLike, DoubleRoundtripTightBound) {
+  const auto f = smooth<double>(Dims{24, 24, 24});
+  ZFPConfig cfg;
+  cfg.error_bound = 1e-9;
+  const auto dec = zfp_decompress<double>(zfp_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-9 * (1 + 1e-9));
+}
+
+TEST(ZfpLike, RandomNoiseBounded) {
+  Field<float> f(Dims{20, 24, 28});
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<float> u(-1, 1);
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = u(rng);
+  ZFPConfig cfg;
+  cfg.error_bound = 1e-3;
+  const auto dec = zfp_decompress<float>(zfp_compress(f.data(), f.dims(), cfg));
+  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
+}
+
+TEST(ZfpLike, SmoothDataCompresses) {
+  const auto f = smooth<float>(Dims{64, 64, 64});
+  ZFPConfig cfg;
+  cfg.error_bound = 1e-3;
+  const auto arc = zfp_compress(f.data(), f.dims(), cfg);
+  EXPECT_GT(static_cast<double>(f.size() * 4) / arc.size(), 3.0);
+}
+
+}  // namespace
+}  // namespace qip

@@ -1,0 +1,239 @@
+// qipc — command-line front end for the qip compression library.
+//
+//   qipc compress   -i data.raw --dims 100x500x500 -o data.qip
+//                   [-c SZ3|QoZ|HPEZ|MGARD|ZFP|TTHRESH|SPERR] [-e 1e-3]
+//                   [--rel] [--qp] [--double] [--chunked [--slab N]]
+//   qipc decompress -i data.qip -o recon.qfld [--raw recon.raw]
+//   qipc gen        -d miranda [-f 0] [--dims 256x384x384] -o field.qfld
+//   qipc eval       -a orig.qfld -b recon.qfld
+//   qipc info       -i data.qip
+//
+// Raw inputs are bare little-endian scalars (SDRBench layout) and need
+// --dims; .qfld files are self-describing.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "compressors/archive.hpp"
+#include "compressors/registry.hpp"
+#include "data/synthetic.hpp"
+#include "parallel/chunked.hpp"
+#include "util/field_io.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace qip;
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why) std::fprintf(stderr, "qipc: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  qipc compress   -i IN [--dims ZxYxX] -o OUT [-c COMP] [-e EB]\n"
+               "                  [--rel] [--qp] [--double] [--chunked] [--slab N]\n"
+               "  qipc decompress -i IN.qip -o OUT.qfld [--double] [--raw]\n"
+               "  qipc gen        -d DATASET [-f IDX] [--dims ZxYxX] [--seed S] -o OUT.qfld\n"
+               "  qipc eval       -a A.qfld -b B.qfld\n"
+               "  qipc info       -i IN.qip\n"
+               "compressors: MGARD SZ3 QoZ HPEZ ZFP TTHRESH SPERR\n"
+               "datasets: miranda hurricane segsalt scale s3d cesm rtm\n");
+  std::exit(2);
+}
+
+Dims parse_dims(const std::string& s) {
+  std::size_t e[kMaxRank] = {0, 0, 0, 0};
+  int rank = 0;
+  std::size_t pos = 0;
+  while (pos < s.size() && rank < kMaxRank) {
+    std::size_t next = s.find('x', pos);
+    if (next == std::string::npos) next = s.size();
+    e[rank++] = static_cast<std::size_t>(std::stoull(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  switch (rank) {
+    case 1: return Dims{e[0]};
+    case 2: return Dims{e[0], e[1]};
+    case 3: return Dims{e[0], e[1], e[2]};
+    case 4: return Dims{e[0], e[1], e[2], e[3]};
+    default: usage("bad --dims");
+  }
+}
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::string require(const std::string& k) const {
+    if (!has(k)) usage(("missing " + k).c_str());
+    return kv.at(k);
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("-", 0) != 0) usage(("unexpected argument " + key).c_str());
+    const bool flag = key == "--rel" || key == "--qp" || key == "--double" ||
+                      key == "--chunked" || key == "--raw";
+    if (flag) {
+      a.kv[key] = "1";
+    } else {
+      if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+      a.kv[key] = argv[++i];
+    }
+  }
+  return a;
+}
+
+template <class T>
+Field<T> load_input(const Args& a) {
+  const std::string in = a.require("-i");
+  if (in.size() > 5 && in.substr(in.size() - 5) == ".qfld")
+    return read_qfld<T>(in);
+  if (!a.has("--dims")) usage("raw input needs --dims");
+  return read_raw<T>(in, parse_dims(a.get("--dims")));
+}
+
+template <class T>
+int do_compress_t(const Args& a) {
+  const Field<T> f = load_input<T>(a);
+  const std::string comp = a.get("-c", "SZ3");
+  double eb = std::stod(a.get("-e", "1e-3"));
+  if (a.has("--rel"))
+    eb *= static_cast<double>(value_range(f.span()).width());
+
+  GenericOptions opt;
+  opt.error_bound = eb;
+  if (a.has("--qp")) opt.qp = QPConfig::best_fit();
+
+  Timer t;
+  std::vector<std::uint8_t> arc;
+  if (a.has("--chunked")) {
+    ChunkedOptions copt;
+    copt.compressor = comp;
+    copt.options = opt;
+    if (a.has("--slab"))
+      copt.slab = static_cast<std::size_t>(std::stoull(a.get("--slab")));
+    arc = chunked_compress(f.data(), f.dims(), copt);
+  } else {
+    const auto& e = find_compressor(comp);
+    if constexpr (std::is_same_v<T, float>)
+      arc = e.compress_f32(f.data(), f.dims(), opt);
+    else
+      arc = e.compress_f64(f.data(), f.dims(), opt);
+  }
+  const double sec = t.seconds();
+  write_bytes(a.require("-o"), arc);
+  std::printf("%s %s  %zu -> %zu bytes  (CR %.2f)  %.2f MB/s  abs eb %.3e\n",
+              comp.c_str(), f.dims().str().c_str(), f.size() * sizeof(T),
+              arc.size(),
+              static_cast<double>(f.size() * sizeof(T)) / arc.size(),
+              f.size() * sizeof(T) / sec / 1e6, eb);
+  return 0;
+}
+
+int do_compress(const Args& a) {
+  return a.has("--double") ? do_compress_t<double>(a) : do_compress_t<float>(a);
+}
+
+template <class T>
+int do_decompress_t(const Args& a) {
+  const auto arc = read_bytes(a.require("-i"));
+  Timer t;
+  Field<T> out = [&] {
+    // Chunked archives carry their own magic.
+    ByteReader r(arc);
+    if (r.get<std::uint32_t>() == 0x50504951u)
+      return chunked_decompress<T>(arc);
+    const CompressorEntry& e = find_compressor_for(arc);
+    if constexpr (std::is_same_v<T, float>)
+      return e.decompress_f32(arc);
+    else
+      return e.decompress_f64(arc);
+  }();
+  const double sec = t.seconds();
+  const std::string out_path = a.require("-o");
+  if (a.has("--raw"))
+    write_raw(out_path, out);
+  else
+    write_qfld(out_path, out);
+  std::printf("decompressed %s  %.2f MB/s -> %s\n", out.dims().str().c_str(),
+              out.size() * sizeof(T) / sec / 1e6, out_path.c_str());
+  return 0;
+}
+
+int do_gen(const Args& a) {
+  const std::string want = a.require("-d");
+  const DatasetSpec* spec = nullptr;
+  for (const auto& s : dataset_specs()) {
+    std::string n = s.name;
+    for (auto& ch : n) ch = static_cast<char>(std::tolower(ch));
+    if (n == want) spec = &s;
+  }
+  if (!spec) usage("unknown dataset");
+  const Dims dims =
+      a.has("--dims") ? parse_dims(a.get("--dims")) : spec->bench_dims;
+  const int field = std::stoi(a.get("-f", "0"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(std::stoull(a.get("--seed", "1")));
+  const Field<float> f = make_field(spec->id, field, dims, seed);
+  write_qfld(a.require("-o"), f);
+  std::printf("generated %s field %d at %s -> %s\n", spec->name, field,
+              dims.str().c_str(), a.require("-o").c_str());
+  return 0;
+}
+
+int do_eval(const Args& a) {
+  const Field<float> x = read_qfld<float>(a.require("-a"));
+  const Field<float> y = read_qfld<float>(a.require("-b"));
+  if (x.dims() != y.dims()) {
+    std::fprintf(stderr, "shape mismatch: %s vs %s\n", x.dims().str().c_str(),
+                 y.dims().str().c_str());
+    return 1;
+  }
+  std::printf("PSNR %.3f dB  max|err| %.6e  MSE %.6e\n", psnr(x.span(), y.span()),
+              max_abs_error(x.span(), y.span()), mse(x.span(), y.span()));
+  return 0;
+}
+
+int do_info(const Args& a) {
+  const auto arc = read_bytes(a.require("-i"));
+  ByteReader r(arc);
+  const std::uint32_t magic = r.get<std::uint32_t>();
+  if (magic == 0x50504951u) {
+    std::printf("chunked qip archive, %zu bytes\n", arc.size());
+    return 0;
+  }
+  const CompressorEntry& e = find_compressor_for(arc);
+  std::printf("qip archive: compressor=%s  %zu bytes\n", e.name.c_str(),
+              arc.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "compress") return do_compress(a);
+    if (cmd == "decompress")
+      return a.has("--double") ? do_decompress_t<double>(a)
+                               : do_decompress_t<float>(a);
+    if (cmd == "gen") return do_gen(a);
+    if (cmd == "eval") return do_eval(a);
+    if (cmd == "info") return do_info(a);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qipc: %s\n", e.what());
+    return 1;
+  }
+}
