@@ -55,7 +55,7 @@ int main() {
   cfg.error_bound = abs_eb(f, 1e-3);
   cfg.auto_fallback = false;
   SZ3Artifacts art;
-  sz3_compress(f.data(), f.dims(), cfg, &art);
+  (void)sz3_compress(f.data(), f.dims(), cfg, &art);
 
   header("Fig. 3: clustering regions of SZ3 quantization indices "
          "(SegSalt Pressure2000, " + dims.str() + ")");

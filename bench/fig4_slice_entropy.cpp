@@ -20,7 +20,7 @@ int main() {
   cfg.error_bound = abs_eb(f, 1e-3);
   cfg.auto_fallback = false;
   SZ3Artifacts art;
-  sz3_compress(f.data(), f.dims(), cfg, &art);
+  (void)sz3_compress(f.data(), f.dims(), cfg, &art);
 
   header("Fig. 4: entropy of quantization indices by slice (SZ3, SegSalt "
          "Pressure2000, stride 2)");

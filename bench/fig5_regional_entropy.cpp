@@ -47,24 +47,24 @@ int main() {
       c.qp = qpc;
       c.auto_fallback = false;
       SZ3Artifacts a;
-      sz3_compress(f.data(), dims, c, &a);
+      (void)sz3_compress(f.data(), dims, c, &a);
       arts.codes = std::move(a.codes);
       arts.symbols_spatial = std::move(a.symbols_spatial);
     } else if (name == "QoZ") {
       QoZConfig c;
       c.error_bound = eb;
       c.qp = qpc;
-      qoz_compress(f.data(), dims, c, &arts);
+      (void)qoz_compress(f.data(), dims, c, &arts);
     } else if (name == "HPEZ") {
       HPEZConfig c;
       c.error_bound = eb;
       c.qp = qpc;
-      hpez_compress(f.data(), dims, c, &arts);
+      (void)hpez_compress(f.data(), dims, c, &arts);
     } else {
       MGARDConfig c;
       c.error_bound = eb;
       c.qp = qpc;
-      mgard_compress(f.data(), dims, c, &arts);
+      (void)mgard_compress(f.data(), dims, c, &arts);
     }
     return arts;
   };

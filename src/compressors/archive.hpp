@@ -8,13 +8,14 @@
 // Huffman-then-ZSTD pipeline of the original implementations.
 
 #include <cstdint>
+#include <limits>
 #include <span>
-#include <stdexcept>
 #include <vector>
 
 #include "lossless/lzb.hpp"
 #include "util/bytes.hpp"
 #include "util/dims.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -39,10 +40,12 @@ constexpr std::uint8_t dtype_tag<float>() { return 1; }
 template <>
 constexpr std::uint8_t dtype_tag<double>() { return 2; }
 
+/// Bytes of outer framing before the LZB block: magic(4) + id(1) + dtype(1).
+inline constexpr std::size_t kArchiveHeaderBytes = 6;
+
 /// Wrap an inner payload into the outer framing (applies LZB).
-inline std::vector<std::uint8_t> seal_archive(CompressorId id,
-                                              std::uint8_t dtype,
-                                              std::span<const std::uint8_t> inner) {
+[[nodiscard]] inline std::vector<std::uint8_t> seal_archive(
+    CompressorId id, std::uint8_t dtype, std::span<const std::uint8_t> inner) {
   ByteWriter w;
   w.put(kArchiveMagic);
   w.put(static_cast<std::uint8_t>(id));
@@ -53,24 +56,33 @@ inline std::vector<std::uint8_t> seal_archive(CompressorId id,
 }
 
 /// Validate the outer framing and return the decompressed inner payload.
-inline std::vector<std::uint8_t> open_archive(std::span<const std::uint8_t> bytes,
-                                              CompressorId expect_id,
-                                              std::uint8_t expect_dtype) {
+/// The whole header (magic, id, dtype) is length-checked against the
+/// buffer before any field is read; `max_inner` bounds how large an inner
+/// payload a hostile length header may make us materialize.
+[[nodiscard]] inline std::vector<std::uint8_t> open_archive(
+    std::span<const std::uint8_t> bytes, CompressorId expect_id,
+    std::uint8_t expect_dtype,
+    std::uint64_t max_inner = std::numeric_limits<std::uint64_t>::max()) {
+  if (bytes.size() < kArchiveHeaderBytes)
+    throw DecodeError("archive shorter than header");
   ByteReader r(bytes);
   if (r.get<std::uint32_t>() != kArchiveMagic)
-    throw std::runtime_error("qip: bad archive magic");
+    throw DecodeError("bad archive magic");
   const auto id = static_cast<CompressorId>(r.get<std::uint8_t>());
-  if (id != expect_id) throw std::runtime_error("qip: archive compressor mismatch");
+  if (id != expect_id) throw DecodeError("archive compressor mismatch");
   const std::uint8_t dt = r.get<std::uint8_t>();
-  if (dt != expect_dtype) throw std::runtime_error("qip: archive dtype mismatch");
-  return lzb_decompress(r.get_bytes(r.remaining()));
+  if (dt != expect_dtype) throw DecodeError("archive dtype mismatch");
+  return lzb_decompress(r.get_bytes(r.remaining()), max_inner);
 }
 
 /// Peek at an archive's compressor id without decoding it.
-inline CompressorId archive_compressor(std::span<const std::uint8_t> bytes) {
+[[nodiscard]] inline CompressorId archive_compressor(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kArchiveHeaderBytes)
+    throw DecodeError("archive shorter than header");
   ByteReader r(bytes);
   if (r.get<std::uint32_t>() != kArchiveMagic)
-    throw std::runtime_error("qip: bad archive magic");
+    throw DecodeError("bad archive magic");
   return static_cast<CompressorId>(r.get<std::uint8_t>());
 }
 
@@ -80,11 +92,21 @@ inline void write_dims(ByteWriter& w, const Dims& dims) {
 }
 
 inline Dims read_dims(ByteReader& r) {
-  const int rank = static_cast<int>(r.get_varint());
-  if (rank < 1 || rank > kMaxRank)
-    throw std::runtime_error("qip: bad rank in archive");
+  const std::uint64_t raw_rank = r.get_varint();
+  if (raw_rank < 1 || raw_rank > static_cast<std::uint64_t>(kMaxRank))
+    throw DecodeError("bad rank in archive");
+  const int rank = static_cast<int>(raw_rank);
   std::size_t e[kMaxRank] = {1, 1, 1, 1};
-  for (int a = 0; a < rank; ++a) e[a] = static_cast<std::size_t>(r.get_varint());
+  std::size_t total = 1;
+  for (int a = 0; a < rank; ++a) {
+    e[a] = static_cast<std::size_t>(r.get_varint());
+    if (e[a] == 0) throw DecodeError("zero extent in archive");
+    // Element count must stay representable; a product that wraps size_t
+    // would defeat every downstream buffer-size check.
+    if (e[a] > std::numeric_limits<std::size_t>::max() / total)
+      throw DecodeError("extent product overflow in archive");
+    total *= e[a];
+  }
   switch (rank) {
     case 1: return Dims{e[0]};
     case 2: return Dims{e[0], e[1]};

@@ -33,12 +33,12 @@ struct HPEZConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
                                         const HPEZConfig& cfg,
                                         IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-Field<T> hpez_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> hpez_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> hpez_compress<float>(
     const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);

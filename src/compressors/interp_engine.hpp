@@ -53,7 +53,7 @@ class InterpEngine {
   };
 
   /// Compress `data` in place (it holds the reconstruction afterwards).
-  static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
+  [[nodiscard]] static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
                              double base_eb, LinearQuantizer<T>& quant,
                              const QPConfig& qp, bool keep_codes = false) {
     EncodeResult res;
@@ -120,7 +120,7 @@ class InterpEngine {
   /// Build the sequential-order stage for position k of `order`.
   static StageCtx make_seq_stage(const Dims& dims, std::size_t stride,
                                  const LevelPlan& lp, int k, int level) {
-    int order[kMaxRank];
+    int order[kMaxRank] = {0, 1, 2, 3};
     for (int a = 0; a < dims.rank(); ++a) order[a] = lp.order[a];
     StageCtx ctx;
     ctx.g = make_stage_grid(dims, stride,

@@ -39,12 +39,12 @@ struct MGARDConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
                                          const MGARDConfig& cfg,
                                          IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-Field<T> mgard_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> mgard_decompress(std::span<const std::uint8_t> archive);
 
 /// Resolution reduction -- the capability that distinguishes MGARD in the
 /// paper's Table I. Decodes only interpolation levels > `skip_levels`
@@ -54,7 +54,7 @@ Field<T> mgard_decompress(std::span<const std::uint8_t> archive);
 /// that the full-resolution correction pass is skipped, so the strict
 /// pointwise bound only applies to the skip_levels == 0 full decode.
 template <class T>
-Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
+[[nodiscard]] Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
                                   int skip_levels);
 
 extern template Field<float> mgard_decompress_reduced<float>(

@@ -33,12 +33,12 @@ struct QoZConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
                                        const QoZConfig& cfg,
                                        IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-Field<T> qoz_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> qoz_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> qoz_compress<float>(
     const float*, const Dims&, const QoZConfig&, IndexArtifacts*);

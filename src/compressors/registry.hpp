@@ -42,16 +42,16 @@ struct CompressorEntry {
 
 /// All compressors, in the paper's Table IV order:
 /// MGARD, SZ3, QoZ, HPEZ, ZFP, TTHRESH, SPERR.
-const std::vector<CompressorEntry>& compressor_registry();
+[[nodiscard]] const std::vector<CompressorEntry>& compressor_registry();
 
 /// Lookup by name; throws std::runtime_error if unknown.
-const CompressorEntry& find_compressor(std::string_view name);
+[[nodiscard]] const CompressorEntry& find_compressor(std::string_view name);
 
 /// Lookup by the id an archive carries (archive_compressor()); throws
 /// std::runtime_error if unknown.
-const CompressorEntry& find_compressor_for(std::span<const std::uint8_t> archive);
+[[nodiscard]] const CompressorEntry& find_compressor_for(std::span<const std::uint8_t> archive);
 
 /// The four interpolation-based compressors the paper integrates QP into.
-std::vector<const CompressorEntry*> qp_base_compressors();
+[[nodiscard]] std::vector<const CompressorEntry*> qp_base_compressors();
 
 }  // namespace qip

@@ -32,11 +32,11 @@ struct SPERRConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> sperr_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> sperr_compress(const T* data, const Dims& dims,
                                          const SPERRConfig& cfg);
 
 template <class T>
-Field<T> sperr_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> sperr_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> sperr_compress<float>(
     const float*, const Dims&, const SPERRConfig&);

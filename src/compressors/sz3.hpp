@@ -42,12 +42,12 @@ struct SZ3Artifacts {
 };
 
 template <class T>
-std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
                                        const SZ3Config& cfg,
                                        SZ3Artifacts* artifacts = nullptr);
 
 template <class T>
-Field<T> sz3_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> sz3_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> sz3_compress<float>(
     const float*, const Dims&, const SZ3Config&, SZ3Artifacts*);

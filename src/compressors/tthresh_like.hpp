@@ -28,11 +28,11 @@ struct TTHRESHConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> tthresh_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> tthresh_compress(const T* data, const Dims& dims,
                                            const TTHRESHConfig& cfg);
 
 template <class T>
-Field<T> tthresh_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> tthresh_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> tthresh_compress<float>(
     const float*, const Dims&, const TTHRESHConfig&);

@@ -30,11 +30,11 @@ struct ZFPConfig {
 };
 
 template <class T>
-std::vector<std::uint8_t> zfp_compress(const T* data, const Dims& dims,
+[[nodiscard]] std::vector<std::uint8_t> zfp_compress(const T* data, const Dims& dims,
                                        const ZFPConfig& cfg);
 
 template <class T>
-Field<T> zfp_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> zfp_decompress(std::span<const std::uint8_t> archive);
 
 extern template std::vector<std::uint8_t> zfp_compress<float>(
     const float*, const Dims&, const ZFPConfig&);

@@ -193,7 +193,7 @@ inline std::int64_t qp_compensation(const std::uint32_t* codes,
 /// encode zigzag(q - c) + 1. With c == 0 this is frequency-equivalent to
 /// SZ3's shifted-code alphabet, so disabling QP reproduces the base
 /// compressor exactly.
-inline std::uint32_t qp_encode_symbol(std::uint32_t code, std::int64_t c,
+[[nodiscard]] inline std::uint32_t qp_encode_symbol(std::uint32_t code, std::int64_t c,
                                       std::int32_t radius) {
   if (code == kUnpredictableCode) return 0;
   const std::int64_t q = detail::signed_q(code, radius);
@@ -205,7 +205,7 @@ inline std::uint32_t qp_encode_symbol(std::uint32_t code, std::int64_t c,
 
 /// Inverse of qp_encode_symbol(): recover the stored code from the symbol
 /// and the (decoder-recomputed) compensation.
-inline std::uint32_t qp_decode_symbol(std::uint32_t symbol, std::int64_t c,
+[[nodiscard]] inline std::uint32_t qp_decode_symbol(std::uint32_t symbol, std::int64_t c,
                                       std::int32_t radius) {
   if (symbol == 0) return kUnpredictableCode;
   const std::uint64_t zz = symbol - 1;

@@ -7,8 +7,9 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -69,13 +70,15 @@ class BitWriter {
 
 /// Reads bits MSB-first from a byte span. Reading past the end yields
 /// zero bits (the embedded coders rely on this for truncated streams);
-/// callers that need strict bounds can check bit_position().
+/// callers decoding untrusted input use require()/overrun() to turn
+/// past-the-end reads into a DecodeError instead of silent zeros.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   /// Read `nbits` (0..64) bits; the first bit read is the MSB of the result.
-  std::uint64_t read(int nbits) {
+  [[nodiscard]] std::uint64_t read(int nbits) {
+    if (nbits < 0 || nbits > 64) throw DecodeError("bitreader: bad read width");
     std::uint64_t v = 0;
     int left = nbits;
     // Byte-batched fast path once aligned; bit-by-bit at the edges.
@@ -111,7 +114,8 @@ class BitReader {
   /// Look at the next `nbits` (<= 16) without consuming them; bits past
   /// the end of the stream read as zero. Pairs with skip() for
   /// table-driven decoders.
-  std::uint32_t peek(int nbits) const {
+  [[nodiscard]] std::uint32_t peek(int nbits) const {
+    if (nbits < 0 || nbits > 16) throw DecodeError("bitreader: bad peek width");
     const std::size_t byte = pos_ >> 3;
     const int bitoff = static_cast<int>(pos_ & 7);
     std::uint32_t window = 0;
@@ -123,10 +127,25 @@ class BitReader {
     return (window >> (24 - bitoff - nbits)) & ((1u << nbits) - 1);
   }
 
-  void skip(int nbits) { pos_ += static_cast<std::size_t>(nbits); }
+  void skip(int nbits) {
+    assert(nbits >= 0);
+    pos_ += static_cast<std::size_t>(nbits);
+  }
 
   std::size_t bit_position() const { return pos_; }
+  std::size_t bit_size() const { return data_.size() * 8; }
   bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+  /// True once any read/skip has consumed bits past the end of the stream
+  /// (such bits were produced as zero fill, not stream data).
+  bool overrun() const { return pos_ > data_.size() * 8; }
+
+  /// Strict-bounds variant for untrusted input: fail unless `nbits` more
+  /// bits of real stream data are available at the cursor.
+  void require(std::size_t nbits) const {
+    if (nbits > data_.size() * 8 - std::min(pos_, data_.size() * 8))
+      throw DecodeError("bitreader: truncated stream");
+  }
 
  private:
   std::span<const std::uint8_t> data_;

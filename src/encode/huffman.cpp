@@ -4,11 +4,11 @@
 #include <array>
 #include <cassert>
 #include <deque>
-#include <stdexcept>
 #include <unordered_map>
 
 #include "encode/bitstream.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 namespace {
@@ -191,13 +191,33 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
   if (n == 0) return {};
 
   const std::uint64_t distinct = in.get_varint();
-  if (distinct == 0) throw std::runtime_error("qip: huffman header empty");
+  if (distinct == 0) throw DecodeError("huffman header empty");
+  // Each distinct symbol appears at least once in the stream and costs at
+  // least two header bytes, so both bounds below hold for any archive we
+  // produced; violating either means the header is hostile, and checking
+  // first keeps the table allocation proportional to the input size.
+  if (distinct > n) throw DecodeError("huffman: more symbols than stream");
+  if (distinct > in.remaining() / 2)
+    throw DecodeError("huffman: symbol table exceeds buffer");
   std::vector<SymbolInfo> syms(distinct);
   for (auto& s : syms) {
-    s.symbol = static_cast<std::uint32_t>(in.get_varint());
+    const std::uint64_t sym = in.get_varint();
+    if (sym > 0xFFFFFFFFull) throw DecodeError("huffman: symbol overflow");
+    s.symbol = static_cast<std::uint32_t>(sym);
     s.length = static_cast<int>(in.get_varint());
     if (s.length <= 0 || s.length > CanonicalTable::kMaxLen)
-      throw std::runtime_error("qip: huffman bad code length");
+      throw DecodeError("huffman bad code length");
+  }
+  // Kraft–McMillan check: sum(2^-len) must not exceed 1. Over-subscribed
+  // length sets make canonical codes wider than their nominal length,
+  // which would otherwise index out of bounds when filling the fast table.
+  {
+    unsigned __int128 kraft = 0;
+    for (const auto& s : syms)
+      kraft += static_cast<unsigned __int128>(1)
+               << (CanonicalTable::kMaxLen - s.length);
+    if (kraft > static_cast<unsigned __int128>(1) << CanonicalTable::kMaxLen)
+      throw DecodeError("huffman: over-subscribed code lengths");
   }
   // Re-derive canonical codes from lengths (header is in canonical order,
   // but re-sort defensively).
@@ -205,6 +225,10 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
   const CanonicalTable table = build_table(syms);
 
   auto payload = in.get_block();
+  // Every symbol costs at least one payload bit; rejecting impossible
+  // counts up front bounds the output allocation by the input size.
+  if (n > payload.size() * 8)
+    throw DecodeError("huffman: symbol count exceeds payload");
   BitReader br(payload);
   std::vector<std::uint32_t> out;
   out.reserve(static_cast<std::size_t>(n));
@@ -229,8 +253,7 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
     for (;;) {
       code = (code << 1) | static_cast<std::uint64_t>(br.read_bit());
       ++len;
-      if (len > table.max_len)
-        throw std::runtime_error("qip: huffman bad code stream");
+      if (len > table.max_len) throw DecodeError("huffman bad code stream");
       if (table.count[len] != 0 && code >= table.first_code[len] &&
           code - table.first_code[len] < table.count[len]) {
         out.push_back(
@@ -239,6 +262,9 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
       }
     }
   }
+  // Codes resolved from past-the-end zero fill mean the stream was cut
+  // short of the promised symbol count.
+  if (br.overrun()) throw DecodeError("huffman: truncated code stream");
   return out;
 }
 

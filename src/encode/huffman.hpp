@@ -19,11 +19,14 @@ namespace qip {
 /// Layout: varint symbol-count table (distinct symbols + code lengths),
 /// varint payload symbol count, then the MSB-first code stream. Empty
 /// input encodes to a short valid buffer.
-std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols);
+[[nodiscard]] std::vector<std::uint8_t> huffman_encode(
+    std::span<const std::uint32_t> symbols);
 
-/// Decode a buffer produced by huffman_encode(). Throws std::runtime_error
-/// on malformed input.
-std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes);
+/// Decode a buffer produced by huffman_encode(). Throws DecodeError on
+/// malformed input (bad lengths, over-subscribed code sets, truncated or
+/// impossible payloads); never reads out of bounds.
+[[nodiscard]] std::vector<std::uint32_t> huffman_decode(
+    std::span<const std::uint8_t> bytes);
 
 /// Exact size in bits of the code stream huffman_encode() would emit,
 /// without encoding. Used by auto-tuners to cost candidate configurations.

@@ -22,7 +22,7 @@ namespace qip {
 /// Encode a symbol stream as Huffman(run-lengths) + Huffman(values):
 /// the stream is parsed as alternating [run of zeros][one nonzero], with
 /// run length 0 allowed (adjacent nonzeros) and a final zero run.
-inline std::vector<std::uint8_t> rle_encode_symbols(
+[[nodiscard]] inline std::vector<std::uint8_t> rle_encode_symbols(
     std::span<const std::uint32_t> symbols) {
   std::vector<std::uint32_t> runs;
   std::vector<std::uint32_t> values;
@@ -45,7 +45,7 @@ inline std::vector<std::uint8_t> rle_encode_symbols(
 }
 
 /// Inverse of rle_encode_symbols().
-inline std::vector<std::uint32_t> rle_decode_symbols(
+[[nodiscard]] inline std::vector<std::uint32_t> rle_decode_symbols(
     std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   const std::size_t total = static_cast<std::size_t>(r.get_varint());

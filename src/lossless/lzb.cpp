@@ -1,10 +1,11 @@
 #include "lossless/lzb.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
-#include <stdexcept>
 
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 namespace {
@@ -139,36 +140,41 @@ std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input) {
   return out.take();
 }
 
-std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input) {
+std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input,
+                                         std::uint64_t max_output) {
   ByteReader in(input);
   const std::uint64_t raw_size = in.get_varint();
+  if (raw_size > max_output) throw DecodeError("lzb output exceeds limit");
   std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(raw_size));
+  // A hostile header can claim any size; cap the speculative reservation
+  // so the real allocation grows only as decoded sequences justify it.
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(raw_size, std::max<std::uint64_t>(
+                                            input.size() * 4, 1u << 16))));
 
   while (out.size() < raw_size) {
+    // All length checks are written as `len > raw_size - out.size()` so
+    // hostile 64-bit lengths cannot wrap the comparison.
     const std::uint64_t lit_len = in.get_varint();
-    if (out.size() + lit_len > raw_size)
-      throw std::runtime_error("qip: lzb literal overrun");
+    if (lit_len > raw_size - out.size())
+      throw DecodeError("lzb literal overrun");
     const auto lits = in.get_bytes(static_cast<std::size_t>(lit_len));
     out.insert(out.end(), lits.begin(), lits.end());
 
     const std::uint64_t match_len = in.get_varint();
     if (match_len == 0) {
-      if (out.size() != raw_size)
-        throw std::runtime_error("qip: lzb premature terminator");
+      if (out.size() != raw_size) throw DecodeError("lzb premature terminator");
       break;
     }
     const std::uint64_t offset = in.get_varint();
-    if (offset == 0 || offset > out.size())
-      throw std::runtime_error("qip: lzb bad offset");
-    if (out.size() + match_len > raw_size)
-      throw std::runtime_error("qip: lzb match overrun");
+    if (offset == 0 || offset > out.size()) throw DecodeError("lzb bad offset");
+    if (match_len > raw_size - out.size())
+      throw DecodeError("lzb match overrun");
     // Overlapping copies are the point (run-length shapes), so copy bytewise.
     std::size_t src = out.size() - static_cast<std::size_t>(offset);
     for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src++]);
   }
-  if (out.size() != raw_size)
-    throw std::runtime_error("qip: lzb size mismatch");
+  if (out.size() != raw_size) throw DecodeError("lzb size mismatch");
   return out;
 }
 

@@ -12,6 +12,7 @@
 // paper's quantization-index-prediction gains are measured against.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -19,10 +20,15 @@ namespace qip {
 
 /// Compress `input` into a self-describing buffer. Never fails; highly
 /// incompressible input grows by a few bytes of framing at most per 64 KiB.
-std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input);
+[[nodiscard]] std::vector<std::uint8_t> lzb_compress(
+    std::span<const std::uint8_t> input);
 
-/// Decompress a buffer produced by lzb_compress(). Throws
-/// std::runtime_error on malformed input.
-std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input);
+/// Decompress a buffer produced by lzb_compress(). Throws DecodeError on
+/// malformed input, or when the stream's declared output size exceeds
+/// `max_output` — callers handling untrusted archives pass the largest
+/// payload they are willing to materialize to defuse decompression bombs.
+[[nodiscard]] std::vector<std::uint8_t> lzb_decompress(
+    std::span<const std::uint8_t> input,
+    std::uint64_t max_output = std::numeric_limits<std::uint64_t>::max());
 
 }  // namespace qip

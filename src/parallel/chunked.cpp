@@ -6,6 +6,7 @@
 
 #include "compressors/archive.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qip {
@@ -75,8 +76,7 @@ std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
   w.put_varint(nchunks);
   // Name length-prefixed so future compressors with longer names fit.
   w.put_varint(opt.compressor.size());
-  w.put_bytes({reinterpret_cast<const std::uint8_t*>(opt.compressor.data()),
-               opt.compressor.size()});
+  for (char c : opt.compressor) w.put(static_cast<std::uint8_t>(c));
   for (const auto& p : parts) w.put_block(p);
   return w.take();
 }
@@ -84,15 +84,24 @@ std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
 template <class T>
 Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
                             unsigned workers) {
+  if (archive.size() < 5) throw DecodeError("chunked archive too short");
   ByteReader r(archive);
   if (r.get<std::uint32_t>() != kChunkMagic)
-    throw std::runtime_error("qip: not a chunked archive");
+    throw DecodeError("not a chunked archive");
   if (r.get<std::uint8_t>() != dtype_tag<T>())
-    throw std::runtime_error("qip: chunked archive dtype mismatch");
+    throw DecodeError("chunked archive dtype mismatch");
   const Dims dims = read_dims(r);
   const std::size_t slab = static_cast<std::size_t>(r.get_varint());
   const std::size_t nchunks = static_cast<std::size_t>(r.get_varint());
+  // The chunk geometry must be internally consistent before any slab is
+  // decoded: every chunk spans `slab` leading planes except a short tail.
+  if (slab == 0 || slab > dims.extent(0))
+    throw DecodeError("chunked archive bad slab size");
+  if (nchunks != (dims.extent(0) + slab - 1) / slab)
+    throw DecodeError("chunked archive chunk count mismatch");
   const std::size_t name_len = static_cast<std::size_t>(r.get_varint());
+  if (name_len > r.remaining())
+    throw DecodeError("chunked archive name overruns buffer");
   const auto name_bytes = r.get_bytes(name_len);
   const std::string name(name_bytes.begin(), name_bytes.end());
   const CompressorEntry& comp = find_compressor(name);
@@ -109,7 +118,7 @@ Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
     const std::size_t thick = std::min(slab, dims.extent(0) - z0);
     const Field<T> dec = decompress_fn<T>(comp)(parts[c]);
     if (dec.dims() != slab_dims(dims, thick))
-      throw std::runtime_error("qip: chunk shape mismatch");
+      throw DecodeError("chunk shape mismatch");
     std::copy(dec.data(), dec.data() + dec.size(), out.data() + z0 * plane);
   });
   return out;

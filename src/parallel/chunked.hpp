@@ -32,12 +32,14 @@ struct ChunkedOptions {
 };
 
 template <class T>
-std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
-                                           const ChunkedOptions& opt);
+[[nodiscard]] std::vector<std::uint8_t> chunked_compress(
+    const T* data, const Dims& dims, const ChunkedOptions& opt);
 
+/// Throws DecodeError on malformed archives (bad magic/dtype, inconsistent
+/// chunk geometry, truncated blocks).
 template <class T>
-Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
-                            unsigned workers = 0);
+[[nodiscard]] Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
+                                          unsigned workers = 0);
 
 extern template std::vector<std::uint8_t> chunked_compress<float>(
     const float*, const Dims&, const ChunkedOptions&);

@@ -43,8 +43,9 @@ struct StageGrid {
 
 /// Build the stage grid for the `k`-th axis of `order` at level stride
 /// `stride` (s = 2^(level-1)).
-inline StageGrid make_stage_grid(const Dims& dims, std::size_t stride,
-                                 std::span<const int> order, int k, int level) {
+inline StageGrid make_stage_grid([[maybe_unused]] const Dims& dims,
+                                 std::size_t stride, std::span<const int> order,
+                                 int k, int level) {
   StageGrid g;
   g.stride = stride;
   g.dim = order[k];

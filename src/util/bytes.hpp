@@ -8,10 +8,11 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -60,7 +61,7 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Cursor-based reader over a byte span. Throws std::runtime_error on
+/// Cursor-based reader over a byte span. Throws DecodeError on
 /// truncation so that corrupted archives fail loudly instead of reading
 /// out of bounds.
 class ByteReader {
@@ -68,7 +69,7 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   template <class T>
-  T get() {
+  [[nodiscard]] T get() {
     static_assert(std::is_trivially_copyable_v<T>);
     need(sizeof(T));
     T v;
@@ -77,7 +78,7 @@ class ByteReader {
     return v;
   }
 
-  std::uint64_t get_varint() {
+  [[nodiscard]] std::uint64_t get_varint() {
     std::uint64_t v = 0;
     int shift = 0;
     for (;;) {
@@ -86,17 +87,17 @@ class ByteReader {
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
       if (!(b & 0x80)) return v;
       shift += 7;
-      if (shift > 63) throw std::runtime_error("qip: varint overflow");
+      if (shift > 63) throw DecodeError("varint overflow");
     }
   }
 
-  std::int64_t get_svarint() {
+  [[nodiscard]] std::int64_t get_svarint() {
     const std::uint64_t u = get_varint();
     return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
   }
 
   /// View over the next `n` raw bytes (no copy).
-  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n) {
     need(n);
     auto out = data_.subspan(pos_, n);
     pos_ += n;
@@ -104,8 +105,11 @@ class ByteReader {
   }
 
   /// View over a length-prefixed block written by put_block().
-  std::span<const std::uint8_t> get_block() {
+  [[nodiscard]] std::span<const std::uint8_t> get_block() {
     const std::uint64_t n = get_varint();
+    // A block can never be longer than the bytes that remain; checking the
+    // 64-bit count here keeps the size_t narrowing below lossless.
+    if (n > remaining()) throw DecodeError("block length exceeds buffer");
     return get_bytes(static_cast<std::size_t>(n));
   }
 
@@ -114,10 +118,10 @@ class ByteReader {
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size())
-      throw std::runtime_error("qip: truncated archive (need " +
-                               std::to_string(n) + " bytes at offset " +
-                               std::to_string(pos_) + ")");
+    // Overflow-safe form of `pos_ + n > size`: pos_ <= size always holds.
+    if (n > data_.size() - pos_)
+      throw DecodeError("truncated archive (need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_) + ")");
   }
 
   std::span<const std::uint8_t> data_;

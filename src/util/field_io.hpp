@@ -115,7 +115,9 @@ Field<T> read_qfld(const std::string& path) {
 inline void write_bytes(const std::string& path,
                         std::span<const std::uint8_t> bytes) {
   auto f = detail::open_file(path, "wb");
-  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
+  // fwrite with a null data() (empty span) is UB even for size 0.
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
     throw std::runtime_error("qip: short write to " + path);
 }
 

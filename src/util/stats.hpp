@@ -94,10 +94,10 @@ struct CompressionStats {
   double decompress_seconds = 0.0;
 
   /// Throughput helpers in MB/s over the *original* data size.
-  double compress_mbps(std::size_t original_bytes) const {
+  [[nodiscard]] double compress_mbps(std::size_t original_bytes) const {
     return original_bytes / compress_seconds / 1e6;
   }
-  double decompress_mbps(std::size_t original_bytes) const {
+  [[nodiscard]] double decompress_mbps(std::size_t original_bytes) const {
     return original_bytes / decompress_seconds / 1e6;
   }
 };

@@ -1,0 +1,31 @@
+#pragma once
+
+// Error taxonomy for the decode paths.
+//
+// Every decoder in the library (bitstream, Huffman, LZB, archive framing,
+// chunked container) must turn malformed input into a DecodeError instead
+// of undefined behavior: untrusted archives are a first-class input, and
+// the fuzz harness under tests/fuzz/ asserts that any byte sequence either
+// decodes cleanly or raises exactly this type. Encoder-side logic errors
+// (bad arguments from our own code) stay plain std::runtime_error /
+// assertions; DecodeError means "the *bytes* are bad", which callers may
+// want to handle differently (reject the upload, skip the chunk) from
+// programming errors.
+
+#include <stdexcept>
+#include <string>
+
+namespace qip {
+
+/// Raised by every decode path on malformed, truncated, or hostile input.
+///
+/// Derives from std::runtime_error so pre-existing call sites that catch
+/// the base type keep working; new code should catch DecodeError to
+/// distinguish bad input from internal bugs.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what)
+      : std::runtime_error("qip: " + what) {}
+};
+
+}  // namespace qip

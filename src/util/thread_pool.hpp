@@ -5,8 +5,10 @@
 // mutex-protected FIFO is more than enough for slice-granular tasks whose
 // bodies run for milliseconds.
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -55,13 +57,40 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  ///
+  /// Indices are dispatched as ceil(n/threads)-sized contiguous blocks —
+  /// one task (and one heap-allocated packaged_task + future) per block
+  /// rather than per index, so slice-granular callers with large n stop
+  /// paying O(n) allocation and queue-lock traffic. If any invocation
+  /// throws, the first exception is rethrown here, but only after every
+  /// block has finished: `fn` and the caller's captures must stay alive
+  /// until no worker can still touch them.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-    std::vector<std::future<void>> futs;
-    futs.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      futs.push_back(submit([&fn, i] { fn(i); }));
+    if (n == 0) return;
+    const std::size_t block = (n + workers_.size() - 1) / workers_.size();
+    if (n <= block) {  // single block: run inline, skip the queue entirely
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
     }
-    for (auto& f : futs) f.get();
+    const std::size_t nblocks = (n + block - 1) / block;
+    std::vector<std::future<void>> futs;
+    futs.reserve(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(n, lo + block);
+      futs.push_back(submit([&fn, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    std::exception_ptr first;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
   }
 
  private:

@@ -1,0 +1,50 @@
+// Fuzz target: outer archive framing + dims headers on arbitrary bytes.
+//
+// Contract under test: open_archive()/archive_compressor()/read_dims()
+// either succeed or throw DecodeError. The inner-payload cap bounds what a
+// hostile LZB length header can make us allocate; read_dims() must reject
+// zero extents and element counts that would overflow size_t.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "compressors/archive.hpp"
+#include "util/status.hpp"
+
+namespace {
+constexpr std::uint64_t kMaxInner = 1u << 22;  // 4 MiB payload cap
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  try {
+    (void)qip::archive_compressor(bytes);
+  } catch (const qip::DecodeError&) {
+  }
+
+  // Drive the full open path against every registered id/dtype combo the
+  // first input byte selects, so mismatch branches are exercised too.
+  const auto id = static_cast<qip::CompressorId>(size ? data[0] % 8 : 1);
+  const std::uint8_t dtype = size ? 1 + (data[0] >> 7) : 1;
+  try {
+    const auto inner =
+        qip::open_archive(bytes, id, dtype, kMaxInner);
+    // A successfully opened archive must re-seal/re-open to the same
+    // payload.
+    const auto resealed = qip::seal_archive(id, dtype, inner);
+    if (qip::open_archive(resealed, id, dtype, kMaxInner) != inner)
+      __builtin_trap();
+  } catch (const qip::DecodeError&) {
+  }
+
+  // Dims header parser over the raw tail.
+  try {
+    qip::ByteReader r(bytes);
+    (void)qip::read_dims(r);
+  } catch (const qip::DecodeError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fuzz target: BitReader/BitWriter on an input-driven operation tape.
+//
+// The input bytes are split in two: the first half is a stream the
+// BitReader reads from, the second half is a "tape" of (op, arg) pairs
+// driving a random walk over the reader API. Invariants checked:
+//   * no operation reads out of the underlying span (ASan would flag it),
+//   * peek() never advances the cursor,
+//   * bit_position() is monotone under read/skip,
+//   * require() throws exactly when fewer real bits remain,
+//   * a BitWriter->BitReader roundtrip of the tape-selected values is
+//     the identity.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encode/bitstream.hpp"
+#include "util/status.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::size_t half = size / 2;
+  const std::span<const std::uint8_t> stream(data, half);
+  const std::span<const std::uint8_t> tape(data + half, size - half);
+
+  qip::BitReader br(stream);
+  const std::size_t total_bits = br.bit_size();
+  for (std::size_t i = 0; i + 1 < tape.size(); i += 2) {
+    const int op = tape[i] & 3;
+    const int arg = tape[i + 1];
+    const std::size_t before = br.bit_position();
+    switch (op) {
+      case 0: {
+        const int nb = arg % 65;
+        const std::uint64_t v = br.read(nb);
+        if (nb < 64 && (v >> nb) != 0) __builtin_trap();  // no stray high bits
+        if (br.bit_position() != before + static_cast<std::size_t>(nb))
+          __builtin_trap();
+        break;
+      }
+      case 1: {
+        const int b = br.read_bit();
+        if (b != 0 && b != 1) __builtin_trap();
+        if (br.bit_position() != before + 1) __builtin_trap();
+        break;
+      }
+      case 2: {
+        const std::uint32_t v = br.peek(arg % 17);
+        if (br.bit_position() != before) __builtin_trap();  // peek is const
+        if ((arg % 17) < 32 && (v >> (arg % 17)) != 0) __builtin_trap();
+        break;
+      }
+      default: {
+        br.skip(arg % 64);
+        if (br.bit_position() != before + static_cast<std::size_t>(arg % 64))
+          __builtin_trap();
+        break;
+      }
+    }
+    // require() must agree with the cursor/stream-size arithmetic.
+    const std::size_t pos = br.bit_position();
+    const std::size_t avail = pos >= total_bits ? 0 : total_bits - pos;
+    try {
+      br.require(avail);
+    } catch (const qip::DecodeError&) {
+      __builtin_trap();  // must not throw: exactly `avail` bits remain
+    }
+    try {
+      br.require(avail + 1);
+      __builtin_trap();  // must throw: one past the end
+    } catch (const qip::DecodeError&) {
+    }
+  }
+
+  // Writer/reader symmetry on tape-derived (value, width) pairs.
+  qip::BitWriter bw;
+  std::vector<std::pair<std::uint64_t, int>> written;
+  for (std::size_t i = 0; i + 2 < tape.size(); i += 3) {
+    const int width = tape[i] % 65;
+    std::uint64_t value =
+        (static_cast<std::uint64_t>(tape[i + 1]) << 32) * 0x01010101u |
+        tape[i + 2];
+    if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+    bw.write(value, width);
+    written.emplace_back(value, width);
+  }
+  const std::vector<std::uint8_t> bytes = bw.finish();
+  qip::BitReader rb(bytes);
+  for (const auto& [value, width] : written) {
+    if (rb.read(width) != value) __builtin_trap();
+  }
+  return 0;
+}

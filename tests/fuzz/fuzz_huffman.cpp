@@ -1,0 +1,26 @@
+// Fuzz target: canonical Huffman decoder on arbitrary bytes.
+//
+// Contract under test: huffman_decode() either returns symbols, or throws
+// DecodeError — hostile headers (over-subscribed code lengths, impossible
+// symbol counts, truncated tables/payloads) must never index out of the
+// canonical tables or allocate unboundedly. Decoded output must survive an
+// encode/decode roundtrip.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "encode/huffman.hpp"
+#include "util/status.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // The decoder caps symbol counts by payload bits, so output is bounded
+  // by 8x the input size; no extra cap is needed here.
+  try {
+    const auto symbols = qip::huffman_decode({data, size});
+    const auto re = qip::huffman_encode(symbols);
+    if (qip::huffman_decode(re) != symbols) __builtin_trap();
+  } catch (const qip::DecodeError&) {
+  }
+  return 0;
+}

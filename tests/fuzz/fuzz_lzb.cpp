@@ -1,0 +1,31 @@
+// Fuzz target: LZB decompressor on arbitrary bytes.
+//
+// Contract under test: lzb_decompress() either returns, or throws
+// DecodeError — never reads/writes out of bounds, never materializes more
+// than the caller's output cap, never throws anything else. When a buffer
+// does decode, re-compressing the result and decoding again must be the
+// identity (the decoder accepts only self-consistent streams).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lossless/lzb.hpp"
+#include "util/status.hpp"
+
+namespace {
+// Bound hostile "declared output size" headers; large enough that every
+// checked-in corpus input fits, small enough to defuse bombs.
+constexpr std::uint64_t kMaxOutput = 1u << 22;  // 4 MiB
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    const auto out = qip::lzb_decompress({data, size}, kMaxOutput);
+    const auto re = qip::lzb_compress(out);
+    if (qip::lzb_decompress(re, kMaxOutput) != out) __builtin_trap();
+  } catch (const qip::DecodeError&) {
+    // Malformed input rejected cleanly: the expected outcome.
+  }
+  return 0;
+}

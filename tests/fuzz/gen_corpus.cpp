@@ -1,0 +1,242 @@
+// Seed-corpus generator for the fuzz targets (run manually; the output
+// under tests/fuzz/corpus/ is checked in).
+//
+//   ./gen_corpus <path-to-tests/fuzz/corpus>
+//
+// Emits, per target: well-formed inputs produced by the real encoders,
+// systematically truncated and bit-flipped variants of them, and
+// hand-crafted hostile headers (over-subscribed Huffman code lengths,
+// decompression-bomb length fields, out-of-window LZ offsets, bad magic).
+// Everything is deterministic so regeneration is reproducible.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "compressors/archive.hpp"
+#include "encode/huffman.hpp"
+#include "lossless/lzb.hpp"
+#include "util/bytes.hpp"
+
+namespace fs = std::filesystem;
+using Bytes = std::vector<std::uint8_t>;
+
+namespace {
+
+void dump(const fs::path& dir, const std::string& name, const Bytes& bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Write `base`, plus three truncations and two deterministic bit flips.
+void dump_with_mutants(const fs::path& dir, const std::string& stem,
+                       const Bytes& base) {
+  dump(dir, stem + ".bin", base);
+  const std::size_t cuts[] = {base.size() / 4, base.size() / 2,
+                              base.size() - std::min<std::size_t>(
+                                                1, base.size())};
+  int i = 0;
+  for (std::size_t cut : cuts) {
+    Bytes t(base.begin(), base.begin() + static_cast<long>(cut));
+    dump(dir, stem + "_trunc" + std::to_string(i++) + ".bin", t);
+  }
+  if (!base.empty()) {
+    Bytes f1 = base;
+    f1[0] ^= 0x40;  // header flip
+    dump(dir, stem + "_flip_header.bin", f1);
+    Bytes f2 = base;
+    f2[base.size() / 2] ^= 0x08;  // payload flip
+    dump(dir, stem + "_flip_payload.bin", f2);
+  }
+}
+
+Bytes pattern_bytes(std::size_t n, std::uint32_t seed) {
+  Bytes b(n);
+  std::uint32_t s = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 1664525u + 1013904223u;
+    // Mix of structure (runs) and noise so LZ and Huffman paths both fire.
+    b[i] = (i / 7 % 3 == 0) ? static_cast<std::uint8_t>(i & 0xF)
+                            : static_cast<std::uint8_t>(s >> 24);
+  }
+  return b;
+}
+
+void gen_bitstream(const fs::path& root) {
+  const fs::path dir = root / "fuzz_bitstream";
+  dump(dir, "empty.bin", {});
+  dump(dir, "ones.bin", Bytes(64, 0xFF));
+  dump(dir, "zeros.bin", Bytes(64, 0x00));
+  dump_with_mutants(dir, "mixed", pattern_bytes(256, 7));
+  dump_with_mutants(dir, "long", pattern_bytes(1024, 99));
+}
+
+void gen_huffman(const fs::path& root) {
+  const fs::path dir = root / "fuzz_huffman";
+  // Well-formed streams of different shapes.
+  {
+    std::vector<std::uint32_t> syms;
+    for (int i = 0; i < 600; ++i)
+      syms.push_back(static_cast<std::uint32_t>(i * i % 17));
+    dump_with_mutants(dir, "skewed17", qip::huffman_encode(syms));
+  }
+  {
+    std::vector<std::uint32_t> syms(400, 42);  // single-symbol stream
+    dump_with_mutants(dir, "single", qip::huffman_encode(syms));
+  }
+  {
+    std::vector<std::uint32_t> syms;
+    for (std::uint32_t i = 0; i < 300; ++i) syms.push_back(i * 7919u);
+    dump_with_mutants(dir, "wide_alphabet", qip::huffman_encode(syms));
+  }
+  // Hostile: over-subscribed code lengths (three symbols, all length 1).
+  {
+    qip::ByteWriter w;
+    w.put_varint(10);  // n
+    w.put_varint(3);   // distinct
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      w.put_varint(s);
+      w.put_varint(1);  // length 1 for all three: Kraft sum = 1.5
+    }
+    w.put_varint(4);  // payload block length
+    w.put_bytes(Bytes{0xAA, 0xBB, 0xCC, 0xDD});
+    dump(dir, "hostile_oversubscribed.bin", w.take());
+  }
+  // Hostile: symbol count far beyond what the payload can hold.
+  {
+    qip::ByteWriter w;
+    w.put_varint(1u << 30);  // n = 1Gi symbols
+    w.put_varint(2);
+    w.put_varint(0);
+    w.put_varint(1);
+    w.put_varint(1);
+    w.put_varint(1);
+    w.put_varint(2);  // 2-byte payload
+    w.put_bytes(Bytes{0x00, 0x00});
+    dump(dir, "hostile_huge_count.bin", w.take());
+  }
+  // Hostile: length 0 and length 200 entries.
+  {
+    qip::ByteWriter w;
+    w.put_varint(4);
+    w.put_varint(2);
+    w.put_varint(0);
+    w.put_varint(0);  // zero-length code
+    w.put_varint(1);
+    w.put_varint(200);  // absurd length
+    w.put_varint(1);
+    w.put_bytes(Bytes{0xFF});
+    dump(dir, "hostile_bad_lengths.bin", w.take());
+  }
+}
+
+void gen_lzb(const fs::path& root) {
+  const fs::path dir = root / "fuzz_lzb";
+  dump_with_mutants(dir, "text",
+                    qip::lzb_compress(pattern_bytes(2048, 3)));
+  dump_with_mutants(dir, "runs", qip::lzb_compress(Bytes(4096, 9)));
+  // Hostile: declared size is a 1 TiB bomb with a tiny body.
+  {
+    qip::ByteWriter w;
+    w.put_varint(std::uint64_t{1} << 40);
+    w.put_varint(1);  // one literal
+    w.put_bytes(Bytes{0x55});
+    w.put_varint(std::uint64_t{1} << 40);  // match covering the rest
+    w.put_varint(1);
+    dump(dir, "hostile_bomb.bin", w.take());
+  }
+  // Hostile: match offset pointing before the start of the output.
+  {
+    qip::ByteWriter w;
+    w.put_varint(16);  // raw size
+    w.put_varint(2);   // two literals
+    w.put_bytes(Bytes{1, 2});
+    w.put_varint(8);   // match length
+    w.put_varint(50);  // offset > produced bytes
+    dump(dir, "hostile_bad_offset.bin", w.take());
+  }
+  // Hostile: terminator before the declared size is reached.
+  {
+    qip::ByteWriter w;
+    w.put_varint(100);
+    w.put_varint(3);
+    w.put_bytes(Bytes{7, 7, 7});
+    w.put_varint(0);  // terminator at 3/100 bytes
+    dump(dir, "hostile_premature_end.bin", w.take());
+  }
+}
+
+void gen_archive(const fs::path& root) {
+  const fs::path dir = root / "fuzz_archive";
+  const Bytes inner = pattern_bytes(512, 21);
+  dump_with_mutants(
+      dir, "sz3_f32",
+      qip::seal_archive(qip::CompressorId::kSZ3, qip::dtype_tag<float>(),
+                        inner));
+  dump_with_mutants(
+      dir, "qoz_f64",
+      qip::seal_archive(qip::CompressorId::kQoZ, qip::dtype_tag<double>(),
+                        pattern_bytes(64, 5)));
+  // Hostile: right magic, bomb-sized inner LZB declaration.
+  {
+    qip::ByteWriter w;
+    w.put(qip::kArchiveMagic);
+    w.put(static_cast<std::uint8_t>(1));  // kSZ3
+    w.put(static_cast<std::uint8_t>(1));  // float
+    w.put_varint(std::uint64_t{1} << 50);  // LZB raw size: 1 PiB
+    w.put_varint(0);
+    dump(dir, "hostile_inner_bomb.bin", w.take());
+  }
+  // Hostile: wrong magic entirely.
+  dump(dir, "hostile_bad_magic.bin", Bytes{0xDE, 0xAD, 0xBE, 0xEF, 1, 1, 0});
+  // Hostile: header only, no payload at all.
+  {
+    qip::ByteWriter w;
+    w.put(qip::kArchiveMagic);
+    w.put(static_cast<std::uint8_t>(3));
+    dump(dir, "hostile_header_only.bin", w.take());
+  }
+  // Hostile dims headers (consumed by the read_dims leg of the target):
+  // rank 200, a zero extent, and an extent product overflowing size_t.
+  {
+    qip::ByteWriter w;
+    w.put_varint(200);
+    dump(dir, "hostile_dims_rank.bin", w.take());
+  }
+  {
+    qip::ByteWriter w;
+    w.put_varint(3);
+    w.put_varint(16);
+    w.put_varint(0);
+    w.put_varint(16);
+    dump(dir, "hostile_dims_zero_extent.bin", w.take());
+  }
+  {
+    qip::ByteWriter w;
+    w.put_varint(4);
+    for (int a = 0; a < 4; ++a) w.put_varint(std::uint64_t{1} << 48);
+    dump(dir, "hostile_dims_overflow.bin", w.take());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: gen_corpus <corpus-root-dir>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  gen_bitstream(root);
+  gen_huffman(root);
+  gen_lzb(root);
+  gen_archive(root);
+  std::cout << "corpus written under " << root << "\n";
+  return 0;
+}

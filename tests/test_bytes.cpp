@@ -71,13 +71,13 @@ TEST(Bytes, TruncationThrows) {
   auto buf = w.take();
   buf.resize(4);
   ByteReader r(buf);
-  EXPECT_THROW(r.get<std::uint64_t>(), std::runtime_error);
+  EXPECT_THROW((void)r.get<std::uint64_t>(), std::runtime_error);
 }
 
 TEST(Bytes, OverlongVarintThrows) {
   std::vector<std::uint8_t> bad(11, 0x80);  // never-terminated varint
   ByteReader r(bad);
-  EXPECT_THROW(r.get_varint(), std::runtime_error);
+  EXPECT_THROW((void)r.get_varint(), std::runtime_error);
 }
 
 TEST(Bytes, RandomizedMixedStream) {

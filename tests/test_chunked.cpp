@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "data/synthetic.hpp"
@@ -113,9 +114,48 @@ TEST(Chunked, WrongDtypeAndCorruptionThrow) {
   ChunkedOptions opt;
   opt.options.error_bound = 1e-3;
   auto arc = chunked_compress(f.data(), f.dims(), opt);
-  EXPECT_THROW(chunked_decompress<double>(arc), std::runtime_error);
+  EXPECT_THROW((void)chunked_decompress<double>(arc), std::runtime_error);
   arc.resize(arc.size() / 2);
-  EXPECT_THROW(chunked_decompress<float>(arc), std::runtime_error);
+  EXPECT_THROW((void)chunked_decompress<float>(arc), std::runtime_error);
+}
+
+TEST(Chunked, InconsistentChunkGeometryRejected) {
+  const auto f = field3();
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  opt.slab = 12;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+
+  // Locate the slab varint: magic(4) + dtype(1) + rank varint + extents.
+  // Rather than reimplementing the layout, mutate every byte in the
+  // header region and require either DecodeError or a clean decode —
+  // hostile geometry (slab 0, slab > extent, wrong chunk count, name
+  // overrun) must never crash or misindex.
+  for (std::size_t i = 0; i < std::min<std::size_t>(arc.size(), 24); ++i) {
+    for (std::uint8_t delta : {0x01, 0x80, 0xFF}) {
+      auto mutated = arc;
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ delta);
+      try {
+        (void)chunked_decompress<float>(mutated, 2);
+      } catch (const std::runtime_error&) {
+        // DecodeError or a registry lookup failure: both are clean.
+      }
+    }
+  }
+}
+
+TEST(Chunked, TruncatedEverywhereRejectedCleanly) {
+  const auto f = field3();
+  ChunkedOptions opt;
+  opt.options.error_bound = 1e-3;
+  const auto arc = chunked_compress(f.data(), f.dims(), opt);
+  for (std::size_t cut = 0; cut < arc.size(); cut += 41) {
+    std::vector<std::uint8_t> prefix(arc.begin(),
+                                     arc.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)chunked_decompress<float>(prefix, 2),
+                 std::runtime_error)
+        << "cut=" << cut;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 
 #include <random>
 
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
 namespace qip {
 namespace {
 
@@ -90,7 +93,64 @@ TEST(Huffman, TruncatedBufferThrows) {
   for (int i = 0; i < 100; ++i) in.push_back(static_cast<std::uint32_t>(i));
   auto enc = huffman_encode(in);
   enc.resize(enc.size() / 4);
-  EXPECT_THROW(huffman_decode(enc), std::runtime_error);
+  EXPECT_THROW((void)huffman_decode(enc), std::runtime_error);
+}
+
+// Hostile-header regressions mirrored in tests/fuzz/corpus/fuzz_huffman.
+
+TEST(Huffman, OverSubscribedLengthsRejected) {
+  // Three symbols all claiming 1-bit codes: Kraft sum 1.5 > 1. Without
+  // the decoder's check this would index out of the fast table.
+  ByteWriter w;
+  w.put_varint(10);
+  w.put_varint(3);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    w.put_varint(s);
+    w.put_varint(1);
+  }
+  w.put_varint(4);
+  w.put_bytes(std::vector<std::uint8_t>{0xAA, 0xBB, 0xCC, 0xDD});
+  EXPECT_THROW((void)huffman_decode(w.take()), DecodeError);
+}
+
+TEST(Huffman, SymbolCountBeyondPayloadRejected) {
+  // Claims 2^30 symbols backed by a 2-byte payload: must be rejected
+  // before the output allocation, not after.
+  ByteWriter w;
+  w.put_varint(1u << 30);
+  w.put_varint(2);
+  w.put_varint(0);
+  w.put_varint(1);
+  w.put_varint(1);
+  w.put_varint(1);
+  w.put_varint(2);
+  w.put_bytes(std::vector<std::uint8_t>{0x00, 0x00});
+  EXPECT_THROW((void)huffman_decode(w.take()), DecodeError);
+}
+
+TEST(Huffman, AbsurdCodeLengthsRejected) {
+  ByteWriter w;
+  w.put_varint(4);
+  w.put_varint(2);
+  w.put_varint(0);
+  w.put_varint(0);  // zero-length code
+  w.put_varint(1);
+  w.put_varint(200);  // longer than any canonical code can be
+  w.put_varint(1);
+  w.put_bytes(std::vector<std::uint8_t>{0xFF});
+  EXPECT_THROW((void)huffman_decode(w.take()), DecodeError);
+}
+
+TEST(Huffman, TruncatedCodeStreamRejected) {
+  // Valid header, payload block one byte shorter than the symbols need:
+  // zero-fill decoding must be flagged, not silently produce symbols.
+  std::vector<std::uint32_t> in;
+  for (int i = 0; i < 256; ++i) in.push_back(static_cast<std::uint32_t>(i % 8));
+  auto enc = huffman_encode(in);
+  // The payload block is the trailing length-prefixed chunk; shrink the
+  // whole buffer and patch nothing — ByteReader/overrun checks must fire.
+  enc.resize(enc.size() - 1);
+  EXPECT_THROW((void)huffman_decode(enc), DecodeError);
 }
 
 class HuffmanSweep : public ::testing::TestWithParam<int> {};

@@ -128,9 +128,10 @@ TEST(InterpEngine, QPIsTransparentToReconstruction) {
       InterpPlan::uniform(interpolation_level_count(f.dims()), LevelPlan{});
   Field<float> w0 = f.clone(), w1 = f.clone();
   LinearQuantizer<float> q0(1e-3), q1(1e-3);
-  InterpEngine<float>::encode(w0.data(), f.dims(), plan, 1e-3, q0, QPConfig{});
-  InterpEngine<float>::encode(w1.data(), f.dims(), plan, 1e-3, q1,
-                              QPConfig::best_fit());
+  (void)InterpEngine<float>::encode(w0.data(), f.dims(), plan, 1e-3, q0,
+                                    QPConfig{});
+  (void)InterpEngine<float>::encode(w1.data(), f.dims(), plan, 1e-3, q1,
+                                    QPConfig::best_fit());
   for (std::size_t i = 0; i < f.size(); ++i)
     ASSERT_EQ(w0[i], w1[i]) << "QP changed the reconstruction @" << i;
 }

@@ -6,6 +6,9 @@
 
 #include <random>
 
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
 namespace qip {
 namespace {
 
@@ -19,8 +22,10 @@ TEST(Lzb, Empty) {
 
 TEST(Lzb, TinyInputs) {
   for (std::size_t n = 1; n <= 16; ++n) {
-    std::vector<std::uint8_t> in(n);
-    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::uint8_t>(i * 37);
+    std::vector<std::uint8_t> in;
+    in.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      in.push_back(static_cast<std::uint8_t>(i * 37));
     EXPECT_EQ(roundtrip(in), in) << "n=" << n;
   }
 }
@@ -87,7 +92,7 @@ TEST(Lzb, CorruptedStreamThrows) {
   std::vector<std::uint8_t> in(10000, 7);
   auto enc = lzb_compress(in);
   enc.resize(enc.size() / 2);
-  EXPECT_THROW(lzb_decompress(enc), std::runtime_error);
+  EXPECT_THROW((void)lzb_decompress(enc), std::runtime_error);
 }
 
 TEST(Lzb, BadOffsetRejected) {
@@ -95,7 +100,40 @@ TEST(Lzb, BadOffsetRejected) {
   // empty output buffer.
   std::vector<std::uint8_t> bogus{10 /*raw size*/, 0 /*lit len*/,
                                   6 /*match len*/, 5 /*offset*/};
-  EXPECT_THROW(lzb_decompress(bogus), std::runtime_error);
+  EXPECT_THROW((void)lzb_decompress(bogus), std::runtime_error);
+}
+
+TEST(Lzb, DecompressionBombCappedByMaxOutput) {
+  // Header claims a 1 TiB output; the max_output cap must reject it
+  // before any allocation proportional to the claim happens.
+  ByteWriter w;
+  w.put_varint(std::uint64_t{1} << 40);
+  w.put_varint(1);
+  w.put_bytes(std::vector<std::uint8_t>{0x55});
+  w.put_varint(std::uint64_t{1} << 40);
+  w.put_varint(1);
+  EXPECT_THROW((void)lzb_decompress(w.take(), /*max_output=*/1 << 20),
+               DecodeError);
+}
+
+TEST(Lzb, HugeDeclaredSizeWithTinyBodyRejected) {
+  // Without a cap the stream must still fail cleanly: the decoder reads
+  // sequences, runs out of input, and throws — it must not pre-allocate
+  // the declared size up front.
+  ByteWriter w;
+  w.put_varint(std::uint64_t{1} << 40);
+  w.put_varint(0);  // no literals
+  w.put_varint(0);  // terminator at 0 of 2^40 bytes
+  EXPECT_THROW((void)lzb_decompress(w.take()), DecodeError);
+}
+
+TEST(Lzb, PrematureTerminatorRejected) {
+  ByteWriter w;
+  w.put_varint(100);
+  w.put_varint(3);
+  w.put_bytes(std::vector<std::uint8_t>{7, 7, 7});
+  w.put_varint(0);
+  EXPECT_THROW((void)lzb_decompress(w.take()), DecodeError);
 }
 
 class LzbSizeSweep : public ::testing::TestWithParam<int> {};

@@ -96,7 +96,7 @@ TEST(QoZ, ExposesSpatialCodes) {
   QoZConfig cfg;
   cfg.error_bound = 1e-3;
   IndexArtifacts arts;
-  qoz_compress(f.data(), f.dims(), cfg, &arts);
+  (void)qoz_compress(f.data(), f.dims(), cfg, &arts);
   EXPECT_EQ(arts.codes.size(), f.size());
   EXPECT_EQ(arts.symbols_spatial.size(), f.size());
 }

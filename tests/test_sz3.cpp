@@ -148,7 +148,7 @@ TEST(SZ3, ArtifactsExposeSpatialCodes) {
   cfg.error_bound = 1e-3;
   cfg.auto_fallback = false;
   SZ3Artifacts art;
-  sz3_compress(f.data(), f.dims(), cfg, &art);
+  (void)sz3_compress(f.data(), f.dims(), cfg, &art);
   ASSERT_EQ(art.predictor, SZ3Predictor::kInterpolation);
   ASSERT_EQ(art.codes.size(), f.size());
 }

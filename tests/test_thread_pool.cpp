@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace qip {
 namespace {
@@ -64,6 +68,102 @@ TEST(ThreadPool, NestedSubmissionFromWorker) {
     return inner.get() + 1;
   });
   EXPECT_EQ(outer.get(), 6);
+}
+
+TEST(ThreadPool, ParallelForBatchesIndicesIntoBlocks) {
+  // With block-ranged dispatch the pool must still cover every index
+  // exactly once when n is much larger than the worker count, not a
+  // multiple of it, or smaller than it.
+  for (std::size_t n : {1u, 3u, 7u, 64u, 1000u, 10001u}) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(1000, [&](std::size_t i) {
+      if (i == 137) throw std::runtime_error("boom at 137");
+      ++completed;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 137");
+  }
+  // The throwing block abandons its remaining indices, but every other
+  // block runs to completion before parallel_for rethrows — no task may
+  // outlive the call (the callable is a reference to a dead frame then).
+  EXPECT_GE(completed.load(), 750);
+  EXPECT_LT(completed.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionsFromManyConcurrentSubmitsAllPropagate) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([i]() -> int {
+      if (i % 3 == 0) throw std::invalid_argument("bad " + std::to_string(i));
+      return i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_THROW((void)futs[static_cast<std::size_t>(i)].get(),
+                   std::invalid_argument);
+    } else {
+      EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i);
+    }
+  }
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueWithoutGettingFutures) {
+  // Futures are deliberately not waited on before the destructor runs:
+  // shutdown must still execute every queued task (never drop work), and
+  // the futures must all be ready afterwards.
+  std::vector<std::future<void>> futs;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      futs.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  EXPECT_EQ(ran.load(), 100);
+  for (auto& f : futs)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+}
+
+TEST(ThreadPool, ConcurrentShutdownWithExternalSubmitters) {
+  // Threads race task submission against pool destruction. Submissions
+  // stop before the destructor starts (submitting to a destructed pool is
+  // out of contract), but the teardown overlaps with workers still
+  // executing: TSan verifies the stop-flag/condvar handshake.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futs(64);
+    {
+      ThreadPool pool(3);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&pool, &futs, &ran, t] {
+          for (int i = 0; i < 16; ++i)
+            futs[static_cast<std::size_t>(t * 16 + i)] =
+                pool.submit([&ran] { ++ran; });
+        });
+      }
+      for (auto& s : submitters) s.join();
+    }  // destructor drains while workers are mid-task
+    for (auto& f : futs) f.get();
+    EXPECT_EQ(ran.load(), 64);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""qip_lint: repo-invariant linter for the qip codebase.
+
+Enforces the C++ conventions that clang-tidy/compilers don't catch for us
+(CONTRIBUTING.md "Layout and conventions"), with a baseline file so
+pre-existing, reviewed exceptions stay green while new violations fail.
+
+Rules
+-----
+raw-alloc        No raw `new[]` / `malloc` / `calloc` / `realloc` / `free`
+                 in src/ — containers and RAII only.
+raw-cast         No `reinterpret_cast` in src/ — decode paths especially
+                 must use memcpy-based ByteReader primitives; reviewed
+                 write-side uses are baselined.
+pragma-once      Every header under src/ starts with `#pragma once`.
+include-order    Within each contiguous `#include` block, paths are
+                 lexicographically sorted (quoted and angle includes are
+                 not mixed inside one block).
+std-endl         No `std::endl` in src/ (flushes in hot loops); use '\n'.
+nodiscard        Status/value-returning codec APIs in src/ headers
+                 (encode/decode/compress/decompress/open_/seal_ names)
+                 carry [[nodiscard]].
+
+Usage
+-----
+    tools/qip_lint.py [--repo DIR] [--update-baseline]
+
+Exit code 0 when every finding is baselined, 1 otherwise. Run with
+--update-baseline only for violations that were explicitly reviewed, and
+commit the updated tools/qip_lint_baseline.json with a justification in
+the commit message. An inline `// qip-lint: allow(<rule>)` comment on the
+offending line also suppresses a finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "raw-alloc",
+    "raw-cast",
+    "pragma-once",
+    "include-order",
+    "std-endl",
+    "nodiscard",
+)
+
+ALLOW_RE = re.compile(r"//\s*qip-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_ALLOC_RE = re.compile(
+    r"\bnew\s+[A-Za-z_][\w:<>]*\s*\[|\b(?:malloc|calloc|realloc|free)\s*\("
+)
+RAW_CAST_RE = re.compile(r"\breinterpret_cast\s*<")
+STD_ENDL_RE = re.compile(r"\bstd::endl\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+
+# Codec-ish API names whose non-void results must not be silently dropped.
+NODISCARD_NAME = r"\w*(?:encode|decode|compress|decompress)\w*|open_archive|seal_archive|archive_compressor"
+# A declaration line: a return-type token (identifier/template/ref char)
+# followed by whitespace, then the API name and an open paren. Call sites
+# (`foo(`, `Obj::foo(`, `= foo(`, `return foo(`) don't match.
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?!return\b)(?!.*[=!]=)(?!.*\breturn\b)(?!#)(?!.*\bvoid\s+\w)"
+    r"[\w:\[\]<>,&*\s]*[\w>&*]\s+(" + NODISCARD_NAME + r")\s*\("
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crudely blank out string/char literals and // comments.
+
+    Good enough for grep-style rules; block comments are handled by the
+    caller tracking state across lines.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line_no: int, text: str):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.text = text.strip()
+
+    def key(self) -> str:
+        # Line numbers drift; key on rule + path + offending text so the
+        # baseline survives unrelated edits to the same file.
+        return f"{self.rule}::{self.path}::{self.text}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
+
+
+def iter_source_files(repo: Path):
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp"):
+        yield from sorted(repo.glob(pattern))
+
+
+def lint_file(repo: Path, path: Path) -> list[Finding]:
+    rel = path.relative_to(repo).as_posix()
+    raw_lines = path.read_text().splitlines()
+    findings: list[Finding] = []
+    allows: dict[int, set[str]] = {}
+    clean_lines: list[str] = []
+
+    in_block_comment = False
+    for idx, raw in enumerate(raw_lines, 1):
+        for m in ALLOW_RE.finditer(raw):
+            allows.setdefault(idx, set()).add(m.group(1))
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                clean_lines.append("")
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Strip /* ... */ possibly opening here.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        clean_lines.append(strip_comments_and_strings(line))
+
+    def add(rule: str, line_no: int, text: str):
+        if rule in allows.get(line_no, set()):
+            return
+        findings.append(Finding(rule, rel, line_no, text))
+
+    # --- line-oriented rules ---
+    for idx, line in enumerate(clean_lines, 1):
+        if RAW_ALLOC_RE.search(line):
+            add("raw-alloc", idx, raw_lines[idx - 1])
+        if RAW_CAST_RE.search(line):
+            add("raw-cast", idx, raw_lines[idx - 1])
+        if STD_ENDL_RE.search(line):
+            add("std-endl", idx, raw_lines[idx - 1])
+
+    # --- pragma-once: first non-blank, non-comment line of a header ---
+    if path.suffix == ".hpp":
+        first = next(
+            ((i, l) for i, l in enumerate(clean_lines, 1) if l.strip()), None
+        )
+        if first is None or first[1].strip() != "#pragma once":
+            add("pragma-once", first[0] if first else 1,
+                "header must start with #pragma once")
+
+    # --- include-order: each contiguous include block sorted, unmixed ---
+    block: list[tuple[int, str]] = []
+
+    def flush_block():
+        nonlocal block
+        if len(block) > 1:
+            paths = [t for _, t in block]
+            if paths != sorted(paths):
+                add("include-order", block[0][0],
+                    "unsorted include block: " + ", ".join(paths))
+            kinds = {t[0] for t in paths}
+            if len(kinds) > 1:
+                add("include-order", block[0][0],
+                    "mixed <...> and \"...\" in one include block")
+        block = []
+
+    for idx, line in enumerate(clean_lines, 1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            block.append((idx, m.group(1)))
+        elif line.strip():
+            flush_block()
+        else:
+            flush_block()
+    flush_block()
+
+    # --- nodiscard on codec APIs in headers ---
+    if path.suffix == ".hpp":
+        for idx, line in enumerate(clean_lines, 1):
+            m = NODISCARD_DECL_RE.match(line)
+            if not m:
+                continue
+            window = " ".join(clean_lines[max(0, idx - 3):idx])
+            if "[[nodiscard]]" not in window:
+                add("nodiscard", idx, raw_lines[idx - 1])
+
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--update-baseline", action="store_true")
+    args = ap.parse_args()
+
+    repo = args.repo.resolve()
+    baseline_path = repo / "tools" / "qip_lint_baseline.json"
+    baseline = {"findings": []}
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    known = set(baseline.get("findings", []))
+
+    files = list(iter_source_files(repo))
+    if not files:
+        print(f"qip_lint: error: no sources under {repo}/src — wrong --repo?",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(repo, path))
+
+    if args.update_baseline:
+        baseline_path.write_text(
+            json.dumps({"findings": sorted(f.key() for f in findings)},
+                       indent=2) + "\n")
+        print(f"qip_lint: baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    fresh = [f for f in findings if f.key() not in known]
+    stale = known - {f.key() for f in findings}
+    for f in fresh:
+        print(f, file=sys.stderr)
+    if stale:
+        print(f"qip_lint: note: {len(stale)} baselined finding(s) no longer "
+              "occur; consider --update-baseline", file=sys.stderr)
+    if fresh:
+        print(f"qip_lint: {len(fresh)} new violation(s) "
+              f"({len(findings) - len(fresh)} baselined)", file=sys.stderr)
+        return 1
+    print(f"qip_lint: clean ({len(findings)} baselined finding(s), "
+          f"{sum(1 for _ in iter_source_files(repo))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

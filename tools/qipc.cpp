@@ -83,10 +83,12 @@ Args parse_args(int argc, char** argv, int from) {
     const bool flag = key == "--rel" || key == "--qp" || key == "--double" ||
                       key == "--chunked" || key == "--raw";
     if (flag) {
-      a.kv[key] = "1";
+      a.kv[key] = std::string("1");
     } else {
       if (i + 1 >= argc) usage(("missing value for " + key).c_str());
-      a.kv[key] = argv[++i];
+      // std::string(p) rather than operator=(const char*): the latter
+      // trips a GCC 12 -O3 -Wrestrict false positive under -Werror.
+      a.kv[key] = std::string(argv[++i]);
     }
   }
   return a;
