@@ -1,0 +1,205 @@
+// Pipeline throughput harness: times every stage of the SZ3+QP pipeline
+// (interpolation walk, Huffman, LZB, and the end-to-end archive paths)
+// and writes the results to a JSON file for before/after comparison.
+//
+//   bench_pipeline [nx [ny [nz]]] [--reps N] [--workers W] [--out FILE]
+//
+// Defaults: 256x256x256 Miranda float field, eb 1e-3, 3 repetitions
+// (best-of-N: the minimum wall time is reported, which filters scheduler
+// noise on shared machines), worker counts {1, W} with W defaulting to 8.
+// All throughputs are relative to the raw input bytes, so stages are
+// directly comparable. The archive must be byte-identical across worker
+// counts; the harness verifies this and records the verdict.
+//
+// docs/PERFORMANCE.md explains how to read and compare the output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compressors/interp_engine.hpp"
+#include "compressors/sz3.hpp"
+#include "data/synthetic.hpp"
+#include "encode/huffman.hpp"
+#include "lossless/lzb.hpp"
+#include "predict/multilevel.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace qip;
+
+namespace {
+
+/// Best-of-N wall time of `body` in seconds.
+template <class F>
+double best_of(int reps, F&& body) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    body();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct StageTimes {
+  double compress_e2e = 0;
+  double decompress_e2e = 0;
+  double interp_enc = 0;
+  double huffman_enc = 0;
+  double lzb_enc = 0;
+  double huffman_dec = 0;
+  double interp_dec = 0;
+  double lzb_dec = 0;
+};
+
+void print_stages(std::FILE* out, const StageTimes& s, std::size_t bytes,
+                  const char* indent) {
+  const struct {
+    const char* name;
+    double sec;
+  } rows[] = {{"compress_e2e", s.compress_e2e},
+              {"decompress_e2e", s.decompress_e2e},
+              {"interp_enc", s.interp_enc},
+              {"huffman_enc", s.huffman_enc},
+              {"lzb_enc", s.lzb_enc},
+              {"huffman_dec", s.huffman_dec},
+              {"interp_dec", s.interp_dec},
+              {"lzb_dec", s.lzb_dec}};
+  const int n = static_cast<int>(sizeof(rows) / sizeof(rows[0]));
+  for (int i = 0; i < n; ++i) {
+    std::fprintf(out, "%s\"%s\": {\"seconds\": %.6f, \"bytes_per_s\": %.0f}%s\n",
+                 indent, rows[i].name, rows[i].sec,
+                 static_cast<double>(bytes) / rows[i].sec,
+                 i + 1 < n ? "," : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nx = 256, ny = 256, nz = 256;
+  int reps = 3;
+  unsigned par_workers = 8;
+  std::string out_path = "BENCH_pipeline.json";
+
+  std::vector<std::size_t> extents;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc) {
+      par_workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      extents.push_back(static_cast<std::size_t>(std::atoll(argv[i])));
+    }
+  }
+  if (extents.size() >= 1) nx = extents[0];
+  ny = extents.size() >= 2 ? extents[1] : nx;
+  nz = extents.size() >= 3 ? extents[2] : ny;
+  if (reps < 1 || nx == 0 || ny == 0 || nz == 0 || par_workers < 2) {
+    std::fprintf(stderr, "bad arguments\n");
+    return 2;
+  }
+
+  const Dims dims{nx, ny, nz};
+  const Field<float> f = make_field(DatasetId::kMiranda, 0, dims, 3);
+  const std::size_t bytes = f.size() * sizeof(float);
+  const double eb = 1e-3;
+
+  SZ3Config cfg;
+  cfg.error_bound = eb;
+  cfg.qp = QPConfig::best_fit();
+
+  // Stage inputs, produced once outside the timed region.
+  const LevelPlan lp;
+  const InterpPlan plan = InterpPlan::uniform(interpolation_level_count(dims), lp);
+  LinearQuantizer<float> quant(eb);
+  Field<float> work = f.clone();
+  const auto res =
+      InterpEngine<float>::encode(work.data(), dims, plan, eb, quant, cfg.qp);
+  const auto henc = huffman_encode(res.symbols);
+  const auto lenc = lzb_compress(henc);
+
+  const std::vector<unsigned> workers = {1u, par_workers};
+  std::vector<StageTimes> times(workers.size());
+  std::vector<std::uint8_t> reference_arc;
+  bool identical = true;
+
+  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+    ThreadPool pool(workers[wi]);
+    ThreadPool* p = workers[wi] == 1 ? nullptr : &pool;
+    StageTimes& s = times[wi];
+    SZ3Config wcfg = cfg;
+    wcfg.pool = p;
+
+    std::vector<std::uint8_t> arc;
+    s.compress_e2e =
+        best_of(reps, [&] { arc = sz3_compress(f.data(), f.dims(), wcfg); });
+    if (reference_arc.empty())
+      reference_arc = arc;
+    else if (arc != reference_arc)
+      identical = false;
+    s.decompress_e2e =
+        best_of(reps, [&] { (void)sz3_decompress<float>(arc, p); });
+
+    s.interp_enc = best_of(reps, [&] {
+      Field<float> w2 = f.clone();
+      LinearQuantizer<float> q(eb);
+      (void)InterpEngine<float>::encode(w2.data(), dims, plan, eb, q, cfg.qp);
+    });
+    s.huffman_enc = best_of(reps, [&] { (void)huffman_encode(res.symbols, p); });
+    s.lzb_enc = best_of(reps, [&] { (void)lzb_compress(henc, p); });
+    s.huffman_dec = best_of(reps, [&] { (void)huffman_decode(henc, p); });
+    s.interp_dec = best_of(reps, [&] {
+      LinearQuantizer<float> q = quant;
+      q.reset_cursor();
+      Field<float> out(dims);
+      InterpEngine<float>::decode(res.symbols, dims, plan, eb, q, cfg.qp,
+                                  out.data());
+    });
+    s.lzb_dec = best_of(reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
+  }
+
+  const double cr = static_cast<double>(bytes) / reference_arc.size();
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"dataset\": \"miranda\",\n");
+  std::fprintf(out, "  \"dims\": [%zu, %zu, %zu],\n", nx, ny, nz);
+  std::fprintf(out, "  \"dtype\": \"float32\",\n");
+  std::fprintf(out, "  \"error_bound\": %.1e,\n", eb);
+  std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"input_bytes\": %zu,\n", bytes);
+  std::fprintf(out, "  \"archive_bytes\": %zu,\n", reference_arc.size());
+  std::fprintf(out, "  \"cr\": %.4f,\n", cr);
+  std::fprintf(out, "  \"byte_identical_across_workers\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+    std::fprintf(out, "    {\"workers\": %u, \"stages\": {\n", workers[wi]);
+    print_stages(out, times[wi], bytes, "      ");
+    std::fprintf(out, "    }}%s\n", wi + 1 < workers.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("dims=%s bytes=%zu arc=%zu cr=%.2f identical=%s -> %s\n",
+              dims.str().c_str(), bytes, reference_arc.size(), cr,
+              identical ? "yes" : "NO", out_path.c_str());
+  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+    const StageTimes& s = times[wi];
+    std::printf("workers=%u compress %.3fs (%.1f MB/s)  decompress %.3fs "
+                "(%.1f MB/s)\n",
+                workers[wi], s.compress_e2e, bytes / s.compress_e2e / 1e6,
+                s.decompress_e2e, bytes / s.decompress_e2e / 1e6);
+  }
+  return identical ? 0 : 1;
+}

@@ -43,14 +43,16 @@ constexpr std::uint8_t dtype_tag<double>() { return 2; }
 /// Bytes of outer framing before the LZB block: magic(4) + id(1) + dtype(1).
 inline constexpr std::size_t kArchiveHeaderBytes = 6;
 
-/// Wrap an inner payload into the outer framing (applies LZB).
+/// Wrap an inner payload into the outer framing (applies LZB). `pool`
+/// parallelizes the lossless pass; the bytes do not depend on it.
 [[nodiscard]] inline std::vector<std::uint8_t> seal_archive(
-    CompressorId id, std::uint8_t dtype, std::span<const std::uint8_t> inner) {
+    CompressorId id, std::uint8_t dtype, std::span<const std::uint8_t> inner,
+    ThreadPool* pool = nullptr) {
   ByteWriter w;
   w.put(kArchiveMagic);
   w.put(static_cast<std::uint8_t>(id));
   w.put(dtype);
-  const auto packed = lzb_compress(inner);
+  const auto packed = lzb_compress(inner, pool);
   w.put_bytes(packed);
   return w.take();
 }
@@ -62,7 +64,8 @@ inline constexpr std::size_t kArchiveHeaderBytes = 6;
 [[nodiscard]] inline std::vector<std::uint8_t> open_archive(
     std::span<const std::uint8_t> bytes, CompressorId expect_id,
     std::uint8_t expect_dtype,
-    std::uint64_t max_inner = std::numeric_limits<std::uint64_t>::max()) {
+    std::uint64_t max_inner = std::numeric_limits<std::uint64_t>::max(),
+    ThreadPool* pool = nullptr) {
   if (bytes.size() < kArchiveHeaderBytes)
     throw DecodeError("archive shorter than header");
   ByteReader r(bytes);
@@ -72,7 +75,7 @@ inline constexpr std::size_t kArchiveHeaderBytes = 6;
   if (id != expect_id) throw DecodeError("archive compressor mismatch");
   const std::uint8_t dt = r.get<std::uint8_t>();
   if (dt != expect_dtype) throw DecodeError("archive dtype mismatch");
-  return lzb_decompress(r.get_bytes(r.remaining()), max_inner);
+  return lzb_decompress(r.get_bytes(r.remaining()), max_inner, pool);
 }
 
 /// Peek at an archive's compressor id without decoding it.

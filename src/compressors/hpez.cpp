@@ -161,8 +161,9 @@ std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
     qp.save(inner);
     p.save(inner);
     quant.save(inner);
-    inner.put_block(huffman_encode(res.symbols));
-    return seal_archive(CompressorId::kHPEZ, dtype_tag<T>(), inner.bytes());
+    inner.put_block(huffman_encode(res.symbols, cfg.pool));
+    return seal_archive(CompressorId::kHPEZ, dtype_tag<T>(), inner.bytes(),
+                        cfg.pool);
   };
 
   // The plan decision must not depend on the QP configuration, or QP
@@ -197,9 +198,16 @@ std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
   return build(*winner, cfg.qp, artifacts);
 }
 
-template <class T>
-Field<T> hpez_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kHPEZ, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void hpez_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                    ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kHPEZ, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -208,18 +216,52 @@ Field<T> hpez_decompress(std::span<const std::uint8_t> archive) {
   const InterpPlan plan = InterpPlan::load(r);
   LinearQuantizer<T> quant(eb);
   quant.load(r);
-  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
 
-  Field<T> out(dims);
-  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out.data());
+  T* out = sink(dims);
+  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
+}
+
+}  // namespace
+
+template <class T>
+Field<T> hpez_decompress(std::span<const std::uint8_t> archive,
+                         ThreadPool* pool) {
+  Field<T> out;
+  hpez_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void hpez_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                          const Dims& expect, ThreadPool* pool) {
+  hpez_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("hpez: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> hpez_compress<float>(
     const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);
 template std::vector<std::uint8_t> hpez_compress<double>(
     const double*, const Dims&, const HPEZConfig&, IndexArtifacts*);
-template Field<float> hpez_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> hpez_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> hpez_decompress<float>(std::span<const std::uint8_t>,
+                                             ThreadPool*);
+template Field<double> hpez_decompress<double>(std::span<const std::uint8_t>,
+                                               ThreadPool*);
+template void hpez_decompress_into<float>(std::span<const std::uint8_t>, float*,
+                                          const Dims&, ThreadPool*);
+template void hpez_decompress_into<double>(std::span<const std::uint8_t>,
+                                           double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

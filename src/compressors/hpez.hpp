@@ -22,6 +22,8 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct HPEZConfig {
   double error_bound = 1e-3;
   QPConfig qp;
@@ -30,6 +32,9 @@ struct HPEZConfig {
   double alpha = 1.5;  ///< level-wise eb decay
   double beta = 4.0;   ///< level-wise eb floor divisor
   bool tune_blocks = true;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -38,15 +43,29 @@ template <class T>
                                         IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-[[nodiscard]] Field<T> hpez_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> hpez_decompress(std::span<const std::uint8_t> archive,
+                                       ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void hpez_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                          const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> hpez_compress<float>(
     const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);
 extern template std::vector<std::uint8_t> hpez_compress<double>(
     const double*, const Dims&, const HPEZConfig&, IndexArtifacts*);
 extern template Field<float> hpez_decompress<float>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
 extern template Field<double> hpez_decompress<double>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void hpez_decompress_into<float>(std::span<const std::uint8_t>,
+                                                 float*, const Dims&,
+                                                 ThreadPool*);
+extern template void hpez_decompress_into<double>(std::span<const std::uint8_t>,
+                                                  double*, const Dims&,
+                                                  ThreadPool*);
 
 }  // namespace qip

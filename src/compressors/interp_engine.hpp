@@ -26,6 +26,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "compressors/plan.hpp"
@@ -34,6 +35,7 @@
 #include "predict/multilevel.hpp"
 #include "quant/quantizer.hpp"
 #include "util/dims.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -53,26 +55,33 @@ class InterpEngine {
   };
 
   /// Compress `data` in place (it holds the reconstruction afterwards).
+  /// The symbol buffer is preallocated to the exact point count and
+  /// written through a cursor — the traversal visits every point exactly
+  /// once, so no push_back bookkeeping is needed in the hot loop.
   [[nodiscard]] static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
                              double base_eb, LinearQuantizer<T>& quant,
                              const QPConfig& qp, bool keep_codes = false) {
     EncodeResult res;
-    res.symbols.reserve(dims.size());
+    res.symbols.assign(dims.size(), 0);
     std::vector<std::uint32_t> codes(dims.size(), 0);
     if (keep_codes) res.symbols_spatial.assign(dims.size(), 0);
-    walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols, codes,
+    walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols.data(), codes,
                keep_codes ? &res.symbols_spatial : nullptr);
     if (keep_codes) res.codes = std::move(codes);
     return res;
   }
 
-  /// Reverse of encode(); fills `data` with the reconstruction.
+  /// Reverse of encode(); fills `data` with the reconstruction. Throws
+  /// DecodeError when `symbols` holds fewer entries than the traversal
+  /// consumes (hostile archives must not drive the cursor out of bounds).
   static void decode(std::span<const std::uint32_t> symbols, const Dims& dims,
                      const InterpPlan& plan, double base_eb,
                      LinearQuantizer<T>& quant, const QPConfig& qp, T* data) {
-    std::vector<std::uint32_t> syms(symbols.begin(), symbols.end());
+    if (symbols.size() < dims.size())
+      throw DecodeError("interp: symbol stream shorter than field");
     std::vector<std::uint32_t> codes(dims.size(), 0);
-    walk<false>(data, dims, plan, base_eb, quant, qp, syms, codes, nullptr);
+    walk<false>(data, dims, plan, base_eb, quant, qp, symbols.data(), codes,
+                nullptr);
   }
 
   /// Dry-run prediction of one stage on a subsample of its points, using
@@ -96,6 +105,10 @@ class InterpEngine {
                                       nullptr);
 
  private:
+  /// Symbol cursor type: encode writes symbols, decode reads them.
+  template <bool kEncode>
+  using SymPtr = std::conditional_t<kEncode, std::uint32_t*, const std::uint32_t*>;
+
   /// Per-stage constants for interpolation + QP.
   struct StageCtx {
     StageGrid g;
@@ -212,15 +225,23 @@ class InterpEngine {
   }
 
   /// Process every point of one stage, restricted to [lo, hi) when
-  /// `blocked` (HPEZ-like). kEncode selects direction.
+  /// `blocked` (HPEZ-like). kEncode selects direction. The dominant
+  /// unblocked sequential case takes the specialized row-major path.
   template <bool kEncode>
   static void run_stage(T* data, const Dims& dims, const StageCtx& ctx,
                         InterpKind kind, LinearQuantizer<T>& quant,
-                        const QPConfig& qp, std::vector<std::uint32_t>& symbols,
+                        const QPConfig& qp, SymPtr<kEncode> syms,
                         std::size_t& cursor, std::vector<std::uint32_t>& codes,
                         std::vector<std::uint32_t>* sym_spatial, bool blocked,
                         const std::array<std::size_t, kMaxRank>& lo,
                         const std::array<std::size_t, kMaxRank>& hi) {
+#ifndef QIP_INTERP_FORCE_GENERIC  // A/B escape hatch for perf triage
+    if (!blocked && ctx.md_mask == 0) {
+      run_stage_seq<kEncode>(data, dims, ctx, kind, quant, qp, syms, cursor,
+                             codes, sym_spatial);
+      return;
+    }
+#endif
     const std::int32_t radius = quant.radius();
     const std::size_t s2 = 2 * ctx.g.stride;
 
@@ -279,10 +300,10 @@ class InterpEngine {
         codes[idx] = code;
         const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
         if (sym_spatial) (*sym_spatial)[idx] = sym;
-        symbols.push_back(sym);
+        syms[cursor++] = sym;
       } else {
         const std::uint32_t code =
-            qp_decode_symbol(symbols[cursor++], comp, radius);
+            qp_decode_symbol(syms[cursor++], comp, radius);
         codes[idx] = code;
         data[idx] = quant.recover(code, pred);
       }
@@ -292,6 +313,175 @@ class InterpEngine {
       for_each_stage_point_in_box(dims, ctx.g, lo, hi, visit);
     } else {
       for_each_stage_point(dims, ctx.g, visit);
+    }
+  }
+
+  /// Specialized traversal for the dominant case: unblocked sequential
+  /// stage. Rows walk the fastest axis at element stride 1; the stencil
+  /// boundary rules (cubic -> quadratic -> linear -> copy) and the QP
+  /// neighbor availability are resolved per row (or per row segment when
+  /// the interpolation axis *is* the row axis), not per point, and the
+  /// linear index advances incrementally instead of being recomputed from
+  /// coordinates at every point. Produces exactly the same symbols, codes
+  /// and reconstruction as the generic path.
+  template <bool kEncode>
+  static void run_stage_seq(T* data, const Dims& dims, const StageCtx& ctx,
+                            InterpKind kind, LinearQuantizer<T>& quant,
+                            const QPConfig& qp, SymPtr<kEncode> syms,
+                            std::size_t& cursor,
+                            std::vector<std::uint32_t>& codes,
+                            std::vector<std::uint32_t>* sym_spatial) {
+    const StageGrid& g = ctx.g;
+    const int last = dims.rank() - 1;
+    const std::size_t s = g.stride;
+    const int d = g.dim;
+    const int level = g.level;
+    const std::int32_t radius = quant.radius();
+    const bool qp_active = qp.enabled && level <= qp.max_level &&
+                           qp.dimension != QPDimension::kNone;
+    std::uint32_t* const codes_p = codes.data();
+
+    const std::size_t n_l = dims.extent(last);
+    const std::size_t start_l = g.start[last];
+    const std::size_t step_l = g.step[last];
+    if (start_l >= n_l) return;
+    const std::size_t cnt = (n_l - start_l - 1) / step_l + 1;
+    for (int a = 0; a < last; ++a)
+      if (g.start[a] >= dims.extent(a)) return;
+
+    // Stencil geometry. When the interpolation axis is the row axis, the
+    // boundary rules change along the row at fixed positions: jc = first
+    // point whose forward neighbor f(x+s) falls off the grid, jd = first
+    // point whose far forward neighbor f(x+3s) does (jd <= jc).
+    std::ptrdiff_t st;
+    std::size_t jc = 0, jd = 0;
+    if (d == last) {
+      st = static_cast<std::ptrdiff_t>(s);
+      jc = n_l > 2 * s ? (n_l - 2 * s - 1) / (2 * s) + 1 : 0;
+      jd = n_l > 4 * s ? (n_l - 4 * s - 1) / (2 * s) + 1 : 0;
+    } else {
+      st = static_cast<std::ptrdiff_t>(s * dims.stride(d));
+    }
+
+    std::array<std::size_t, kMaxRank> c{};
+    for (int a = 0; a < kMaxRank; ++a) c[a] = g.start[a];
+
+    for (;;) {
+      std::size_t base = 0;
+      for (int a = 0; a < last; ++a) base += c[a] * dims.stride(a);
+
+      // QP neighbor availability is constant along the row except on the
+      // row axis, where only j == 0 lacks its stage-grid predecessor.
+      QPNeighborhood nbR;
+      nbR.back = ctx.back_off;
+      nbR.left = ctx.left_off;
+      nbR.top = ctx.top_off;
+      auto row_avail = [&](int axis, std::size_t off) {
+        if (axis < 0 || off == 0) return false;
+        if (axis == last) return true;
+        return c[axis] >= g.start[axis] + g.step[axis];
+      };
+      nbR.avail_back = row_avail(ctx.back_axis, ctx.back_off);
+      nbR.avail_left = row_avail(ctx.left_axis, ctx.left_off);
+      nbR.avail_top = row_avail(ctx.top_axis, ctx.top_off);
+      QPNeighborhood nb0 = nbR;
+      if (ctx.back_axis == last) nb0.avail_back = false;
+      if (ctx.left_axis == last) nb0.avail_left = false;
+      if (ctx.top_axis == last) nb0.avail_top = false;
+
+      auto emit = [&](std::size_t idx, T pred, const QPNeighborhood& nb) {
+        const std::int64_t comp =
+            qp_active ? qp_compensation(codes_p, idx, nb, qp, level, radius)
+                      : 0;
+        if constexpr (kEncode) {
+          T recon;
+          const std::uint32_t code = quant.quantize(data[idx], pred, &recon);
+          data[idx] = recon;
+          codes_p[idx] = code;
+          const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
+          if (sym_spatial) (*sym_spatial)[idx] = sym;
+          syms[cursor++] = sym;
+        } else {
+          const std::uint32_t code =
+              qp_decode_symbol(syms[cursor++], comp, radius);
+          codes_p[idx] = code;
+          data[idx] = quant.recover(code, pred);
+        }
+      };
+
+      // Run points j0..j1 of the row through one prediction kernel.
+      auto run_seg = [&](std::size_t j0, std::size_t j1, auto&& predfn) {
+        if (j0 >= j1) return;
+        std::size_t i = base + start_l + j0 * step_l;
+        std::size_t j = j0;
+        if (j == 0) {
+          emit(i, predfn(i), nb0);
+          ++j;
+          i += step_l;
+        }
+        for (; j < j1; ++j, i += step_l) emit(i, predfn(i), nbR);
+      };
+
+      auto p_copy = [&](std::size_t i) { return data[i - st]; };
+      auto p_lin = [&](std::size_t i) {
+        return interp_linear(data[i - st], data[i + st]);
+      };
+      auto p_cubic = [&](std::size_t i) {
+        return interp_cubic(data[i - 3 * st], data[i - st], data[i + st],
+                            data[i + 3 * st]);
+      };
+      auto p_quad_a = [&](std::size_t i) {
+        return interp_quad(data[i + st], data[i - st], data[i - 3 * st]);
+      };
+      auto p_quad_d = [&](std::size_t i) {
+        return interp_quad(data[i - st], data[i + st], data[i + 3 * st]);
+      };
+
+      if (d != last) {
+        // Whole row shares one kernel: the stencil moves along axis d,
+        // whose coordinate is fixed within the row.
+        const std::size_t x = c[d];
+        const std::size_t n_d = dims.extent(d);
+        const bool has_c = x + s < n_d;
+        const bool has_a = x >= 3 * s;
+        const bool has_d = x + 3 * s < n_d;
+        if (!has_c) {
+          run_seg(0, cnt, p_copy);
+        } else if (kind == InterpKind::kLinear) {
+          run_seg(0, cnt, p_lin);
+        } else if (has_a && has_d) {
+          run_seg(0, cnt, p_cubic);
+        } else if (has_a) {
+          run_seg(0, cnt, p_quad_a);
+        } else if (has_d) {
+          run_seg(0, cnt, p_quad_d);
+        } else {
+          run_seg(0, cnt, p_lin);
+        }
+      } else if (kind == InterpKind::kLinear) {
+        run_seg(0, std::min(jc, cnt), p_lin);
+        run_seg(std::min(jc, cnt), cnt, p_copy);
+      } else {
+        // j == 0 has no backward far neighbor f(x-3s).
+        if (jc == 0) {
+          run_seg(0, 1, p_copy);
+        } else if (jd > 0) {
+          run_seg(0, 1, p_quad_d);
+        } else {
+          run_seg(0, 1, p_lin);
+        }
+        run_seg(1, std::min(jd, cnt), p_cubic);
+        run_seg(std::max<std::size_t>(1, jd), std::min(jc, cnt), p_quad_a);
+        run_seg(std::max<std::size_t>(1, jc), cnt, p_copy);
+      }
+
+      int a = last - 1;
+      for (; a >= 0; --a) {
+        c[a] += g.step[a];
+        if (c[a] < dims.extent(a)) break;
+        c[a] = g.start[a];
+      }
+      if (a < 0) break;
     }
   }
 
@@ -323,7 +513,7 @@ class InterpEngine {
   template <bool kEncode>
   static void walk(T* data, const Dims& dims, const InterpPlan& plan,
                    double base_eb, LinearQuantizer<T>& quant,
-                   const QPConfig& qp, std::vector<std::uint32_t>& symbols,
+                   const QPConfig& qp, SymPtr<kEncode> syms,
                    std::vector<std::uint32_t>& codes,
                    std::vector<std::uint32_t>* sym_spatial) {
     std::size_t cursor = 0;
@@ -337,10 +527,10 @@ class InterpEngine {
       codes[0] = code;
       const std::uint32_t sym = qp_encode_symbol(code, 0, quant.radius());
       if (sym_spatial) (*sym_spatial)[0] = sym;
-      symbols.push_back(sym);
+      syms[cursor++] = sym;
     } else {
       const std::uint32_t code =
-          qp_decode_symbol(symbols[cursor++], 0, quant.radius());
+          qp_decode_symbol(syms[cursor++], 0, quant.radius());
       codes[0] = code;
       data[0] = quant.recover(code, T{0});
     }
@@ -357,7 +547,7 @@ class InterpEngine {
 
       if (!plan.blockwise(level)) {
         for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
-          run_stage<kEncode>(data, dims, ctx, lp.kind, quant, qp, symbols,
+          run_stage<kEncode>(data, dims, ctx, lp.kind, quant, qp, syms,
                              cursor, codes, sym_spatial, /*blocked=*/false,
                              whole_lo, whole_hi);
         });
@@ -394,7 +584,7 @@ class InterpEngine {
               for_each_stage(dims, stride, blp, level,
                              [&](const StageCtx& ctx) {
                                run_stage<kEncode>(data, dims, ctx, blp.kind,
-                                                  quant, qp, symbols, cursor,
+                                                  quant, qp, syms, cursor,
                                                   codes, sym_spatial,
                                                   /*blocked=*/true, lo, hi);
                              });

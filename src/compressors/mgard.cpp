@@ -162,18 +162,26 @@ std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
   inner.put_varint(static_cast<std::uint64_t>(levels));
   for (double e : level_eb) inner.put(e);
   quant.save(inner);
-  inner.put_block(huffman_encode(symbols));
+  inner.put_block(huffman_encode(symbols, cfg.pool));
   inner.put_varint(corrections.size());
   for (const auto& [delta, qc] : corrections) {
     inner.put_varint(delta);
     inner.put_svarint(qc);
   }
-  return seal_archive(CompressorId::kMGARD, dtype_tag<T>(), inner.bytes());
+  return seal_archive(CompressorId::kMGARD, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> mgard_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kMGARD, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void mgard_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                     ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kMGARD, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -184,23 +192,53 @@ Field<T> mgard_decompress(std::span<const std::uint8_t> archive) {
   for (auto& e : level_eb) e = r.get<double>();
   LinearQuantizer<T> quant(eb);
   quant.load(r);
-  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
 
-  Field<T> out(dims);
+  T* out = sink(dims);
   std::vector<std::uint32_t> codes(dims.size(), 0);
   std::size_t cursor = 0;
-  mgard_walk<T, false>(out.data(), out.data(), dims, level_eb, eb, quant, qp,
-                       symbols, cursor, codes);
+  mgard_walk<T, false>(out, out, dims, level_eb, eb, quant, qp, symbols,
+                       cursor, codes);
 
   const double ebc = eb / 2.0;
   const std::uint64_t ncorr = r.get_varint();
   std::size_t pos = 0;
   for (std::uint64_t i = 0; i < ncorr; ++i) {
     pos += static_cast<std::size_t>(r.get_varint());
+    if (pos >= dims.size())
+      throw DecodeError("mgard: correction index out of range");
     const std::int64_t qc = r.get_svarint();
     out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
   }
+}
+
+}  // namespace
+
+template <class T>
+Field<T> mgard_decompress(std::span<const std::uint8_t> archive,
+                          ThreadPool* pool) {
+  Field<T> out;
+  mgard_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void mgard_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                           const Dims& expect, ThreadPool* pool) {
+  mgard_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("mgard: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template <class T>
@@ -262,7 +300,13 @@ template std::vector<std::uint8_t> mgard_compress<float>(
     const float*, const Dims&, const MGARDConfig&, IndexArtifacts*);
 template std::vector<std::uint8_t> mgard_compress<double>(
     const double*, const Dims&, const MGARDConfig&, IndexArtifacts*);
-template Field<float> mgard_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> mgard_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> mgard_decompress<float>(std::span<const std::uint8_t>,
+                                              ThreadPool*);
+template Field<double> mgard_decompress<double>(std::span<const std::uint8_t>,
+                                                ThreadPool*);
+template void mgard_decompress_into<float>(std::span<const std::uint8_t>,
+                                           float*, const Dims&, ThreadPool*);
+template void mgard_decompress_into<double>(std::span<const std::uint8_t>,
+                                            double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

@@ -26,6 +26,8 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct MGARDConfig {
   double error_bound = 1e-3;
   QPConfig qp;
@@ -36,6 +38,9 @@ struct MGARDConfig {
   double fine_fraction = 0.6;
   double decay = 0.75;
   double floor_fraction = 0.05;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -44,7 +49,15 @@ template <class T>
                                          IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-[[nodiscard]] Field<T> mgard_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> mgard_decompress(std::span<const std::uint8_t> archive,
+                                        ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void mgard_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                           const Dims& expect, ThreadPool* pool = nullptr);
 
 /// Resolution reduction -- the capability that distinguishes MGARD in the
 /// paper's Table I. Decodes only interpolation levels > `skip_levels`
@@ -67,8 +80,13 @@ extern template std::vector<std::uint8_t> mgard_compress<float>(
 extern template std::vector<std::uint8_t> mgard_compress<double>(
     const double*, const Dims&, const MGARDConfig&, IndexArtifacts*);
 extern template Field<float> mgard_decompress<float>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
 extern template Field<double> mgard_decompress<double>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void mgard_decompress_into<float>(std::span<const std::uint8_t>,
+                                                  float*, const Dims&,
+                                                  ThreadPool*);
+extern template void mgard_decompress_into<double>(
+    std::span<const std::uint8_t>, double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

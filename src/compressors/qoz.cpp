@@ -90,13 +90,21 @@ std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
   cfg.qp.save(inner);
   plan.save(inner);
   quant.save(inner);
-  inner.put_block(huffman_encode(res.symbols));
-  return seal_archive(CompressorId::kQoZ, dtype_tag<T>(), inner.bytes());
+  inner.put_block(huffman_encode(res.symbols, cfg.pool));
+  return seal_archive(CompressorId::kQoZ, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> qoz_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kQoZ, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void qoz_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                   ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kQoZ, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -105,18 +113,52 @@ Field<T> qoz_decompress(std::span<const std::uint8_t> archive) {
   const InterpPlan plan = InterpPlan::load(r);
   LinearQuantizer<T> quant(eb);
   quant.load(r);
-  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
 
-  Field<T> out(dims);
-  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out.data());
+  T* out = sink(dims);
+  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
+}
+
+}  // namespace
+
+template <class T>
+Field<T> qoz_decompress(std::span<const std::uint8_t> archive,
+                        ThreadPool* pool) {
+  Field<T> out;
+  qoz_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void qoz_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool) {
+  qoz_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("qoz: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> qoz_compress<float>(
     const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
 template std::vector<std::uint8_t> qoz_compress<double>(
     const double*, const Dims&, const QoZConfig&, IndexArtifacts*);
-template Field<float> qoz_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> qoz_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> qoz_decompress<float>(std::span<const std::uint8_t>,
+                                            ThreadPool*);
+template Field<double> qoz_decompress<double>(std::span<const std::uint8_t>,
+                                              ThreadPool*);
+template void qoz_decompress_into<float>(std::span<const std::uint8_t>, float*,
+                                         const Dims&, ThreadPool*);
+template void qoz_decompress_into<double>(std::span<const std::uint8_t>,
+                                          double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

@@ -19,6 +19,8 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct QoZConfig {
   double error_bound = 1e-3;
   QPConfig qp;
@@ -30,6 +32,9 @@ struct QoZConfig {
   bool tune_level_eb = true;
   /// Per-level interpolant/direction tuning on sampled stage points.
   bool tune_interp = true;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -38,13 +43,29 @@ template <class T>
                                        IndexArtifacts* artifacts = nullptr);
 
 template <class T>
-[[nodiscard]] Field<T> qoz_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> qoz_decompress(std::span<const std::uint8_t> archive,
+                                      ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void qoz_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> qoz_compress<float>(
     const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
 extern template std::vector<std::uint8_t> qoz_compress<double>(
     const double*, const Dims&, const QoZConfig&, IndexArtifacts*);
-extern template Field<float> qoz_decompress<float>(std::span<const std::uint8_t>);
-extern template Field<double> qoz_decompress<double>(std::span<const std::uint8_t>);
+extern template Field<float> qoz_decompress<float>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template Field<double> qoz_decompress<double>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void qoz_decompress_into<float>(std::span<const std::uint8_t>,
+                                                float*, const Dims&,
+                                                ThreadPool*);
+extern template void qoz_decompress_into<double>(std::span<const std::uint8_t>,
+                                                 double*, const Dims&,
+                                                 ThreadPool*);
 
 }  // namespace qip

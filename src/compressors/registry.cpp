@@ -24,6 +24,7 @@ CompressorEntry make_mgard() {
     MGARDConfig c;
     c.error_bound = o.error_bound;
     c.qp = o.qp;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -40,6 +41,14 @@ CompressorEntry make_mgard() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return mgard_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    mgard_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    mgard_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -52,6 +61,7 @@ CompressorEntry make_sz3() {
     SZ3Config c;
     c.error_bound = o.error_bound;
     c.qp = o.qp;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -68,6 +78,14 @@ CompressorEntry make_sz3() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return sz3_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    sz3_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    sz3_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -80,6 +98,7 @@ CompressorEntry make_qoz() {
     QoZConfig c;
     c.error_bound = o.error_bound;
     c.qp = o.qp;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -96,6 +115,14 @@ CompressorEntry make_qoz() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return qoz_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    qoz_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    qoz_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -108,6 +135,7 @@ CompressorEntry make_hpez() {
     HPEZConfig c;
     c.error_bound = o.error_bound;
     c.qp = o.qp;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -124,6 +152,14 @@ CompressorEntry make_hpez() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return hpez_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    hpez_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    hpez_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -135,6 +171,7 @@ CompressorEntry make_zfp() {
   auto cfg_of = [](const GenericOptions& o) {
     ZFPConfig c;
     c.error_bound = o.error_bound;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -151,6 +188,14 @@ CompressorEntry make_zfp() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return zfp_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    zfp_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    zfp_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -162,6 +207,7 @@ CompressorEntry make_tthresh() {
   auto cfg_of = [](const GenericOptions& o) {
     TTHRESHConfig c;
     c.error_bound = o.error_bound;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -178,6 +224,14 @@ CompressorEntry make_tthresh() {
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return tthresh_decompress<double>(a);
   };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    tthresh_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    tthresh_decompress_into<double>(a, dst, d);
+  };
   return e;
 }
 
@@ -189,6 +243,7 @@ CompressorEntry make_sperr() {
   auto cfg_of = [](const GenericOptions& o) {
     SPERRConfig c;
     c.error_bound = o.error_bound;
+    c.pool = o.pool;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
@@ -204,6 +259,14 @@ CompressorEntry make_sperr() {
   };
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
     return sperr_decompress<double>(a);
+  };
+  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                             const Dims& d) {
+    sperr_decompress_into<float>(a, dst, d);
+  };
+  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                             const Dims& d) {
+    sperr_decompress_into<double>(a, dst, d);
   };
   return e;
 }

@@ -16,12 +16,18 @@
 
 namespace qip {
 
+class ThreadPool;
+
 /// Options understood by every compressor. Compressor-specific knobs use
 /// their native config structs; the registry exposes the common surface
 /// the paper's experiments sweep.
 struct GenericOptions {
   double error_bound = 1e-3;
   QPConfig qp;  ///< honored only when the entry's supports_qp is true
+  /// Shared worker pool for the parallel entropy-coding stages; nullptr
+  /// runs them inline. Parallel output is byte-identical to serial output
+  /// by construction (fixed-size ranges, not worker-count-dependent).
+  ThreadPool* pool = nullptr;
 };
 
 /// One registered compressor.
@@ -38,6 +44,15 @@ struct CompressorEntry {
                                           const GenericOptions&)>
       compress_f64;
   std::function<Field<double>(std::span<const std::uint8_t>)> decompress_f64;
+
+  /// Copy-free decode: writes the reconstruction straight into a
+  /// caller-owned buffer of shape `expect` (throws DecodeError when the
+  /// archive's dims disagree). Used by chunked_decompress to fill slabs
+  /// of the output field without a temporary Field + copy.
+  std::function<void(std::span<const std::uint8_t>, float*, const Dims&)>
+      decompress_into_f32;
+  std::function<void(std::span<const std::uint8_t>, double*, const Dims&)>
+      decompress_into_f64;
 };
 
 /// All compressors, in the paper's Table IV order:

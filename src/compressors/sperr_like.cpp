@@ -272,12 +272,20 @@ std::vector<std::uint8_t> sperr_compress(const T* data, const Dims& dims,
     inner.put_varint(d);
     inner.put_svarint(qc);
   }
-  return seal_archive(CompressorId::kSPERR, dtype_tag<T>(), inner.bytes());
+  return seal_archive(CompressorId::kSPERR, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> sperr_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kSPERR, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void sperr_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                     ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kSPERR, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -297,7 +305,7 @@ Field<T> sperr_decompress(std::span<const std::uint8_t> archive) {
   }
   for (int l = levels - 1; l >= 0; --l) dwt_level<false>(buf, dims, l);
 
-  Field<T> out(dims);
+  T* out = sink(dims);
   for (std::size_t i = 0; i < buf.size(); ++i)
     out[i] = static_cast<T>(buf[i]);
 
@@ -306,10 +314,40 @@ Field<T> sperr_decompress(std::span<const std::uint8_t> archive) {
   std::size_t pos = 0;
   for (std::uint64_t i = 0; i < ncorr; ++i) {
     pos += static_cast<std::size_t>(r.get_varint());
+    if (pos >= dims.size())
+      throw DecodeError("sperr: correction index out of range");
     const std::int64_t qc = r.get_svarint();
     out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
   }
+}
+
+}  // namespace
+
+template <class T>
+Field<T> sperr_decompress(std::span<const std::uint8_t> archive,
+                          ThreadPool* pool) {
+  Field<T> out;
+  sperr_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void sperr_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                           const Dims& expect, ThreadPool* pool) {
+  sperr_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("sperr: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> sperr_compress<float>(const float*,
@@ -318,7 +356,13 @@ template std::vector<std::uint8_t> sperr_compress<float>(const float*,
 template std::vector<std::uint8_t> sperr_compress<double>(const double*,
                                                           const Dims&,
                                                           const SPERRConfig&);
-template Field<float> sperr_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> sperr_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> sperr_decompress<float>(std::span<const std::uint8_t>,
+                                              ThreadPool*);
+template Field<double> sperr_decompress<double>(std::span<const std::uint8_t>,
+                                                ThreadPool*);
+template void sperr_decompress_into<float>(std::span<const std::uint8_t>,
+                                           float*, const Dims&, ThreadPool*);
+template void sperr_decompress_into<double>(std::span<const std::uint8_t>,
+                                            double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

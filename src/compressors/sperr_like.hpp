@@ -18,6 +18,8 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct SPERRConfig {
   double error_bound = 1e-3;
   int levels = 3;            ///< dyadic decomposition depth per axis
@@ -29,6 +31,9 @@ struct SPERRConfig {
   /// subband, before entropy coding. Reversible: the reconstruction is
   /// untouched. See bench/ablation_design_choices.
   bool index_prediction = false;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -36,15 +41,28 @@ template <class T>
                                          const SPERRConfig& cfg);
 
 template <class T>
-[[nodiscard]] Field<T> sperr_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> sperr_decompress(std::span<const std::uint8_t> archive,
+                                        ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void sperr_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                           const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> sperr_compress<float>(
     const float*, const Dims&, const SPERRConfig&);
 extern template std::vector<std::uint8_t> sperr_compress<double>(
     const double*, const Dims&, const SPERRConfig&);
 extern template Field<float> sperr_decompress<float>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
 extern template Field<double> sperr_decompress<double>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void sperr_decompress_into<float>(std::span<const std::uint8_t>,
+                                                  float*, const Dims&,
+                                                  ThreadPool*);
+extern template void sperr_decompress_into<double>(
+    std::span<const std::uint8_t>, double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

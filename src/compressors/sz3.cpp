@@ -124,14 +124,22 @@ std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
   inner.put(static_cast<std::uint8_t>(predictor));
   if (predictor == SZ3Predictor::kInterpolation) plan.save(inner);
   quant.save(inner);
-  inner.put_block(huffman_encode(symbols));
+  inner.put_block(huffman_encode(symbols, cfg.pool));
 
-  return seal_archive(CompressorId::kSZ3, dtype_tag<T>(), inner.bytes());
+  return seal_archive(CompressorId::kSZ3, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> sz3_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kSZ3, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void sz3_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                   ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kSZ3, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -142,16 +150,44 @@ Field<T> sz3_decompress(std::span<const std::uint8_t> archive) {
   if (predictor == SZ3Predictor::kInterpolation) plan = InterpPlan::load(r);
   LinearQuantizer<T> quant(eb);
   quant.load(r);
-  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
 
-  Field<T> out(dims);
+  T* out = sink(dims);
   if (predictor == SZ3Predictor::kInterpolation) {
-    InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out.data());
+    InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
   } else {
     std::size_t cur = 0;
-    lorenzo_walk<T, false>(out.data(), dims, quant, symbols, cur);
+    lorenzo_walk<T, false>(out, dims, quant, symbols, cur);
   }
+}
+
+}  // namespace
+
+template <class T>
+Field<T> sz3_decompress(std::span<const std::uint8_t> archive,
+                        ThreadPool* pool) {
+  Field<T> out;
+  sz3_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void sz3_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool) {
+  sz3_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("sz3: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> sz3_compress<float>(const float*, const Dims&,
@@ -161,7 +197,13 @@ template std::vector<std::uint8_t> sz3_compress<double>(const double*,
                                                         const Dims&,
                                                         const SZ3Config&,
                                                         SZ3Artifacts*);
-template Field<float> sz3_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> sz3_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> sz3_decompress<float>(std::span<const std::uint8_t>,
+                                            ThreadPool*);
+template Field<double> sz3_decompress<double>(std::span<const std::uint8_t>,
+                                              ThreadPool*);
+template void sz3_decompress_into<float>(std::span<const std::uint8_t>, float*,
+                                         const Dims&, ThreadPool*);
+template void sz3_decompress_into<double>(std::span<const std::uint8_t>,
+                                          double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

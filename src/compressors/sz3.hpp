@@ -17,6 +17,8 @@
 
 namespace qip {
 
+class ThreadPool;
+
 /// Which value predictor an SZ3-like archive committed to.
 enum class SZ3Predictor : std::uint8_t {
   kInterpolation = 0,
@@ -31,6 +33,9 @@ struct SZ3Config {
   /// Try Lorenzo on a sample and switch when it is estimated cheaper
   /// (the behavior the paper observes on SegSalt at eb = 1e-5).
   bool auto_fallback = true;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 /// Introspection data for the characterization experiments (Figs. 3-5):
@@ -47,13 +52,29 @@ template <class T>
                                        SZ3Artifacts* artifacts = nullptr);
 
 template <class T>
-[[nodiscard]] Field<T> sz3_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> sz3_decompress(std::span<const std::uint8_t> archive,
+                                      ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void sz3_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> sz3_compress<float>(
     const float*, const Dims&, const SZ3Config&, SZ3Artifacts*);
 extern template std::vector<std::uint8_t> sz3_compress<double>(
     const double*, const Dims&, const SZ3Config&, SZ3Artifacts*);
-extern template Field<float> sz3_decompress<float>(std::span<const std::uint8_t>);
-extern template Field<double> sz3_decompress<double>(std::span<const std::uint8_t>);
+extern template Field<float> sz3_decompress<float>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template Field<double> sz3_decompress<double>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void sz3_decompress_into<float>(std::span<const std::uint8_t>,
+                                                float*, const Dims&,
+                                                ThreadPool*);
+extern template void sz3_decompress_into<double>(std::span<const std::uint8_t>,
+                                                 double*, const Dims&,
+                                                 ThreadPool*);
 
 }  // namespace qip

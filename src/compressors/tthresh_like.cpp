@@ -252,13 +252,20 @@ std::vector<std::uint8_t> tthresh_compress(const T* data, const Dims& dims,
     inner.put_varint(d);
     inner.put_svarint(qc);
   }
-  return seal_archive(CompressorId::kTTHRESH, dtype_tag<T>(), inner.bytes());
+  return seal_archive(CompressorId::kTTHRESH, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> tthresh_decompress(std::span<const std::uint8_t> archive) {
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void tthresh_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                       ThreadPool* pool) {
   const auto inner =
-      open_archive(archive, CompressorId::kTTHRESH, dtype_tag<T>());
+      open_archive(archive, CompressorId::kTTHRESH, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
@@ -301,7 +308,7 @@ Field<T> tthresh_decompress(std::span<const std::uint8_t> archive) {
                  /*project=*/false);
   }
 
-  Field<T> out(dims);
+  T* out = sink(dims);
   for (std::size_t i = 0; i < core.size(); ++i)
     out[i] = static_cast<T>(core[i]);
 
@@ -310,17 +317,55 @@ Field<T> tthresh_decompress(std::span<const std::uint8_t> archive) {
   std::size_t pos = 0;
   for (std::uint64_t i = 0; i < ncorr; ++i) {
     pos += static_cast<std::size_t>(r.get_varint());
+    if (pos >= dims.size())
+      throw DecodeError("tthresh: correction index out of range");
     const std::int64_t qc = r.get_svarint();
     out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
   }
+}
+
+}  // namespace
+
+template <class T>
+Field<T> tthresh_decompress(std::span<const std::uint8_t> archive,
+                            ThreadPool* pool) {
+  Field<T> out;
+  tthresh_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void tthresh_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                             const Dims& expect, ThreadPool* pool) {
+  tthresh_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError(
+              "tthresh: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> tthresh_compress<float>(
     const float*, const Dims&, const TTHRESHConfig&);
 template std::vector<std::uint8_t> tthresh_compress<double>(
     const double*, const Dims&, const TTHRESHConfig&);
-template Field<float> tthresh_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> tthresh_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> tthresh_decompress<float>(std::span<const std::uint8_t>,
+                                                ThreadPool*);
+template Field<double> tthresh_decompress<double>(
+    std::span<const std::uint8_t>, ThreadPool*);
+template void tthresh_decompress_into<float>(std::span<const std::uint8_t>,
+                                             float*, const Dims&, ThreadPool*);
+template void tthresh_decompress_into<double>(std::span<const std::uint8_t>,
+                                              double*, const Dims&,
+                                              ThreadPool*);
 
 }  // namespace qip

@@ -19,12 +19,17 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct TTHRESHConfig {
   double error_bound = 1e-3;
   double quant_factor = 3.0;  ///< core bin = eb / quant_factor
   /// Modes longer than this skip decorrelation (identity factor): the
   /// Jacobi eigensolve is O(n^3) and pointless past a few hundred rows.
   std::size_t max_mode_size = 512;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -32,15 +37,27 @@ template <class T>
                                            const TTHRESHConfig& cfg);
 
 template <class T>
-[[nodiscard]] Field<T> tthresh_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> tthresh_decompress(std::span<const std::uint8_t> archive,
+                                          ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void tthresh_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                             const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> tthresh_compress<float>(
     const float*, const Dims&, const TTHRESHConfig&);
 extern template std::vector<std::uint8_t> tthresh_compress<double>(
     const double*, const Dims&, const TTHRESHConfig&);
 extern template Field<float> tthresh_decompress<float>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
 extern template Field<double> tthresh_decompress<double>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void tthresh_decompress_into<float>(
+    std::span<const std::uint8_t>, float*, const Dims&, ThreadPool*);
+extern template void tthresh_decompress_into<double>(
+    std::span<const std::uint8_t>, double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

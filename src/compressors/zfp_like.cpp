@@ -406,31 +406,69 @@ std::vector<std::uint8_t> zfp_compress(const T* data, const Dims& dims,
     inner.put_varint(delta);
     inner.put_svarint(qc);
   }
-  return seal_archive(CompressorId::kZFP, dtype_tag<T>(), inner.bytes());
+  return seal_archive(CompressorId::kZFP, dtype_tag<T>(), inner.bytes(),
+                      cfg.pool);
 }
 
-template <class T>
-Field<T> zfp_decompress(std::span<const std::uint8_t> archive) {
-  const auto inner = open_archive(archive, CompressorId::kZFP, dtype_tag<T>());
+namespace {
+
+/// Shared decode path: `sink(dims)` maps the archived shape to the
+/// destination buffer (allocating or validating, caller's choice).
+template <class T, class Sink>
+void zfp_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
+                   ThreadPool* pool) {
+  const auto inner =
+      open_archive(archive, CompressorId::kZFP, dtype_tag<T>(),
+                   std::numeric_limits<std::uint64_t>::max(), pool);
   ByteReader r(inner);
   const Dims dims = read_dims(r);
   const double eb = r.get<double>();
   const int guard = r.get<std::int32_t>();
   const auto stream = r.get_block();
 
-  Field<T> out(dims);
+  T* out = sink(dims);
   BitReader br(stream);
-  walk_blocks<T, false>(out.data(), dims, eb, guard, nullptr, &br);
+  walk_blocks<T, false>(out, dims, eb, guard, nullptr, &br);
 
   const double ebc = eb / 2.0;
   const std::uint64_t ncorr = r.get_varint();
   std::size_t pos = 0;
   for (std::uint64_t i = 0; i < ncorr; ++i) {
     pos += static_cast<std::size_t>(r.get_varint());
+    if (pos >= dims.size())
+      throw DecodeError("zfp: correction index out of range");
     const std::int64_t qc = r.get_svarint();
     out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
   }
+}
+
+}  // namespace
+
+template <class T>
+Field<T> zfp_decompress(std::span<const std::uint8_t> archive,
+                        ThreadPool* pool) {
+  Field<T> out;
+  zfp_decode_to<T>(
+      archive,
+      [&](const Dims& dims) {
+        out = Field<T>(dims);
+        return out.data();
+      },
+      pool);
   return out;
+}
+
+template <class T>
+void zfp_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool) {
+  zfp_decode_to<T>(
+      archive,
+      [&](const Dims& dims) -> T* {
+        if (!(dims == expect))
+          throw DecodeError("zfp: archive dims mismatch for decompress_into");
+        return out;
+      },
+      pool);
 }
 
 template std::vector<std::uint8_t> zfp_compress<float>(const float*,
@@ -439,7 +477,13 @@ template std::vector<std::uint8_t> zfp_compress<float>(const float*,
 template std::vector<std::uint8_t> zfp_compress<double>(const double*,
                                                         const Dims&,
                                                         const ZFPConfig&);
-template Field<float> zfp_decompress<float>(std::span<const std::uint8_t>);
-template Field<double> zfp_decompress<double>(std::span<const std::uint8_t>);
+template Field<float> zfp_decompress<float>(std::span<const std::uint8_t>,
+                                            ThreadPool*);
+template Field<double> zfp_decompress<double>(std::span<const std::uint8_t>,
+                                              ThreadPool*);
+template void zfp_decompress_into<float>(std::span<const std::uint8_t>, float*,
+                                         const Dims&, ThreadPool*);
+template void zfp_decompress_into<double>(std::span<const std::uint8_t>,
+                                          double*, const Dims&, ThreadPool*);
 
 }  // namespace qip

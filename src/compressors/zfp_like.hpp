@@ -22,11 +22,16 @@
 
 namespace qip {
 
+class ThreadPool;
+
 struct ZFPConfig {
   double error_bound = 1e-3;
   /// Extra bitplanes kept below the tolerance plane; larger = safer but
   /// bigger. The correction pass covers whatever the margin misses.
   int guard_bits = 2;
+  /// Optional shared worker pool for the entropy/lossless stages. The
+  /// emitted bytes never depend on it (or on its worker count).
+  ThreadPool* pool = nullptr;
 };
 
 template <class T>
@@ -34,13 +39,29 @@ template <class T>
                                        const ZFPConfig& cfg);
 
 template <class T>
-[[nodiscard]] Field<T> zfp_decompress(std::span<const std::uint8_t> archive);
+[[nodiscard]] Field<T> zfp_decompress(std::span<const std::uint8_t> archive,
+                                      ThreadPool* pool = nullptr);
+
+/// Decompress straight into caller-owned storage of shape `expect`
+/// (a dims mismatch throws DecodeError). Avoids the temporary Field +
+/// copy of the allocating overload; used by the chunked decoder.
+template <class T>
+void zfp_decompress_into(std::span<const std::uint8_t> archive, T* out,
+                         const Dims& expect, ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> zfp_compress<float>(
     const float*, const Dims&, const ZFPConfig&);
 extern template std::vector<std::uint8_t> zfp_compress<double>(
     const double*, const Dims&, const ZFPConfig&);
-extern template Field<float> zfp_decompress<float>(std::span<const std::uint8_t>);
-extern template Field<double> zfp_decompress<double>(std::span<const std::uint8_t>);
+extern template Field<float> zfp_decompress<float>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template Field<double> zfp_decompress<double>(
+    std::span<const std::uint8_t>, ThreadPool*);
+extern template void zfp_decompress_into<float>(std::span<const std::uint8_t>,
+                                                float*, const Dims&,
+                                                ThreadPool*);
+extern template void zfp_decompress_into<double>(std::span<const std::uint8_t>,
+                                                 double*, const Dims&,
+                                                 ThreadPool*);
 
 }  // namespace qip

@@ -9,9 +9,22 @@
 #include "encode/bitstream.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qip {
 namespace {
+
+// Symbols per range of the ranged layout. A format constant: the split is
+// the same regardless of how many threads encode, so parallel output is
+// byte-identical to serial output.
+constexpr std::size_t kRangeSymbols = std::size_t{1} << 16;
+// Streams shorter than this keep the legacy single-payload layout.
+constexpr std::size_t kRangedThreshold = 2 * kRangeSymbols;
+// Alphabets whose max symbol is below this use flat dense arrays for the
+// histogram and the encoder codebook; QP symbol streams live well under it
+// (zigzag residuals over a 2*radius alphabet), the unordered_map path is
+// only a fallback for adversarially wide alphabets.
+constexpr std::uint32_t kDenseAlphabetCap = 1u << 21;
 
 struct SymbolInfo {
   std::uint32_t symbol = 0;
@@ -28,8 +41,10 @@ void assign_code_lengths(std::vector<SymbolInfo>& syms) {
     syms[0].length = 1;
     return;
   }
+  // Tie-break equal frequencies by symbol so the tree shape (and thus the
+  // emitted bytes) is a pure function of the histogram.
   std::sort(syms.begin(), syms.end(), [](const SymbolInfo& a, const SymbolInfo& b) {
-    return a.freq < b.freq;
+    return a.freq != b.freq ? a.freq < b.freq : a.symbol < b.symbol;
   });
 
   struct Node {
@@ -141,55 +156,145 @@ CanonicalTable build_table(const std::vector<SymbolInfo>& syms) {
   return t;
 }
 
-std::vector<SymbolInfo> collect_symbols(std::span<const std::uint32_t> symbols) {
-  std::unordered_map<std::uint32_t, std::uint64_t> freq;
-  freq.reserve(1024);
-  for (std::uint32_t s : symbols) ++freq[s];
+// Histogram `symbols` into per-symbol frequencies. Dense alphabets use a
+// flat array (with per-worker partial histograms merged by addition, so
+// the result is partition-independent); the map path is a fallback for
+// pathologically wide alphabets. Output is sorted by symbol, so the tree
+// build downstream is deterministic either way.
+std::vector<SymbolInfo> collect_symbols(std::span<const std::uint32_t> symbols,
+                                        ThreadPool* pool) {
+  std::uint32_t max_sym = 0;
+  for (std::uint32_t s : symbols) max_sym = std::max(max_sym, s);
+
   std::vector<SymbolInfo> syms;
-  syms.reserve(freq.size());
-  for (const auto& [sym, f] : freq) syms.push_back({sym, f, 0, 0});
+  if (max_sym < kDenseAlphabetCap) {
+    const std::size_t alphabet = static_cast<std::size_t>(max_sym) + 1;
+    std::vector<std::uint64_t> hist(alphabet, 0);
+    const std::size_t nparts =
+        pool && symbols.size() >= kRangedThreshold ? pool->size() : 1;
+    if (nparts > 1) {
+      std::vector<std::vector<std::uint64_t>> partial(
+          nparts, std::vector<std::uint64_t>(alphabet, 0));
+      const std::size_t chunk = (symbols.size() + nparts - 1) / nparts;
+      pool->parallel_for(nparts, [&](std::size_t p) {
+        const std::size_t lo = p * chunk;
+        const std::size_t hi = std::min(symbols.size(), lo + chunk);
+        auto& h = partial[p];
+        for (std::size_t i = lo; i < hi; ++i) ++h[symbols[i]];
+      });
+      for (const auto& h : partial)
+        for (std::size_t s = 0; s < alphabet; ++s) hist[s] += h[s];
+    } else {
+      for (std::uint32_t s : symbols) ++hist[s];
+    }
+    for (std::size_t s = 0; s < alphabet; ++s)
+      if (hist[s]) syms.push_back({static_cast<std::uint32_t>(s), hist[s], 0, 0});
+  } else {
+    std::unordered_map<std::uint32_t, std::uint64_t> freq;
+    freq.reserve(1024);
+    for (std::uint32_t s : symbols) ++freq[s];
+    syms.reserve(freq.size());
+    for (const auto& [sym, f] : freq) syms.push_back({sym, f, 0, 0});
+    std::sort(syms.begin(), syms.end(),
+              [](const SymbolInfo& a, const SymbolInfo& b) {
+                return a.symbol < b.symbol;
+              });
+  }
   return syms;
 }
 
-}  // namespace
+// Encoder-side codebook: flat arrays indexed by symbol when the alphabet
+// is dense, map fallback otherwise.
+struct EncBook {
+  std::vector<std::uint64_t> code;
+  std::vector<std::uint8_t> len;
+  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, int>> sparse;
+  bool dense = false;
+};
 
-std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols) {
-  ByteWriter out;
-  out.put_varint(symbols.size());
-  if (symbols.empty()) return out.take();
+EncBook build_encbook(const std::vector<SymbolInfo>& syms) {
+  EncBook bk;
+  const std::uint32_t max_sym = syms.empty() ? 0 : [&] {
+    std::uint32_t m = 0;
+    for (const auto& s : syms) m = std::max(m, s.symbol);
+    return m;
+  }();
+  if (max_sym < kDenseAlphabetCap) {
+    bk.dense = true;
+    bk.code.assign(static_cast<std::size_t>(max_sym) + 1, 0);
+    bk.len.assign(static_cast<std::size_t>(max_sym) + 1, 0);
+    for (const auto& s : syms) {
+      bk.code[s.symbol] = s.code;
+      bk.len[s.symbol] = static_cast<std::uint8_t>(s.length);
+    }
+  } else {
+    bk.sparse.reserve(syms.size() * 2);
+    for (const auto& s : syms) bk.sparse[s.symbol] = {s.code, s.length};
+  }
+  return bk;
+}
 
-  std::vector<SymbolInfo> syms = collect_symbols(symbols);
-  assign_code_lengths(syms);
-  assign_canonical_codes(syms);
+std::vector<std::uint8_t> encode_stream(std::span<const std::uint32_t> symbols,
+                                        const EncBook& bk) {
+  BitWriter bw;
+  if (bk.dense) {
+    for (std::uint32_t s : symbols) bw.write(bk.code[s], bk.len[s]);
+  } else {
+    for (std::uint32_t s : symbols) {
+      const auto& [code, len] = bk.sparse.at(s);
+      bw.write(code, len);
+    }
+  }
+  return bw.finish();
+}
 
-  // Header: distinct-symbol count, then (delta-coded symbol, length) pairs
-  // in canonical order.
+// Decode `count` symbols from one byte-aligned payload into `out`.
+// Throws DecodeError when the payload runs out before `count` symbols.
+void decode_stream(std::span<const std::uint8_t> payload,
+                   const CanonicalTable& table, std::size_t count,
+                   std::uint32_t* out) {
+  BitReader br(payload);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Fast path: resolve short codes with one table lookup.
+    const std::uint32_t window = br.peek(CanonicalTable::kFastBits);
+    const std::uint8_t flen = table.fast_len[window];
+    if (flen != 0) {
+      br.skip(flen);
+      out[i] = table.fast_sym[window];
+      continue;
+    }
+    std::uint64_t code = 0;
+    int len = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint64_t>(br.read_bit());
+      ++len;
+      if (len > table.max_len) throw DecodeError("huffman bad code stream");
+      if (table.count[len] != 0 && code >= table.first_code[len] &&
+          code - table.first_code[len] < table.count[len]) {
+        out[i] =
+            table.symbols[table.offset[len] + (code - table.first_code[len])];
+        break;
+      }
+    }
+  }
+  // Codes resolved from past-the-end zero fill mean the stream was cut
+  // short of the promised symbol count.
+  if (br.overrun()) throw DecodeError("huffman: truncated code stream");
+}
+
+void write_code_table(ByteWriter& out, const std::vector<SymbolInfo>& syms) {
+  // Header: distinct-symbol count, then (symbol, length) pairs in
+  // canonical order.
   out.put_varint(syms.size());
   for (const auto& s : syms) {
     out.put_varint(s.symbol);
     out.put_varint(static_cast<std::uint64_t>(s.length));
   }
-
-  // Dense code lookup for encoding.
-  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, int>> codebook;
-  codebook.reserve(syms.size() * 2);
-  for (const auto& s : syms) codebook[s.symbol] = {s.code, s.length};
-
-  BitWriter bw;
-  for (std::uint32_t s : symbols) {
-    const auto& [code, len] = codebook.at(s);
-    bw.write(code, len);
-  }
-  const std::vector<std::uint8_t> payload = bw.finish();
-  out.put_block(payload);
-  return out.take();
 }
 
-std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
-  ByteReader in(bytes);
-  const std::uint64_t n = in.get_varint();
-  if (n == 0) return {};
-
+// Parse + validate the code table and rebuild the canonical decoder
+// table. `n` is the declared symbol count (for the distinct <= n bound).
+CanonicalTable read_code_table(ByteReader& in, std::uint64_t n) {
   const std::uint64_t distinct = in.get_varint();
   if (distinct == 0) throw DecodeError("huffman header empty");
   // Each distinct symbol appears at least once in the stream and costs at
@@ -222,55 +327,131 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes) {
   // Re-derive canonical codes from lengths (header is in canonical order,
   // but re-sort defensively).
   assign_canonical_codes(syms);
-  const CanonicalTable table = build_table(syms);
+  return build_table(syms);
+}
 
+}  // namespace
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
+                                         ThreadPool* pool) {
+  ByteWriter out;
+  if (symbols.size() < kRangedThreshold) {
+    // Legacy single-payload layout.
+    out.put_varint(symbols.size());
+    if (symbols.empty()) return out.take();
+
+    std::vector<SymbolInfo> syms = collect_symbols(symbols, nullptr);
+    assign_code_lengths(syms);
+    assign_canonical_codes(syms);
+    write_code_table(out, syms);
+    out.put_block(encode_stream(symbols, build_encbook(syms)));
+    return out.take();
+  }
+
+  // Ranged layout. The leading varint 0 cannot open a legacy stream of
+  // this size (a legacy 0 means "empty stream, nothing follows"), so it
+  // doubles as the format sentinel.
+  out.put_varint(0);
+  out.put_varint(1);  // layout version
+  out.put_varint(symbols.size());
+
+  std::vector<SymbolInfo> syms = collect_symbols(symbols, pool);
+  assign_code_lengths(syms);
+  assign_canonical_codes(syms);
+  write_code_table(out, syms);
+
+  const EncBook bk = build_encbook(syms);
+  const std::size_t nranges =
+      (symbols.size() + kRangeSymbols - 1) / kRangeSymbols;
+  out.put_varint(kRangeSymbols);
+  std::vector<std::vector<std::uint8_t>> payloads(nranges);
+  auto encode_range = [&](std::size_t r) {
+    const std::size_t lo = r * kRangeSymbols;
+    const std::size_t cnt = std::min(kRangeSymbols, symbols.size() - lo);
+    payloads[r] = encode_stream(symbols.subspan(lo, cnt), bk);
+  };
+  if (pool) {
+    pool->parallel_for(nranges, encode_range);
+  } else {
+    for (std::size_t r = 0; r < nranges; ++r) encode_range(r);
+  }
+  for (const auto& p : payloads) out.put_block(p);
+  return out.take();
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> bytes,
+                                          ThreadPool* pool) {
+  ByteReader in(bytes);
+  const std::uint64_t head = in.get_varint();
+
+  if (head == 0) {
+    if (in.remaining() == 0) return {};  // legacy empty stream
+
+    // Ranged layout.
+    const std::uint64_t version = in.get_varint();
+    if (version != 1) throw DecodeError("huffman: unknown ranged version");
+    const std::uint64_t n = in.get_varint();
+    if (n == 0) throw DecodeError("huffman: ranged stream without symbols");
+    // Every symbol costs at least one payload bit somewhere in the buffer;
+    // rejecting impossible counts up front bounds the output allocation.
+    if (n > static_cast<std::uint64_t>(bytes.size()) * 8)
+      throw DecodeError("huffman: symbol count exceeds payload");
+    const CanonicalTable table = read_code_table(in, n);
+    const bool single = table.symbols.size() == 1;
+
+    const std::uint64_t range_size = in.get_varint();
+    if (range_size == 0) throw DecodeError("huffman: zero range size");
+    const std::uint64_t nranges = (n + range_size - 1) / range_size;
+    // Each range carries at least a one-byte length prefix.
+    if (nranges > in.remaining())
+      throw DecodeError("huffman: range count exceeds buffer");
+
+    std::vector<std::span<const std::uint8_t>> payloads(
+        static_cast<std::size_t>(nranges));
+    for (auto& p : payloads) p = in.get_block();
+
+    std::vector<std::uint32_t> out(static_cast<std::size_t>(n));
+    auto decode_range = [&](std::size_t r) {
+      const std::size_t lo = r * static_cast<std::size_t>(range_size);
+      const std::size_t cnt =
+          std::min(static_cast<std::size_t>(range_size), out.size() - lo);
+      if (cnt > payloads[r].size() * 8)
+        throw DecodeError("huffman: range count exceeds payload");
+      if (single) {
+        std::fill_n(out.data() + lo, cnt, table.symbols[0]);
+        return;
+      }
+      decode_stream(payloads[r], table, cnt, out.data() + lo);
+    };
+    if (pool) {
+      pool->parallel_for(payloads.size(), decode_range);
+    } else {
+      for (std::size_t r = 0; r < payloads.size(); ++r) decode_range(r);
+    }
+    return out;
+  }
+
+  // Legacy single-payload layout.
+  const std::uint64_t n = head;
+  const CanonicalTable table = read_code_table(in, n);
   auto payload = in.get_block();
   // Every symbol costs at least one payload bit; rejecting impossible
   // counts up front bounds the output allocation by the input size.
   if (n > payload.size() * 8)
     throw DecodeError("huffman: symbol count exceeds payload");
-  BitReader br(payload);
-  std::vector<std::uint32_t> out;
-  out.reserve(static_cast<std::size_t>(n));
-
-  if (distinct == 1) {
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(n));
+  if (table.symbols.size() == 1) {
     // Single-symbol stream: codes are 1 bit each; just replicate.
-    out.assign(static_cast<std::size_t>(n), syms[0].symbol);
+    std::fill(out.begin(), out.end(), table.symbols[0]);
     return out;
   }
-
-  for (std::uint64_t i = 0; i < n; ++i) {
-    // Fast path: resolve short codes with one table lookup.
-    const std::uint32_t window = br.peek(CanonicalTable::kFastBits);
-    const std::uint8_t flen = table.fast_len[window];
-    if (flen != 0) {
-      br.skip(flen);
-      out.push_back(table.fast_sym[window]);
-      continue;
-    }
-    std::uint64_t code = 0;
-    int len = 0;
-    for (;;) {
-      code = (code << 1) | static_cast<std::uint64_t>(br.read_bit());
-      ++len;
-      if (len > table.max_len) throw DecodeError("huffman bad code stream");
-      if (table.count[len] != 0 && code >= table.first_code[len] &&
-          code - table.first_code[len] < table.count[len]) {
-        out.push_back(
-            table.symbols[table.offset[len] + (code - table.first_code[len])]);
-        break;
-      }
-    }
-  }
-  // Codes resolved from past-the-end zero fill mean the stream was cut
-  // short of the promised symbol count.
-  if (br.overrun()) throw DecodeError("huffman: truncated code stream");
+  decode_stream(payload, table, out.size(), out.data());
   return out;
 }
 
 std::size_t huffman_cost_bits(std::span<const std::uint32_t> symbols) {
   if (symbols.empty()) return 0;
-  std::vector<SymbolInfo> syms = collect_symbols(symbols);
+  std::vector<SymbolInfo> syms = collect_symbols(symbols, nullptr);
   assign_code_lengths(syms);
   std::size_t bits = 0;
   for (const auto& s : syms)

@@ -7,6 +7,15 @@
 // result is handed to a byte-level lossless pass. The implementation is
 // clean-room: classic two-queue Huffman tree construction, canonical code
 // assignment, and a table-accelerated decoder.
+//
+// Streams above a fixed size threshold are emitted in a *ranged* layout:
+// one shared code table, then the symbol stream split into fixed-size
+// ranges, each encoded to its own byte-aligned payload. Ranges are
+// independent, so both encode and decode parallelize across them; the
+// range size is a format constant (never worker-count-dependent), so the
+// encoded bytes are identical no matter how many threads produced them.
+// Streams below the threshold keep the legacy single-payload layout, and
+// the decoder accepts both.
 
 #include <cstdint>
 #include <span>
@@ -14,19 +23,24 @@
 
 namespace qip {
 
+class ThreadPool;
+
 /// Encode `symbols` into a self-describing byte buffer.
 ///
 /// Layout: varint symbol-count table (distinct symbols + code lengths),
-/// varint payload symbol count, then the MSB-first code stream. Empty
-/// input encodes to a short valid buffer.
+/// varint payload symbol count, then the MSB-first code stream. Large
+/// streams switch to the ranged layout described above. Empty input
+/// encodes to a short valid buffer. `pool` parallelizes range encoding;
+/// the output bytes do not depend on it.
 [[nodiscard]] std::vector<std::uint8_t> huffman_encode(
-    std::span<const std::uint32_t> symbols);
+    std::span<const std::uint32_t> symbols, ThreadPool* pool = nullptr);
 
 /// Decode a buffer produced by huffman_encode(). Throws DecodeError on
 /// malformed input (bad lengths, over-subscribed code sets, truncated or
-/// impossible payloads); never reads out of bounds.
+/// impossible payloads); never reads out of bounds. `pool` parallelizes
+/// ranged-layout payload decoding.
 [[nodiscard]] std::vector<std::uint32_t> huffman_decode(
-    std::span<const std::uint8_t> bytes);
+    std::span<const std::uint8_t> bytes, ThreadPool* pool = nullptr);
 
 /// Exact size in bits of the code stream huffman_encode() would emit,
 /// without encoding. Used by auto-tuners to cost candidate configurations.

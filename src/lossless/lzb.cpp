@@ -6,9 +6,16 @@
 
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qip {
 namespace {
+
+// Bytes per block of the blocked layout, and the input size at which the
+// encoder switches to it. Format constants: the split never depends on
+// the worker count, so parallel output is byte-identical to serial.
+constexpr std::size_t kBlockBytes = std::size_t{1} << 20;
+constexpr std::size_t kBlockedThreshold = 2 * kBlockBytes;
 
 constexpr int kMinMatch = 4;
 constexpr int kHashBits = 17;
@@ -90,9 +97,8 @@ class Matcher {
   std::vector<std::size_t> prev_;
 };
 
-}  // namespace
-
-std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input) {
+/// Compress one span with the sequence layout (no framing decisions).
+std::vector<std::uint8_t> compress_one(std::span<const std::uint8_t> input) {
   ByteWriter out;
   out.put_varint(input.size());
   if (input.empty()) return out.take();
@@ -140,8 +146,39 @@ std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input) {
   return out.take();
 }
 
-std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input,
-                                         std::uint64_t max_output) {
+/// Decode one sequence-layout stream of exactly `expect` bytes into `dst`.
+/// Used for the fixed-size blocks of the blocked layout, where the output
+/// size is known up front and the buffer is caller-owned.
+void decompress_one_into(std::span<const std::uint8_t> input,
+                         std::uint8_t* dst, std::size_t expect) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.get_varint();
+  if (raw_size != expect) throw DecodeError("lzb block size mismatch");
+  std::size_t produced = 0;
+  while (produced < expect) {
+    const std::uint64_t lit_len = in.get_varint();
+    if (lit_len > expect - produced) throw DecodeError("lzb literal overrun");
+    const auto lits = in.get_bytes(static_cast<std::size_t>(lit_len));
+    std::copy(lits.begin(), lits.end(), dst + produced);
+    produced += static_cast<std::size_t>(lit_len);
+
+    const std::uint64_t match_len = in.get_varint();
+    if (match_len == 0) {
+      if (produced != expect) throw DecodeError("lzb premature terminator");
+      break;
+    }
+    const std::uint64_t offset = in.get_varint();
+    if (offset == 0 || offset > produced) throw DecodeError("lzb bad offset");
+    if (match_len > expect - produced) throw DecodeError("lzb match overrun");
+    // Overlapping copies are the point (run-length shapes), so copy bytewise.
+    std::size_t src = produced - static_cast<std::size_t>(offset);
+    for (std::uint64_t i = 0; i < match_len; ++i) dst[produced++] = dst[src++];
+  }
+  if (produced != expect) throw DecodeError("lzb size mismatch");
+}
+
+std::vector<std::uint8_t> decompress_legacy(std::span<const std::uint8_t> input,
+                                            std::uint64_t max_output) {
   ByteReader in(input);
   const std::uint64_t raw_size = in.get_varint();
   if (raw_size > max_output) throw DecodeError("lzb output exceeds limit");
@@ -175,6 +212,76 @@ std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input,
     for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src++]);
   }
   if (out.size() != raw_size) throw DecodeError("lzb size mismatch");
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzb_compress(std::span<const std::uint8_t> input,
+                                       ThreadPool* pool) {
+  if (input.size() < kBlockedThreshold) return compress_one(input);
+
+  // Blocked layout. The leading varint 0 cannot open a legacy stream of
+  // this size (a legacy 0 raw size means "empty input, nothing follows"),
+  // so it doubles as the format sentinel.
+  ByteWriter out;
+  out.put_varint(0);
+  out.put_varint(1);  // layout version
+  out.put_varint(input.size());
+  out.put_varint(kBlockBytes);
+  const std::size_t nblocks = (input.size() + kBlockBytes - 1) / kBlockBytes;
+  std::vector<std::vector<std::uint8_t>> parts(nblocks);
+  auto compress_block = [&](std::size_t b) {
+    const std::size_t lo = b * kBlockBytes;
+    const std::size_t cnt = std::min(kBlockBytes, input.size() - lo);
+    parts[b] = compress_one(input.subspan(lo, cnt));
+  };
+  if (pool) {
+    pool->parallel_for(nblocks, compress_block);
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) compress_block(b);
+  }
+  for (const auto& p : parts) out.put_block(p);
+  return out.take();
+}
+
+std::vector<std::uint8_t> lzb_decompress(std::span<const std::uint8_t> input,
+                                         std::uint64_t max_output,
+                                         ThreadPool* pool) {
+  ByteReader in(input);
+  const std::uint64_t head = in.get_varint();
+  if (head != 0 || in.remaining() == 0) return decompress_legacy(input, max_output);
+
+  // Blocked layout.
+  const std::uint64_t version = in.get_varint();
+  if (version != 1) throw DecodeError("lzb: unknown blocked version");
+  const std::uint64_t raw_size = in.get_varint();
+  if (raw_size > max_output) throw DecodeError("lzb output exceeds limit");
+  if (raw_size == 0) throw DecodeError("lzb: blocked stream without data");
+  const std::uint64_t block_bytes = in.get_varint();
+  if (block_bytes == 0) throw DecodeError("lzb: zero block size");
+  const std::uint64_t nblocks = (raw_size + block_bytes - 1) / block_bytes;
+  // Each block carries at least a one-byte length prefix; this bounds the
+  // output allocation by the input size before we materialize anything.
+  if (nblocks > in.remaining())
+    throw DecodeError("lzb: block count exceeds buffer");
+
+  std::vector<std::span<const std::uint8_t>> parts(
+      static_cast<std::size_t>(nblocks));
+  for (auto& p : parts) p = in.get_block();
+
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(raw_size));
+  auto decompress_block = [&](std::size_t b) {
+    const std::size_t lo = b * static_cast<std::size_t>(block_bytes);
+    const std::size_t cnt =
+        std::min(static_cast<std::size_t>(block_bytes), out.size() - lo);
+    decompress_one_into(parts[b], out.data() + lo, cnt);
+  };
+  if (pool) {
+    pool->parallel_for(parts.size(), decompress_block);
+  } else {
+    for (std::size_t b = 0; b < parts.size(); ++b) decompress_block(b);
+  }
   return out;
 }
 

@@ -10,6 +10,12 @@
 // strictly simpler coder (no FSE/entropy stage), so absolute ratios are
 // slightly below ZSTD's, but it preserves the pipeline structure that the
 // paper's quantization-index-prediction gains are measured against.
+//
+// Inputs above a fixed size threshold are emitted as independently
+// compressed fixed-size blocks so both directions parallelize across
+// blocks. The block size is a format constant (never worker-count-
+// dependent), so the emitted bytes are identical no matter how many
+// threads produced them; the decoder accepts both layouts.
 
 #include <cstdint>
 #include <limits>
@@ -18,10 +24,14 @@
 
 namespace qip {
 
+class ThreadPool;
+
 /// Compress `input` into a self-describing buffer. Never fails; highly
 /// incompressible input grows by a few bytes of framing at most per 64 KiB.
+/// `pool` parallelizes block compression; the output bytes do not depend
+/// on it.
 [[nodiscard]] std::vector<std::uint8_t> lzb_compress(
-    std::span<const std::uint8_t> input);
+    std::span<const std::uint8_t> input, ThreadPool* pool = nullptr);
 
 /// Decompress a buffer produced by lzb_compress(). Throws DecodeError on
 /// malformed input, or when the stream's declared output size exceeds
@@ -29,6 +39,7 @@ namespace qip {
 /// payload they are willing to materialize to defuse decompression bombs.
 [[nodiscard]] std::vector<std::uint8_t> lzb_decompress(
     std::span<const std::uint8_t> input,
-    std::uint64_t max_output = std::numeric_limits<std::uint64_t>::max());
+    std::uint64_t max_output = std::numeric_limits<std::uint64_t>::max(),
+    ThreadPool* pool = nullptr);
 
 }  // namespace qip

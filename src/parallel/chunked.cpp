@@ -1,6 +1,7 @@
 #include "parallel/chunked.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -39,33 +40,55 @@ const auto& decompress_fn(const CompressorEntry& e) {
     return e.decompress_f64;
 }
 
+template <class T>
+const auto& decompress_into_fn(const CompressorEntry& e) {
+  if constexpr (std::is_same_v<T, float>)
+    return e.decompress_into_f32;
+  else
+    return e.decompress_into_f64;
+}
+
+/// Resolve the pool to run on: the caller's shared pool when provided,
+/// otherwise a locally owned one with `workers` threads.
+ThreadPool* resolve_pool(ThreadPool* shared, unsigned workers,
+                         std::optional<ThreadPool>& owned) {
+  if (shared) return shared;
+  owned.emplace(workers ? workers
+                        : std::max(1u, std::thread::hardware_concurrency()));
+  return &*owned;
+}
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
                                            const ChunkedOptions& opt) {
   const CompressorEntry& comp = find_compressor(opt.compressor);
-  const unsigned workers =
-      opt.workers ? opt.workers
-                  : std::max(1u, std::thread::hardware_concurrency());
 
   std::size_t slab = opt.slab;
   if (slab == 0) {
-    const std::size_t target_chunks = std::max<std::size_t>(2 * workers, 1);
-    slab = std::max<std::size_t>(8, (dims.extent(0) + target_chunks - 1) /
-                                        target_chunks);
+    // Fixed chunk-count target: the slab geometry (and therefore the
+    // archive bytes) must never depend on how many workers happen to be
+    // available, only on the field shape.
+    constexpr std::size_t kTargetChunks = 16;
+    slab = std::max<std::size_t>(
+        8, (dims.extent(0) + kTargetChunks - 1) / kTargetChunks);
   }
   slab = std::min(slab, dims.extent(0));
   const std::size_t nchunks = (dims.extent(0) + slab - 1) / slab;
   const std::size_t plane = dims.size() / dims.extent(0);
 
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = resolve_pool(opt.options.pool, opt.workers, owned);
+  GenericOptions slab_opt = opt.options;
+  slab_opt.pool = pool;  // intra-slab stages reuse the same workers
+
   std::vector<std::vector<std::uint8_t>> parts(nchunks);
-  ThreadPool pool(workers);
-  pool.parallel_for(nchunks, [&](std::size_t c) {
+  pool->parallel_for(nchunks, [&](std::size_t c) {
     const std::size_t z0 = c * slab;
     const std::size_t thick = std::min(slab, dims.extent(0) - z0);
     parts[c] = compress_fn<T>(comp)(data + z0 * plane,
-                                    slab_dims(dims, thick), opt.options);
+                                    slab_dims(dims, thick), slab_opt);
   });
 
   ByteWriter w;
@@ -83,7 +106,7 @@ std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
 
 template <class T>
 Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
-                            unsigned workers) {
+                            unsigned workers, ThreadPool* shared_pool) {
   if (archive.size() < 5) throw DecodeError("chunked archive too short");
   ByteReader r(archive);
   if (r.get<std::uint32_t>() != kChunkMagic)
@@ -111,11 +134,18 @@ Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
 
   Field<T> out(dims);
   const std::size_t plane = dims.size() / dims.extent(0);
-  ThreadPool pool(workers ? workers
-                          : std::max(1u, std::thread::hardware_concurrency()));
-  pool.parallel_for(nchunks, [&](std::size_t c) {
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = resolve_pool(shared_pool, workers, owned);
+  const auto& dec_into = decompress_into_fn<T>(comp);
+  pool->parallel_for(nchunks, [&](std::size_t c) {
     const std::size_t z0 = c * slab;
     const std::size_t thick = std::min(slab, dims.extent(0) - z0);
+    if (dec_into) {
+      // Decode straight into the slab's final position: no per-slab
+      // temporary field and no copy. A shape mismatch throws inside.
+      dec_into(parts[c], out.data() + z0 * plane, slab_dims(dims, thick));
+      return;
+    }
     const Field<T> dec = decompress_fn<T>(comp)(parts[c]);
     if (dec.dims() != slab_dims(dims, thick))
       throw DecodeError("chunk shape mismatch");
@@ -129,8 +159,8 @@ template std::vector<std::uint8_t> chunked_compress<float>(
 template std::vector<std::uint8_t> chunked_compress<double>(
     const double*, const Dims&, const ChunkedOptions&);
 template Field<float> chunked_decompress<float>(std::span<const std::uint8_t>,
-                                                unsigned);
+                                                unsigned, ThreadPool*);
 template Field<double> chunked_decompress<double>(std::span<const std::uint8_t>,
-                                                  unsigned);
+                                                  unsigned, ThreadPool*);
 
 }  // namespace qip

@@ -25,10 +25,15 @@ namespace qip {
 struct ChunkedOptions {
   std::string compressor = "SZ3";
   GenericOptions options;  ///< error bound + QP config per chunk
-  /// Target slab thickness along axis 0; 0 = auto (aims for ~2 slabs per
-  /// worker, at least 8 planes each).
+  /// Target slab thickness along axis 0; 0 = auto. The auto choice is a
+  /// pure function of the field shape (fixed chunk-count target), never
+  /// of the worker count, so the archive bytes are identical no matter
+  /// how many threads produced them.
   std::size_t slab = 0;
-  unsigned workers = 0;  ///< 0 = hardware concurrency
+  /// Worker count when the shared pool in `options.pool` is not set;
+  /// 0 = hardware concurrency. Ignored when `options.pool` is provided —
+  /// that pool is reused for slab-level and intra-field parallelism.
+  unsigned workers = 0;
 };
 
 template <class T>
@@ -36,18 +41,22 @@ template <class T>
     const T* data, const Dims& dims, const ChunkedOptions& opt);
 
 /// Throws DecodeError on malformed archives (bad magic/dtype, inconsistent
-/// chunk geometry, truncated blocks).
+/// chunk geometry, truncated blocks). Each slab is decoded straight into
+/// its final position in the output field (no per-slab temporary + copy).
+/// Pass `pool` to reuse a shared worker pool; otherwise a local pool with
+/// `workers` threads (0 = hardware concurrency) is spun up.
 template <class T>
 [[nodiscard]] Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
-                                          unsigned workers = 0);
+                                          unsigned workers = 0,
+                                          ThreadPool* pool = nullptr);
 
 extern template std::vector<std::uint8_t> chunked_compress<float>(
     const float*, const Dims&, const ChunkedOptions&);
 extern template std::vector<std::uint8_t> chunked_compress<double>(
     const double*, const Dims&, const ChunkedOptions&);
 extern template Field<float> chunked_decompress<float>(
-    std::span<const std::uint8_t>, unsigned);
+    std::span<const std::uint8_t>, unsigned, ThreadPool*);
 extern template Field<double> chunked_decompress<double>(
-    std::span<const std::uint8_t>, unsigned);
+    std::span<const std::uint8_t>, unsigned, ThreadPool*);
 
 }  // namespace qip

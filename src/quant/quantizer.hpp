@@ -27,14 +27,20 @@ class LinearQuantizer {
  public:
   /// `radius` bounds |q|; codes occupy [0, 2*radius).
   explicit LinearQuantizer(double error_bound, std::int32_t radius = 32768)
-      : eb_(error_bound), radius_(radius) {}
+      : radius_(radius) {
+    set_error_bound(error_bound);
+  }
 
   double error_bound() const { return eb_; }
   std::int32_t radius() const { return radius_; }
 
   /// Adjust the bin width; used by compressors with level-wise error
   /// bounds (QoZ-style eb scaling, MGARD-style level budgets).
-  void set_error_bound(double eb) { eb_ = eb; }
+  void set_error_bound(double eb) {
+    eb_ = eb;
+    two_eb_ = 2.0 * eb;
+    inv_two_eb_ = 1.0 / two_eb_;
+  }
 
   /// Quantize `d` against prediction `p`. Returns the stored code and
   /// writes the reconstructed value to `*recon`. Unpredictable points
@@ -42,11 +48,14 @@ class LinearQuantizer {
   /// record the exact value in the outlier list, and reconstruct exactly.
   std::uint32_t quantize(T d, T p, T* recon) {
     const double diff = static_cast<double>(d) - static_cast<double>(p);
-    const double qd = diff / (2.0 * eb_);
+    // Reciprocal multiply + lrint (current rounding mode) instead of a
+    // divide + llround: any nearest-integer rounding is admissible here,
+    // because the explicit bound check below escapes to the outlier list
+    // whenever the chosen bin misses, so the error contract is unchanged.
+    const double qd = diff * inv_two_eb_;
     if (std::abs(qd) < static_cast<double>(radius_) - 1) {
-      const std::int32_t q =
-          static_cast<std::int32_t>(std::llround(qd));
-      const T dec = static_cast<T>(static_cast<double>(p) + 2.0 * eb_ * q);
+      const std::int32_t q = static_cast<std::int32_t>(std::lrint(qd));
+      const T dec = static_cast<T>(static_cast<double>(p) + two_eb_ * q);
       if (std::abs(static_cast<double>(dec) - static_cast<double>(d)) <= eb_) {
         *recon = dec;
         return static_cast<std::uint32_t>(q + radius_);
@@ -65,7 +74,7 @@ class LinearQuantizer {
       return v;
     }
     const std::int32_t q = static_cast<std::int32_t>(code) - radius_;
-    return static_cast<T>(static_cast<double>(p) + 2.0 * eb_ * q);
+    return static_cast<T>(static_cast<double>(p) + two_eb_ * q);
   }
 
   /// Signed quantization index for a stored code (QP works on these).
@@ -91,7 +100,7 @@ class LinearQuantizer {
 
   /// Restore quantizer state written by save(); resets the outlier cursor.
   void load(ByteReader& r) {
-    eb_ = r.get<double>();
+    set_error_bound(r.get<double>());
     radius_ = r.get<std::int32_t>();
     const std::uint64_t n = r.get_varint();
     outliers_.resize(static_cast<std::size_t>(n));
@@ -100,7 +109,9 @@ class LinearQuantizer {
   }
 
  private:
-  double eb_;
+  double eb_ = 0.0;
+  double two_eb_ = 0.0;
+  double inv_two_eb_ = 0.0;
   std::int32_t radius_;
   std::vector<T> outliers_;
   std::size_t outlier_cursor_ = 0;

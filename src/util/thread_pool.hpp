@@ -6,11 +6,13 @@
 // bodies run for milliseconds.
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -59,11 +61,15 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   ///
   /// Indices are dispatched as ceil(n/threads)-sized contiguous blocks —
-  /// one task (and one heap-allocated packaged_task + future) per block
-  /// rather than per index, so slice-granular callers with large n stop
-  /// paying O(n) allocation and queue-lock traffic. If any invocation
-  /// throws, the first exception is rethrown here, but only after every
-  /// block has finished: `fn` and the caller's captures must stay alive
+  /// one shared work-stealing counter rather than one queue entry per
+  /// index, so slice-granular callers with large n stop paying O(n)
+  /// allocation and queue-lock traffic. The *calling* thread participates
+  /// in draining blocks, which makes nested parallel_for calls (a pooled
+  /// task that itself calls parallel_for on the same pool) deadlock-free:
+  /// even with every worker busy, the caller makes progress by itself.
+  /// If any invocation throws, that block is abandoned, the remaining
+  /// blocks still run, and the first exception is rethrown here after all
+  /// blocks have finished: `fn` and the caller's captures must stay alive
   /// until no worker can still touch them.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
@@ -73,24 +79,68 @@ class ThreadPool {
       return;
     }
     const std::size_t nblocks = (n + block - 1) / block;
-    std::vector<std::future<void>> futs;
-    futs.reserve(nblocks);
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      const std::size_t lo = b * block;
-      const std::size_t hi = std::min(n, lo + block);
-      futs.push_back(submit([&fn, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      }));
-    }
-    std::exception_ptr first;
-    for (auto& f : futs) {
-      try {
-        f.get();
-      } catch (...) {
-        if (!first) first = std::current_exception();
+
+    struct PFState {
+      const std::function<void(std::size_t)>* fn;
+      std::size_t n, block, nblocks;
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::mutex mu;
+      std::condition_variable cv;
+      std::exception_ptr err;
+    };
+    auto st = std::make_shared<PFState>();
+    st->fn = &fn;
+    st->n = n;
+    st->block = block;
+    st->nblocks = nblocks;
+
+    // Drain blocks until the counter runs out. Helper jobs that get
+    // scheduled after all blocks are claimed see next >= nblocks and
+    // return without touching `fn`, so the pointer may dangle by then
+    // but is never dereferenced.
+    auto drain = [st] {
+      for (;;) {
+        const std::size_t b = st->next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= st->nblocks) return;
+        try {
+          const std::size_t lo = b * st->block;
+          const std::size_t hi = std::min(st->n, lo + st->block);
+          for (std::size_t i = lo; i < hi; ++i) (*st->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(st->mu);
+          if (!st->err) st->err = std::current_exception();
+        }
+        if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            st->nblocks) {
+          // Lock pairs with the waiter's predicate check so the notify
+          // cannot fire between its load of done and its wait.
+          std::lock_guard<std::mutex> lk(st->mu);
+          st->cv.notify_all();
+        }
       }
+    };
+
+    // At most nblocks - 1 helpers: the caller always takes a share.
+    const std::size_t helpers =
+        std::min<std::size_t>(workers_.size(), nblocks - 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.emplace_back(drain);
     }
-    if (first) std::rethrow_exception(first);
+    if (helpers == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+
+    drain();  // caller participates
+    {
+      std::unique_lock<std::mutex> lk(st->mu);
+      st->cv.wait(lk, [&] {
+        return st->done.load(std::memory_order_acquire) == st->nblocks;
+      });
+    }
+    if (st->err) std::rethrow_exception(st->err);
   }
 
  private:

@@ -125,5 +125,54 @@ TEST(StressParallel, ConcurrentChunkedRoundtrips) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// One ThreadPool shared by several caller threads, each running the full
+// chunked pipeline through it. The pool sees nested parallelism (the slab
+// fan-out re-enters parallel_for for Huffman/LZB ranges on the same pool)
+// from multiple outer callers at once — the shared-pool reuse pattern the
+// `options.pool` plumbing exists for. Results must stay byte-identical to
+// a serial run, and TSan must stay quiet.
+TEST(StressParallel, SharedPoolAcrossConcurrentPipelines) {
+  const Field<float> field =
+      make_field(DatasetId::kMiranda, 0, Dims{32, 24, 24}, 99u);
+  ChunkedOptions serial_opt;
+  serial_opt.compressor = "SZ3";
+  serial_opt.options.error_bound = 1e-3;
+  serial_opt.slab = 10;
+  serial_opt.workers = 1;
+  const auto expect = chunked_compress(field.data(), field.dims(), serial_opt);
+
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        ChunkedOptions opt = serial_opt;
+        opt.options.pool = &pool;
+        const auto arc = chunked_compress(field.data(), field.dims(), opt);
+        if (arc != expect) {
+          ++failures;
+          return;
+        }
+        const Field<float> back = chunked_decompress<float>(arc, 0, &pool);
+        if (back.dims() != field.dims()) {
+          ++failures;
+          return;
+        }
+        for (std::size_t i = 0; i < field.size(); ++i) {
+          if (std::abs(back.data()[i] - field.data()[i]) > 1e-3f + 1e-6f) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace qip
