@@ -1,0 +1,164 @@
+#include "compressors/core/container.hpp"
+
+#include <limits>
+
+#include "lossless/lzb.hpp"
+
+namespace qip {
+
+std::string stage_name(StageId id) {
+  switch (id) {
+    case StageId::kConfig: return "config";
+    case StageId::kSymbols: return "symbols";
+    case StageId::kCorrections: return "corrections";
+  }
+  return "stage-" + std::to_string(static_cast<unsigned>(id));
+}
+
+void write_dims(ByteWriter& w, const Dims& dims) {
+  w.put_varint(static_cast<std::uint64_t>(dims.rank()));
+  for (int a = 0; a < dims.rank(); ++a) w.put_varint(dims.extent(a));
+}
+
+Dims read_dims(ByteReader& r) {
+  const std::uint64_t raw_rank = r.get_varint();
+  if (raw_rank < 1 || raw_rank > static_cast<std::uint64_t>(kMaxRank))
+    throw DecodeError("bad rank in archive");
+  const int rank = static_cast<int>(raw_rank);
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  std::size_t total = 1;
+  for (int a = 0; a < rank; ++a) {
+    e[a] = static_cast<std::size_t>(r.get_varint());
+    if (e[a] == 0) throw DecodeError("zero extent in archive");
+    // Element count must stay representable; a product that wraps size_t
+    // would defeat every downstream buffer-size check.
+    if (e[a] > std::numeric_limits<std::size_t>::max() / total)
+      throw DecodeError("extent product overflow in archive");
+    total *= e[a];
+  }
+  switch (rank) {
+    case 1: return Dims{e[0]};
+    case 2: return Dims{e[0], e[1]};
+    case 3: return Dims{e[0], e[1], e[2]};
+    default: return Dims{e[0], e[1], e[2], e[3]};
+  }
+}
+
+namespace {
+
+struct ParsedHeader {
+  ContainerInfo info;
+  std::span<const std::uint8_t> body;
+};
+
+/// Shared plaintext-header parse for inspect_container / ContainerReader.
+ParsedHeader parse_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kContainerPrefixBytes)
+    throw DecodeError("archive shorter than header");
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kContainerMagic)
+    throw DecodeError("bad archive magic");
+  ParsedHeader h;
+  h.info.version = r.get<std::uint8_t>();
+  const std::uint8_t raw_id = r.get<std::uint8_t>();
+  h.info.codec = static_cast<CompressorId>(raw_id);
+  // Gate the version before dims: a future layout may move or re-encode
+  // every field after it, so nothing further is trustworthy.
+  if (h.info.version < 2 || h.info.version > kContainerVersion)
+    throw UnknownCodecError("unsupported container format version " +
+                                std::to_string(h.info.version),
+                            raw_id, h.info.version);
+  h.info.dtype = r.get<std::uint8_t>();
+  h.info.dims = read_dims(r);
+  h.info.header_bytes = r.position();
+  h.info.body_bytes = r.remaining();
+  h.body = r.get_bytes(r.remaining());
+  return h;
+}
+
+}  // namespace
+
+ContainerInfo inspect_container(std::span<const std::uint8_t> bytes) {
+  return parse_header(bytes).info;
+}
+
+ByteWriter& ContainerWriter::stage(StageId id) {
+  for (auto& [sid, w] : stages_)
+    if (sid == id) return w;
+  return stages_.emplace_back(id, ByteWriter{}).second;
+}
+
+std::vector<std::uint8_t> ContainerWriter::seal(ThreadPool* pool) {
+  ByteWriter body;
+  body.put_varint(stages_.size());
+  for (const auto& [sid, w] : stages_) {
+    body.put(static_cast<std::uint8_t>(sid));
+    body.put_block(w.bytes());
+  }
+  ByteWriter out;
+  out.put(kContainerMagic);
+  out.put(kContainerVersion);
+  out.put(static_cast<std::uint8_t>(id_));
+  out.put(dtype_);
+  write_dims(out, dims_);
+  out.put_bytes(lzb_compress(body.bytes(), pool));
+  return out.take();
+}
+
+ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes,
+                                 CompressorId expect_id,
+                                 std::uint8_t expect_dtype,
+                                 std::uint64_t max_body, ThreadPool* pool) {
+  parse(bytes, max_body, pool);
+  if (codec_ != expect_id) throw DecodeError("archive compressor mismatch");
+  if (dtype_ != expect_dtype) throw DecodeError("archive dtype mismatch");
+}
+
+ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t max_body, ThreadPool* pool) {
+  parse(bytes, max_body, pool);
+}
+
+void ContainerReader::parse(std::span<const std::uint8_t> bytes,
+                            std::uint64_t max_body, ThreadPool* pool) {
+  ParsedHeader h = parse_header(bytes);
+  version_ = h.info.version;
+  codec_ = h.info.codec;
+  dtype_ = h.info.dtype;
+  dims_ = h.info.dims;
+  body_ = lzb_decompress(h.body, max_body, pool);
+
+  ByteReader b(body_);
+  const std::uint64_t count = b.get_varint();
+  // Each section costs at least two body bytes (id + length), so a count
+  // beyond that is unsatisfiable no matter what follows.
+  if (count > body_.size() / 2 + 1)
+    throw DecodeError("stage count exceeds body");
+  sections_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto sid = static_cast<StageId>(b.get<std::uint8_t>());
+    for (const auto& s : sections_)
+      if (s.id == sid) throw DecodeError("duplicate stage section");
+    const auto blk = b.get_block();
+    sections_.push_back(
+        {sid, static_cast<std::size_t>(blk.data() - body_.data()),
+         blk.size()});
+  }
+  if (b.remaining() != 0)
+    throw DecodeError("trailing bytes after stage sections");
+}
+
+bool ContainerReader::has_stage(StageId id) const {
+  for (const auto& s : sections_)
+    if (s.id == id) return true;
+  return false;
+}
+
+std::span<const std::uint8_t> ContainerReader::stage_bytes(StageId id) const {
+  for (const auto& s : sections_)
+    if (s.id == id)
+      return std::span<const std::uint8_t>(body_).subspan(s.offset, s.size);
+  throw DecodeError("missing " + stage_name(id) + " stage section");
+}
+
+}  // namespace qip

@@ -1,0 +1,206 @@
+#pragma once
+
+// The unified, self-describing archive container shared by every codec.
+//
+// Outer layout (plaintext, inspectable without any decompression):
+//
+//   u32   magic            "QIPC" (little-endian 0x43504951)
+//   u8    format version   (kContainerVersion)
+//   u8    codec id         (CompressorId)
+//   u8    dtype            (dtype_tag<T>())
+//   dims  varint rank, then one varint extent per axis
+//
+// followed by a single LZB block holding the stage sections:
+//
+//   varint section count
+//   per section: u8 stage id | varint length | payload bytes
+//
+// Every stage payload rides inside the one LZB pass, so the container
+// framing costs only the plaintext header versus the previous per-codec
+// ad-hoc formats. find_compressor_for, `qipc info`, and the fuzz harness
+// all parse exactly this layout and nothing else.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/dims.hpp"
+#include "util/status.hpp"
+
+namespace qip {
+
+class ThreadPool;
+
+inline constexpr std::uint32_t kContainerMagic = 0x43504951;  // "QIPC"
+
+/// Current container format version. Bumped whenever the layout above or
+/// any stage payload changes incompatibly; readers reject unknown
+/// versions with UnknownCodecError instead of misparsing.
+inline constexpr std::uint8_t kContainerVersion = 2;
+
+/// Magic of multi-chunk parallel archives (parallel/chunked.cpp). Listed
+/// here so every tool can tell the two top-level formats apart from one
+/// set of named constants.
+inline constexpr std::uint32_t kChunkedMagic = 0x50504951;  // "QIPP"
+
+/// Plaintext bytes before dims: magic(4) + version(1) + id(1) + dtype(1).
+inline constexpr std::size_t kContainerPrefixBytes = 7;
+
+/// Compressor identifiers stored in archives. Serialized; append-only.
+enum class CompressorId : std::uint8_t {
+  kSZ3 = 1,
+  kQoZ = 2,
+  kHPEZ = 3,
+  kMGARD = 4,
+  kZFP = 5,
+  kSPERR = 6,
+  kTTHRESH = 7,
+};
+
+/// Scalar type tag stored in archives.
+template <class T>
+constexpr std::uint8_t dtype_tag();
+template <>
+constexpr std::uint8_t dtype_tag<float>() { return 1; }
+template <>
+constexpr std::uint8_t dtype_tag<double>() { return 2; }
+
+/// Stage sections a codec may store. Serialized; append-only.
+enum class StageId : std::uint8_t {
+  kConfig = 1,       ///< codec knobs + model state (plan, quantizer, factors)
+  kSymbols = 2,      ///< entropy-coded symbol / coefficient stream
+  kCorrections = 3,  ///< sparse bound-enforcing patch list
+};
+
+/// Human-readable stage name for tools ("config", "symbols", ...).
+[[nodiscard]] std::string stage_name(StageId id);
+
+/// Typed decode failure for structurally recognizable containers this
+/// build cannot open: an unknown codec id or an unsupported format
+/// version. Carries both offending fields so callers (and `qipc`) can
+/// report exactly what they met instead of a bare "unknown archive".
+class UnknownCodecError : public DecodeError {
+ public:
+  UnknownCodecError(const std::string& what, std::uint8_t codec_id,
+                    std::uint8_t version)
+      : DecodeError(what), codec_id_(codec_id), version_(version) {}
+
+  std::uint8_t codec_id() const noexcept { return codec_id_; }
+  std::uint8_t version() const noexcept { return version_; }
+
+ private:
+  std::uint8_t codec_id_;
+  std::uint8_t version_;
+};
+
+void write_dims(ByteWriter& w, const Dims& dims);
+
+/// Parse dims written by write_dims(). Rejects rank outside [1, kMaxRank],
+/// zero extents, and extent products that would wrap size_t (which would
+/// defeat every downstream buffer-size check).
+[[nodiscard]] Dims read_dims(ByteReader& r);
+
+/// Everything the plaintext header says about an archive, without
+/// touching the compressed stage body.
+struct ContainerInfo {
+  std::uint8_t version = 0;
+  CompressorId codec{};
+  std::uint8_t dtype = 0;
+  Dims dims;
+  std::size_t header_bytes = 0;  ///< plaintext header size
+  std::size_t body_bytes = 0;    ///< compressed stage-body size
+};
+
+/// Parse the plaintext header only. Throws DecodeError on malformed
+/// bytes and UnknownCodecError on an unsupported format version; does
+/// not validate the codec id (that is the registry's call).
+[[nodiscard]] ContainerInfo inspect_container(
+    std::span<const std::uint8_t> bytes);
+
+/// One stage section of an opened container.
+struct StageSection {
+  StageId id{};
+  std::size_t offset = 0;  ///< into the decompressed body
+  std::size_t size = 0;
+};
+
+/// Assembles a container: per-stage byte writers, concatenated and
+/// length-prefixed into one LZB block at seal() time.
+class ContainerWriter {
+ public:
+  ContainerWriter(CompressorId id, std::uint8_t dtype, const Dims& dims)
+      : id_(id), dtype_(dtype), dims_(dims) {}
+
+  /// Writer for the section `id`; sections are emitted in first-use
+  /// order, and a repeated call appends to the same section.
+  [[nodiscard]] ByteWriter& stage(StageId id);
+
+  /// Emit the full archive. `pool` parallelizes the lossless pass; the
+  /// bytes do not depend on it.
+  [[nodiscard]] std::vector<std::uint8_t> seal(ThreadPool* pool = nullptr);
+
+ private:
+  CompressorId id_;
+  std::uint8_t dtype_;
+  Dims dims_;
+  std::vector<std::pair<StageId, ByteWriter>> stages_;
+};
+
+/// Validates and indexes a container: plaintext header checks first,
+/// then one LZB decompression (capped at `max_body` to bound what a
+/// hostile length header can make us materialize), then the stage
+/// directory. Throws DecodeError on malformed input; never reads out of
+/// bounds.
+class ContainerReader {
+ public:
+  static constexpr std::uint64_t kNoBodyCap =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Open for a specific codec: additionally rejects archives whose
+  /// codec id or dtype disagree with the caller's expectation.
+  ContainerReader(std::span<const std::uint8_t> bytes, CompressorId expect_id,
+                  std::uint8_t expect_dtype,
+                  std::uint64_t max_body = kNoBodyCap,
+                  ThreadPool* pool = nullptr);
+
+  /// Open without codec/dtype expectations (inspection tools, fuzzing).
+  explicit ContainerReader(std::span<const std::uint8_t> bytes,
+                           std::uint64_t max_body = kNoBodyCap,
+                           ThreadPool* pool = nullptr);
+
+  std::uint8_t version() const { return version_; }
+  CompressorId codec() const { return codec_; }
+  std::uint8_t dtype() const { return dtype_; }
+  const Dims& dims() const { return dims_; }
+
+  /// Stage directory, in on-disk order.
+  const std::vector<StageSection>& sections() const { return sections_; }
+
+  bool has_stage(StageId id) const;
+
+  /// Raw payload of stage `id`; throws DecodeError when absent.
+  [[nodiscard]] std::span<const std::uint8_t> stage_bytes(StageId id) const;
+
+  /// Cursor over the payload of stage `id`; throws DecodeError when
+  /// absent.
+  [[nodiscard]] ByteReader stage(StageId id) const {
+    return ByteReader(stage_bytes(id));
+  }
+
+ private:
+  void parse(std::span<const std::uint8_t> bytes, std::uint64_t max_body,
+             ThreadPool* pool);
+
+  std::uint8_t version_ = 0;
+  CompressorId codec_{};
+  std::uint8_t dtype_ = 0;
+  Dims dims_;
+  std::vector<std::uint8_t> body_;
+  std::vector<StageSection> sections_;
+};
+
+}  // namespace qip

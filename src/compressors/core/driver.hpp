@@ -1,0 +1,250 @@
+#pragma once
+
+// The templated compress/decompress driver every codec front-end runs on,
+// plus the shared stage read/write helpers of the two codec families
+// (interpolation pipelines and correction-list erasure pipelines).
+//
+// A codec supplies a policy struct:
+//
+//   struct FooCodec {
+//     using Config = FooConfig;           // inherits CodecOptions
+//     using Artifacts = IndexArtifacts;   // or NoArtifacts
+//     static constexpr CompressorId kId = CompressorId::kFoo;
+//     static constexpr const char* kName = "foo";
+//     template <class T>
+//     static void encode(const T* data, const Dims& dims, const Config&,
+//                        ContainerWriter& out, Artifacts*);
+//     template <class T>
+//     static void decode(const ContainerReader& in, T* out, ThreadPool*);
+//   };
+//
+// and the driver owns the container framing, output allocation, and
+// dims/dtype validation for compress / decompress / decompress_into, so
+// a new codec is one policy struct plus three one-line public wrappers.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compressors/core/container.hpp"
+#include "compressors/core/options.hpp"
+#include "compressors/interp_engine.hpp"
+#include "compressors/plan.hpp"
+#include "core/qp.hpp"
+#include "encode/huffman.hpp"
+#include "quant/quantizer.hpp"
+#include "util/field.hpp"
+
+namespace qip {
+
+/// Artifacts type for codecs that expose none.
+struct NoArtifacts {};
+
+/// Compress `data` through `Codec`'s encode policy into a sealed
+/// container.
+template <class Codec, class T>
+[[nodiscard]] std::vector<std::uint8_t> codec_seal(
+    const T* data, const Dims& dims, const typename Codec::Config& cfg,
+    typename Codec::Artifacts* artifacts = nullptr) {
+  ContainerWriter out(Codec::kId, dtype_tag<T>(), dims);
+  Codec::template encode<T>(data, dims, cfg, out, artifacts);
+  return out.seal(cfg.pool);
+}
+
+/// Decompress a `Codec` container into a freshly allocated field.
+template <class Codec, class T>
+[[nodiscard]] Field<T> codec_open(std::span<const std::uint8_t> archive,
+                                  ThreadPool* pool = nullptr) {
+  const ContainerReader in(archive, Codec::kId, dtype_tag<T>(),
+                           ContainerReader::kNoBodyCap, pool);
+  Field<T> out(in.dims());
+  Codec::template decode<T>(in, out.data(), pool);
+  return out;
+}
+
+/// Copy-free decompress into a caller-owned buffer of shape `expect`;
+/// throws DecodeError when the archive's dims disagree.
+template <class Codec, class T>
+void codec_open_into(std::span<const std::uint8_t> archive, T* out,
+                     const Dims& expect, ThreadPool* pool = nullptr) {
+  const ContainerReader in(archive, Codec::kId, dtype_tag<T>(),
+                           ContainerReader::kNoBodyCap, pool);
+  if (in.dims() != expect)
+    throw DecodeError(std::string(Codec::kName) +
+                      ": archive dims mismatch for decompress_into");
+  Codec::template decode<T>(in, out, pool);
+}
+
+// ---------------------------------------------------------------------------
+// Interpolation-family stage helpers (SZ3 / QoZ / HPEZ / MGARD).
+
+/// The common prefix of every interpolation-family config section.
+struct InterpCommon {
+  double error_bound = 0.0;
+  std::int32_t radius = 0;
+  QPConfig qp;
+};
+
+inline void save_interp_common(ByteWriter& w, double error_bound,
+                               std::int32_t radius, const QPConfig& qp) {
+  w.put(error_bound);
+  w.put(radius);
+  qp.save(w);
+}
+
+[[nodiscard]] inline InterpCommon load_interp_common(ByteReader& r) {
+  InterpCommon c;
+  c.error_bound = r.get<double>();
+  c.radius = r.get<std::int32_t>();
+  c.qp = QPConfig::load(r);
+  return c;
+}
+
+/// Huffman-code `symbols` into the kSymbols stage section.
+inline void write_symbols_stage(ContainerWriter& out,
+                                std::span<const std::uint32_t> symbols,
+                                ThreadPool* pool) {
+  out.stage(StageId::kSymbols).put_bytes(huffman_encode(symbols, pool));
+}
+
+[[nodiscard]] inline std::vector<std::uint32_t> read_symbols_stage(
+    const ContainerReader& in, ThreadPool* pool) {
+  return huffman_decode(in.stage_bytes(StageId::kSymbols), pool);
+}
+
+/// One interpolation encode pass over a working copy of `data`.
+template <class T>
+struct InterpEncoding {
+  std::vector<std::uint32_t> symbols;
+  LinearQuantizer<T> quant;
+};
+
+template <class T>
+[[nodiscard]] InterpEncoding<T> interp_encode(const T* data, const Dims& dims,
+                                              const InterpPlan& plan,
+                                              double error_bound,
+                                              std::int32_t radius,
+                                              const QPConfig& qp,
+                                              IndexArtifacts* artifacts) {
+  Field<T> work(dims, std::vector<T>(data, data + dims.size()));
+  InterpEncoding<T> enc{{}, LinearQuantizer<T>(error_bound, radius)};
+  auto res = InterpEngine<T>::encode(work.data(), dims, plan, error_bound,
+                                     enc.quant, qp, artifacts != nullptr);
+  enc.symbols = std::move(res.symbols);
+  if (artifacts) {
+    artifacts->codes = std::move(res.codes);
+    artifacts->symbols_spatial = std::move(res.symbols_spatial);
+  }
+  return enc;
+}
+
+/// Run the full interpolation pipeline and emit the standard two stages:
+/// kConfig = common prefix | plan | quantizer, kSymbols = Huffman stream.
+template <class T>
+void interp_encode_stages(ContainerWriter& out, const T* data,
+                          const Dims& dims, const InterpPlan& plan,
+                          double error_bound, std::int32_t radius,
+                          const QPConfig& qp, ThreadPool* pool,
+                          IndexArtifacts* artifacts) {
+  const InterpEncoding<T> enc =
+      interp_encode(data, dims, plan, error_bound, radius, qp, artifacts);
+  ByteWriter& h = out.stage(StageId::kConfig);
+  save_interp_common(h, error_bound, radius, qp);
+  plan.save(h);
+  enc.quant.save(h);
+  write_symbols_stage(out, enc.symbols, pool);
+}
+
+/// Decode counterpart of interp_encode_stages().
+template <class T>
+void interp_decode_stages(const ContainerReader& in, T* out,
+                          ThreadPool* pool) {
+  ByteReader h = in.stage(StageId::kConfig);
+  const InterpCommon c = load_interp_common(h);
+  const InterpPlan plan = InterpPlan::load(h);
+  LinearQuantizer<T> quant(c.error_bound);
+  quant.load(h);
+  const std::vector<std::uint32_t> symbols = read_symbols_stage(in, pool);
+  InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
+                          c.qp, out);
+}
+
+/// Seal a complete standard interpolation archive for a fixed plan. Used
+/// directly by tuners that size-compare fully sealed candidates (HPEZ).
+template <class T>
+[[nodiscard]] std::vector<std::uint8_t> interp_seal(
+    CompressorId id, const T* data, const Dims& dims, const InterpPlan& plan,
+    double error_bound, std::int32_t radius, const QPConfig& qp,
+    ThreadPool* pool, IndexArtifacts* artifacts) {
+  ContainerWriter out(id, dtype_tag<T>(), dims);
+  interp_encode_stages(out, data, dims, plan, error_bound, radius, qp, pool,
+                       artifacts);
+  return out.seal(pool);
+}
+
+// ---------------------------------------------------------------------------
+// Correction-list helpers (MGARD / ZFP / SPERR / TTHRESH).
+//
+// A correction is a sparse patch applied after the main reconstruction:
+// wherever the self-decoded value misses the bound, the residual is
+// quantized at half-bin width ebc and stored as (delta-coded position,
+// signed bin count).
+
+struct Correction {
+  std::uint64_t delta = 0;  ///< position delta to the previous correction
+  std::int64_t bins = 0;    ///< residual in units of 2*ebc
+};
+
+/// Scan `n` values against the decoder's view `dec_at(i)` and collect
+/// every point whose residual exceeds `eb`.
+template <class T, class DecodedAt>
+[[nodiscard]] std::vector<Correction> collect_corrections(const T* data,
+                                                          std::size_t n,
+                                                          double eb,
+                                                          double ebc,
+                                                          DecodedAt&& dec_at) {
+  std::vector<Correction> corrections;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = static_cast<double>(data[i]) - dec_at(i);
+    if (std::abs(r) > eb) {
+      corrections.push_back(
+          {static_cast<std::uint64_t>(i - prev), std::llround(r / (2.0 * ebc))});
+      prev = i;
+    }
+  }
+  return corrections;
+}
+
+inline void write_corrections_stage(ContainerWriter& out,
+                                    std::span<const Correction> corrections) {
+  ByteWriter& w = out.stage(StageId::kCorrections);
+  w.put_varint(corrections.size());
+  for (const Correction& c : corrections) {
+    w.put_varint(c.delta);
+    w.put_svarint(c.bins);
+  }
+}
+
+/// Apply the kCorrections stage to `out[0..n)`. `what` names the codec in
+/// the out-of-range DecodeError.
+template <class T>
+void apply_corrections_stage(const ContainerReader& in, T* out, std::size_t n,
+                             double ebc, const char* what) {
+  ByteReader r = in.stage(StageId::kCorrections);
+  const std::uint64_t count = r.get_varint();
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pos += static_cast<std::size_t>(r.get_varint());
+    if (pos >= n)
+      throw DecodeError(std::string(what) + ": correction index out of range");
+    const std::int64_t bins = r.get_svarint();
+    out[pos] = static_cast<T>(static_cast<double>(out[pos]) +
+                              2.0 * ebc * static_cast<double>(bins));
+  }
+}
+
+}  // namespace qip

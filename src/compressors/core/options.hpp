@@ -1,0 +1,32 @@
+#pragma once
+
+// Options every codec front-end understands. Per-codec config structs
+// inherit from CodecOptions instead of redeclaring these knobs, so the
+// registry, the stage-graph driver, and the experiment sweeps can treat
+// all configs uniformly (and tools/qip_lint.py enforces that no config
+// grows a duplicate copy of a common field).
+
+#include <cstdint>
+
+#include "core/qp.hpp"
+#include "predict/interpolation.hpp"
+
+namespace qip {
+
+class ThreadPool;
+
+/// The common surface of every codec config. Codecs that have no use for
+/// a field simply ignore it (e.g. the erasure-style codecs ignore `qp`
+/// and `kind`); the interpolation family honors all of them.
+struct CodecOptions {
+  double error_bound = 1e-3;    ///< absolute (L-inf) error bound
+  QPConfig qp;                  ///< quantization index prediction hook
+  std::int32_t radius = 32768;  ///< linear-quantizer code radius
+  InterpKind kind = InterpKind::kCubic;  ///< interpolator for fixed plans
+  /// Shared worker pool for the parallel entropy-coding stages; nullptr
+  /// runs them inline. Parallel output is byte-identical to serial output
+  /// by construction (fixed-size ranges, not worker-count-dependent).
+  ThreadPool* pool = nullptr;
+};
+
+}  // namespace qip

@@ -4,10 +4,8 @@
 #include <cmath>
 #include <limits>
 
-#include "compressors/archive.hpp"
-#include "compressors/interp_engine.hpp"
+#include "compressors/core/driver.hpp"
 #include "compressors/tuning.hpp"
-#include "encode/huffman.hpp"
 #include "predict/multilevel.hpp"
 
 namespace qip {
@@ -36,12 +34,14 @@ std::vector<LevelPlan> hpez_candidates(int rank) {
   return cands;
 }
 
-}  // namespace
-
+/// Decide the committed interpolation plan: global per-level tuning,
+/// QoZ-style (alpha, beta) selection, block-wise refinement at fine
+/// levels, and a final size comparison between fully sealed block-wise
+/// and global candidate archives. The comparison runs QP-blind (see
+/// HPEZCodec::encode).
 template <class T>
-std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
-                                        const HPEZConfig& cfg,
-                                        IndexArtifacts* artifacts) {
+InterpPlan hpez_tune_plan(const T* data, const Dims& dims,
+                          const HPEZConfig& cfg) {
   const int levels = interpolation_level_count(dims);
   const std::size_t bs = cfg.block_size;
 
@@ -144,111 +144,69 @@ std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
   // plan and keeping the smaller archive. The extra pass is in character:
   // HPEZ trades compression speed for ratio via heavy serial tuning
   // (paper Table I: "medium speed, high ratio").
-  auto build = [&](const InterpPlan& p, const QPConfig& qp,
-                   IndexArtifacts* arts) {
-    Field<T> work(dims, std::vector<T>(data, data + dims.size()));
-    LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
-    auto res = InterpEngine<T>::encode(work.data(), dims, p, cfg.error_bound,
-                                       quant, qp, arts != nullptr);
-    if (arts) {
-      arts->codes = std::move(res.codes);
-      arts->symbols_spatial = std::move(res.symbols_spatial);
-    }
-    ByteWriter inner;
-    write_dims(inner, dims);
-    inner.put(cfg.error_bound);
-    inner.put(cfg.radius);
-    qp.save(inner);
-    p.save(inner);
-    quant.save(inner);
-    inner.put_block(huffman_encode(res.symbols, cfg.pool));
-    return seal_archive(CompressorId::kHPEZ, dtype_tag<T>(), inner.bytes(),
-                        cfg.pool);
-  };
-
-  // The plan decision must not depend on the QP configuration, or QP
-  // would change the committed plan and thus the decompressed data —
-  // breaking its "same reconstruction, smaller archive" contract. So the
-  // block-vs-global comparison runs QP-blind, and the winner is encoded
-  // once more with the requested QP config.
   const bool any_blockwise =
       std::any_of(plan.level_blockwise.begin(), plan.level_blockwise.end(),
                   [](std::uint8_t v) { return v != 0; });
-  const bool plain = !cfg.qp.enabled;
-  IndexArtifacts arts_blk;
-  auto arc_blk = build(plan, QPConfig{}, plain && artifacts ? &arts_blk : nullptr);
-  const InterpPlan* winner = &plan;
-  InterpPlan global_plan;
   if (any_blockwise) {
-    global_plan = plan;
+    const auto arc_blk =
+        interp_seal(CompressorId::kHPEZ, data, dims, plan, cfg.error_bound,
+                    cfg.radius, QPConfig{}, cfg.pool, nullptr);
+    InterpPlan global_plan = plan;
     global_plan.level_blockwise.assign(global_plan.level_blockwise.size(), 0);
-    IndexArtifacts arts_glb;
-    auto arc_glb =
-        build(global_plan, QPConfig{}, plain && artifacts ? &arts_glb : nullptr);
-    if (arc_glb.size() < arc_blk.size()) {
-      winner = &global_plan;
-      arc_blk = std::move(arc_glb);
-      arts_blk = std::move(arts_glb);
-    }
+    const auto arc_glb =
+        interp_seal(CompressorId::kHPEZ, data, dims, global_plan,
+                    cfg.error_bound, cfg.radius, QPConfig{}, cfg.pool, nullptr);
+    if (arc_glb.size() < arc_blk.size()) plan = std::move(global_plan);
   }
-  if (plain) {
-    if (artifacts) *artifacts = std::move(arts_blk);
-    return arc_blk;
-  }
-  return build(*winner, cfg.qp, artifacts);
+  return plan;
 }
 
-namespace {
+/// Stage policy: heavy serial tuning picks the plan, then the shared
+/// interpolation stage pipeline does everything else.
+struct HPEZCodec {
+  using Config = HPEZConfig;
+  using Artifacts = IndexArtifacts;
+  static constexpr CompressorId kId = CompressorId::kHPEZ;
+  static constexpr const char* kName = "hpez";
 
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void hpez_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                    ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kHPEZ, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
-  const QPConfig qp = QPConfig::load(r);
-  const InterpPlan plan = InterpPlan::load(r);
-  LinearQuantizer<T> quant(eb);
-  quant.load(r);
-  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts* artifacts) {
+    // The plan decision must not depend on the QP configuration, or QP
+    // would change the committed plan and thus the decompressed data —
+    // breaking its "same reconstruction, smaller archive" contract. So
+    // the tuner (including its sealed-size comparison) runs QP-blind,
+    // and the winner is encoded with the requested QP config.
+    const InterpPlan plan = hpez_tune_plan(data, dims, cfg);
+    interp_encode_stages(out, data, dims, plan, cfg.error_bound, cfg.radius,
+                         cfg.qp, cfg.pool, artifacts);
+  }
 
-  T* out = sink(dims);
-  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
-}
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
+    interp_decode_stages(in, out, pool);
+  }
+};
 
 }  // namespace
 
 template <class T>
+std::vector<std::uint8_t> hpez_compress(const T* data, const Dims& dims,
+                                        const HPEZConfig& cfg,
+                                        IndexArtifacts* artifacts) {
+  return codec_seal<HPEZCodec>(data, dims, cfg, artifacts);
+}
+
+template <class T>
 Field<T> hpez_decompress(std::span<const std::uint8_t> archive,
                          ThreadPool* pool) {
-  Field<T> out;
-  hpez_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<HPEZCodec, T>(archive, pool);
 }
 
 template <class T>
 void hpez_decompress_into(std::span<const std::uint8_t> archive, T* out,
                           const Dims& expect, ThreadPool* pool) {
-  hpez_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("hpez: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<HPEZCodec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> hpez_compress<float>(

@@ -16,7 +16,7 @@
 #include <span>
 #include <vector>
 
-#include "core/qp.hpp"
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -24,17 +24,11 @@ namespace qip {
 
 class ThreadPool;
 
-struct HPEZConfig {
-  double error_bound = 1e-3;
-  QPConfig qp;
-  std::int32_t radius = 32768;
+struct HPEZConfig : CodecOptions {
   std::size_t block_size = 32;
   double alpha = 1.5;  ///< level-wise eb decay
   double beta = 4.0;   ///< level-wise eb floor divisor
   bool tune_blocks = true;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

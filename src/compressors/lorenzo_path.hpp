@@ -17,6 +17,7 @@
 #include "core/qp.hpp"
 #include "quant/quantizer.hpp"
 #include "util/dims.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -26,6 +27,12 @@ namespace qip {
 template <class T, bool kEncode>
 void lorenzo_walk(T* data, const Dims& dims, LinearQuantizer<T>& quant,
                   std::vector<std::uint32_t>& symbols, std::size_t& cursor) {
+  if constexpr (!kEncode) {
+    // The walk consumes exactly one symbol per point; checking once here
+    // keeps hostile archives from driving the cursor out of bounds.
+    if (cursor > symbols.size() || symbols.size() - cursor < dims.size())
+      throw DecodeError("lorenzo: symbol stream shorter than field");
+  }
   const int rank = dims.rank();
   const std::uint32_t nsub = (1u << rank) - 1;  // nonempty axis subsets
 

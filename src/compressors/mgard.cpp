@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "compressors/archive.hpp"
-#include "encode/huffman.hpp"
+#include "compressors/core/driver.hpp"
 #include "predict/interpolation.hpp"
 #include "predict/multilevel.hpp"
-#include "quant/quantizer.hpp"
 
 namespace qip {
 namespace {
@@ -100,169 +98,138 @@ void mgard_walk(const T* src, T* recon, const Dims& dims,
   quant.set_error_bound(base_eb);
 }
 
+/// The kConfig + kSymbols stages, parsed (shared by the full decode and
+/// the resolution-reduced decode).
+template <class T>
+struct MGARDStream {
+  InterpCommon c;
+  std::vector<double> level_eb;
+  LinearQuantizer<T> quant{0.0};
+  std::vector<std::uint32_t> symbols;
+};
+
+template <class T>
+MGARDStream<T> mgard_read_stream(const ContainerReader& in, ThreadPool* pool) {
+  MGARDStream<T> s;
+  ByteReader h = in.stage(StageId::kConfig);
+  s.c = load_interp_common(h);
+  const int levels = static_cast<int>(h.get_varint());
+  s.level_eb.resize(static_cast<std::size_t>(levels));
+  for (auto& e : s.level_eb) e = h.get<double>();
+  s.quant = LinearQuantizer<T>(s.c.error_bound);
+  s.quant.load(h);
+  s.symbols = read_symbols_stage(in, pool);
+  return s;
+}
+
+/// Stage policy: global hierarchical transform with an exact-bound
+/// correction pass (stored in its own kCorrections stage).
+struct MGARDCodec {
+  using Config = MGARDConfig;
+  using Artifacts = IndexArtifacts;
+  static constexpr CompressorId kId = CompressorId::kMGARD;
+  static constexpr const char* kName = "mgard";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts* artifacts) {
+    const int levels = interpolation_level_count(dims);
+    std::vector<double> level_eb(static_cast<std::size_t>(levels));
+    for (int l = 1; l <= levels; ++l) {
+      const double frac = std::max(
+          cfg.fine_fraction * std::pow(cfg.decay, l - 1), cfg.floor_fraction);
+      level_eb[static_cast<std::size_t>(l - 1)] = cfg.error_bound * frac;
+    }
+
+    LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(dims.size());
+    std::vector<std::uint32_t> codes(dims.size(), 0);
+    std::size_t cursor = 0;
+    std::vector<std::uint32_t> sym_spatial;
+    if (artifacts) sym_spatial.assign(dims.size(), 0);
+    mgard_walk<T, true>(data, nullptr, dims, level_eb, cfg.error_bound, quant,
+                        cfg.qp, symbols, cursor, codes,
+                        artifacts ? &sym_spatial : nullptr);
+    if (artifacts) {
+      artifacts->codes = codes;
+      artifacts->symbols_spatial = std::move(sym_spatial);
+    }
+
+    // Correction pass: replay the decoder, then patch every point whose
+    // accumulated hierarchy error exceeds the bound. Bin eb/2 leaves the
+    // patched error at eb/2 worst case.
+    Field<T> recon(dims);
+    {
+      std::vector<std::uint32_t> scratch_codes(dims.size(), 0);
+      std::size_t cur = 0;
+      quant.reset_cursor();
+      mgard_walk<T, false>(recon.data(), recon.data(), dims, level_eb,
+                           cfg.error_bound, quant, cfg.qp, symbols, cur,
+                           scratch_codes);
+    }
+    const auto corrections = collect_corrections(
+        data, dims.size(), cfg.error_bound, cfg.error_bound / 2.0,
+        [&](std::size_t i) { return static_cast<double>(recon[i]); });
+
+    ByteWriter& h = out.stage(StageId::kConfig);
+    save_interp_common(h, cfg.error_bound, cfg.radius, cfg.qp);
+    h.put_varint(static_cast<std::uint64_t>(levels));
+    for (double e : level_eb) h.put(e);
+    quant.save(h);
+    write_symbols_stage(out, symbols, cfg.pool);
+    write_corrections_stage(out, corrections);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
+    MGARDStream<T> s = mgard_read_stream<T>(in, pool);
+    const Dims& dims = in.dims();
+    std::vector<std::uint32_t> codes(dims.size(), 0);
+    std::size_t cursor = 0;
+    mgard_walk<T, false>(out, out, dims, s.level_eb, s.c.error_bound, s.quant,
+                         s.c.qp, s.symbols, cursor, codes);
+    apply_corrections_stage(in, out, dims.size(), s.c.error_bound / 2.0,
+                            "mgard");
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> mgard_compress(const T* data, const Dims& dims,
                                          const MGARDConfig& cfg,
                                          IndexArtifacts* artifacts) {
-  const int levels = interpolation_level_count(dims);
-  std::vector<double> level_eb(static_cast<std::size_t>(levels));
-  for (int l = 1; l <= levels; ++l) {
-    const double frac = std::max(cfg.fine_fraction * std::pow(cfg.decay, l - 1),
-                                 cfg.floor_fraction);
-    level_eb[static_cast<std::size_t>(l - 1)] = cfg.error_bound * frac;
-  }
-
-  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
-  std::vector<std::uint32_t> symbols;
-  symbols.reserve(dims.size());
-  std::vector<std::uint32_t> codes(dims.size(), 0);
-  std::size_t cursor = 0;
-  std::vector<std::uint32_t> sym_spatial;
-  if (artifacts) sym_spatial.assign(dims.size(), 0);
-  mgard_walk<T, true>(data, nullptr, dims, level_eb, cfg.error_bound, quant,
-                      cfg.qp, symbols, cursor, codes,
-                      artifacts ? &sym_spatial : nullptr);
-  if (artifacts) {
-    artifacts->codes = codes;
-    artifacts->symbols_spatial = std::move(sym_spatial);
-  }
-
-  // Correction pass: replay the decoder, then patch every point whose
-  // accumulated hierarchy error exceeds the bound. Bin eb/2 leaves the
-  // patched error at eb/2 worst case.
-  Field<T> recon(dims);
-  {
-    std::vector<std::uint32_t> scratch_codes(dims.size(), 0);
-    std::size_t cur = 0;
-    quant.reset_cursor();
-    mgard_walk<T, false>(recon.data(), recon.data(), dims, level_eb,
-                         cfg.error_bound, quant, cfg.qp, symbols, cur,
-                         scratch_codes);
-  }
-  const double ebc = cfg.error_bound / 2.0;
-  std::vector<std::pair<std::uint64_t, std::int64_t>> corrections;
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < dims.size(); ++i) {
-    const double r = static_cast<double>(data[i]) -
-                     static_cast<double>(recon[i]);
-    if (std::abs(r) > cfg.error_bound) {
-      const std::int64_t qc = std::llround(r / (2.0 * ebc));
-      corrections.emplace_back(i - prev, qc);
-      prev = i;
-    }
-  }
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(cfg.radius);
-  cfg.qp.save(inner);
-  inner.put_varint(static_cast<std::uint64_t>(levels));
-  for (double e : level_eb) inner.put(e);
-  quant.save(inner);
-  inner.put_block(huffman_encode(symbols, cfg.pool));
-  inner.put_varint(corrections.size());
-  for (const auto& [delta, qc] : corrections) {
-    inner.put_varint(delta);
-    inner.put_svarint(qc);
-  }
-  return seal_archive(CompressorId::kMGARD, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<MGARDCodec>(data, dims, cfg, artifacts);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void mgard_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                     ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kMGARD, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
-  const QPConfig qp = QPConfig::load(r);
-  const int levels = static_cast<int>(r.get_varint());
-  std::vector<double> level_eb(static_cast<std::size_t>(levels));
-  for (auto& e : level_eb) e = r.get<double>();
-  LinearQuantizer<T> quant(eb);
-  quant.load(r);
-  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
-
-  T* out = sink(dims);
-  std::vector<std::uint32_t> codes(dims.size(), 0);
-  std::size_t cursor = 0;
-  mgard_walk<T, false>(out, out, dims, level_eb, eb, quant, qp, symbols,
-                       cursor, codes);
-
-  const double ebc = eb / 2.0;
-  const std::uint64_t ncorr = r.get_varint();
-  std::size_t pos = 0;
-  for (std::uint64_t i = 0; i < ncorr; ++i) {
-    pos += static_cast<std::size_t>(r.get_varint());
-    if (pos >= dims.size())
-      throw DecodeError("mgard: correction index out of range");
-    const std::int64_t qc = r.get_svarint();
-    out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
-  }
-}
-
-}  // namespace
 
 template <class T>
 Field<T> mgard_decompress(std::span<const std::uint8_t> archive,
                           ThreadPool* pool) {
-  Field<T> out;
-  mgard_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<MGARDCodec, T>(archive, pool);
 }
 
 template <class T>
 void mgard_decompress_into(std::span<const std::uint8_t> archive, T* out,
                            const Dims& expect, ThreadPool* pool) {
-  mgard_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("mgard: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<MGARDCodec, T>(archive, out, expect, pool);
 }
 
 template <class T>
 Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
                                   int skip_levels) {
-  const auto inner = open_archive(archive, CompressorId::kMGARD, dtype_tag<T>());
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
-  const QPConfig qp = QPConfig::load(r);
-  const int levels = static_cast<int>(r.get_varint());
-  std::vector<double> level_eb(static_cast<std::size_t>(levels));
-  for (auto& e : level_eb) e = r.get<double>();
-  LinearQuantizer<T> quant(eb);
-  quant.load(r);
-  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block());
+  const ContainerReader in(archive, CompressorId::kMGARD, dtype_tag<T>());
+  MGARDStream<T> s = mgard_read_stream<T>(in, nullptr);
+  const Dims& dims = in.dims();
+  const int levels = static_cast<int>(s.level_eb.size());
 
   const int skip = std::clamp(skip_levels, 0, levels - 1);
   Field<T> full(dims);
   std::vector<std::uint32_t> codes(dims.size(), 0);
   std::size_t cursor = 0;
-  mgard_walk<T, false>(full.data(), full.data(), dims, level_eb, eb, quant, qp,
-                       symbols, cursor, codes, nullptr, 1 + skip);
+  mgard_walk<T, false>(full.data(), full.data(), dims, s.level_eb,
+                       s.c.error_bound, s.quant, s.c.qp, s.symbols, cursor,
+                       codes, nullptr, 1 + skip);
 
   // Decimate the coarse grid (stride 2^skip per axis).
   const std::size_t stride = std::size_t{1} << skip;

@@ -20,7 +20,7 @@
 #include <span>
 #include <vector>
 
-#include "core/qp.hpp"
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -28,19 +28,13 @@ namespace qip {
 
 class ThreadPool;
 
-struct MGARDConfig {
-  double error_bound = 1e-3;
-  QPConfig qp;
-  std::int32_t radius = 32768;
+struct MGARDConfig : CodecOptions {
   /// Level bin schedule: eb_l = eb * max(fine_fraction * decay^(l-1),
   /// floor_fraction). Conservative by design; the correction pass
   /// guarantees the bound regardless.
   double fine_fraction = 0.6;
   double decay = 0.75;
   double floor_fraction = 0.05;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

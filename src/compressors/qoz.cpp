@@ -4,10 +4,8 @@
 #include <cmath>
 #include <limits>
 
-#include "compressors/archive.hpp"
-#include "compressors/interp_engine.hpp"
+#include "compressors/core/driver.hpp"
 #include "compressors/tuning.hpp"
-#include "encode/huffman.hpp"
 #include "predict/multilevel.hpp"
 
 namespace qip {
@@ -31,121 +29,83 @@ std::vector<LevelPlan> interp_candidates(int rank) {
   return cands;
 }
 
+/// Stage policy: the per-level tuner picks the plan, then the shared
+/// interpolation stage pipeline does everything else.
+struct QoZCodec {
+  using Config = QoZConfig;
+  using Artifacts = IndexArtifacts;
+  static constexpr CompressorId kId = CompressorId::kQoZ;
+  static constexpr const char* kName = "qoz";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts* artifacts) {
+    const int levels = interpolation_level_count(dims);
+
+    // Per-level interpolation tuning (coarse levels are nearly free to
+    // sample; fine levels are subsampled harder).
+    std::vector<LevelPlan> per_level(static_cast<std::size_t>(levels));
+    if (cfg.tune_interp) {
+      const auto cands = interp_candidates(dims.rank());
+      for (int l = 1; l <= levels; ++l) {
+        const std::size_t step = l == 1 ? 5 : (l == 2 ? 3 : 1);
+        double best_cost = std::numeric_limits<double>::infinity();
+        LevelPlan best = cands.front();
+        for (const auto& cand : cands) {
+          const double cost = InterpEngine<T>::level_cost_sample(
+              data, dims, l, cand, cfg.error_bound, step);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = cand;
+          }
+        }
+        per_level[static_cast<std::size_t>(l - 1)] = best;
+      }
+    }
+
+    double alpha = cfg.alpha, beta = cfg.beta;
+    if (cfg.tune_level_eb) {
+      std::tie(alpha, beta) =
+          tune_alpha_beta(data, dims, cfg.error_bound, cfg.radius, per_level);
+    }
+
+    InterpPlan plan;
+    plan.levels.resize(static_cast<std::size_t>(levels));
+    for (int l = 1; l <= levels; ++l) {
+      LevelPlan lp = per_level[static_cast<std::size_t>(l - 1)];
+      lp.eb_scale = level_eb_scale(l, alpha, beta);
+      plan.levels[static_cast<std::size_t>(l - 1)] = lp;
+    }
+
+    interp_encode_stages(out, data, dims, plan, cfg.error_bound, cfg.radius,
+                         cfg.qp, cfg.pool, artifacts);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
+    interp_decode_stages(in, out, pool);
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> qoz_compress(const T* data, const Dims& dims,
                                        const QoZConfig& cfg,
                                        IndexArtifacts* artifacts) {
-  const int levels = interpolation_level_count(dims);
-
-  // Per-level interpolation tuning (coarse levels are nearly free to
-  // sample; fine levels are subsampled harder).
-  std::vector<LevelPlan> per_level(static_cast<std::size_t>(levels));
-  if (cfg.tune_interp) {
-    const auto cands = interp_candidates(dims.rank());
-    for (int l = 1; l <= levels; ++l) {
-      const std::size_t step = l == 1 ? 5 : (l == 2 ? 3 : 1);
-      double best_cost = std::numeric_limits<double>::infinity();
-      LevelPlan best = cands.front();
-      for (const auto& cand : cands) {
-        const double cost = InterpEngine<T>::level_cost_sample(
-            data, dims, l, cand, cfg.error_bound, step);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best = cand;
-        }
-      }
-      per_level[static_cast<std::size_t>(l - 1)] = best;
-    }
-  }
-
-  double alpha = cfg.alpha, beta = cfg.beta;
-  if (cfg.tune_level_eb) {
-    std::tie(alpha, beta) =
-        tune_alpha_beta(data, dims, cfg.error_bound, cfg.radius, per_level);
-  }
-
-  InterpPlan plan;
-  plan.levels.resize(static_cast<std::size_t>(levels));
-  for (int l = 1; l <= levels; ++l) {
-    LevelPlan lp = per_level[static_cast<std::size_t>(l - 1)];
-    lp.eb_scale = level_eb_scale(l, alpha, beta);
-    plan.levels[static_cast<std::size_t>(l - 1)] = lp;
-  }
-
-  Field<T> work(dims, std::vector<T>(data, data + dims.size()));
-  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
-  auto res = InterpEngine<T>::encode(work.data(), dims, plan, cfg.error_bound,
-                                     quant, cfg.qp, artifacts != nullptr);
-  if (artifacts) {
-    artifacts->codes = std::move(res.codes);
-    artifacts->symbols_spatial = std::move(res.symbols_spatial);
-  }
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(cfg.radius);
-  cfg.qp.save(inner);
-  plan.save(inner);
-  quant.save(inner);
-  inner.put_block(huffman_encode(res.symbols, cfg.pool));
-  return seal_archive(CompressorId::kQoZ, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<QoZCodec>(data, dims, cfg, artifacts);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void qoz_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                   ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kQoZ, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
-  const QPConfig qp = QPConfig::load(r);
-  const InterpPlan plan = InterpPlan::load(r);
-  LinearQuantizer<T> quant(eb);
-  quant.load(r);
-  const std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
-
-  T* out = sink(dims);
-  InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
-}
-
-}  // namespace
 
 template <class T>
 Field<T> qoz_decompress(std::span<const std::uint8_t> archive,
                         ThreadPool* pool) {
-  Field<T> out;
-  qoz_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<QoZCodec, T>(archive, pool);
 }
 
 template <class T>
 void qoz_decompress_into(std::span<const std::uint8_t> archive, T* out,
                          const Dims& expect, ThreadPool* pool) {
-  qoz_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("qoz: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<QoZCodec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> qoz_compress<float>(

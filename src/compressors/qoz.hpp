@@ -13,7 +13,7 @@
 #include <span>
 #include <vector>
 
-#include "core/qp.hpp"
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -21,10 +21,7 @@ namespace qip {
 
 class ThreadPool;
 
-struct QoZConfig {
-  double error_bound = 1e-3;
-  QPConfig qp;
-  std::int32_t radius = 32768;
+struct QoZConfig : CodecOptions {
   /// Level-wise bound: eb_l = eb * max(alpha^-(l-1), 1/beta). Tuned over a
   /// small candidate set when `tune_level_eb` is set.
   double alpha = 1.5;
@@ -32,9 +29,6 @@ struct QoZConfig {
   bool tune_level_eb = true;
   /// Per-level interpolant/direction tuning on sampled stage points.
   bool tune_interp = true;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

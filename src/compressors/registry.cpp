@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "compressors/archive.hpp"
-
 #include "compressors/hpez.hpp"
 #include "compressors/mgard.hpp"
 #include "compressors/qoz.hpp"
@@ -15,258 +13,203 @@
 namespace qip {
 namespace {
 
-CompressorEntry make_mgard() {
-  CompressorEntry e;
-  e.name = "MGARD";
-  e.interpolation = true;
-  e.supports_qp = true;
-  auto cfg_of = [](const GenericOptions& o) {
-    MGARDConfig c;
-    c.error_bound = o.error_bound;
-    c.qp = o.qp;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return mgard_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return mgard_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return mgard_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return mgard_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    mgard_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    mgard_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+// One descriptor per codec: name, traits, and the three typed entry
+// points. make_entry() below generates every type-erased closure from
+// this — adding a codec to the registry is adding one descriptor here
+// and one line to the table in compressor_registry().
 
-CompressorEntry make_sz3() {
-  CompressorEntry e;
-  e.name = "SZ3";
-  e.interpolation = true;
-  e.supports_qp = true;
-  auto cfg_of = [](const GenericOptions& o) {
-    SZ3Config c;
-    c.error_bound = o.error_bound;
-    c.qp = o.qp;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return sz3_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return sz3_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return sz3_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return sz3_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    sz3_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    sz3_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+struct MGARDFront {
+  static constexpr const char* kName = "MGARD";
+  static constexpr CompressorId kId = CompressorId::kMGARD;
+  static constexpr bool kInterpolation = true;
+  static constexpr bool kSupportsQP = true;
+  using Config = MGARDConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return mgard_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return mgard_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    mgard_decompress_into<T>(a, out, expect);
+  }
+};
 
-CompressorEntry make_qoz() {
-  CompressorEntry e;
-  e.name = "QoZ";
-  e.interpolation = true;
-  e.supports_qp = true;
-  auto cfg_of = [](const GenericOptions& o) {
-    QoZConfig c;
-    c.error_bound = o.error_bound;
-    c.qp = o.qp;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return qoz_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return qoz_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return qoz_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return qoz_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    qoz_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    qoz_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+struct SZ3Front {
+  static constexpr const char* kName = "SZ3";
+  static constexpr CompressorId kId = CompressorId::kSZ3;
+  static constexpr bool kInterpolation = true;
+  static constexpr bool kSupportsQP = true;
+  using Config = SZ3Config;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return sz3_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return sz3_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    sz3_decompress_into<T>(a, out, expect);
+  }
+};
 
-CompressorEntry make_hpez() {
-  CompressorEntry e;
-  e.name = "HPEZ";
-  e.interpolation = true;
-  e.supports_qp = true;
-  auto cfg_of = [](const GenericOptions& o) {
-    HPEZConfig c;
-    c.error_bound = o.error_bound;
-    c.qp = o.qp;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return hpez_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return hpez_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return hpez_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return hpez_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    hpez_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    hpez_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+struct QoZFront {
+  static constexpr const char* kName = "QoZ";
+  static constexpr CompressorId kId = CompressorId::kQoZ;
+  static constexpr bool kInterpolation = true;
+  static constexpr bool kSupportsQP = true;
+  using Config = QoZConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return qoz_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return qoz_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    qoz_decompress_into<T>(a, out, expect);
+  }
+};
 
-CompressorEntry make_zfp() {
-  CompressorEntry e;
-  e.name = "ZFP";
-  e.interpolation = false;
-  e.supports_qp = false;
-  auto cfg_of = [](const GenericOptions& o) {
-    ZFPConfig c;
-    c.error_bound = o.error_bound;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return zfp_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return zfp_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return zfp_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return zfp_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    zfp_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    zfp_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+struct HPEZFront {
+  static constexpr const char* kName = "HPEZ";
+  static constexpr CompressorId kId = CompressorId::kHPEZ;
+  static constexpr bool kInterpolation = true;
+  static constexpr bool kSupportsQP = true;
+  using Config = HPEZConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return hpez_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return hpez_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    hpez_decompress_into<T>(a, out, expect);
+  }
+};
 
-CompressorEntry make_tthresh() {
-  CompressorEntry e;
-  e.name = "TTHRESH";
-  e.interpolation = false;
-  e.supports_qp = false;
-  auto cfg_of = [](const GenericOptions& o) {
-    TTHRESHConfig c;
-    c.error_bound = o.error_bound;
-    c.pool = o.pool;
-    return c;
-  };
-  e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return tthresh_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return tthresh_decompress<float>(a);
-  };
-  e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
-                            const GenericOptions& o) {
-    return tthresh_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return tthresh_decompress<double>(a);
-  };
-  e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
-                             const Dims& d) {
-    tthresh_decompress_into<float>(a, dst, d);
-  };
-  e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
-                             const Dims& d) {
-    tthresh_decompress_into<double>(a, dst, d);
-  };
-  return e;
-}
+struct ZFPFront {
+  static constexpr const char* kName = "ZFP";
+  static constexpr CompressorId kId = CompressorId::kZFP;
+  static constexpr bool kInterpolation = false;
+  static constexpr bool kSupportsQP = false;
+  using Config = ZFPConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return zfp_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return zfp_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    zfp_decompress_into<T>(a, out, expect);
+  }
+};
 
-CompressorEntry make_sperr() {
+struct TTHRESHFront {
+  static constexpr const char* kName = "TTHRESH";
+  static constexpr CompressorId kId = CompressorId::kTTHRESH;
+  static constexpr bool kInterpolation = false;
+  static constexpr bool kSupportsQP = false;
+  using Config = TTHRESHConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return tthresh_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return tthresh_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    tthresh_decompress_into<T>(a, out, expect);
+  }
+};
+
+struct SPERRFront {
+  static constexpr const char* kName = "SPERR";
+  static constexpr CompressorId kId = CompressorId::kSPERR;
+  static constexpr bool kInterpolation = false;
+  static constexpr bool kSupportsQP = false;
+  using Config = SPERRConfig;
+  template <class T>
+  static std::vector<std::uint8_t> compress(const T* d, const Dims& dims,
+                                            const Config& c) {
+    return sperr_compress(d, dims, c);
+  }
+  template <class T>
+  static Field<T> decompress(std::span<const std::uint8_t> a) {
+    return sperr_decompress<T>(a);
+  }
+  template <class T>
+  static void decompress_into(std::span<const std::uint8_t> a, T* out,
+                              const Dims& expect) {
+    sperr_decompress_into<T>(a, out, expect);
+  }
+};
+
+/// Generate a registry entry from a Front descriptor. The native config
+/// starts from its own defaults and adopts the caller's common
+/// CodecOptions surface wholesale (error bound, QP, radius, interpolant,
+/// pool); codecs that ignore a field (ZFP and QP, say) simply never read
+/// it.
+template <class Front>
+CompressorEntry make_entry() {
   CompressorEntry e;
-  e.name = "SPERR";
-  e.interpolation = false;
-  e.supports_qp = false;
+  e.name = Front::kName;
+  e.id = Front::kId;
+  e.interpolation = Front::kInterpolation;
+  e.supports_qp = Front::kSupportsQP;
   auto cfg_of = [](const GenericOptions& o) {
-    SPERRConfig c;
-    c.error_bound = o.error_bound;
-    c.pool = o.pool;
+    typename Front::Config c;
+    static_cast<CodecOptions&>(c) = o;
     return c;
   };
   e.compress_f32 = [cfg_of](const float* d, const Dims& dims,
                             const GenericOptions& o) {
-    return sperr_compress(d, dims, cfg_of(o));
-  };
-  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
-    return sperr_decompress<float>(a);
+    return Front::template compress<float>(d, dims, cfg_of(o));
   };
   e.compress_f64 = [cfg_of](const double* d, const Dims& dims,
                             const GenericOptions& o) {
-    return sperr_compress(d, dims, cfg_of(o));
+    return Front::template compress<double>(d, dims, cfg_of(o));
+  };
+  e.decompress_f32 = [](std::span<const std::uint8_t> a) {
+    return Front::template decompress<float>(a);
   };
   e.decompress_f64 = [](std::span<const std::uint8_t> a) {
-    return sperr_decompress<double>(a);
+    return Front::template decompress<double>(a);
   };
   e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
                              const Dims& d) {
-    sperr_decompress_into<float>(a, dst, d);
+    Front::template decompress_into<float>(a, dst, d);
   };
   e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
                              const Dims& d) {
-    sperr_decompress_into<double>(a, dst, d);
+    Front::template decompress_into<double>(a, dst, d);
   };
   return e;
 }
@@ -274,9 +217,12 @@ CompressorEntry make_sperr() {
 }  // namespace
 
 const std::vector<CompressorEntry>& compressor_registry() {
+  // Paper Table IV order.
   static const std::vector<CompressorEntry> entries = {
-      make_mgard(), make_sz3(),     make_qoz(),  make_hpez(),
-      make_zfp(),   make_tthresh(), make_sperr()};
+      make_entry<MGARDFront>(), make_entry<SZ3Front>(),
+      make_entry<QoZFront>(),   make_entry<HPEZFront>(),
+      make_entry<ZFPFront>(),   make_entry<TTHRESHFront>(),
+      make_entry<SPERRFront>()};
   return entries;
 }
 
@@ -288,16 +234,13 @@ const CompressorEntry& find_compressor(std::string_view name) {
 
 const CompressorEntry& find_compressor_for(
     std::span<const std::uint8_t> archive) {
-  switch (archive_compressor(archive)) {
-    case CompressorId::kMGARD: return find_compressor("MGARD");
-    case CompressorId::kSZ3: return find_compressor("SZ3");
-    case CompressorId::kQoZ: return find_compressor("QoZ");
-    case CompressorId::kHPEZ: return find_compressor("HPEZ");
-    case CompressorId::kZFP: return find_compressor("ZFP");
-    case CompressorId::kTTHRESH: return find_compressor("TTHRESH");
-    case CompressorId::kSPERR: return find_compressor("SPERR");
-  }
-  throw std::runtime_error("qip: unknown compressor id in archive");
+  const ContainerInfo info = inspect_container(archive);
+  for (const auto& e : compressor_registry())
+    if (e.id == info.codec) return e;
+  throw UnknownCodecError(
+      "unknown compressor id " +
+          std::to_string(static_cast<unsigned>(info.codec)) + " in archive",
+      static_cast<std::uint8_t>(info.codec), info.version);
 }
 
 std::vector<const CompressorEntry*> qp_base_compressors() {

@@ -10,7 +10,8 @@
 #include <string_view>
 #include <vector>
 
-#include "core/qp.hpp"
+#include "compressors/core/container.hpp"
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -18,21 +19,16 @@ namespace qip {
 
 class ThreadPool;
 
-/// Options understood by every compressor. Compressor-specific knobs use
-/// their native config structs; the registry exposes the common surface
-/// the paper's experiments sweep.
-struct GenericOptions {
-  double error_bound = 1e-3;
-  QPConfig qp;  ///< honored only when the entry's supports_qp is true
-  /// Shared worker pool for the parallel entropy-coding stages; nullptr
-  /// runs them inline. Parallel output is byte-identical to serial output
-  /// by construction (fixed-size ranges, not worker-count-dependent).
-  ThreadPool* pool = nullptr;
-};
+/// Options understood by every compressor — the common CodecOptions
+/// surface the paper's experiments sweep (error bound, QP config, worker
+/// pool). Compressor-specific knobs use their native config structs,
+/// which embed the same fields by inheriting CodecOptions.
+using GenericOptions = CodecOptions;
 
 /// One registered compressor.
 struct CompressorEntry {
   std::string name;     ///< "MGARD", "SZ3", "QoZ", "HPEZ", "ZFP", ...
+  CompressorId id{};    ///< the id its archives carry
   bool interpolation;   ///< member of the interpolation family
   bool supports_qp;     ///< QP hook available (the four base compressors)
 
@@ -62,8 +58,10 @@ struct CompressorEntry {
 /// Lookup by name; throws std::runtime_error if unknown.
 [[nodiscard]] const CompressorEntry& find_compressor(std::string_view name);
 
-/// Lookup by the id an archive carries (archive_compressor()); throws
-/// std::runtime_error if unknown.
+/// Lookup by the codec id in an archive's container header. Throws
+/// DecodeError on malformed bytes and UnknownCodecError — carrying the
+/// offending codec id and format version — when the archive is
+/// structurally valid but names a codec this build does not know.
 [[nodiscard]] const CompressorEntry& find_compressor_for(std::span<const std::uint8_t> archive);
 
 /// The four interpolation-based compressors the paper integrates QP into.

@@ -4,9 +4,8 @@
 #include <cmath>
 #include <vector>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/driver.hpp"
 #include "encode/rle.hpp"
-#include "util/bytes.hpp"
 
 namespace qip {
 namespace {
@@ -219,135 +218,103 @@ int effective_levels(const Dims& dims, int requested) {
   return std::max(lv, 1);
 }
 
+/// Stage policy: CDF 9/7 wavelet coefficients as an RLE symbol stream
+/// plus the exact-bound correction list.
+struct SPERRCodec {
+  using Config = SPERRConfig;
+  using Artifacts = NoArtifacts;
+  static constexpr CompressorId kId = CompressorId::kSPERR;
+  static constexpr const char* kName = "sperr";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts*) {
+    const int levels = effective_levels(dims, cfg.levels);
+    std::vector<double> buf(dims.size());
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      buf[i] = static_cast<double>(data[i]);
+    for (int l = 0; l < levels; ++l) dwt_level<true>(buf, dims, l);
+
+    // Uniform scalar quantization of the coefficients.
+    const double delta = cfg.error_bound / cfg.quant_factor;
+    std::vector<std::uint32_t> symbols(buf.size());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const std::int64_t q = std::llround(buf[i] / (2.0 * delta));
+      symbols[i] = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(q) << 1) ^
+          static_cast<std::uint64_t>(q >> 63));
+      buf[i] = 2.0 * delta * static_cast<double>(q);  // decoder's view
+    }
+
+    // Reconstruct from the decoder's coefficients to find violations.
+    for (int l = levels - 1; l >= 0; --l) dwt_level<false>(buf, dims, l);
+    const auto corrections = collect_corrections(
+        data, dims.size(), cfg.error_bound, cfg.error_bound / 2.0,
+        // Compare against the value the decoder will actually produce,
+        // including the final cast to T.
+        [&](std::size_t i) {
+          return static_cast<double>(static_cast<T>(buf[i]));
+        });
+
+    if (cfg.index_prediction)
+      subband_index_predict<true>(symbols, dims, levels);
+
+    ByteWriter& h = out.stage(StageId::kConfig);
+    h.put(cfg.error_bound);
+    h.put(static_cast<std::int32_t>(levels));
+    h.put(cfg.quant_factor);
+    h.put<std::uint8_t>(cfg.index_prediction ? 1 : 0);
+    out.stage(StageId::kSymbols).put_bytes(rle_encode_symbols(symbols));
+    write_corrections_stage(out, corrections);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool*) {
+    ByteReader h = in.stage(StageId::kConfig);
+    const double eb = h.get<double>();
+    const int levels = h.get<std::int32_t>();
+    const double quant_factor = h.get<double>();
+    const bool index_prediction = h.get<std::uint8_t>() != 0;
+    const Dims& dims = in.dims();
+    auto symbols = rle_decode_symbols(in.stage_bytes(StageId::kSymbols));
+    if (symbols.size() < dims.size())
+      throw DecodeError("sperr: symbol stream shorter than field");
+    if (index_prediction) subband_index_predict<false>(symbols, dims, levels);
+
+    const double delta = eb / quant_factor;
+    std::vector<double> buf(dims.size());
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      const std::uint64_t zz = symbols[i];
+      const std::int64_t q =
+          static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+      buf[i] = 2.0 * delta * static_cast<double>(q);
+    }
+    for (int l = levels - 1; l >= 0; --l) dwt_level<false>(buf, dims, l);
+
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      out[i] = static_cast<T>(buf[i]);
+    apply_corrections_stage(in, out, dims.size(), eb / 2.0, "sperr");
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> sperr_compress(const T* data, const Dims& dims,
                                          const SPERRConfig& cfg) {
-  const int levels = effective_levels(dims, cfg.levels);
-  std::vector<double> buf(dims.size());
-  for (std::size_t i = 0; i < buf.size(); ++i)
-    buf[i] = static_cast<double>(data[i]);
-  for (int l = 0; l < levels; ++l) dwt_level<true>(buf, dims, l);
-
-  // Uniform scalar quantization of the coefficients.
-  const double delta = cfg.error_bound / cfg.quant_factor;
-  std::vector<std::uint32_t> symbols(buf.size());
-  for (std::size_t i = 0; i < buf.size(); ++i) {
-    const std::int64_t q = std::llround(buf[i] / (2.0 * delta));
-    symbols[i] = static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(q) << 1) ^
-        static_cast<std::uint64_t>(q >> 63));
-    buf[i] = 2.0 * delta * static_cast<double>(q);  // decoder's view
-  }
-
-  // Reconstruct from the decoder's coefficients to find violations.
-  for (int l = levels - 1; l >= 0; --l) dwt_level<false>(buf, dims, l);
-  const double ebc = cfg.error_bound / 2.0;
-  std::vector<std::pair<std::uint64_t, std::int64_t>> corrections;
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < dims.size(); ++i) {
-    // Compare against the value the decoder will actually produce,
-    // including the final cast to T.
-    const double dec = static_cast<double>(static_cast<T>(buf[i]));
-    const double r = static_cast<double>(data[i]) - dec;
-    if (std::abs(r) > cfg.error_bound) {
-      corrections.emplace_back(i - prev, std::llround(r / (2.0 * ebc)));
-      prev = i;
-    }
-  }
-
-  if (cfg.index_prediction)
-    subband_index_predict<true>(symbols, dims, levels);
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(static_cast<std::int32_t>(levels));
-  inner.put(cfg.quant_factor);
-  inner.put<std::uint8_t>(cfg.index_prediction ? 1 : 0);
-  inner.put_block(rle_encode_symbols(symbols));
-  inner.put_varint(corrections.size());
-  for (const auto& [d, qc] : corrections) {
-    inner.put_varint(d);
-    inner.put_svarint(qc);
-  }
-  return seal_archive(CompressorId::kSPERR, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<SPERRCodec>(data, dims, cfg);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void sperr_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                     ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kSPERR, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  const int levels = r.get<std::int32_t>();
-  const double quant_factor = r.get<double>();
-  const bool index_prediction = r.get<std::uint8_t>() != 0;
-  auto symbols = rle_decode_symbols(r.get_block());
-  if (index_prediction) subband_index_predict<false>(symbols, dims, levels);
-
-  const double delta = eb / quant_factor;
-  std::vector<double> buf(dims.size());
-  for (std::size_t i = 0; i < buf.size(); ++i) {
-    const std::uint64_t zz = symbols[i];
-    const std::int64_t q =
-        static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
-    buf[i] = 2.0 * delta * static_cast<double>(q);
-  }
-  for (int l = levels - 1; l >= 0; --l) dwt_level<false>(buf, dims, l);
-
-  T* out = sink(dims);
-  for (std::size_t i = 0; i < buf.size(); ++i)
-    out[i] = static_cast<T>(buf[i]);
-
-  const double ebc = eb / 2.0;
-  const std::uint64_t ncorr = r.get_varint();
-  std::size_t pos = 0;
-  for (std::uint64_t i = 0; i < ncorr; ++i) {
-    pos += static_cast<std::size_t>(r.get_varint());
-    if (pos >= dims.size())
-      throw DecodeError("sperr: correction index out of range");
-    const std::int64_t qc = r.get_svarint();
-    out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
-  }
-}
-
-}  // namespace
 
 template <class T>
 Field<T> sperr_decompress(std::span<const std::uint8_t> archive,
                           ThreadPool* pool) {
-  Field<T> out;
-  sperr_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<SPERRCodec, T>(archive, pool);
 }
 
 template <class T>
 void sperr_decompress_into(std::span<const std::uint8_t> archive, T* out,
                            const Dims& expect, ThreadPool* pool) {
-  sperr_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("sperr: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<SPERRCodec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> sperr_compress<float>(const float*,

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -20,8 +21,7 @@ namespace qip {
 
 class ThreadPool;
 
-struct SPERRConfig {
-  double error_bound = 1e-3;
+struct SPERRConfig : CodecOptions {
   int levels = 3;            ///< dyadic decomposition depth per axis
   double quant_factor = 8.0; ///< coefficient bin = eb / quant_factor
                              ///< (small bins beat corrections in size)
@@ -31,9 +31,6 @@ struct SPERRConfig {
   /// subband, before entropy coding. Reversible: the reconstruction is
   /// untouched. See bench/ablation_design_choices.
   bool index_prediction = false;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

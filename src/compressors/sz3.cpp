@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
-#include "compressors/archive.hpp"
-#include "compressors/interp_engine.hpp"
+#include "compressors/core/driver.hpp"
 #include "compressors/lorenzo_path.hpp"
-#include "encode/huffman.hpp"
 #include "predict/multilevel.hpp"
 
 namespace qip {
@@ -80,114 +78,98 @@ SZ3Predictor select_predictor(const T* data, const Dims& dims,
                                            : SZ3Predictor::kInterpolation;
 }
 
+/// Stage policy: interpolation with a sampled Lorenzo fallback. The
+/// kConfig stage carries the committed predictor after the common prefix,
+/// and the interpolation plan only when that predictor is interpolation.
+struct SZ3Codec {
+  using Config = SZ3Config;
+  using Artifacts = SZ3Artifacts;
+  static constexpr CompressorId kId = CompressorId::kSZ3;
+  static constexpr const char* kName = "sz3";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts* artifacts) {
+    LevelPlan lp;
+    lp.kind = cfg.kind;
+    InterpPlan plan = InterpPlan::uniform(interpolation_level_count(dims), lp);
+
+    const SZ3Predictor predictor = select_predictor(data, dims, cfg, plan);
+
+    LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
+    std::vector<std::uint32_t> symbols;
+
+    if (predictor == SZ3Predictor::kInterpolation) {
+      IndexArtifacts ia;
+      InterpEncoding<T> enc =
+          interp_encode(data, dims, plan, cfg.error_bound, cfg.radius, cfg.qp,
+                        artifacts ? &ia : nullptr);
+      symbols = std::move(enc.symbols);
+      quant = std::move(enc.quant);
+      if (artifacts) {
+        artifacts->codes = std::move(ia.codes);
+        artifacts->symbols_spatial = std::move(ia.symbols_spatial);
+      }
+    } else {
+      Field<T> work(dims, std::vector<T>(data, data + dims.size()));
+      symbols.reserve(dims.size());
+      std::size_t cur = 0;
+      lorenzo_walk<T, true>(work.data(), dims, quant, symbols, cur);
+      if (artifacts) {
+        artifacts->codes.clear();
+        artifacts->symbols_spatial.clear();
+      }
+    }
+    if (artifacts) artifacts->predictor = predictor;
+
+    ByteWriter& h = out.stage(StageId::kConfig);
+    save_interp_common(h, cfg.error_bound, cfg.radius, cfg.qp);
+    h.put(static_cast<std::uint8_t>(predictor));
+    if (predictor == SZ3Predictor::kInterpolation) plan.save(h);
+    quant.save(h);
+    write_symbols_stage(out, symbols, cfg.pool);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
+    ByteReader h = in.stage(StageId::kConfig);
+    const InterpCommon c = load_interp_common(h);
+    const auto predictor = static_cast<SZ3Predictor>(h.get<std::uint8_t>());
+    InterpPlan plan;
+    if (predictor == SZ3Predictor::kInterpolation) plan = InterpPlan::load(h);
+    LinearQuantizer<T> quant(c.error_bound);
+    quant.load(h);
+    std::vector<std::uint32_t> symbols = read_symbols_stage(in, pool);
+
+    if (predictor == SZ3Predictor::kInterpolation) {
+      InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
+                              c.qp, out);
+    } else {
+      std::size_t cur = 0;
+      lorenzo_walk<T, false>(out, in.dims(), quant, symbols, cur);
+    }
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> sz3_compress(const T* data, const Dims& dims,
                                        const SZ3Config& cfg,
                                        SZ3Artifacts* artifacts) {
-  LevelPlan lp;
-  lp.kind = cfg.kind;
-  InterpPlan plan = InterpPlan::uniform(interpolation_level_count(dims), lp);
-
-  const SZ3Predictor predictor = select_predictor(data, dims, cfg, plan);
-
-  Field<T> work(dims, std::vector<T>(data, data + dims.size()));
-  LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
-  std::vector<std::uint32_t> symbols;
-
-  if (predictor == SZ3Predictor::kInterpolation) {
-    auto res = InterpEngine<T>::encode(work.data(), dims, plan,
-                                       cfg.error_bound, quant, cfg.qp,
-                                       artifacts != nullptr);
-    symbols = std::move(res.symbols);
-    if (artifacts) {
-      artifacts->codes = std::move(res.codes);
-      artifacts->symbols_spatial = std::move(res.symbols_spatial);
-    }
-  } else {
-    symbols.reserve(dims.size());
-    std::size_t cur = 0;
-    lorenzo_walk<T, true>(work.data(), dims, quant, symbols, cur);
-    if (artifacts) {
-      artifacts->codes.clear();
-      artifacts->symbols_spatial.clear();
-    }
-  }
-  if (artifacts) artifacts->predictor = predictor;
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(cfg.radius);
-  cfg.qp.save(inner);
-  inner.put(static_cast<std::uint8_t>(predictor));
-  if (predictor == SZ3Predictor::kInterpolation) plan.save(inner);
-  quant.save(inner);
-  inner.put_block(huffman_encode(symbols, cfg.pool));
-
-  return seal_archive(CompressorId::kSZ3, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<SZ3Codec>(data, dims, cfg, artifacts);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void sz3_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                   ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kSZ3, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  [[maybe_unused]] const std::int32_t radius = r.get<std::int32_t>();
-  const QPConfig qp = QPConfig::load(r);
-  const auto predictor = static_cast<SZ3Predictor>(r.get<std::uint8_t>());
-  InterpPlan plan;
-  if (predictor == SZ3Predictor::kInterpolation) plan = InterpPlan::load(r);
-  LinearQuantizer<T> quant(eb);
-  quant.load(r);
-  std::vector<std::uint32_t> symbols = huffman_decode(r.get_block(), pool);
-
-  T* out = sink(dims);
-  if (predictor == SZ3Predictor::kInterpolation) {
-    InterpEngine<T>::decode(symbols, dims, plan, eb, quant, qp, out);
-  } else {
-    std::size_t cur = 0;
-    lorenzo_walk<T, false>(out, dims, quant, symbols, cur);
-  }
-}
-
-}  // namespace
 
 template <class T>
 Field<T> sz3_decompress(std::span<const std::uint8_t> archive,
                         ThreadPool* pool) {
-  Field<T> out;
-  sz3_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<SZ3Codec, T>(archive, pool);
 }
 
 template <class T>
 void sz3_decompress_into(std::span<const std::uint8_t> archive, T* out,
                          const Dims& expect, ThreadPool* pool) {
-  sz3_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("sz3: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<SZ3Codec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> sz3_compress<float>(const float*, const Dims&,

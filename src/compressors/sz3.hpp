@@ -10,8 +10,7 @@
 #include <span>
 #include <vector>
 
-#include "core/qp.hpp"
-#include "predict/interpolation.hpp"
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -25,17 +24,10 @@ enum class SZ3Predictor : std::uint8_t {
   kLorenzo = 1,  ///< the small-error-bound fallback; QP is never applied here
 };
 
-struct SZ3Config {
-  double error_bound = 1e-3;     ///< absolute error bound
-  QPConfig qp;                   ///< disabled by default
-  std::int32_t radius = 32768;   ///< quantizer radius
-  InterpKind kind = InterpKind::kCubic;
+struct SZ3Config : CodecOptions {
   /// Try Lorenzo on a sample and switch when it is estimated cheaper
   /// (the behavior the paper observes on SegSalt at eb = 1e-5).
   bool auto_fallback = true;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 /// Introspection data for the characterization experiments (Figs. 3-5):

@@ -4,9 +4,8 @@
 #include <cmath>
 #include <vector>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/driver.hpp"
 #include "encode/rle.hpp"
-#include "util/bytes.hpp"
 
 namespace qip {
 namespace {
@@ -149,209 +148,177 @@ std::vector<double> ttm(const std::vector<double>& x, Dims& dims, int axis,
   return y;
 }
 
+/// Stage policy: Tucker factors live in kConfig (they are model state,
+/// like an interpolation plan), the quantized core is the kSymbols
+/// stream, and kCorrections enforces the bound.
+struct TTHRESHCodec {
+  using Config = TTHRESHConfig;
+  using Artifacts = NoArtifacts;
+  static constexpr CompressorId kId = CompressorId::kTTHRESH;
+  static constexpr const char* kName = "tthresh";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts*) {
+    const int rank = dims.rank();
+    const double delta = cfg.error_bound / cfg.quant_factor;
+    std::vector<double> core(dims.size());
+    for (std::size_t i = 0; i < core.size(); ++i)
+      core[i] = static_cast<double>(data[i]);
+    Dims core_dims = dims;
+
+    // ST-HOSVD with rank truncation: per mode, eigendecompose the Gram
+    // matrix, drop trailing eigenpairs while the cumulative discarded
+    // energy stays within a fraction of the quantization-noise budget, and
+    // project. Factors are float-rounded so encoder and decoder use
+    // bit-identical matrices.
+    std::vector<std::vector<double>> factors(static_cast<std::size_t>(rank));
+    std::vector<std::uint32_t> mode_rank(static_cast<std::size_t>(rank), 0);
+    std::vector<std::uint8_t> has_factor(static_cast<std::size_t>(rank), 0);
+    const double energy_budget =
+        0.25 * delta * delta * static_cast<double>(dims.size());
+    for (int axis = 0; axis < rank; ++axis) {
+      const std::size_t n = dims.extent(axis);
+      if (n < 2 || n > cfg.max_mode_size) continue;
+      std::vector<double> g = mode_gram(core, core_dims, axis);
+      std::vector<double> v;
+      jacobi_eigen(g, n, v);
+      std::vector<std::size_t> idx(n);
+      for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return g[a * n + a] > g[b * n + b];
+      });
+      // Truncate: discard the smallest eigenvalues within budget.
+      std::size_t r = n;
+      double discarded = 0.0;
+      while (r > 1) {
+        const double lam = std::max(0.0, g[idx[r - 1] * n + idx[r - 1]]);
+        if (discarded + lam > energy_budget) break;
+        discarded += lam;
+        --r;
+      }
+      auto& u = factors[static_cast<std::size_t>(axis)];
+      u.resize(n * r);
+      for (std::size_t j = 0; j < r; ++j)
+        for (std::size_t i = 0; i < n; ++i)
+          u[i * r + j] =
+              static_cast<double>(static_cast<float>(v[i * n + idx[j]]));
+      has_factor[static_cast<std::size_t>(axis)] = 1;
+      mode_rank[static_cast<std::size_t>(axis)] = static_cast<std::uint32_t>(r);
+      core = ttm(core, core_dims, axis, u, n, r, /*project=*/true);
+    }
+
+    // Scalar-quantize the truncated core and zero-run entropy-code it.
+    std::vector<std::uint32_t> symbols(core.size());
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      const std::int64_t q = std::llround(core[i] / (2.0 * delta));
+      symbols[i] = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(q) << 1) ^
+          static_cast<std::uint64_t>(q >> 63));
+      core[i] = 2.0 * delta * static_cast<double>(q);
+    }
+
+    // Reconstruct to collect bound-enforcing corrections.
+    std::vector<double> recon = core;
+    Dims recon_dims = core_dims;
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      if (has_factor[static_cast<std::size_t>(axis)])
+        recon = ttm(recon, recon_dims, axis,
+                    factors[static_cast<std::size_t>(axis)], dims.extent(axis),
+                    mode_rank[static_cast<std::size_t>(axis)],
+                    /*project=*/false);
+    }
+    const auto corrections = collect_corrections(
+        data, dims.size(), cfg.error_bound, cfg.error_bound / 2.0,
+        [&](std::size_t i) {
+          return static_cast<double>(static_cast<T>(recon[i]));
+        });
+
+    ByteWriter& h = out.stage(StageId::kConfig);
+    h.put(cfg.error_bound);
+    h.put(cfg.quant_factor);
+    for (int axis = 0; axis < rank; ++axis) {
+      h.put(has_factor[static_cast<std::size_t>(axis)]);
+      if (has_factor[static_cast<std::size_t>(axis)]) {
+        h.put_varint(mode_rank[static_cast<std::size_t>(axis)]);
+        for (double u : factors[static_cast<std::size_t>(axis)])
+          h.put(static_cast<float>(u));
+      }
+    }
+    out.stage(StageId::kSymbols).put_bytes(rle_encode_symbols(symbols));
+    write_corrections_stage(out, corrections);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool*) {
+    ByteReader h = in.stage(StageId::kConfig);
+    const Dims& dims = in.dims();
+    const double eb = h.get<double>();
+    const double quant_factor = h.get<double>();
+    const int rank = dims.rank();
+    std::vector<std::vector<double>> factors(static_cast<std::size_t>(rank));
+    std::vector<std::uint32_t> mode_rank(static_cast<std::size_t>(rank), 0);
+    std::vector<std::uint8_t> has_factor(static_cast<std::size_t>(rank), 0);
+    Dims core_dims = dims;
+    for (int axis = 0; axis < rank; ++axis) {
+      has_factor[static_cast<std::size_t>(axis)] = h.get<std::uint8_t>();
+      if (has_factor[static_cast<std::size_t>(axis)]) {
+        const std::size_t n = dims.extent(axis);
+        const std::size_t rk = static_cast<std::size_t>(h.get_varint());
+        if (rk == 0 || rk > n)
+          throw DecodeError("tthresh: invalid mode rank");
+        mode_rank[static_cast<std::size_t>(axis)] =
+            static_cast<std::uint32_t>(rk);
+        auto& u = factors[static_cast<std::size_t>(axis)];
+        u.resize(n * rk);
+        for (auto& e : u) e = static_cast<double>(h.get<float>());
+        core_dims = with_extent(core_dims, axis, rk);
+      }
+    }
+    const auto symbols = rle_decode_symbols(in.stage_bytes(StageId::kSymbols));
+    if (symbols.size() != core_dims.size())
+      throw DecodeError("tthresh core size mismatch");
+
+    const double delta = eb / quant_factor;
+    std::vector<double> core(core_dims.size());
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      const std::uint64_t zz = symbols[i];
+      const std::int64_t q =
+          static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+      core[i] = 2.0 * delta * static_cast<double>(q);
+    }
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      if (has_factor[static_cast<std::size_t>(axis)])
+        core = ttm(core, core_dims, axis,
+                   factors[static_cast<std::size_t>(axis)], dims.extent(axis),
+                   mode_rank[static_cast<std::size_t>(axis)],
+                   /*project=*/false);
+    }
+
+    for (std::size_t i = 0; i < core.size(); ++i)
+      out[i] = static_cast<T>(core[i]);
+    apply_corrections_stage(in, out, dims.size(), eb / 2.0, "tthresh");
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> tthresh_compress(const T* data, const Dims& dims,
                                            const TTHRESHConfig& cfg) {
-  const int rank = dims.rank();
-  const double delta = cfg.error_bound / cfg.quant_factor;
-  std::vector<double> core(dims.size());
-  for (std::size_t i = 0; i < core.size(); ++i)
-    core[i] = static_cast<double>(data[i]);
-  Dims core_dims = dims;
-
-  // ST-HOSVD with rank truncation: per mode, eigendecompose the Gram
-  // matrix, drop trailing eigenpairs while the cumulative discarded
-  // energy stays within a fraction of the quantization-noise budget, and
-  // project. Factors are float-rounded so encoder and decoder use
-  // bit-identical matrices.
-  std::vector<std::vector<double>> factors(static_cast<std::size_t>(rank));
-  std::vector<std::uint32_t> mode_rank(static_cast<std::size_t>(rank), 0);
-  std::vector<std::uint8_t> has_factor(static_cast<std::size_t>(rank), 0);
-  const double energy_budget =
-      0.25 * delta * delta * static_cast<double>(dims.size());
-  for (int axis = 0; axis < rank; ++axis) {
-    const std::size_t n = dims.extent(axis);
-    if (n < 2 || n > cfg.max_mode_size) continue;
-    std::vector<double> g = mode_gram(core, core_dims, axis);
-    std::vector<double> v;
-    jacobi_eigen(g, n, v);
-    std::vector<std::size_t> idx(n);
-    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
-    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-      return g[a * n + a] > g[b * n + b];
-    });
-    // Truncate: discard the smallest eigenvalues within budget.
-    std::size_t r = n;
-    double discarded = 0.0;
-    while (r > 1) {
-      const double lam = std::max(0.0, g[idx[r - 1] * n + idx[r - 1]]);
-      if (discarded + lam > energy_budget) break;
-      discarded += lam;
-      --r;
-    }
-    auto& u = factors[static_cast<std::size_t>(axis)];
-    u.resize(n * r);
-    for (std::size_t j = 0; j < r; ++j)
-      for (std::size_t i = 0; i < n; ++i)
-        u[i * r + j] =
-            static_cast<double>(static_cast<float>(v[i * n + idx[j]]));
-    has_factor[static_cast<std::size_t>(axis)] = 1;
-    mode_rank[static_cast<std::size_t>(axis)] = static_cast<std::uint32_t>(r);
-    core = ttm(core, core_dims, axis, u, n, r, /*project=*/true);
-  }
-
-  // Scalar-quantize the truncated core and zero-run entropy-code it.
-  std::vector<std::uint32_t> symbols(core.size());
-  for (std::size_t i = 0; i < core.size(); ++i) {
-    const std::int64_t q = std::llround(core[i] / (2.0 * delta));
-    symbols[i] = static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(q) << 1) ^
-        static_cast<std::uint64_t>(q >> 63));
-    core[i] = 2.0 * delta * static_cast<double>(q);
-  }
-
-  // Reconstruct to collect bound-enforcing corrections.
-  std::vector<double> recon = core;
-  Dims recon_dims = core_dims;
-  for (int axis = rank - 1; axis >= 0; --axis) {
-    if (has_factor[static_cast<std::size_t>(axis)])
-      recon = ttm(recon, recon_dims, axis,
-                  factors[static_cast<std::size_t>(axis)], dims.extent(axis),
-                  mode_rank[static_cast<std::size_t>(axis)],
-                  /*project=*/false);
-  }
-  const double ebc = cfg.error_bound / 2.0;
-  std::vector<std::pair<std::uint64_t, std::int64_t>> corrections;
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < dims.size(); ++i) {
-    const double dec = static_cast<double>(static_cast<T>(recon[i]));
-    const double r = static_cast<double>(data[i]) - dec;
-    if (std::abs(r) > cfg.error_bound) {
-      corrections.emplace_back(i - prev, std::llround(r / (2.0 * ebc)));
-      prev = i;
-    }
-  }
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(cfg.quant_factor);
-  for (int axis = 0; axis < rank; ++axis) {
-    inner.put(has_factor[static_cast<std::size_t>(axis)]);
-    if (has_factor[static_cast<std::size_t>(axis)]) {
-      inner.put_varint(mode_rank[static_cast<std::size_t>(axis)]);
-      for (double u : factors[static_cast<std::size_t>(axis)])
-        inner.put(static_cast<float>(u));
-    }
-  }
-  inner.put_block(rle_encode_symbols(symbols));
-  inner.put_varint(corrections.size());
-  for (const auto& [d, qc] : corrections) {
-    inner.put_varint(d);
-    inner.put_svarint(qc);
-  }
-  return seal_archive(CompressorId::kTTHRESH, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<TTHRESHCodec>(data, dims, cfg);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void tthresh_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                       ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kTTHRESH, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  const double quant_factor = r.get<double>();
-  const int rank = dims.rank();
-  std::vector<std::vector<double>> factors(static_cast<std::size_t>(rank));
-  std::vector<std::uint32_t> mode_rank(static_cast<std::size_t>(rank), 0);
-  std::vector<std::uint8_t> has_factor(static_cast<std::size_t>(rank), 0);
-  Dims core_dims = dims;
-  for (int axis = 0; axis < rank; ++axis) {
-    has_factor[static_cast<std::size_t>(axis)] = r.get<std::uint8_t>();
-    if (has_factor[static_cast<std::size_t>(axis)]) {
-      const std::size_t n = dims.extent(axis);
-      const std::size_t rk = static_cast<std::size_t>(r.get_varint());
-      mode_rank[static_cast<std::size_t>(axis)] =
-          static_cast<std::uint32_t>(rk);
-      auto& u = factors[static_cast<std::size_t>(axis)];
-      u.resize(n * rk);
-      for (auto& e : u) e = static_cast<double>(r.get<float>());
-      core_dims = with_extent(core_dims, axis, rk);
-    }
-  }
-  const auto symbols = rle_decode_symbols(r.get_block());
-  if (symbols.size() != core_dims.size())
-    throw std::runtime_error("qip: tthresh core size mismatch");
-
-  const double delta = eb / quant_factor;
-  std::vector<double> core(core_dims.size());
-  for (std::size_t i = 0; i < core.size(); ++i) {
-    const std::uint64_t zz = symbols[i];
-    const std::int64_t q =
-        static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
-    core[i] = 2.0 * delta * static_cast<double>(q);
-  }
-  for (int axis = rank - 1; axis >= 0; --axis) {
-    if (has_factor[static_cast<std::size_t>(axis)])
-      core = ttm(core, core_dims, axis,
-                 factors[static_cast<std::size_t>(axis)], dims.extent(axis),
-                 mode_rank[static_cast<std::size_t>(axis)],
-                 /*project=*/false);
-  }
-
-  T* out = sink(dims);
-  for (std::size_t i = 0; i < core.size(); ++i)
-    out[i] = static_cast<T>(core[i]);
-
-  const double ebc = eb / 2.0;
-  const std::uint64_t ncorr = r.get_varint();
-  std::size_t pos = 0;
-  for (std::uint64_t i = 0; i < ncorr; ++i) {
-    pos += static_cast<std::size_t>(r.get_varint());
-    if (pos >= dims.size())
-      throw DecodeError("tthresh: correction index out of range");
-    const std::int64_t qc = r.get_svarint();
-    out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
-  }
-}
-
-}  // namespace
 
 template <class T>
 Field<T> tthresh_decompress(std::span<const std::uint8_t> archive,
                             ThreadPool* pool) {
-  Field<T> out;
-  tthresh_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<TTHRESHCodec, T>(archive, pool);
 }
 
 template <class T>
 void tthresh_decompress_into(std::span<const std::uint8_t> archive, T* out,
                              const Dims& expect, ThreadPool* pool) {
-  tthresh_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError(
-              "tthresh: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<TTHRESHCodec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> tthresh_compress<float>(

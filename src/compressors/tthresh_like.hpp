@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -21,15 +22,11 @@ namespace qip {
 
 class ThreadPool;
 
-struct TTHRESHConfig {
-  double error_bound = 1e-3;
+struct TTHRESHConfig : CodecOptions {
   double quant_factor = 3.0;  ///< core bin = eb / quant_factor
   /// Modes longer than this skip decorrelation (identity factor): the
   /// Jacobi eigensolve is O(n^3) and pointless past a few hundred rows.
   std::size_t max_mode_size = 512;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

@@ -5,9 +5,8 @@
 #include <cmath>
 #include <cstring>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/driver.hpp"
 #include "encode/bitstream.hpp"
-#include "util/bytes.hpp"
 
 namespace qip {
 namespace {
@@ -366,109 +365,71 @@ void walk_blocks(T* data, const Dims& dims, double tol, int guard_bits,
         }
 }
 
+/// Stage policy: embedded block-transform stream plus the exact-bound
+/// correction list.
+struct ZFPCodec {
+  using Config = ZFPConfig;
+  using Artifacts = NoArtifacts;
+  static constexpr CompressorId kId = CompressorId::kZFP;
+  static constexpr const char* kName = "zfp";
+
+  template <class T>
+  static void encode(const T* data, const Dims& dims, const Config& cfg,
+                     ContainerWriter& out, Artifacts*) {
+    BitWriter bw;
+    walk_blocks<T, true>(const_cast<T*>(data), dims, cfg.error_bound,
+                         cfg.guard_bits, &bw, nullptr);
+    std::vector<std::uint8_t> stream = bw.finish();
+
+    // Correction pass: decode our own stream and patch violations so the
+    // absolute bound holds exactly.
+    Field<T> recon(dims);
+    {
+      BitReader br(stream);
+      walk_blocks<T, false>(recon.data(), dims, cfg.error_bound,
+                            cfg.guard_bits, nullptr, &br);
+    }
+    const auto corrections = collect_corrections(
+        data, dims.size(), cfg.error_bound, cfg.error_bound / 2.0,
+        [&](std::size_t i) { return static_cast<double>(recon[i]); });
+
+    ByteWriter& h = out.stage(StageId::kConfig);
+    h.put(cfg.error_bound);
+    h.put(static_cast<std::int32_t>(cfg.guard_bits));
+    out.stage(StageId::kSymbols).put_bytes(stream);
+    write_corrections_stage(out, corrections);
+  }
+
+  template <class T>
+  static void decode(const ContainerReader& in, T* out, ThreadPool*) {
+    ByteReader h = in.stage(StageId::kConfig);
+    const double eb = h.get<double>();
+    const int guard = h.get<std::int32_t>();
+
+    BitReader br(in.stage_bytes(StageId::kSymbols));
+    walk_blocks<T, false>(out, in.dims(), eb, guard, nullptr, &br);
+    apply_corrections_stage(in, out, in.dims().size(), eb / 2.0, "zfp");
+  }
+};
+
 }  // namespace
 
 template <class T>
 std::vector<std::uint8_t> zfp_compress(const T* data, const Dims& dims,
                                        const ZFPConfig& cfg) {
-  BitWriter bw;
-  walk_blocks<T, true>(const_cast<T*>(data), dims, cfg.error_bound,
-                       cfg.guard_bits, &bw, nullptr);
-  std::vector<std::uint8_t> stream = bw.finish();
-
-  // Correction pass: decode our own stream and patch violations so the
-  // absolute bound holds exactly.
-  Field<T> recon(dims);
-  {
-    BitReader br(stream);
-    walk_blocks<T, false>(recon.data(), dims, cfg.error_bound, cfg.guard_bits,
-                          nullptr, &br);
-  }
-  const double ebc = cfg.error_bound / 2.0;
-  std::vector<std::pair<std::uint64_t, std::int64_t>> corrections;
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < dims.size(); ++i) {
-    const double r =
-        static_cast<double>(data[i]) - static_cast<double>(recon[i]);
-    if (std::abs(r) > cfg.error_bound) {
-      corrections.emplace_back(i - prev, std::llround(r / (2.0 * ebc)));
-      prev = i;
-    }
-  }
-
-  ByteWriter inner;
-  write_dims(inner, dims);
-  inner.put(cfg.error_bound);
-  inner.put(static_cast<std::int32_t>(cfg.guard_bits));
-  inner.put_block(stream);
-  inner.put_varint(corrections.size());
-  for (const auto& [delta, qc] : corrections) {
-    inner.put_varint(delta);
-    inner.put_svarint(qc);
-  }
-  return seal_archive(CompressorId::kZFP, dtype_tag<T>(), inner.bytes(),
-                      cfg.pool);
+  return codec_seal<ZFPCodec>(data, dims, cfg);
 }
-
-namespace {
-
-/// Shared decode path: `sink(dims)` maps the archived shape to the
-/// destination buffer (allocating or validating, caller's choice).
-template <class T, class Sink>
-void zfp_decode_to(std::span<const std::uint8_t> archive, Sink&& sink,
-                   ThreadPool* pool) {
-  const auto inner =
-      open_archive(archive, CompressorId::kZFP, dtype_tag<T>(),
-                   std::numeric_limits<std::uint64_t>::max(), pool);
-  ByteReader r(inner);
-  const Dims dims = read_dims(r);
-  const double eb = r.get<double>();
-  const int guard = r.get<std::int32_t>();
-  const auto stream = r.get_block();
-
-  T* out = sink(dims);
-  BitReader br(stream);
-  walk_blocks<T, false>(out, dims, eb, guard, nullptr, &br);
-
-  const double ebc = eb / 2.0;
-  const std::uint64_t ncorr = r.get_varint();
-  std::size_t pos = 0;
-  for (std::uint64_t i = 0; i < ncorr; ++i) {
-    pos += static_cast<std::size_t>(r.get_varint());
-    if (pos >= dims.size())
-      throw DecodeError("zfp: correction index out of range");
-    const std::int64_t qc = r.get_svarint();
-    out[pos] = static_cast<T>(static_cast<double>(out[pos]) + 2.0 * ebc * qc);
-  }
-}
-
-}  // namespace
 
 template <class T>
 Field<T> zfp_decompress(std::span<const std::uint8_t> archive,
                         ThreadPool* pool) {
-  Field<T> out;
-  zfp_decode_to<T>(
-      archive,
-      [&](const Dims& dims) {
-        out = Field<T>(dims);
-        return out.data();
-      },
-      pool);
-  return out;
+  return codec_open<ZFPCodec, T>(archive, pool);
 }
 
 template <class T>
 void zfp_decompress_into(std::span<const std::uint8_t> archive, T* out,
                          const Dims& expect, ThreadPool* pool) {
-  zfp_decode_to<T>(
-      archive,
-      [&](const Dims& dims) -> T* {
-        if (!(dims == expect))
-          throw DecodeError("zfp: archive dims mismatch for decompress_into");
-        return out;
-      },
-      pool);
+  codec_open_into<ZFPCodec, T>(archive, out, expect, pool);
 }
 
 template std::vector<std::uint8_t> zfp_compress<float>(const float*,

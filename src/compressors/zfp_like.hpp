@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "compressors/core/options.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -24,14 +25,10 @@ namespace qip {
 
 class ThreadPool;
 
-struct ZFPConfig {
-  double error_bound = 1e-3;
+struct ZFPConfig : CodecOptions {
   /// Extra bitplanes kept below the tolerance plane; larger = safer but
   /// bigger. The correction pass covers whatever the margin misses.
   int guard_bits = 2;
-  /// Optional shared worker pool for the entropy/lossless stages. The
-  /// emitted bytes never depend on it (or on its worker count).
-  ThreadPool* pool = nullptr;
 };
 
 template <class T>

@@ -5,15 +5,13 @@
 #include <stdexcept>
 #include <thread>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/container.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qip {
 namespace {
-
-constexpr std::uint32_t kChunkMagic = 0x50504951;  // "QIPP"
 
 Dims slab_dims(const Dims& d, std::size_t thickness) {
   switch (d.rank()) {
@@ -92,7 +90,7 @@ std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
   });
 
   ByteWriter w;
-  w.put(kChunkMagic);
+  w.put(kChunkedMagic);
   w.put(dtype_tag<T>());
   write_dims(w, dims);
   w.put_varint(slab);
@@ -109,7 +107,7 @@ Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
                             unsigned workers, ThreadPool* shared_pool) {
   if (archive.size() < 5) throw DecodeError("chunked archive too short");
   ByteReader r(archive);
-  if (r.get<std::uint32_t>() != kChunkMagic)
+  if (r.get<std::uint32_t>() != kChunkedMagic)
     throw DecodeError("not a chunked archive");
   if (r.get<std::uint8_t>() != dtype_tag<T>())
     throw DecodeError("chunked archive dtype mismatch");

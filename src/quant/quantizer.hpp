@@ -70,6 +70,10 @@ class LinearQuantizer {
   /// Code 0 consumes the next outlier.
   T recover(std::uint32_t code, T p) {
     if (code == kUnpredictableCode) {
+      // A corrupted symbol stream can mint extra unpredictable codes;
+      // fail loudly instead of reading past the stored outlier table.
+      if (outlier_cursor_ >= outliers_.size())
+        throw DecodeError("quantizer: outlier stream exhausted");
       const T v = outliers_[outlier_cursor_++];
       return v;
     }

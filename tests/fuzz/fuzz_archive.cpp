@@ -1,19 +1,26 @@
-// Fuzz target: outer archive framing + dims headers on arbitrary bytes.
+// Fuzz target: unified container framing + dims headers on arbitrary
+// bytes, plus the full registry decode path on anything that parses.
 //
-// Contract under test: open_archive()/archive_compressor()/read_dims()
-// either succeed or throw DecodeError. The inner-payload cap bounds what a
-// hostile LZB length header can make us allocate; read_dims() must reject
-// zero extents and element counts that would overflow size_t.
+// Contract under test: inspect_container()/ContainerReader/read_dims()
+// and every compressor's decompress either succeed or throw DecodeError.
+// The stage-body cap bounds what a hostile LZB length header can make us
+// materialize; read_dims() must reject zero extents and element counts
+// that would overflow size_t.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/container.hpp"
+#include "compressors/registry.hpp"
 #include "util/status.hpp"
 
 namespace {
-constexpr std::uint64_t kMaxInner = 1u << 22;  // 4 MiB payload cap
+constexpr std::uint64_t kMaxBody = 1u << 22;  // 4 MiB stage-body cap
+// Full decodes only for fields small enough that a flipped dims header
+// cannot turn the replay into a multi-gigabyte allocation.
+constexpr std::size_t kMaxDecodeElems = 1u << 20;
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -21,29 +28,65 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const std::span<const std::uint8_t> bytes(data, size);
 
   try {
-    (void)qip::archive_compressor(bytes);
+    (void)qip::inspect_container(bytes);
   } catch (const qip::DecodeError&) {
   }
 
-  // Drive the full open path against every registered id/dtype combo the
-  // first input byte selects, so mismatch branches are exercised too.
+  // Full parse: header, one LZB pass, stage directory — no expectations.
+  try {
+    const qip::ContainerReader in(bytes, kMaxBody);
+    // A successfully parsed container must reseal and reopen to the same
+    // stage directory and payloads.
+    qip::ContainerWriter w(in.codec(), in.dtype(), in.dims());
+    for (const auto& s : in.sections())
+      w.stage(s.id).put_bytes(in.stage_bytes(s.id));
+    const auto resealed = w.seal();
+    const qip::ContainerReader in2(resealed, kMaxBody);
+    if (in2.dims() != in.dims()) __builtin_trap();
+    if (in2.sections().size() != in.sections().size()) __builtin_trap();
+    for (std::size_t i = 0; i < in.sections().size(); ++i) {
+      const auto& a = in.sections()[i];
+      const auto& b = in2.sections()[i];
+      if (a.id != b.id || a.size != b.size) __builtin_trap();
+      const auto pa = in.stage_bytes(a.id);
+      const auto pb = in2.stage_bytes(b.id);
+      if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()))
+        __builtin_trap();
+    }
+  } catch (const qip::DecodeError&) {
+  }
+
+  // Codec/dtype expectation branches, selected by the first input byte.
   const auto id = static_cast<qip::CompressorId>(size ? data[0] % 8 : 1);
   const std::uint8_t dtype = size ? 1 + (data[0] >> 7) : 1;
   try {
-    const auto inner =
-        qip::open_archive(bytes, id, dtype, kMaxInner);
-    // A successfully opened archive must re-seal/re-open to the same
-    // payload.
-    const auto resealed = qip::seal_archive(id, dtype, inner);
-    if (qip::open_archive(resealed, id, dtype, kMaxInner) != inner)
-      __builtin_trap();
+    const qip::ContainerReader in(bytes, id, dtype, kMaxBody);
+    (void)in.has_stage(qip::StageId::kConfig);
   } catch (const qip::DecodeError&) {
   }
 
-  // Dims header parser over the raw tail.
+  // Dims header parser over the raw bytes.
   try {
     qip::ByteReader r(bytes);
     (void)qip::read_dims(r);
+  } catch (const qip::DecodeError&) {
+  }
+
+  // Full decode through the registry: exercises Huffman/RLE symbol
+  // streams, quantizer outlier tables and the traversal engines against
+  // the same hostile input. Anything that fails must throw DecodeError.
+  try {
+    const auto& entry = qip::find_compressor_for(bytes);
+    if (qip::inspect_container(bytes).dims.size() <= kMaxDecodeElems) {
+      try {
+        (void)entry.decompress_f32(bytes);
+      } catch (const qip::DecodeError&) {
+      }
+      try {
+        (void)entry.decompress_f64(bytes);
+      } catch (const qip::DecodeError&) {
+      }
+    }
   } catch (const qip::DecodeError&) {
   }
   return 0;

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/container.hpp"
+#include "compressors/sz3.hpp"
+#include "data/synthetic.hpp"
 #include "encode/huffman.hpp"
 #include "lossless/lzb.hpp"
 #include "util/bytes.hpp"
@@ -174,33 +176,92 @@ void gen_lzb(const fs::path& root) {
 
 void gen_archive(const fs::path& root) {
   const fs::path dir = root / "fuzz_archive";
-  const Bytes inner = pattern_bytes(512, 21);
-  dump_with_mutants(
-      dir, "sz3_f32",
-      qip::seal_archive(qip::CompressorId::kSZ3, qip::dtype_tag<float>(),
-                        inner));
-  dump_with_mutants(
-      dir, "qoz_f64",
-      qip::seal_archive(qip::CompressorId::kQoZ, qip::dtype_tag<double>(),
-                        pattern_bytes(64, 5)));
-  // Hostile: right magic, bomb-sized inner LZB declaration.
+  // Well-formed containers with realistic stage layouts.
+  {
+    qip::ContainerWriter w(qip::CompressorId::kSZ3, qip::dtype_tag<float>(),
+                           qip::Dims{8, 8, 8});
+    w.stage(qip::StageId::kConfig).put_bytes(pattern_bytes(64, 21));
+    w.stage(qip::StageId::kSymbols).put_bytes(pattern_bytes(512, 22));
+    dump_with_mutants(dir, "sz3_f32", w.seal());
+  }
+  {
+    qip::ContainerWriter w(qip::CompressorId::kQoZ, qip::dtype_tag<double>(),
+                           qip::Dims{32});
+    w.stage(qip::StageId::kConfig).put_bytes(pattern_bytes(48, 5));
+    w.stage(qip::StageId::kSymbols).put_bytes(pattern_bytes(96, 6));
+    w.stage(qip::StageId::kCorrections).put_bytes(pattern_bytes(16, 7));
+    dump_with_mutants(dir, "qoz_f64", w.seal());
+  }
+  // A genuine SZ3 archive on a field/bound pair whose sampling selector
+  // commits to the Lorenzo path, so the replay battery's truncations and
+  // bit flips exercise the full decode stack: Huffman, the quantizer
+  // outlier table and the traversal walk.
+  {
+    const qip::Dims dims{32, 40, 48};
+    const qip::Field<float> field =
+        qip::make_field(qip::DatasetId::kMiranda, 0, dims, 7);
+    qip::SZ3Config cfg;
+    cfg.error_bound = 1e-3;
+    const auto arc = qip::sz3_compress(field.data(), dims, cfg);
+    dump_with_mutants(dir, "sz3_real", arc);
+    // The dims-header flip that uncovered the unguarded symbol cursor:
+    // the claimed point count grows past the stored symbol stream.
+    Bytes dflip = arc;
+    dflip[8] ^= 0x01;
+    dump(dir, "hostile_dims_flip.bin", dflip);
+  }
+  // Hostile: valid header, bomb-sized stage-body LZB declaration.
   {
     qip::ByteWriter w;
-    w.put(qip::kArchiveMagic);
+    w.put(qip::kContainerMagic);
+    w.put(qip::kContainerVersion);
     w.put(static_cast<std::uint8_t>(1));  // kSZ3
     w.put(static_cast<std::uint8_t>(1));  // float
+    w.put_varint(3);                      // dims 8x8x8
+    for (int a = 0; a < 3; ++a) w.put_varint(8);
     w.put_varint(std::uint64_t{1} << 50);  // LZB raw size: 1 PiB
     w.put_varint(0);
     dump(dir, "hostile_inner_bomb.bin", w.take());
   }
   // Hostile: wrong magic entirely.
-  dump(dir, "hostile_bad_magic.bin", Bytes{0xDE, 0xAD, 0xBE, 0xEF, 1, 1, 0});
-  // Hostile: header only, no payload at all.
+  dump(dir, "hostile_bad_magic.bin",
+       Bytes{0xDE, 0xAD, 0xBE, 0xEF, 2, 1, 1, 1, 4});
+  // Hostile: a future format version this build must refuse to parse.
   {
     qip::ByteWriter w;
-    w.put(qip::kArchiveMagic);
+    w.put(qip::kContainerMagic);
+    w.put(static_cast<std::uint8_t>(qip::kContainerVersion + 1));
+    w.put(static_cast<std::uint8_t>(1));
+    w.put(static_cast<std::uint8_t>(1));
+    w.put_varint(1);
+    w.put_varint(4);
+    dump(dir, "hostile_bad_version.bin", w.take());
+  }
+  // Hostile: header cut off before dims.
+  {
+    qip::ByteWriter w;
+    w.put(qip::kContainerMagic);
+    w.put(qip::kContainerVersion);
     w.put(static_cast<std::uint8_t>(3));
     dump(dir, "hostile_header_only.bin", w.take());
+  }
+  // Hostile: duplicate stage sections inside the body.
+  {
+    qip::ByteWriter body;
+    body.put_varint(2);
+    body.put(static_cast<std::uint8_t>(qip::StageId::kConfig));
+    body.put_block(Bytes{1, 2, 3, 4});
+    body.put(static_cast<std::uint8_t>(qip::StageId::kConfig));
+    body.put_block(Bytes{5, 6, 7, 8});
+    qip::ByteWriter w;
+    w.put(qip::kContainerMagic);
+    w.put(qip::kContainerVersion);
+    w.put(static_cast<std::uint8_t>(2));  // kQoZ
+    w.put(static_cast<std::uint8_t>(2));  // double
+    w.put_varint(1);
+    w.put_varint(16);
+    w.put_bytes(qip::lzb_compress(body.bytes()));
+    dump(dir, "hostile_dup_stage.bin", w.take());
   }
   // Hostile dims headers (consumed by the read_dims leg of the target):
   // rank 200, a zero extent, and an extent product overflowing size_t.

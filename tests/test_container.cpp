@@ -1,0 +1,302 @@
+// Unit tests for the unified archive container.
+
+#include "compressors/core/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "lossless/lzb.hpp"
+
+namespace qip {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(Container, SealOpenRoundtrip) {
+  ContainerWriter w(CompressorId::kQoZ, dtype_tag<float>(), Dims{4, 5});
+  w.stage(StageId::kConfig).put_bytes(bytes_of({1, 2, 3}));
+  w.stage(StageId::kSymbols).put_bytes(bytes_of({4, 5, 6, 7}));
+  const auto arc = w.seal();
+
+  const ContainerReader in(arc, CompressorId::kQoZ, dtype_tag<float>());
+  EXPECT_EQ(in.version(), kContainerVersion);
+  EXPECT_EQ(in.codec(), CompressorId::kQoZ);
+  EXPECT_EQ(in.dtype(), dtype_tag<float>());
+  EXPECT_EQ(in.dims(), (Dims{4, 5}));
+  ASSERT_EQ(in.sections().size(), 2u);
+  const auto cfg = in.stage_bytes(StageId::kConfig);
+  EXPECT_EQ(std::vector<std::uint8_t>(cfg.begin(), cfg.end()),
+            bytes_of({1, 2, 3}));
+  const auto sym = in.stage_bytes(StageId::kSymbols);
+  EXPECT_EQ(std::vector<std::uint8_t>(sym.begin(), sym.end()),
+            bytes_of({4, 5, 6, 7}));
+}
+
+TEST(Container, GoldenHeaderLayout) {
+  // Pin the plaintext header byte-for-byte: "QIPC" little-endian, format
+  // version, codec id, dtype, varint rank + extents. A failure here means
+  // the on-disk format changed — bump kContainerVersion.
+  ContainerWriter w(CompressorId::kHPEZ, dtype_tag<double>(), Dims{3, 300});
+  w.stage(StageId::kConfig).put_bytes(bytes_of({9}));
+  const auto arc = w.seal();
+  ASSERT_GE(arc.size(), 11u);
+  EXPECT_EQ(arc[0], 0x51);  // 'Q'
+  EXPECT_EQ(arc[1], 0x49);  // 'I'
+  EXPECT_EQ(arc[2], 0x50);  // 'P'
+  EXPECT_EQ(arc[3], 0x43);  // 'C'
+  EXPECT_EQ(arc[4], kContainerVersion);
+  EXPECT_EQ(arc[5], static_cast<std::uint8_t>(CompressorId::kHPEZ));
+  EXPECT_EQ(arc[6], dtype_tag<double>());
+  EXPECT_EQ(arc[7], 2);     // rank
+  EXPECT_EQ(arc[8], 3);     // extent 3
+  EXPECT_EQ(arc[9], 0xAC);  // extent 300 = varint AC 02
+  EXPECT_EQ(arc[10], 0x02);
+
+  const ContainerInfo info = inspect_container(arc);
+  EXPECT_EQ(info.header_bytes, 11u);
+  EXPECT_EQ(info.body_bytes, arc.size() - 11u);
+}
+
+TEST(Container, InspectReadsHeaderOnly) {
+  ContainerWriter w(CompressorId::kSPERR, dtype_tag<double>(), Dims{6, 7, 8});
+  w.stage(StageId::kSymbols).put_bytes(bytes_of({1}));
+  const auto arc = w.seal();
+  const ContainerInfo info = inspect_container(arc);
+  EXPECT_EQ(info.version, kContainerVersion);
+  EXPECT_EQ(info.codec, CompressorId::kSPERR);
+  EXPECT_EQ(info.dtype, dtype_tag<double>());
+  EXPECT_EQ(info.dims, (Dims{6, 7, 8}));
+}
+
+TEST(Container, RepeatedStageCallAppends) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{2});
+  w.stage(StageId::kConfig).put_bytes(bytes_of({1, 2}));
+  w.stage(StageId::kSymbols).put_bytes(bytes_of({9}));
+  w.stage(StageId::kConfig).put_bytes(bytes_of({3}));
+  const auto arc = w.seal();
+  const ContainerReader in(arc, CompressorId::kSZ3, dtype_tag<float>());
+  const auto cfg = in.stage_bytes(StageId::kConfig);
+  EXPECT_EQ(std::vector<std::uint8_t>(cfg.begin(), cfg.end()),
+            bytes_of({1, 2, 3}));
+}
+
+TEST(Container, MissingStageThrows) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{2});
+  w.stage(StageId::kConfig).put_bytes(bytes_of({1}));
+  const auto arc = w.seal();
+  const ContainerReader in(arc, CompressorId::kSZ3, dtype_tag<float>());
+  EXPECT_TRUE(in.has_stage(StageId::kConfig));
+  EXPECT_FALSE(in.has_stage(StageId::kCorrections));
+  EXPECT_THROW((void)in.stage_bytes(StageId::kCorrections), DecodeError);
+}
+
+TEST(Container, WrongIdRejected) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{2});
+  const auto arc = w.seal();
+  EXPECT_THROW(
+      ContainerReader(arc, CompressorId::kHPEZ, dtype_tag<float>()),
+      DecodeError);
+}
+
+TEST(Container, WrongDtypeRejected) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{2});
+  const auto arc = w.seal();
+  EXPECT_THROW(
+      ContainerReader(arc, CompressorId::kSZ3, dtype_tag<double>()),
+      DecodeError);
+}
+
+TEST(Container, BadMagicRejected) {
+  const auto junk = bytes_of({9, 9, 9, 9, 9, 9, 9, 9});
+  EXPECT_THROW(ContainerReader(junk, CompressorId::kSZ3, dtype_tag<float>()),
+               DecodeError);
+  EXPECT_THROW((void)inspect_container(junk), DecodeError);
+}
+
+TEST(Container, UnknownVersionRejectedWithTypedError) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{2});
+  auto arc = w.seal();
+  arc[4] = kContainerVersion + 1;
+  try {
+    (void)inspect_container(arc);
+    FAIL() << "future version must not parse";
+  } catch (const UnknownCodecError& e) {
+    EXPECT_EQ(e.version(), kContainerVersion + 1);
+    EXPECT_EQ(e.codec_id(), static_cast<std::uint8_t>(CompressorId::kSZ3));
+  }
+}
+
+TEST(Container, DimsRoundtripAllRanks) {
+  for (Dims d : {Dims{7}, Dims{3, 4}, Dims{100, 500, 500},
+                 Dims{3600, 449, 449, 235}}) {
+    ByteWriter w;
+    write_dims(w, d);
+    const auto buf = w.bytes();
+    ByteReader r(buf);
+    EXPECT_EQ(read_dims(r), d);
+  }
+}
+
+TEST(Container, BadRankRejected) {
+  ByteWriter w;
+  w.put_varint(9);  // rank 9
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  EXPECT_THROW((void)read_dims(r), DecodeError);
+}
+
+// Regression tests distilled from the fuzz corpus (tests/fuzz/corpus/
+// fuzz_archive): hostile framing must raise DecodeError, never UB.
+
+TEST(Container, TruncatedHeaderRejected) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{3});
+  w.stage(StageId::kConfig).put_bytes(bytes_of({1, 2, 3}));
+  const auto arc = w.seal();
+  for (std::size_t cut = 0; cut < kContainerPrefixBytes + 2; ++cut) {
+    std::span<const std::uint8_t> prefix(arc.data(), cut);
+    EXPECT_THROW(
+        ContainerReader(prefix, CompressorId::kSZ3, dtype_tag<float>()),
+        DecodeError)
+        << "cut=" << cut;
+    EXPECT_THROW((void)inspect_container(prefix), DecodeError);
+  }
+}
+
+TEST(Container, TruncatedBodyRejected) {
+  ContainerWriter w(CompressorId::kSZ3, dtype_tag<float>(), Dims{300});
+  std::vector<std::uint8_t> payload(300);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i);
+  w.stage(StageId::kSymbols).put_bytes(payload);
+  const auto arc = w.seal();
+  for (std::size_t cut = kContainerPrefixBytes + 2; cut + 1 < arc.size();
+       cut += 7) {
+    std::span<const std::uint8_t> prefix(arc.data(), cut);
+    EXPECT_THROW(
+        ContainerReader(prefix, CompressorId::kSZ3, dtype_tag<float>()),
+        DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Container, BodyBombCappedByMaxBody) {
+  // Valid header, then an LZB header declaring a 1 PiB stage body.
+  ByteWriter w;
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put(static_cast<std::uint8_t>(CompressorId::kSZ3));
+  w.put(dtype_tag<float>());
+  w.put_varint(1);
+  w.put_varint(16);
+  w.put_varint(std::uint64_t{1} << 50);
+  w.put_varint(0);
+  const auto arc = w.take();
+  EXPECT_THROW(ContainerReader(arc, CompressorId::kSZ3, dtype_tag<float>(),
+                               /*max_body=*/1 << 20),
+               DecodeError);
+}
+
+TEST(Container, DuplicateStageRejected) {
+  ByteWriter body;
+  body.put_varint(2);
+  body.put(static_cast<std::uint8_t>(StageId::kConfig));
+  body.put_block(bytes_of({1, 2, 3, 4}));
+  body.put(static_cast<std::uint8_t>(StageId::kConfig));
+  body.put_block(bytes_of({5, 6, 7, 8}));
+  ByteWriter w;
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put(static_cast<std::uint8_t>(CompressorId::kQoZ));
+  w.put(dtype_tag<double>());
+  w.put_varint(1);
+  w.put_varint(16);
+  w.put_bytes(lzb_compress(body.bytes()));
+  const auto arc = w.take();
+  EXPECT_THROW(ContainerReader(arc, CompressorId::kQoZ, dtype_tag<double>()),
+               DecodeError);
+}
+
+TEST(Container, TrailingBodyBytesRejected) {
+  ByteWriter body;
+  body.put_varint(1);
+  body.put(static_cast<std::uint8_t>(StageId::kConfig));
+  body.put_block(bytes_of({1, 2}));
+  body.put(0xEE);  // junk after the last section
+  ByteWriter w;
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put(static_cast<std::uint8_t>(CompressorId::kQoZ));
+  w.put(dtype_tag<double>());
+  w.put_varint(1);
+  w.put_varint(16);
+  w.put_bytes(lzb_compress(body.bytes()));
+  const auto arc = w.take();
+  EXPECT_THROW(ContainerReader(arc, CompressorId::kQoZ, dtype_tag<double>()),
+               DecodeError);
+}
+
+TEST(Container, ZeroExtentRejected) {
+  ByteWriter w;
+  w.put_varint(3);
+  w.put_varint(16);
+  w.put_varint(0);
+  w.put_varint(16);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  EXPECT_THROW((void)read_dims(r), DecodeError);
+}
+
+TEST(Container, ExtentProductOverflowRejected) {
+  ByteWriter w;
+  w.put_varint(4);
+  for (int a = 0; a < 4; ++a) w.put_varint(std::uint64_t{1} << 48);
+  const auto buf = w.bytes();
+  ByteReader r(buf);
+  EXPECT_THROW((void)read_dims(r), DecodeError);
+}
+
+TEST(Container, BitFlippedArchiveNeverCrashes) {
+  ContainerWriter w(CompressorId::kQoZ, dtype_tag<double>(), Dims{25});
+  w.stage(StageId::kConfig).put_bytes(std::vector<std::uint8_t>(40, 0x5A));
+  w.stage(StageId::kSymbols).put_bytes(std::vector<std::uint8_t>(160, 0xA5));
+  const auto arc = w.seal();
+  for (std::size_t bit = 0; bit < arc.size() * 8; bit += 5) {
+    auto mutated = arc;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const ContainerReader in(mutated, CompressorId::kQoZ,
+                               dtype_tag<double>(), 1 << 20);
+      // Flips in the compressed body may still parse; that is fine as
+      // long as no error other than DecodeError can surface.
+      (void)in.sections();
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(Container, StagePayloadIsLosslesslyFramed) {
+  // 1 MiB of structured data must come back exactly through the LZB
+  // wrapping.
+  std::vector<std::uint8_t> payload(1 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>((i * i) >> 3);
+  ContainerWriter w(CompressorId::kMGARD, dtype_tag<float>(), Dims{1 << 18});
+  w.stage(StageId::kSymbols).put_bytes(payload);
+  const auto arc = w.seal();
+  const ContainerReader in(arc, CompressorId::kMGARD, dtype_tag<float>());
+  const auto back = in.stage_bytes(StageId::kSymbols);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), back.begin(),
+                         back.end()));
+  EXPECT_LT(arc.size(), payload.size());  // structured payload compresses
+}
+
+}  // namespace
+}  // namespace qip

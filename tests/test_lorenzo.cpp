@@ -81,6 +81,27 @@ TEST(LorenzoPath, RoundtripAllRanks) {
   }
 }
 
+TEST(LorenzoPath, ShortSymbolStreamRejected) {
+  // The decode walk consumes one symbol per point; a hostile archive
+  // whose dims header claims more points than the stream holds must
+  // throw instead of reading past the end.
+  const Dims dims{6, 7, 8};
+  Field<float> f(dims);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.05f * static_cast<float>(i));
+  LinearQuantizer<float> enc(1e-4);
+  std::vector<std::uint32_t> syms;
+  std::size_t cur = 0;
+  lorenzo_walk<float, true>(f.data(), dims, enc, syms, cur);
+
+  syms.resize(syms.size() - 1);  // one symbol short of the field
+  Field<float> out(dims);
+  enc.reset_cursor();
+  cur = 0;
+  EXPECT_THROW((lorenzo_walk<float, false>(out.data(), dims, enc, syms, cur)),
+               DecodeError);
+}
+
 TEST(LorenzoPath, LinearRampQuantizesToNearZeroSymbols) {
   // A trilinear ramp is predicted exactly: all interior symbols should be
   // the zero-residual code.

@@ -90,29 +90,7 @@ TEST(MGARD, LowerRatioThanSZ3AtSameBound) {
   EXPECT_GT(am.size(), as.size());
 }
 
-TEST(MGARD, DoubleRoundtrip) {
-  Field<double> f(Dims{28, 28, 28});
-  for (std::size_t i = 0; i < f.size(); ++i)
-    f[i] = std::cos(0.05 * static_cast<double>(i)) * 42.0;
-  MGARDConfig cfg;
-  cfg.error_bound = 1e-4;
-  const auto dec =
-      mgard_decompress<double>(mgard_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
-}
-
-TEST(MGARD, Rank2Roundtrip) {
-  Field<float> f(Dims{200, 300});
-  for (std::size_t y = 0; y < 200; ++y)
-    for (std::size_t x = 0; x < 300; ++x)
-      f.at(y, x) = std::sin(0.03f * y) * std::cos(0.04f * x);
-  MGARDConfig cfg;
-  cfg.error_bound = 1e-4;
-  cfg.qp = QPConfig::best_fit();
-  const auto dec =
-      mgard_decompress<float>(mgard_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
-}
+// Generic dtype × rank roundtrips live in test_all_codecs.cpp.
 
 }  // namespace
 }  // namespace qip

@@ -64,6 +64,18 @@ TEST(Quantizer, SaveLoadPreservesOutliers) {
   EXPECT_EQ(q2.recover(kUnpredictableCode, 0.0), -3.0);
 }
 
+TEST(Quantizer, ExhaustedOutlierStreamThrows) {
+  // A corrupted symbol stream can request more unpredictable values than
+  // the archive stored; the cursor must stop at the table edge.
+  LinearQuantizer<float> q(1e-9, 16);
+  float recon;
+  q.quantize(7.0f, 0.0f, &recon);
+  EXPECT_EQ(q.recover(kUnpredictableCode, 0.0f), 7.0f);
+  EXPECT_THROW((void)q.recover(kUnpredictableCode, 0.0f), DecodeError);
+  LinearQuantizer<float> empty(1e-3);
+  EXPECT_THROW((void)empty.recover(kUnpredictableCode, 0.0f), DecodeError);
+}
+
 TEST(Quantizer, ResetCursorReplaysOutliers) {
   LinearQuantizer<float> q(1e-9, 16);
   float recon;

@@ -43,6 +43,52 @@ TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW((void)find_compressor("SZ4"), std::runtime_error);
 }
 
+TEST(Registry, FindCompressorForResolvesArchiveCodec) {
+  Field<float> f(Dims{40});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = std::sin(0.2f * static_cast<float>(i));
+  GenericOptions opt;
+  const auto& sz3 = find_compressor("SZ3");
+  const auto arc = sz3.compress_f32(f.data(), f.dims(), opt);
+  const auto& found = find_compressor_for(arc);
+  EXPECT_EQ(found.name, "SZ3");
+  EXPECT_EQ(found.id, CompressorId::kSZ3);
+}
+
+TEST(Registry, FindCompressorForReportsUnknownCodecId) {
+  // Structurally valid container naming a codec this build doesn't have.
+  ContainerWriter w(static_cast<CompressorId>(200), dtype_tag<float>(),
+                    Dims{4});
+  w.stage(StageId::kConfig).put_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  const auto arc = w.seal();
+  try {
+    (void)find_compressor_for(arc);
+    FAIL() << "unknown codec id must not resolve";
+  } catch (const UnknownCodecError& e) {
+    EXPECT_EQ(e.codec_id(), 200);
+    EXPECT_EQ(e.version(), kContainerVersion);
+  }
+}
+
+TEST(Registry, FindCompressorForReportsUnsupportedVersion) {
+  ContainerWriter w(CompressorId::kQoZ, dtype_tag<double>(), Dims{4});
+  w.stage(StageId::kConfig).put_bytes(std::vector<std::uint8_t>{1});
+  auto arc = w.seal();
+  arc[4] = kContainerVersion + 3;  // version byte follows the magic
+  try {
+    (void)find_compressor_for(arc);
+    FAIL() << "future format version must not resolve";
+  } catch (const UnknownCodecError& e) {
+    EXPECT_EQ(e.version(), kContainerVersion + 3);
+    EXPECT_EQ(e.codec_id(), static_cast<std::uint8_t>(CompressorId::kQoZ));
+  }
+}
+
+TEST(Registry, FindCompressorForRejectsGarbage) {
+  const std::vector<std::uint8_t> junk(16, 0xAB);
+  EXPECT_THROW((void)find_compressor_for(junk), DecodeError);
+}
+
 TEST(Registry, AllCompressorsRoundtripF32WithinBound) {
   const auto f = smooth(Dims{24, 28, 32});
   GenericOptions opt;

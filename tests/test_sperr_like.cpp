@@ -63,28 +63,7 @@ TEST(SperrLike, BeatsZfpOnSmoothDataAtSameBound) {
   EXPECT_LT(as.size(), az.size());
 }
 
-TEST(SperrLike, Rank2) {
-  Field<float> f(Dims{100, 140});
-  for (std::size_t y = 0; y < 100; ++y)
-    for (std::size_t x = 0; x < 140; ++x)
-      f.at(y, x) = std::sin(0.05f * y) + std::cos(0.04f * x);
-  SPERRConfig cfg;
-  cfg.error_bound = 1e-4;
-  const auto dec =
-      sperr_decompress<float>(sperr_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
-}
-
-TEST(SperrLike, DoubleRoundtrip) {
-  Field<double> f(Dims{30, 30, 30});
-  for (std::size_t i = 0; i < f.size(); ++i)
-    f[i] = std::sin(0.002 * static_cast<double>(i)) * 1e4;
-  SPERRConfig cfg;
-  cfg.error_bound = 1e-1;  // absolute, on ~1e4-range data
-  const auto dec =
-      sperr_decompress<double>(sperr_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-1 * (1 + 1e-9));
-}
+// Generic dtype × rank roundtrips live in test_all_codecs.cpp.
 
 TEST(SperrLike, RoughDataStillBounded) {
   Field<float> f(Dims{24, 24, 24});

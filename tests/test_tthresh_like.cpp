@@ -61,28 +61,7 @@ TEST(TthreshLike, LargeModeGuardSkipsDecorrelation) {
   EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-3 * (1 + 1e-9));
 }
 
-TEST(TthreshLike, Rank2) {
-  Field<float> f(Dims{64, 80});
-  for (std::size_t y = 0; y < 64; ++y)
-    for (std::size_t x = 0; x < 80; ++x)
-      f.at(y, x) = std::sin(0.1f * y) * std::cos(0.08f * x);
-  TTHRESHConfig cfg;
-  cfg.error_bound = 1e-4;
-  const auto dec =
-      tthresh_decompress<float>(tthresh_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-4 * (1 + 1e-9));
-}
-
-TEST(TthreshLike, DoubleRoundtrip) {
-  Field<double> f(Dims{24, 24, 24});
-  for (std::size_t i = 0; i < f.size(); ++i)
-    f[i] = std::cos(0.01 * static_cast<double>(i));
-  TTHRESHConfig cfg;
-  cfg.error_bound = 1e-5;
-  const auto dec =
-      tthresh_decompress<double>(tthresh_compress(f.data(), f.dims(), cfg));
-  EXPECT_LE(max_abs_error(f.span(), dec.span()), 1e-5 * (1 + 1e-9));
-}
+// Generic dtype × rank roundtrips live in test_all_codecs.cpp.
 
 TEST(TthreshLike, RoughDataBounded) {
   Field<float> f(Dims{20, 20, 20});

@@ -18,8 +18,14 @@ include-order    Within each contiguous `#include` block, paths are
                  not mixed inside one block).
 std-endl         No `std::endl` in src/ (flushes in hot loops); use '\n'.
 nodiscard        Status/value-returning codec APIs in src/ headers
-                 (encode/decode/compress/decompress/open_/seal_ names)
-                 carry [[nodiscard]].
+                 (encode/decode/compress/decompress/codec_*/container
+                 names) carry [[nodiscard]].
+archive-magic    Archive magic literals (the 0x..504951 "QIP?" family)
+                 appear only in compressors/core/container.* — every
+                 other layer must name the shared constants.
+codec-options    Per-codec *Config structs must not redeclare the common
+                 CodecOptions fields (error_bound, qp, radius, kind,
+                 pool); they inherit them from CodecOptions.
 
 Usage
 -----
@@ -47,6 +53,8 @@ RULES = (
     "include-order",
     "std-endl",
     "nodiscard",
+    "archive-magic",
+    "codec-options",
 )
 
 ALLOW_RE = re.compile(r"//\s*qip-lint:\s*allow\(([a-z-]+)\)")
@@ -58,8 +66,29 @@ RAW_CAST_RE = re.compile(r"\breinterpret_cast\s*<")
 STD_ENDL_RE = re.compile(r"\bstd::endl\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
 
+# Both container magics ("QIPC"/"QIPP") end in the bytes "QIP", so any
+# 0x..504951 literal is an archive magic. Only the container layer may
+# spell them out; everyone else uses kContainerMagic / kChunkedMagic.
+ARCHIVE_MAGIC_RE = re.compile(r"0[xX][0-9a-fA-F]{1,2}504951")
+ARCHIVE_MAGIC_HOME = "src/compressors/core/container"
+
+# Member declarations of the common CodecOptions fields inside per-codec
+# *Config structs. A leading type token keeps call sites and `cfg.qp = x`
+# assignments from tripping it; the struct-body tracking in lint_file
+# keeps function parameters out.
+CODEC_OPTION_FIELD_RE = re.compile(
+    r"^\s*(?:double|float|int|bool|std::size_t|std::int32_t|QPConfig|"
+    r"InterpKind|ThreadPool\s*\*)\s*&?\s*"
+    r"(?:error_bound|qp|radius|kind|pool)\s*[={;]"
+)
+CODEC_CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+\w*Config\b")
+CODEC_OPTIONS_HOME = "src/compressors/core/options.hpp"
+
 # Codec-ish API names whose non-void results must not be silently dropped.
-NODISCARD_NAME = r"\w*(?:encode|decode|compress|decompress)\w*|open_archive|seal_archive|archive_compressor"
+NODISCARD_NAME = (
+    r"\w*(?:encode|decode|compress|decompress)\w*"
+    r"|codec_seal|codec_open\w*|inspect_container|read_dims|stage_bytes"
+)
 # A declaration line: a return-type token (identifier/template/ref char)
 # followed by whitespace, then the API name and an open paren. Call sites
 # (`foo(`, `Obj::foo(`, `= foo(`, `return foo(`) don't match.
@@ -163,6 +192,27 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
             add("raw-cast", idx, raw_lines[idx - 1])
         if STD_ENDL_RE.search(line):
             add("std-endl", idx, raw_lines[idx - 1])
+        if ARCHIVE_MAGIC_RE.search(line) and not rel.startswith(
+                ARCHIVE_MAGIC_HOME):
+            add("archive-magic", idx, raw_lines[idx - 1])
+
+    # --- codec-options: *Config struct bodies must not redeclare the
+    # CodecOptions surface they inherit ---
+    if (rel.startswith("src/compressors/") and rel.endswith(".hpp")
+            and rel != CODEC_OPTIONS_HOME):
+        depth = 0
+        in_config = False
+        for idx, line in enumerate(clean_lines, 1):
+            if not in_config:
+                if CODEC_CONFIG_STRUCT_RE.search(line) and ";" not in line:
+                    in_config = True
+                    depth = line.count("{") - line.count("}")
+                continue
+            if CODEC_OPTION_FIELD_RE.match(line):
+                add("codec-options", idx, raw_lines[idx - 1])
+            depth += line.count("{") - line.count("}")
+            if depth <= 0:
+                in_config = False
 
     # --- pragma-once: first non-blank, non-comment line of a header ---
     if path.suffix == ".hpp":

@@ -16,7 +16,7 @@
 #include <map>
 #include <string>
 
-#include "compressors/archive.hpp"
+#include "compressors/core/container.hpp"
 #include "compressors/registry.hpp"
 #include "data/synthetic.hpp"
 #include "parallel/chunked.hpp"
@@ -152,7 +152,7 @@ int do_decompress_t(const Args& a) {
   Field<T> out = [&] {
     // Chunked archives carry their own magic.
     ByteReader r(arc);
-    if (r.get<std::uint32_t>() == 0x50504951u)
+    if (r.get<std::uint32_t>() == kChunkedMagic)
       return chunked_decompress<T>(arc);
     const CompressorEntry& e = find_compressor_for(arc);
     if constexpr (std::is_same_v<T, float>)
@@ -205,17 +205,50 @@ int do_eval(const Args& a) {
   return 0;
 }
 
+const char* dtype_str(std::uint8_t tag) {
+  return tag == 1 ? "f32" : tag == 2 ? "f64" : "unknown";
+}
+
 int do_info(const Args& a) {
   const auto arc = read_bytes(a.require("-i"));
-  ByteReader r(arc);
-  const std::uint32_t magic = r.get<std::uint32_t>();
-  if (magic == 0x50504951u) {
-    std::printf("chunked qip archive, %zu bytes\n", arc.size());
-    return 0;
+  if (arc.size() >= 4) {
+    ByteReader r(arc);
+    if (r.get<std::uint32_t>() == kChunkedMagic) {
+      const std::uint8_t dtype = r.get<std::uint8_t>();
+      const Dims dims = read_dims(r);
+      const std::size_t slab = static_cast<std::size_t>(r.get_varint());
+      const std::size_t nchunks = static_cast<std::size_t>(r.get_varint());
+      const std::size_t name_len = static_cast<std::size_t>(r.get_varint());
+      if (name_len > r.remaining())
+        throw DecodeError("chunked archive name overruns buffer");
+      const auto name_bytes = r.get_bytes(name_len);
+      const std::string name(name_bytes.begin(), name_bytes.end());
+      std::printf(
+          "chunked qip archive: codec=%s  dtype=%s  dims=%s  %zu bytes\n"
+          "  slab=%zu  chunks=%zu\n",
+          name.c_str(), dtype_str(dtype), dims.str().c_str(), arc.size(),
+          slab, nchunks);
+      return 0;
+    }
   }
-  const CompressorEntry& e = find_compressor_for(arc);
-  std::printf("qip archive: compressor=%s  %zu bytes\n", e.name.c_str(),
-              arc.size());
+  // inspect_container throws UnknownCodecError (with the offending
+  // version) on a format this build cannot read; an unknown codec id is
+  // still reported below from the registry miss.
+  const ContainerInfo info = inspect_container(arc);
+  std::string codec =
+      "unknown id " + std::to_string(static_cast<unsigned>(info.codec));
+  for (const auto& e : compressor_registry())
+    if (e.id == info.codec) codec = e.name;
+  std::printf(
+      "qip container v%u: codec=%s  dtype=%s  dims=%s\n"
+      "  %zu bytes = %zu header + %zu compressed stage body\n",
+      static_cast<unsigned>(info.version), codec.c_str(),
+      dtype_str(info.dtype), info.dims.str().c_str(), arc.size(),
+      info.header_bytes, info.body_bytes);
+  const ContainerReader in(arc);
+  for (const auto& s : in.sections())
+    std::printf("  stage %-11s %zu bytes\n", stage_name(s.id).c_str(),
+                s.size);
   return 0;
 }
 
