@@ -13,10 +13,12 @@
 //
 // docs/PERFORMANCE.md explains how to read and compare the output.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compressors/interp_engine.hpp"
@@ -25,6 +27,7 @@
 #include "encode/huffman.hpp"
 #include "lossless/lzb.hpp"
 #include "predict/multilevel.hpp"
+#include "simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -82,7 +85,10 @@ void print_stages(std::FILE* out, const StageTimes& s, std::size_t bytes,
 int main(int argc, char** argv) {
   std::size_t nx = 256, ny = 256, nz = 256;
   int reps = 3;
-  unsigned par_workers = 8;
+  // Default parallel run: one worker per hardware thread (minimum 2 so
+  // the parallel leg is distinct from the serial one even on 1-core
+  // machines; the pool is built uncapped below so the count is honored).
+  unsigned par_workers = std::max(2u, std::thread::hardware_concurrency());
   std::string out_path = "BENCH_pipeline.json";
 
   std::vector<std::size_t> extents;
@@ -130,7 +136,9 @@ int main(int argc, char** argv) {
   bool identical = true;
 
   for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-    ThreadPool pool(workers[wi]);
+    // Uncapped: this harness measures the worker counts it claims to,
+    // including deliberate oversubscription on small machines.
+    ThreadPool pool(workers[wi], /*cap_to_hardware=*/false);
     ThreadPool* p = workers[wi] == 1 ? nullptr : &pool;
     StageTimes& s = times[wi];
     SZ3Config wcfg = cfg;
@@ -176,6 +184,10 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"dtype\": \"float32\",\n");
   std::fprintf(out, "  \"error_bound\": %.1e,\n", eb);
   std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"simd_tier\": \"%s\",\n",
+               simd::to_string(simd::active_tier()));
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(out, "  \"input_bytes\": %zu,\n", bytes);
   std::fprintf(out, "  \"archive_bytes\": %zu,\n", reference_arc.size());
   std::fprintf(out, "  \"cr\": %.4f,\n", cr);

@@ -9,9 +9,11 @@
 
 #include "compressors/interp_engine.hpp"
 #include "compressors/lorenzo_path.hpp"
+#include "core/qp.hpp"
 #include "encode/huffman.hpp"
 #include "lossless/lzb.hpp"
 #include "predict/multilevel.hpp"
+#include "simd/dispatch.hpp"
 #include "util/field.hpp"
 
 namespace qip {
@@ -50,6 +52,18 @@ void BM_HuffmanDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_HuffmanDecode)->Arg(1 << 16)->Arg(1 << 20);
+
+// Forces the legacy bit-at-a-time decoder so the table-driven fast path
+// above has a same-binary baseline.
+void BM_HuffmanDecodeLegacy(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  const auto enc = huffman_encode(syms);
+  simd::set_force_scalar_override(1);
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_decode(enc));
+  simd::set_force_scalar_override(-1);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecodeLegacy)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_LzbCompress(benchmark::State& state) {
   const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
@@ -109,6 +123,153 @@ void BM_InterpEngineEncodeWithQP(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
 }
 BENCHMARK(BM_InterpEngineEncodeWithQP)->Arg(64);
+
+// --- SIMD kernel layer: scalar vs dispatched rows -------------------------
+//
+// Each pair below times one src/simd kernel through the scalar reference
+// table and through the runtime-dispatched table on the same inputs, so
+// the per-kernel speedup on this machine is one subtraction away. The
+// engine-level pairs flip the whole dispatch gate instead.
+
+// RAII force-scalar toggle for the engine-level pairs.
+struct ForceScalarGuard {
+  ForceScalarGuard() { simd::set_force_scalar_override(1); }
+  ~ForceScalarGuard() { simd::set_force_scalar_override(-1); }
+};
+
+void BM_InterpEngineEncodeScalar(benchmark::State& state) {
+  const auto f = wavefield(static_cast<std::size_t>(state.range(0)));
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(f.dims()), LevelPlan{});
+  ForceScalarGuard fs;
+  for (auto _ : state) {
+    auto work = f.clone();
+    LinearQuantizer<float> q(1e-3);
+    benchmark::DoNotOptimize(InterpEngine<float>::encode(
+        work.data(), f.dims(), plan, 1e-3, q, QPConfig::best_fit()));
+  }
+  state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
+}
+BENCHMARK(BM_InterpEngineEncodeScalar)->Arg(64);
+
+void BM_InterpEngineDecode(benchmark::State& state) {
+  const auto f = wavefield(static_cast<std::size_t>(state.range(0)));
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(f.dims()), LevelPlan{});
+  auto work = f.clone();
+  LinearQuantizer<float> q(1e-3);
+  const auto res = InterpEngine<float>::encode(work.data(), f.dims(), plan,
+                                               1e-3, q, QPConfig::best_fit());
+  if (state.range(1)) simd::set_force_scalar_override(1);
+  for (auto _ : state) {
+    LinearQuantizer<float> qd = q;
+    qd.reset_cursor();
+    Field<float> out(f.dims());
+    InterpEngine<float>::decode(res.symbols, f.dims(), plan, 1e-3, qd,
+                                QPConfig::best_fit(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::set_force_scalar_override(-1);
+  state.SetBytesProcessed(state.iterations() * f.size() * sizeof(float));
+}
+BENCHMARK(BM_InterpEngineDecode)
+    ->ArgNames({"edge", "scalar"})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// Smooth values and matching predictions: the all-in-range hot path, and
+// no outlier-list growth across iterations.
+void BM_QuantEncodeBlock(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> vals(n), preds(n), recon(n);
+  std::vector<std::uint32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vals[i] = std::sin(0.01f * static_cast<float>(i));
+    preds[i] = vals[i] + 3e-4f * static_cast<float>(i % 7);
+  }
+  LinearQuantizer<float> q(1e-3);
+  const auto* kt =
+      state.range(1) ? &simd::scalar_kernels<float>() : simd::kernels<float>();
+  if (!kt) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  for (auto _ : state) {
+    kt->quant_encode_block(vals.data(), preds.data(), n, &q, codes.data(),
+                           recon.data());
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantEncodeBlock)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
+
+void BM_QuantRecoverBlock(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> preds(n), out(n);
+  std::vector<std::uint32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    preds[i] = std::sin(0.01f * static_cast<float>(i));
+    codes[i] = 32768u + static_cast<std::uint32_t>(i % 31);  // never 0
+  }
+  LinearQuantizer<float> q(1e-3);
+  const auto* kt =
+      state.range(1) ? &simd::scalar_kernels<float>() : simd::kernels<float>();
+  if (!kt) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  for (auto _ : state) {
+    kt->quant_recover_block(codes.data(), preds.data(), n, &q, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QuantRecoverBlock)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
+
+// The 2-D stage-grid Lorenzo transform: compensation, forward symbol
+// mapping, and the inverse, on quantization-code-shaped inputs.
+void BM_Qp2dKernels(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::int32_t kRadius = 32768;
+  std::vector<std::uint32_t> left(n), top(n), diag(n), codes(n), syms(n),
+      back(n);
+  std::vector<std::int32_t> comp(n);
+  std::mt19937 rng(11);
+  std::geometric_distribution<int> geo(0.4);
+  auto code_like = [&] {
+    return static_cast<std::uint32_t>(kRadius + (geo(rng) - geo(rng)));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    left[i] = code_like();
+    top[i] = code_like();
+    diag[i] = code_like();
+    codes[i] = code_like();
+  }
+  const auto* kt =
+      state.range(1) ? &simd::scalar_kernels<float>() : simd::kernels<float>();
+  if (!kt) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  for (auto _ : state) {
+    kt->qp2d_comp_block(left.data(), top.data(), diag.data(), n,
+                        QPCondition::kCaseIII, kRadius, comp.data());
+    kt->qp_sym_encode_block(codes.data(), comp.data(), n, kRadius, syms.data());
+    kt->qp_sym_decode_block(syms.data(), comp.data(), n, kRadius, back.data());
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * 3);
+}
+BENCHMARK(BM_Qp2dKernels)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
 
 }  // namespace
 }  // namespace qip

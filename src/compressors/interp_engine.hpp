@@ -34,6 +34,7 @@
 #include "predict/interpolation.hpp"
 #include "predict/multilevel.hpp"
 #include "quant/quantizer.hpp"
+#include "simd/dispatch.hpp"
 #include "util/dims.hpp"
 #include "util/status.hpp"
 
@@ -363,6 +364,44 @@ class InterpEngine {
       st = static_cast<std::ptrdiff_t>(s * dims.stride(d));
     }
 
+    // SIMD row-kernel eligibility for this stage. The kernels cover the
+    // dominant geometry (points 1 or 2 elements apart — all of level 1
+    // plus the partially-refined level-2 stages) and a sane radius; the
+    // characterization path (sym_spatial) and exotic radii stay on the
+    // engine's own loops. See simd/dispatch.hpp for the identity
+    // contract and QIP_SIMD_FORCE_SCALAR.
+    const simd::Kernels<T>* kt = simd::kernels<T>();
+    if (kt && (sym_spatial != nullptr || step_l > 2 || radius <= 0 ||
+               radius > (1 << 20)))
+      kt = nullptr;
+    // Decode must chain point-by-point when a QP-read axis runs along
+    // the row: compensation at point j then consumes codes decoded by
+    // this very segment. Encode never needs this (a block's codes are
+    // all committed before its compensations are read).
+    bool qp_serial = false;
+    if (kt && qp_active) {
+      switch (qp.dimension) {
+        case QPDimension::k1DBack:
+          qp_serial = ctx.back_axis == last;
+          break;
+        case QPDimension::k1DTop:
+          qp_serial = ctx.top_axis == last;
+          break;
+        case QPDimension::k1DLeft:
+          qp_serial = ctx.left_axis == last;
+          break;
+        case QPDimension::k2D:
+          qp_serial = ctx.left_axis == last || ctx.top_axis == last;
+          break;
+        case QPDimension::k3D:
+          qp_serial = ctx.back_axis == last || ctx.left_axis == last ||
+                      ctx.top_axis == last;
+          break;
+        case QPDimension::kNone:
+          break;
+      }
+    }
+
     std::array<std::size_t, kMaxRank> c{};
     for (int a = 0; a < kMaxRank; ++a) c[a] = g.start[a];
 
@@ -410,7 +449,11 @@ class InterpEngine {
       };
 
       // Run points j0..j1 of the row through one prediction kernel.
-      auto run_seg = [&](std::size_t j0, std::size_t j1, auto&& predfn) {
+      // Long interior segments hand off to the dispatched SIMD row
+      // kernel (bit-identical by contract); j == 0 stays scalar because
+      // it alone uses the nb0 neighborhood.
+      auto run_seg = [&](std::size_t j0, std::size_t j1, PredKind pk,
+                         auto&& predfn) {
         if (j0 >= j1) return;
         std::size_t i = base + start_l + j0 * step_l;
         std::size_t j = j0;
@@ -418,6 +461,33 @@ class InterpEngine {
           emit(i, predfn(i), nb0);
           ++j;
           i += step_l;
+        }
+        if (kt != nullptr && j1 - j >= simd::kMinKernelPoints) {
+          simd::RowArgs<T> ra;
+          ra.data = data;
+          ra.codes = codes_p;
+          ra.total = dims.size();
+          ra.i0 = i;
+          ra.count = j1 - j;
+          ra.estep = step_l;
+          ra.st = st;
+          ra.kind = pk;
+          ra.quant = &quant;
+          ra.qp = &qp;
+          ra.nb = nbR;
+          ra.level = level;
+          ra.radius = radius;
+          ra.qp_active = qp_active;
+          ra.qp_serial = qp_serial;
+          if constexpr (kEncode) {
+            ra.syms_out = syms + cursor;
+            kt->encode_row(ra);
+          } else {
+            ra.syms_in = syms + cursor;
+            kt->decode_row(ra);
+          }
+          cursor += ra.count;
+          return;
         }
         for (; j < j1; ++j, i += step_l) emit(i, predfn(i), nbR);
       };
@@ -446,33 +516,34 @@ class InterpEngine {
         const bool has_a = x >= 3 * s;
         const bool has_d = x + 3 * s < n_d;
         if (!has_c) {
-          run_seg(0, cnt, p_copy);
+          run_seg(0, cnt, PredKind::kCopy, p_copy);
         } else if (kind == InterpKind::kLinear) {
-          run_seg(0, cnt, p_lin);
+          run_seg(0, cnt, PredKind::kLinear, p_lin);
         } else if (has_a && has_d) {
-          run_seg(0, cnt, p_cubic);
+          run_seg(0, cnt, PredKind::kCubic, p_cubic);
         } else if (has_a) {
-          run_seg(0, cnt, p_quad_a);
+          run_seg(0, cnt, PredKind::kQuadA, p_quad_a);
         } else if (has_d) {
-          run_seg(0, cnt, p_quad_d);
+          run_seg(0, cnt, PredKind::kQuadD, p_quad_d);
         } else {
-          run_seg(0, cnt, p_lin);
+          run_seg(0, cnt, PredKind::kLinear, p_lin);
         }
       } else if (kind == InterpKind::kLinear) {
-        run_seg(0, std::min(jc, cnt), p_lin);
-        run_seg(std::min(jc, cnt), cnt, p_copy);
+        run_seg(0, std::min(jc, cnt), PredKind::kLinear, p_lin);
+        run_seg(std::min(jc, cnt), cnt, PredKind::kCopy, p_copy);
       } else {
         // j == 0 has no backward far neighbor f(x-3s).
         if (jc == 0) {
-          run_seg(0, 1, p_copy);
+          run_seg(0, 1, PredKind::kCopy, p_copy);
         } else if (jd > 0) {
-          run_seg(0, 1, p_quad_d);
+          run_seg(0, 1, PredKind::kQuadD, p_quad_d);
         } else {
-          run_seg(0, 1, p_lin);
+          run_seg(0, 1, PredKind::kLinear, p_lin);
         }
-        run_seg(1, std::min(jd, cnt), p_cubic);
-        run_seg(std::max<std::size_t>(1, jd), std::min(jc, cnt), p_quad_a);
-        run_seg(std::max<std::size_t>(1, jc), cnt, p_copy);
+        run_seg(1, std::min(jd, cnt), PredKind::kCubic, p_cubic);
+        run_seg(std::max<std::size_t>(1, jd), std::min(jc, cnt),
+                PredKind::kQuadA, p_quad_a);
+        run_seg(std::max<std::size_t>(1, jc), cnt, PredKind::kCopy, p_copy);
       }
 
       int a = last - 1;

@@ -28,6 +28,30 @@ std::string QPConfig::str() const {
   return s;
 }
 
+void qp2d_comp_batch(const std::uint32_t* left, const std::uint32_t* top,
+                     const std::uint32_t* diag, std::size_t n,
+                     QPCondition cond, std::int32_t radius,
+                     std::int32_t* comp) {
+  for (std::size_t i = 0; i < n; ++i) {
+    comp[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(
+        qp2d_compensation(left[i], top[i], diag[i], cond, radius)));
+  }
+}
+
+void qp2d_forward_batch(const std::uint32_t* codes, const std::int32_t* comp,
+                        std::size_t n, std::int32_t radius,
+                        std::uint32_t* syms) {
+  for (std::size_t i = 0; i < n; ++i)
+    syms[i] = qp_encode_symbol(codes[i], comp[i], radius);
+}
+
+void qp2d_inverse_batch(const std::uint32_t* syms, const std::int32_t* comp,
+                        std::size_t n, std::int32_t radius,
+                        std::uint32_t* codes) {
+  for (std::size_t i = 0; i < n; ++i)
+    codes[i] = qp_decode_symbol(syms[i], comp[i], radius);
+}
+
 const char* to_string(QPDimension d) {
   switch (d) {
     case QPDimension::kNone: return "none";

@@ -87,6 +87,30 @@ inline bool same_nonzero_sign(std::int64_t a, std::int64_t b) {
 
 }  // namespace detail
 
+/// 2-D Lorenzo arm of qp_compensation with both orthogonal neighbors
+/// available: the Case I-IV gate plus the ql + qt - qd stencil on the
+/// three neighbor codes. Factored out so the per-point path below, the
+/// batch references in qp.cpp and the scalar lanes of the SIMD kernels
+/// share one definition.
+inline std::int64_t qp2d_compensation(std::uint32_t cl, std::uint32_t ct,
+                                      std::uint32_t cd, QPCondition cond,
+                                      std::int32_t radius) {
+  using detail::same_nonzero_sign;
+  using detail::signed_q;
+  if (cond != QPCondition::kCaseI &&
+      (cl == kUnpredictableCode || ct == kUnpredictableCode ||
+       cd == kUnpredictableCode))
+    return 0;
+  const std::int64_t ql = signed_q(cl, radius);
+  const std::int64_t qt = signed_q(ct, radius);
+  const std::int64_t qd = signed_q(cd, radius);
+  if (cond == QPCondition::kCaseIII && !same_nonzero_sign(ql, qt)) return 0;
+  if (cond == QPCondition::kCaseIV &&
+      !(same_nonzero_sign(ql, qt) && same_nonzero_sign(ql, qd)))
+    return 0;
+  return ql + qt - qd;
+}
+
 /// Compute the compensation factor c for the point at linear index `idx`
 /// (paper Algorithm 2, generalized over dimension/condition choices).
 /// `codes` is the spatial array of stored quantization codes
@@ -134,22 +158,9 @@ inline std::int64_t qp_compensation(const std::uint32_t* codes,
 
     case QPDimension::k2D: {
       if (!nb.avail_left || !nb.avail_top) return 0;
-      const std::uint32_t cl = codes[idx - nb.left];
-      const std::uint32_t ct = codes[idx - nb.top];
-      const std::uint32_t cd = codes[idx - nb.left - nb.top];
-      if (check_u && (cl == kUnpredictableCode || ct == kUnpredictableCode ||
-                      cd == kUnpredictableCode))
-        return 0;
-      const std::int64_t ql = signed_q(cl, radius);
-      const std::int64_t qt = signed_q(ct, radius);
-      const std::int64_t qd = signed_q(cd, radius);
-      if (cfg.condition == QPCondition::kCaseIII &&
-          !same_nonzero_sign(ql, qt))
-        return 0;
-      if (cfg.condition == QPCondition::kCaseIV &&
-          !(same_nonzero_sign(ql, qt) && same_nonzero_sign(ql, qd)))
-        return 0;
-      return ql + qt - qd;
+      return qp2d_compensation(codes[idx - nb.left], codes[idx - nb.top],
+                               codes[idx - nb.left - nb.top], cfg.condition,
+                               radius);
     }
 
     case QPDimension::k3D: {
@@ -214,6 +225,25 @@ inline std::int64_t qp_compensation(const std::uint32_t* codes,
   const std::int64_t q = r + c;
   return static_cast<std::uint32_t>(q + radius);
 }
+
+/// Batch reference forms of the 2-D stage-grid Lorenzo QP transform and
+/// its inverse, over contiguous neighbor-code rows (qp.cpp). `comp`
+/// carries the low 32 bits of the exact 64-bit compensation; that is
+/// lossless for every encoder-produced code (|comp| < 2^24 at the
+/// default radius) and, on the decode side, qp_decode_symbol's final
+/// truncation to u32 only ever consumes the compensation modulo 2^32.
+/// These loops are the scalar ground truth the SIMD kernels (and their
+/// benches/tests) are compared against.
+void qp2d_comp_batch(const std::uint32_t* left, const std::uint32_t* top,
+                     const std::uint32_t* diag, std::size_t n,
+                     QPCondition cond, std::int32_t radius,
+                     std::int32_t* comp);
+void qp2d_forward_batch(const std::uint32_t* codes, const std::int32_t* comp,
+                        std::size_t n, std::int32_t radius,
+                        std::uint32_t* syms);
+void qp2d_inverse_batch(const std::uint32_t* syms, const std::int32_t* comp,
+                        std::size_t n, std::int32_t radius,
+                        std::uint32_t* codes);
 
 const char* to_string(QPDimension d);
 const char* to_string(QPCondition c);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 
 #include "encode/bitstream.hpp"
+#include "simd/dispatch.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
@@ -114,7 +117,10 @@ struct CanonicalTable {
   static constexpr int kMaxLen = 64;
   // Fast path: a direct-mapped table over the next kFastBits of the
   // stream resolving any code of length <= kFastBits in one lookup.
-  static constexpr int kFastBits = 11;
+  // 12 bits (16 KiB of fast_sym + 4 KiB of fast_len) covers the whole
+  // working set of typical quantization-code books while still fitting
+  // in L1/L2.
+  static constexpr int kFastBits = 12;
   std::vector<std::uint32_t> symbols;                 // sorted by (len, symbol)
   std::array<std::uint64_t, kMaxLen + 1> first_code{};
   std::array<std::uint32_t, kMaxLen + 1> offset{};
@@ -248,11 +254,103 @@ std::vector<std::uint8_t> encode_stream(std::span<const std::uint32_t> symbols,
   return bw.finish();
 }
 
+// --- Table-driven fast decoder -------------------------------------------
+//
+// The BitReader loop below re-reads and re-aligns the stream per symbol.
+// The fast decoder instead tracks an absolute bit position and keeps a
+// 64-bit MSB-first window that one 8-byte load refills: every fast-table
+// hit then costs two lookups and a shift, and one load is amortized over
+// every symbol resolved from the same window (>= 57 genuine bits per
+// refill). It is bit-exact with the legacy loop (same symbols, same
+// error strings, same treatment of past-the-end bits as zero fill) and
+// is disabled alongside the SIMD kernels by QIP_SIMD_FORCE_SCALAR so A/B
+// tests cover both.
+
+// 64 stream bits starting at bit `pos`, MSB-first. Bits past the end of
+// the payload read as zero, matching BitReader::read_bit. At least
+// 64 - 7 = 57 bits of the result are genuine stream content (the low
+// (pos & 7) bits shift in as zeros).
+inline std::uint64_t window_at(const std::uint8_t* p, std::size_t nbytes,
+                               std::size_t pos) {
+  const std::size_t byte = pos >> 3;
+  std::uint64_t w = 0;
+  if (byte + 8 <= nbytes) {
+    std::memcpy(&w, p + byte, 8);
+    if constexpr (std::endian::native == std::endian::little)
+      w = __builtin_bswap64(w);
+  } else if (byte < nbytes) {
+    for (std::size_t k = 0; k < nbytes - byte; ++k)
+      w |= static_cast<std::uint64_t>(p[byte + k]) << (56 - 8 * k);
+  }
+  return w << (pos & 7);
+}
+
+void decode_stream_fast(std::span<const std::uint8_t> payload,
+                        const CanonicalTable& table, std::size_t count,
+                        std::uint32_t* out) {
+  const std::uint8_t* p = payload.data();
+  const std::size_t nbytes = payload.size();
+  std::size_t pos = 0;
+  std::size_t i = 0;
+  while (i < count) {
+    // `w` holds the stream bits at `pos`; the top `avail` of them came
+    // from the load (the rest shifted in as zeros). Fast-table hits only
+    // inspect and consume genuine bits, so the window stays valid until
+    // fewer than kFastBits remain.
+    std::uint64_t w = window_at(p, nbytes, pos);
+    unsigned avail = 64 - static_cast<unsigned>(pos & 7);
+    while (i < count && avail >= CanonicalTable::kFastBits) {
+      const std::uint32_t idx =
+          static_cast<std::uint32_t>(w >> (64 - CanonicalTable::kFastBits));
+      const std::uint8_t flen = table.fast_len[idx];
+      if (flen == 0) break;
+      out[i++] = table.fast_sym[idx];
+      w <<= flen;
+      avail -= flen;
+      pos += flen;
+    }
+    if (i == count) break;
+    if (avail < CanonicalTable::kFastBits) continue;  // refill the window
+    // Overflow path: no code of length <= kFastBits matched, so probe the
+    // remaining lengths directly against the canonical intervals. The
+    // prefix-free property guarantees at most one length matches, so this
+    // finds exactly the code the bit-at-a-time loop would.
+    const std::uint64_t wf = window_at(p, nbytes, pos);
+    for (int len = CanonicalTable::kFastBits + 1;; ++len) {
+      if (len > table.max_len) throw DecodeError("huffman bad code stream");
+      std::uint64_t code;
+      if (len <= 57) {
+        code = wf >> (64 - len);
+      } else {
+        // The window only guarantees 57 genuine bits; splice a second
+        // window for the (rare) codes longer than that.
+        const std::uint64_t hi = wf >> 8;  // first 56 bits at pos
+        const std::uint64_t w2 = window_at(p, nbytes, pos + 56);
+        code = (hi << (len - 56)) | (w2 >> (64 - (len - 56)));
+      }
+      if (table.count[len] != 0 && code >= table.first_code[len] &&
+          code - table.first_code[len] < table.count[len]) {
+        out[i++] =
+            table.symbols[table.offset[len] + (code - table.first_code[len])];
+        pos += static_cast<std::size_t>(len);
+        break;
+      }
+    }
+  }
+  // Codes resolved from past-the-end zero fill mean the stream was cut
+  // short of the promised symbol count.
+  if (pos > nbytes * 8) throw DecodeError("huffman: truncated code stream");
+}
+
 // Decode `count` symbols from one byte-aligned payload into `out`.
 // Throws DecodeError when the payload runs out before `count` symbols.
 void decode_stream(std::span<const std::uint8_t> payload,
                    const CanonicalTable& table, std::size_t count,
                    std::uint32_t* out) {
+  if (simd::huffman_fast_enabled()) {
+    decode_stream_fast(payload, table, count, out);
+    return;
+  }
   BitReader br(payload);
   for (std::size_t i = 0; i < count; ++i) {
     // Fast path: resolve short codes with one table lookup.

@@ -14,6 +14,20 @@ enum class InterpKind : std::uint8_t {
   kCubic = 1,
 };
 
+/// Concrete per-point stencil applied across one stage row, after the
+/// boundary rules (cubic -> quadratic -> linear -> copy) have been
+/// resolved. This is the contract between the row segmentation in
+/// interp_engine.hpp and the SIMD row kernels in src/simd/: a segment
+/// with one PredKind uses one fixed formula for every point, with `st`
+/// the stencil arm in elements.
+enum class PredKind : std::uint8_t {
+  kCopy = 0,    ///< f(x-s)
+  kLinear = 1,  ///< linear(f(x-s), f(x+s))
+  kCubic = 2,   ///< cubic(f(x-3s), f(x-s), f(x+s), f(x+3s))
+  kQuadA = 3,   ///< quad(f(x+s), f(x-s), f(x-3s)) — backward far stencil
+  kQuadD = 4,   ///< quad(f(x-s), f(x+s), f(x+3s)) — forward far stencil
+};
+
 /// Midpoint of two neighbors at +-1 step.
 template <class T>
 inline T interp_linear(T a, T b) {

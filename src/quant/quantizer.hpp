@@ -34,6 +34,11 @@ class LinearQuantizer {
   double error_bound() const { return eb_; }
   std::int32_t radius() const { return radius_; }
 
+  /// Derived constants of the current bin width, exposed so the SIMD
+  /// kernels replay quantize()/recover() arithmetic bit-identically.
+  double two_eb() const { return two_eb_; }
+  double inv_two_eb() const { return inv_two_eb_; }
+
   /// Adjust the bin width; used by compressors with level-wise error
   /// bounds (QoZ-style eb scaling, MGARD-style level budgets).
   void set_error_bound(double eb) {

@@ -1,0 +1,173 @@
+// Runtime tier resolution for the SIMD kernel layer (see dispatch.hpp).
+//
+// This TU is compiled with the baseline flags; the QIP_SIMD_HAVE_*
+// macros (set by src/CMakeLists.txt when the matching vector TU was
+// built) tell it which tier tables exist in this binary.
+
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace qip::simd {
+
+namespace detail {
+const Kernels<float>& scalar_ref_f32();
+const Kernels<double>& scalar_ref_f64();
+#ifdef QIP_SIMD_HAVE_SSE42
+const Kernels<float>* sse42_kernels_f32();
+const Kernels<double>* sse42_kernels_f64();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX2
+const Kernels<float>* avx2_kernels_f32();
+const Kernels<double>* avx2_kernels_f64();
+#endif
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> g_force_override{-1};
+std::atomic<int> g_cap_override{-1};
+
+bool env_force_scalar() {
+  static const bool v = [] {
+    const char* e = std::getenv("QIP_SIMD_FORCE_SCALAR");
+    return e != nullptr && std::string(e) != "0";
+  }();
+  return v;
+}
+
+Tier env_tier_cap() {
+  static const Tier v = [] {
+    const char* e = std::getenv("QIP_SIMD_TIER");
+    if (e == nullptr) return Tier::kAVX2;  // no cap
+    const std::string s(e);
+    if (s == "scalar") return Tier::kScalar;
+    if (s == "sse42") return Tier::kSSE42;
+    return Tier::kAVX2;
+  }();
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSSE42: return "sse42";
+    case Tier::kAVX2: return "avx2";
+  }
+  return "?";
+}
+
+Tier cpu_tier() {
+  static const Tier t = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) return Tier::kAVX2;
+    if (__builtin_cpu_supports("sse4.2")) return Tier::kSSE42;
+#endif
+    return Tier::kScalar;
+  }();
+  return t;
+}
+
+bool tier_compiled(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kSSE42:
+#ifdef QIP_SIMD_HAVE_SSE42
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAVX2:
+#ifdef QIP_SIMD_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool force_scalar() {
+  const int o = g_force_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return env_force_scalar();
+}
+
+Tier active_tier() {
+  if (force_scalar()) return Tier::kScalar;
+  Tier t = cpu_tier();
+  const int cap = g_cap_override.load(std::memory_order_relaxed);
+  const Tier capt = cap >= 0 ? static_cast<Tier>(cap) : env_tier_cap();
+  if (static_cast<int>(capt) < static_cast<int>(t)) t = capt;
+  while (t != Tier::kScalar && !tier_compiled(t))
+    t = static_cast<Tier>(static_cast<int>(t) - 1);
+  return t;
+}
+
+bool huffman_fast_enabled() { return !force_scalar(); }
+
+void set_force_scalar_override(int v) {
+  g_force_override.store(v, std::memory_order_relaxed);
+}
+
+void set_tier_cap_override(int tier) {
+  g_cap_override.store(tier, std::memory_order_relaxed);
+}
+
+template <>
+const Kernels<float>* tier_kernels<float>(Tier t) {
+  switch (t) {
+#ifdef QIP_SIMD_HAVE_SSE42
+    case Tier::kSSE42: return detail::sse42_kernels_f32();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX2
+    case Tier::kAVX2: return detail::avx2_kernels_f32();
+#endif
+    default: break;
+  }
+  return nullptr;
+}
+
+template <>
+const Kernels<double>* tier_kernels<double>(Tier t) {
+  switch (t) {
+#ifdef QIP_SIMD_HAVE_SSE42
+    case Tier::kSSE42: return detail::sse42_kernels_f64();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX2
+    case Tier::kAVX2: return detail::avx2_kernels_f64();
+#endif
+    default: break;
+  }
+  return nullptr;
+}
+
+template <>
+const Kernels<float>* kernels<float>() {
+  const Tier t = active_tier();
+  return t == Tier::kScalar ? nullptr : tier_kernels<float>(t);
+}
+
+template <>
+const Kernels<double>* kernels<double>() {
+  const Tier t = active_tier();
+  return t == Tier::kScalar ? nullptr : tier_kernels<double>(t);
+}
+
+template <>
+const Kernels<float>& scalar_kernels<float>() {
+  return detail::scalar_ref_f32();
+}
+
+template <>
+const Kernels<double>& scalar_kernels<double>() {
+  return detail::scalar_ref_f64();
+}
+
+}  // namespace qip::simd

@@ -1,0 +1,187 @@
+#pragma once
+
+// Runtime-dispatched SIMD kernel layer.
+//
+// The hot inner loops of the pipeline — the LinearQuantizer encode path,
+// the stride-1 row kernels of InterpEngine::run_stage_seq, and the 2-D
+// stage-grid Lorenzo QP transform — are data-parallel. This module
+// provides explicitly vectorized variants of those loops, selected at
+// runtime by CPU capability (cpuid) so one binary stays portable:
+//
+//   scalar  — reference loops over the public quantizer/QP API; always
+//             available, always bit-identical to the engine's own loops.
+//   sse42   — 128-bit kernels (4 x f32 / 2 x f64 per step).
+//   avx2    — 256-bit kernels (8 x f32 / 4 x f64 per step).
+//
+// Vector translation units are compiled with per-TU ISA flags
+// (src/CMakeLists.txt) and are only *called* after a cpuid check here,
+// so the baseline build never executes an unsupported instruction.
+//
+// Bit-identity contract: every kernel produces exactly the codes,
+// symbols, reconstructions and outlier streams of the scalar path, for
+// every input including NaN/Inf fields and hostile decode symbol
+// streams. The environment gate QIP_SIMD_FORCE_SCALAR=1 (mirroring the
+// QIP_INTERP_FORCE_GENERIC A/B pattern) disables dispatch at runtime;
+// QIP_SIMD_TIER=scalar|sse42|avx2 caps the tier for triage. Archives
+// must be byte-identical either way — tests/test_simd.cpp enforces it.
+//
+// Intrinsics live only in the vec_*.hpp headers under this directory
+// (the qip_lint.py `simd-confined` rule keeps it that way).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/qp.hpp"
+#include "predict/interpolation.hpp"
+#include "quant/quantizer.hpp"
+
+namespace qip::simd {
+
+/// Kernel instruction-set tier, in increasing capability order.
+enum class Tier : int {
+  kScalar = 0,
+  kSSE42 = 1,
+  kAVX2 = 2,
+};
+
+const char* to_string(Tier t);
+
+/// Best tier this CPU supports (independent of what was compiled in or
+/// any runtime gate).
+Tier cpu_tier();
+
+/// True when this binary contains kernels for `t` (vector TUs are only
+/// built when the compiler supports the ISA flags on this target).
+bool tier_compiled(Tier t);
+
+/// True when QIP_SIMD_FORCE_SCALAR is set (to anything but "0"), or a
+/// test override is active. Forces every dispatch site to the scalar
+/// reference path.
+bool force_scalar();
+
+/// The tier dispatch actually uses: min(cpu_tier, compiled tiers,
+/// QIP_SIMD_TIER cap), or kScalar under force_scalar().
+Tier active_tier();
+
+/// True when the table-driven Huffman decoder (encode/huffman.cpp) may
+/// run; false under force_scalar() so the A/B gate covers it too.
+bool huffman_fast_enabled();
+
+/// Test hooks: override the force-scalar gate / cap the tier without
+/// touching the environment. -1 clears the override.
+void set_force_scalar_override(int v);
+void set_tier_cap_override(int tier);
+
+/// Below this many points a row segment is not worth a kernel call.
+inline constexpr std::size_t kMinKernelPoints = 16;
+
+/// One stage-row work item handed from InterpEngine::run_stage_seq to a
+/// row kernel. Describes `count` stage points starting at linear element
+/// index `i0`, spaced `estep` elements apart, all sharing one PredKind
+/// stencil with arm `st` and one QP neighborhood `nb`. The engine
+/// guarantees: every backward stencil read is in bounds, estep is 1 or
+/// 2, radius is in (0, 2^20], and (encode) symbols commit to syms_out
+/// in row order while (decode) syms_in holds at least `count` symbols.
+template <class T>
+struct RowArgs {
+  T* data = nullptr;              ///< full field; reconstruction in place
+  std::uint32_t* codes = nullptr; ///< full spatial code array
+  std::size_t total = 0;          ///< element count of the field
+  std::size_t i0 = 0;             ///< linear index of the first point
+  std::size_t count = 0;          ///< points in this segment
+  std::size_t estep = 1;          ///< element step between points
+  std::ptrdiff_t st = 0;          ///< stencil arm, in elements
+  PredKind kind = PredKind::kCopy;
+  LinearQuantizer<T>* quant = nullptr;
+  const QPConfig* qp = nullptr;   ///< valid when qp_active
+  QPNeighborhood nb{};            ///< availability constant over the row
+  int level = 0;
+  std::int32_t radius = 0;
+  bool qp_active = false;
+  /// Decode only: a QP-used axis runs along the row, so compensation at
+  /// point j reads codes this segment itself decodes (j-1 and earlier).
+  /// The symbol->code chain must then run serially; prediction and value
+  /// recovery still vectorize.
+  bool qp_serial = false;
+  std::uint32_t* syms_out = nullptr;       ///< encode destination
+  const std::uint32_t* syms_in = nullptr;  ///< decode source
+};
+
+/// Dispatch table of one tier's kernels for element type T. Function
+/// pointers so call sites stay ABI-stable across TUs compiled with
+/// different ISA flags.
+template <class T>
+struct Kernels {
+  Tier tier = Tier::kScalar;
+
+  /// One row segment, encode direction (pipeline in kernels_interp.hpp).
+  void (*encode_row)(const RowArgs<T>&) = nullptr;
+  /// One row segment, decode direction.
+  void (*decode_row)(const RowArgs<T>&) = nullptr;
+
+  /// Contiguous LinearQuantizer::quantize over n points: codes[i]/
+  /// recon[i] from vals[i] vs preds[i]; outliers append to q's list in
+  /// ascending i order exactly like the scalar loop.
+  void (*quant_encode_block)(const T* vals, const T* preds, std::size_t n,
+                             LinearQuantizer<T>* q, std::uint32_t* codes,
+                             T* recon) = nullptr;
+  /// Contiguous LinearQuantizer::recover over n points; code 0 consumes
+  /// outliers in ascending i order (and throws when exhausted) exactly
+  /// like the scalar loop.
+  void (*quant_recover_block)(const std::uint32_t* codes, const T* preds,
+                              std::size_t n, LinearQuantizer<T>* q,
+                              T* out) = nullptr;
+
+  /// Contiguous form of qp2d_comp_batch (see core/qp.hpp for the low-32
+  /// compensation contract).
+  void (*qp2d_comp_block)(const std::uint32_t* left, const std::uint32_t* top,
+                          const std::uint32_t* diag, std::size_t n,
+                          QPCondition cond, std::int32_t radius,
+                          std::int32_t* comp) = nullptr;
+  /// Contiguous qp_encode_symbol with per-point compensation. Exact when
+  /// |(code - radius) - comp| < 2^31 (the zigzag runs in 32-bit lanes);
+  /// the engine's radius <= 2^20 eligibility gate implies this for every
+  /// code/compensation pair the pipeline can produce.
+  void (*qp_sym_encode_block)(const std::uint32_t* codes,
+                              const std::int32_t* comp, std::size_t n,
+                              std::int32_t radius,
+                              std::uint32_t* syms) = nullptr;
+  /// Contiguous qp_decode_symbol with per-point compensation.
+  /// Unconditionally exact for arbitrary (hostile) u32 symbols: decode
+  /// consumes the compensation mod 2^32 only.
+  void (*qp_sym_decode_block)(const std::uint32_t* syms,
+                              const std::int32_t* comp, std::size_t n,
+                              std::int32_t radius,
+                              std::uint32_t* codes) = nullptr;
+};
+
+/// Kernels for the active tier, or nullptr when the scalar path should
+/// run (scalar tier, or force_scalar()). Engine call sites treat null as
+/// "use your own loops", which keeps the scalar baseline the engine's
+/// original code rather than a copy of it.
+template <class T>
+const Kernels<T>* kernels();
+template <>
+const Kernels<float>* kernels<float>();
+template <>
+const Kernels<double>* kernels<double>();
+
+/// The scalar reference table — always available regardless of tier or
+/// gates. Benches and A/B tests use it as ground truth.
+template <class T>
+const Kernels<T>& scalar_kernels();
+template <>
+const Kernels<float>& scalar_kernels<float>();
+template <>
+const Kernels<double>& scalar_kernels<double>();
+
+/// Kernels for a specific tier, or nullptr when that tier is not
+/// compiled in. Used by the tier-forcing dispatch tests.
+template <class T>
+const Kernels<T>* tier_kernels(Tier t);
+template <>
+const Kernels<float>* tier_kernels<float>(Tier t);
+template <>
+const Kernels<double>* tier_kernels<double>(Tier t);
+
+}  // namespace qip::simd

@@ -1,0 +1,286 @@
+#pragma once
+
+// Vectorized stage-row kernels for InterpEngine::run_stage_seq,
+// templated over a vector trait V. Include only from the vector TUs in
+// this directory.
+//
+// A row segment (RowArgs) is processed in blocks of kRowBlock points
+// through fixed passes over contiguous scratch, so all strided traffic
+// is isolated in cheap commit loops:
+//
+//   encode: predict -> quantize -> commit recon+codes -> compensation
+//           -> symbols
+//   decode: predict -> compensation -> symbols-to-codes -> commit codes
+//           -> recover -> commit recon
+//   decode (qp_serial): predict -> scalar per-point comp/symbol chain
+//           -> recover -> commit recon
+//
+// Pass order is what makes the encode side order-independent: every
+// code of a block is committed before any compensation of that block is
+// read, and compensation offsets only ever point backwards. The decode
+// side flips to the serial chain when a QP axis runs along the row,
+// because compensation at point j then reads codes this very segment
+// decodes at j-1 and earlier.
+//
+// Prediction stencils never touch same-stage row points (stencil arms
+// are odd multiples of the stride, row points even), so a whole block
+// can be predicted before any of it is reconstructed — on both sides.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "core/qp.hpp"
+#include "predict/interpolation.hpp"
+#include "quant/quantizer.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels_lorenzo.hpp"
+#include "simd/kernels_quant.hpp"
+
+namespace qip::simd {
+
+/// Block length of the row pipelines; a multiple of every lane count.
+inline constexpr std::size_t kRowBlock = 256;
+
+/// Forward-most element offset a PredKind stencil reads (0 for pure
+/// backward stencils). Backward reads need no bound: the engine
+/// guarantees every backward stencil point exists.
+inline std::size_t pred_fwd(PredKind k, std::ptrdiff_t st) {
+  const std::size_t s = static_cast<std::size_t>(st);
+  switch (k) {
+    case PredKind::kCopy: return 0;
+    case PredKind::kLinear: return s;
+    case PredKind::kCubic: return 3 * s;
+    case PredKind::kQuadA: return s;
+    case PredKind::kQuadD: return 3 * s;
+  }
+  return 3 * s;
+}
+
+/// Scalar stencil application, exactly the engine's per-kind lambdas.
+template <class T>
+inline T predict_scalar(const T* data, std::size_t i, std::ptrdiff_t st,
+                        PredKind k) {
+  switch (k) {
+    case PredKind::kCopy: return data[i - st];
+    case PredKind::kLinear:
+      return interp_linear(data[i - st], data[i + st]);
+    case PredKind::kCubic:
+      return interp_cubic(data[i - 3 * st], data[i - st], data[i + st],
+                          data[i + 3 * st]);
+    case PredKind::kQuadA:
+      return interp_quad(data[i + st], data[i - st], data[i - 3 * st]);
+    case PredKind::kQuadD:
+      return interp_quad(data[i - st], data[i + st], data[i + 3 * st]);
+  }
+  return data[i - st];
+}
+
+template <class V>
+inline typename V::VT vload_e(const typename V::T* p, std::size_t estep) {
+  return estep == 1 ? V::vload(p) : V::vload2(p);
+}
+
+/// One vector of predictions for the chunk whose lane-0 point sits at
+/// `pb`. Association orders replay interp_linear/quad/cubic exactly
+/// (power-of-two divisions become multiplications, which round
+/// identically; 9*b - a is IEEE-commutative with -a + 9*b).
+template <class V>
+inline typename V::VT predict_chunk(const typename V::T* pb, std::size_t estep,
+                                    std::ptrdiff_t st, PredKind kind) {
+  using T = typename V::T;
+  switch (kind) {
+    case PredKind::kCopy:
+      return vload_e<V>(pb - st, estep);
+    case PredKind::kLinear: {
+      const auto b = vload_e<V>(pb - st, estep);
+      const auto c = vload_e<V>(pb + st, estep);
+      return V::vmul(V::vadd(b, c), V::vsplat(T(0.5)));
+    }
+    case PredKind::kCubic: {
+      const auto a = vload_e<V>(pb - 3 * st, estep);
+      const auto b = vload_e<V>(pb - st, estep);
+      const auto c = vload_e<V>(pb + st, estep);
+      const auto d = vload_e<V>(pb + 3 * st, estep);
+      const auto nine = V::vsplat(T(9));
+      const auto t1 = V::vsub(V::vmul(nine, b), a);
+      const auto t2 = V::vadd(t1, V::vmul(nine, c));
+      return V::vmul(V::vsub(t2, d), V::vsplat(T(1) / T(16)));
+    }
+    case PredKind::kQuadA:
+    case PredKind::kQuadD: {
+      const std::ptrdiff_t oa = kind == PredKind::kQuadA ? st : -st;
+      const auto a = vload_e<V>(pb + oa, estep);
+      const auto b = vload_e<V>(pb - oa, estep);
+      const auto c = vload_e<V>(pb + 3 * (kind == PredKind::kQuadA ? -st : st),
+                                estep);
+      const auto t = V::vsub(
+          V::vadd(V::vmul(V::vsplat(T(3)), a), V::vmul(V::vsplat(T(6)), b)),
+          c);
+      return V::vmul(t, V::vsplat(T(1) / T(8)));
+    }
+  }
+  return vload_e<V>(pb - st, estep);
+}
+
+namespace rowdetail {
+
+/// Number of leading segment points that full-width chunk loads may
+/// cover: a chunk based at element e touches [e - back, e + fwd +
+/// estep*K - 1], and only the forward end needs checking.
+template <class V, class T>
+inline std::size_t vector_prefix(const RowArgs<T>& a) {
+  const std::size_t fwd = pred_fwd(a.kind, a.st);
+  const std::size_t span = a.estep * V::K - 1 + fwd;
+  if (a.total <= span || a.total - 1 - span < a.i0) return 0;
+  const std::size_t max_p = (a.total - 1 - span - a.i0) / a.estep;
+  const std::size_t nc = std::min(a.count / V::K, max_p / V::K + 1);
+  return nc * V::K;
+}
+
+/// Predict block points [0, nb) into predb; the first nv points may use
+/// vector chunks. With `gather`, also copy the current values to dcur.
+template <class V, class T>
+inline void predict_block(const RowArgs<T>& a, std::size_t e0, std::size_t nb,
+                          std::size_t nv, T* predb, T* dcur) {
+  constexpr int K = V::K;
+  std::size_t j = 0;
+  for (; j + K <= nv; j += K) {
+    const T* pb = a.data + e0 + j * a.estep;
+    if (dcur) V::vstore(dcur + j, vload_e<V>(pb, a.estep));
+    V::vstore(predb + j, predict_chunk<V>(pb, a.estep, a.st, a.kind));
+  }
+  for (; j < nb; ++j) {
+    const std::size_t i = e0 + j * a.estep;
+    if (dcur) dcur[j] = a.data[i];
+    predb[j] = predict_scalar(a.data, i, a.st, a.kind);
+  }
+}
+
+/// Compensation for block points [0, nb) into compb. Vectorizes the
+/// dominant 2-D Lorenzo configuration; other dimensions and partial
+/// neighborhoods go through the authoritative per-point path.
+template <class V, class T>
+inline void comp_block(const RowArgs<T>& a, std::size_t e0, std::size_t nb,
+                       std::size_t nv, std::int32_t* compb) {
+  if (!a.qp_active) {
+    std::memset(compb, 0, nb * sizeof(std::int32_t));
+    return;
+  }
+  if (a.qp->dimension == QPDimension::k2D && a.nb.avail_left &&
+      a.nb.avail_top) {
+    qp2d_comp_row_v<V>(a.codes + e0 - a.nb.left, a.codes + e0 - a.nb.top,
+                       a.codes + e0 - a.nb.left - a.nb.top, nb, nv, a.estep,
+                       a.qp->condition, a.radius, compb);
+    return;
+  }
+  for (std::size_t j = 0; j < nb; ++j) {
+    compb[j] = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(qp_compensation(
+            a.codes, e0 + j * a.estep, a.nb, *a.qp, a.level, a.radius)));
+  }
+}
+
+}  // namespace rowdetail
+
+/// Encode one row segment (see file comment for the pass structure).
+template <class V>
+void encode_row_v(const RowArgs<typename V::T>& a) {
+  using T = typename V::T;
+  constexpr std::size_t B = kRowBlock;
+  const std::size_t vec_pts = rowdetail::vector_prefix<V>(a);
+
+  T dcur[B], predb[B], recon[B];
+  std::uint32_t codeb[B];
+  std::int32_t compb[B];
+
+  std::size_t done = 0;
+  while (done < a.count) {
+    const std::size_t nb = std::min(B, a.count - done);
+    const std::size_t nv = vec_pts > done ? std::min(nb, vec_pts - done) : 0;
+    const std::size_t e0 = a.i0 + done * a.estep;
+
+    rowdetail::predict_block<V>(a, e0, nb, nv, predb, dcur);
+    quant_encode_block_v<V>(dcur, predb, nb, a.quant, codeb, recon);
+    if (a.estep == 1) {
+      std::memcpy(a.data + e0, recon, nb * sizeof(T));
+      std::memcpy(a.codes + e0, codeb, nb * sizeof(std::uint32_t));
+    } else {
+      for (std::size_t j = 0; j < nb; ++j) {
+        a.data[e0 + j * a.estep] = recon[j];
+        a.codes[e0 + j * a.estep] = codeb[j];
+      }
+    }
+    rowdetail::comp_block<V>(a, e0, nb, nv, compb);
+    qp_sym_encode_block_v<V>(codeb, compb, nb, a.radius, a.syms_out + done);
+    done += nb;
+  }
+}
+
+/// Decode one row segment (see file comment for the pass structure).
+template <class V>
+void decode_row_v(const RowArgs<typename V::T>& a) {
+  using T = typename V::T;
+  constexpr std::size_t B = kRowBlock;
+  const std::size_t vec_pts = rowdetail::vector_prefix<V>(a);
+
+  T predb[B], recon[B];
+  std::uint32_t codeb[B];
+  std::int32_t compb[B];
+
+  std::size_t done = 0;
+  while (done < a.count) {
+    const std::size_t nb = std::min(B, a.count - done);
+    const std::size_t nv = vec_pts > done ? std::min(nb, vec_pts - done) : 0;
+    const std::size_t e0 = a.i0 + done * a.estep;
+
+    rowdetail::predict_block<V>(a, e0, nb, nv, predb, static_cast<T*>(nullptr));
+
+    if (a.qp_serial) {
+      for (std::size_t j = 0; j < nb; ++j) {
+        const std::size_t i = e0 + j * a.estep;
+        const std::int64_t comp =
+            qp_compensation(a.codes, i, a.nb, *a.qp, a.level, a.radius);
+        const std::uint32_t code =
+            qp_decode_symbol(a.syms_in[done + j], comp, a.radius);
+        a.codes[i] = code;
+        codeb[j] = code;
+      }
+    } else {
+      rowdetail::comp_block<V>(a, e0, nb, nv, compb);
+      qp_sym_decode_block_v<V>(a.syms_in + done, compb, nb, a.radius, codeb);
+      if (a.estep == 1) {
+        std::memcpy(a.codes + e0, codeb, nb * sizeof(std::uint32_t));
+      } else {
+        for (std::size_t j = 0; j < nb; ++j)
+          a.codes[e0 + j * a.estep] = codeb[j];
+      }
+    }
+
+    quant_recover_block_v<V>(codeb, predb, nb, a.quant, recon);
+    if (a.estep == 1) {
+      std::memcpy(a.data + e0, recon, nb * sizeof(T));
+    } else {
+      for (std::size_t j = 0; j < nb; ++j) a.data[e0 + j * a.estep] = recon[j];
+    }
+    done += nb;
+  }
+}
+
+/// Assemble one tier's dispatch table from the templates above.
+template <class V>
+Kernels<typename V::T> make_kernels(Tier t) {
+  Kernels<typename V::T> k;
+  k.tier = t;
+  k.encode_row = &encode_row_v<V>;
+  k.decode_row = &decode_row_v<V>;
+  k.quant_encode_block = &quant_encode_block_v<V>;
+  k.quant_recover_block = &quant_recover_block_v<V>;
+  k.qp2d_comp_block = &qp2d_comp_block_v<V>;
+  k.qp_sym_encode_block = &qp_sym_encode_block_v<V>;
+  k.qp_sym_decode_block = &qp_sym_decode_block_v<V>;
+  return k;
+}
+
+}  // namespace qip::simd

@@ -1,0 +1,172 @@
+#pragma once
+
+// Vectorized 2-D stage-grid Lorenzo QP transform (compensation, forward
+// symbol mapping, inverse), templated over a vector trait V. Include
+// only from the vector TUs in this directory.
+//
+// Arithmetic contract (see also qp2d_comp_batch in core/qp.hpp):
+//  * compensation is carried as its low 32 bits. The encoder only ever
+//    feeds codes < 2*radius <= 2^21, so the exact value fits i32; the
+//    decoder consumes compensation modulo 2^32 only, because
+//    qp_decode_symbol truncates q + radius to u32.
+//  * the Case III/IV sign gates need the *exact* sign of q = code -
+//    radius, which i32 lanes get wrong for hostile codes >= 2^22 + eps;
+//    such lanes (never produced by the encoder) are redone in scalar
+//    i64. Case I/II have no sign gate and need no guard.
+//  * the zigzag in qp_encode_symbol is computed in i32, which equals the
+//    truncated i64 zigzag whenever |q - c| < 2^31 — guaranteed by the
+//    engine's radius <= 2^20 kernel gate on the encode side. The decode
+//    direction is exact for every u32 symbol (the zigzag inverse of a
+//    u32 never leaves [-2^31, 2^31)).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "core/qp.hpp"
+
+namespace qip::simd {
+
+/// Load V::K i32 lanes (memcpy keeps strict aliasing happy; lanes are
+/// packed low-first, matching V::istore).
+template <class V>
+inline typename V::VI iload_s32(const std::int32_t* p) {
+  typename V::VI v = V::isplat(0);
+  std::memcpy(&v, p, sizeof(std::int32_t) * V::K);
+  return v;
+}
+
+template <class V>
+struct QpCompChunk {
+  typename V::VI comp;
+  unsigned big;  ///< lanes whose sign gate needs the scalar i64 redo
+};
+
+/// One vector of 2-D Lorenzo compensations from neighbor-code vectors.
+template <class V>
+inline QpCompChunk<V> qp2d_comp_chunk(typename V::VI cl, typename V::VI ct,
+                                      typename V::VI cd, QPCondition cond,
+                                      typename V::VI vrad) {
+  using VI = typename V::VI;
+  const VI zero = V::isplat(0);
+  const VI ql = V::isub(cl, vrad);
+  const VI qt = V::isub(ct, vrad);
+  const VI qd = V::isub(cd, vrad);
+  VI comp = V::isub(V::iadd(ql, qt), qd);
+  unsigned big = 0;
+  if (cond != QPCondition::kCaseI) {
+    // kUnpredictableCode == 0: gate off lanes with any unpredictable
+    // neighbor.
+    const VI u = V::ior(V::ior(V::icmpeq(cl, zero), V::icmpeq(ct, zero)),
+                        V::icmpeq(cd, zero));
+    comp = V::iandnot(u, comp);
+    if (cond == QPCondition::kCaseIII || cond == QPCondition::kCaseIV) {
+      VI keep = V::ior(V::iand(V::icmpgt(ql, zero), V::icmpgt(qt, zero)),
+                       V::iand(V::icmpgt(zero, ql), V::icmpgt(zero, qt)));
+      if (cond == QPCondition::kCaseIV) {
+        keep = V::iand(
+            keep,
+            V::ior(V::iand(V::icmpgt(ql, zero), V::icmpgt(qd, zero)),
+                   V::iand(V::icmpgt(zero, ql), V::icmpgt(zero, qd))));
+      }
+      comp = V::iand(keep, comp);
+      // i32 signs are only trustworthy for codes < 2^22 (|q| then stays
+      // far from i32 wraparound for any radius <= 2^20).
+      const VI hi = V::iand(V::ior(V::ior(cl, ct), cd),
+                            V::isplat(static_cast<std::int32_t>(0xFFC00000u)));
+      big = V::imask(V::icmpeq(hi, zero)) ^ ((1u << V::K) - 1);
+    }
+  }
+  return {comp, big};
+}
+
+/// Compensations for a row of stage points whose left/top/diag neighbor
+/// codes live at fixed offsets: lp/tp/dp point at the neighbor of point
+/// 0 and advance `estep` elements per point. The first `nv` points may
+/// use full-width loads (caller-checked footprint); the rest run scalar.
+template <class V>
+void qp2d_comp_row_v(const std::uint32_t* lp, const std::uint32_t* tp,
+                     const std::uint32_t* dp, std::size_t n, std::size_t nv,
+                     std::size_t estep, QPCondition cond, std::int32_t radius,
+                     std::int32_t* comp) {
+  constexpr int K = V::K;
+  const auto vrad = V::isplat(radius);
+  std::size_t j = 0;
+  for (; j + K <= nv; j += K) {
+    const std::size_t e = j * estep;
+    const auto lv = estep == 1 ? V::iload(lp + e) : V::iload2(lp + e);
+    const auto tv = estep == 1 ? V::iload(tp + e) : V::iload2(tp + e);
+    const auto dv = estep == 1 ? V::iload(dp + e) : V::iload2(dp + e);
+    const QpCompChunk<V> r = qp2d_comp_chunk<V>(lv, tv, dv, cond, vrad);
+    std::memcpy(comp + j, &r.comp, sizeof(std::int32_t) * K);
+    if (r.big) {
+      for (int k = 0; k < K; ++k) {
+        if (r.big >> k & 1u) {
+          const std::size_t e2 = (j + k) * estep;
+          comp[j + k] = static_cast<std::int32_t>(
+              static_cast<std::uint32_t>(qp2d_compensation(
+                  lp[e2], tp[e2], dp[e2], cond, radius)));
+        }
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    const std::size_t e = j * estep;
+    comp[j] = static_cast<std::int32_t>(static_cast<std::uint32_t>(
+        qp2d_compensation(lp[e], tp[e], dp[e], cond, radius)));
+  }
+}
+
+/// Contiguous 2-D comp (dispatch-table form of qp2d_comp_batch).
+template <class V>
+void qp2d_comp_block_v(const std::uint32_t* left, const std::uint32_t* top,
+                       const std::uint32_t* diag, std::size_t n,
+                       QPCondition cond, std::int32_t radius,
+                       std::int32_t* comp) {
+  qp2d_comp_row_v<V>(left, top, diag, n, n, 1, cond, radius, comp);
+}
+
+/// Contiguous qp_encode_symbol with per-point i32 compensation.
+template <class V>
+void qp_sym_encode_block_v(const std::uint32_t* codes,
+                           const std::int32_t* comp, std::size_t n,
+                           std::int32_t radius, std::uint32_t* syms) {
+  constexpr int K = V::K;
+  const auto vrad = V::isplat(radius);
+  const auto zero = V::isplat(0);
+  const auto one = V::isplat(1);
+  std::size_t i = 0;
+  for (; i + K <= n; i += K) {
+    const auto vc = V::iload(codes + i);
+    const auto m0 = V::icmpeq(vc, zero);
+    const auto q = V::isub(vc, vrad);
+    const auto r = V::isub(q, iload_s32<V>(comp + i));
+    const auto zz = V::ixor(V::ishl1(r), V::isar31(r));
+    V::istore(syms + i, V::iandnot(m0, V::iadd(zz, one)));
+  }
+  for (; i < n; ++i) syms[i] = qp_encode_symbol(codes[i], comp[i], radius);
+}
+
+/// Contiguous qp_decode_symbol with per-point i32 compensation.
+template <class V>
+void qp_sym_decode_block_v(const std::uint32_t* syms,
+                           const std::int32_t* comp, std::size_t n,
+                           std::int32_t radius, std::uint32_t* codes) {
+  constexpr int K = V::K;
+  const auto vrad = V::isplat(radius);
+  const auto zero = V::isplat(0);
+  const auto one = V::isplat(1);
+  std::size_t i = 0;
+  for (; i + K <= n; i += K) {
+    const auto vs = V::iload(syms + i);
+    const auto m0 = V::icmpeq(vs, zero);
+    const auto zz = V::isub(vs, one);
+    const auto r =
+        V::ixor(V::ishr1(zz), V::isub(zero, V::iand(zz, one)));
+    const auto code = V::iadd(V::iadd(r, iload_s32<V>(comp + i)), vrad);
+    V::istore(codes + i, V::iandnot(m0, code));
+  }
+  for (; i < n; ++i) codes[i] = qp_decode_symbol(syms[i], comp[i], radius);
+}
+
+}  // namespace qip::simd

@@ -1,0 +1,89 @@
+#pragma once
+
+// Vectorized LinearQuantizer block kernels, templated over a vector
+// trait V (vec_sse42.hpp / vec_avx2.hpp). Include only from the vector
+// TUs in this directory.
+//
+// The vector path replays quantize()/recover() arithmetic exactly: the
+// range gate |qd| < radius-1 and the reconstruction-bound check are
+// evaluated on the same doubles the scalar code sees, so the ok-mask IS
+// the scalar branch decision. Lanes that fail either check (including
+// NaN, which fails the ordered compare) fall back to the public
+// LinearQuantizer API in ascending lane order, which keeps the outlier
+// stream byte-identical to the scalar loop.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "quant/quantizer.hpp"
+
+namespace qip::simd {
+
+/// Contiguous LinearQuantizer::quantize over n points.
+template <class V>
+void quant_encode_block_v(const typename V::T* vals,
+                          const typename V::T* preds, std::size_t n,
+                          LinearQuantizer<typename V::T>* q,
+                          std::uint32_t* codes, typename V::T* recon) {
+  constexpr int K = V::K;
+  constexpr unsigned kAll = (1u << K) - 1;
+  const auto inv = V::dsplat(q->inv_two_eb());
+  const auto teb = V::dsplat(q->two_eb());
+  const auto ebv = V::dsplat(q->error_bound());
+  const auto gate = V::dsplat(static_cast<double>(q->radius()) - 1);
+  const auto vrad = V::isplat(q->radius());
+
+  std::size_t i = 0;
+  for (; i + K <= n; i += K) {
+    const auto vd = V::widen(V::vload(vals + i));
+    const auto vp = V::widen(V::vload(preds + i));
+    const auto qd = V::dmul(V::dsub(vd, vp), inv);
+    const unsigned m1 = V::dlt(V::dabs(qd), gate);
+    // Out-of-range / NaN lanes produce sentinel integers here; they are
+    // all masked out by m1, exactly as the scalar branch never converts.
+    const auto qi = V::drint(qd);
+    const auto dec = V::narrow(V::dadd(vp, V::dmul(teb, V::dfromi(qi))));
+    const unsigned m2 = V::dle(V::dabs(V::dsub(V::widen(dec), vd)), ebv);
+    const unsigned ok = m1 & m2;
+    V::vstore(recon + i, dec);
+    V::istore(codes + i, V::iadd(qi, vrad));
+    if (ok != kAll) {
+      for (int k = 0; k < K; ++k) {
+        if (!(ok >> k & 1u))
+          codes[i + k] = q->quantize(vals[i + k], preds[i + k], &recon[i + k]);
+      }
+    }
+  }
+  for (; i < n; ++i) codes[i] = q->quantize(vals[i], preds[i], &recon[i]);
+}
+
+/// Contiguous LinearQuantizer::recover over n points. Code 0 lanes go
+/// through the public recover() so outlier consumption (and the
+/// exhaustion throw) matches the scalar loop exactly.
+template <class V>
+void quant_recover_block_v(const std::uint32_t* codes,
+                           const typename V::T* preds, std::size_t n,
+                           LinearQuantizer<typename V::T>* q,
+                           typename V::T* out) {
+  constexpr int K = V::K;
+  const auto teb = V::dsplat(q->two_eb());
+  const auto vrad = V::isplat(q->radius());
+  const auto zero = V::isplat(0);
+
+  std::size_t i = 0;
+  for (; i + K <= n; i += K) {
+    const auto vc = V::iload(codes + i);
+    const unsigned m0 = V::imask(V::icmpeq(vc, zero));
+    const auto qi = V::isub(vc, vrad);
+    const auto vp = V::widen(V::vload(preds + i));
+    V::vstore(out + i, V::narrow(V::dadd(vp, V::dmul(teb, V::dfromi(qi)))));
+    if (m0) {
+      for (int k = 0; k < K; ++k) {
+        if (m0 >> k & 1u) out[i + k] = q->recover(0, preds[i + k]);
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = q->recover(codes[i], preds[i]);
+}
+
+}  // namespace qip::simd

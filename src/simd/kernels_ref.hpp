@@ -1,0 +1,81 @@
+#pragma once
+
+// Scalar reference implementations of the dispatch-table kernels: plain
+// loops over the public quantizer/QP API plus the engine's per-point
+// emit sequence. They are authoritative by construction — no vector
+// code, no copies of the arithmetic — and serve as the A/B ground truth
+// for the vector tiers in tests and benches.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/qp.hpp"
+#include "quant/quantizer.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels_interp.hpp"
+
+namespace qip::simd {
+
+template <class T>
+void encode_row_ref(const RowArgs<T>& a) {
+  for (std::size_t j = 0; j < a.count; ++j) {
+    const std::size_t i = a.i0 + j * a.estep;
+    const T pred = predict_scalar(a.data, i, a.st, a.kind);
+    const std::int64_t comp =
+        a.qp_active ? qp_compensation(a.codes, i, a.nb, *a.qp, a.level,
+                                      a.radius)
+                    : 0;
+    T recon;
+    const std::uint32_t code = a.quant->quantize(a.data[i], pred, &recon);
+    a.data[i] = recon;
+    a.codes[i] = code;
+    a.syms_out[j] = qp_encode_symbol(code, comp, a.radius);
+  }
+}
+
+template <class T>
+void decode_row_ref(const RowArgs<T>& a) {
+  for (std::size_t j = 0; j < a.count; ++j) {
+    const std::size_t i = a.i0 + j * a.estep;
+    const T pred = predict_scalar(a.data, i, a.st, a.kind);
+    const std::int64_t comp =
+        a.qp_active ? qp_compensation(a.codes, i, a.nb, *a.qp, a.level,
+                                      a.radius)
+                    : 0;
+    const std::uint32_t code = qp_decode_symbol(a.syms_in[j], comp, a.radius);
+    a.codes[i] = code;
+    a.data[i] = a.quant->recover(code, pred);
+  }
+}
+
+template <class T>
+void quant_encode_block_ref(const T* vals, const T* preds, std::size_t n,
+                            LinearQuantizer<T>* q, std::uint32_t* codes,
+                            T* recon) {
+  for (std::size_t i = 0; i < n; ++i)
+    codes[i] = q->quantize(vals[i], preds[i], &recon[i]);
+}
+
+template <class T>
+void quant_recover_block_ref(const std::uint32_t* codes, const T* preds,
+                             std::size_t n, LinearQuantizer<T>* q, T* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = q->recover(codes[i], preds[i]);
+}
+
+/// The QP block entries reuse the batch references from core/qp.cpp,
+/// whose signatures match the dispatch table exactly.
+template <class T>
+Kernels<T> make_scalar_kernels() {
+  Kernels<T> k;
+  k.tier = Tier::kScalar;
+  k.encode_row = &encode_row_ref<T>;
+  k.decode_row = &decode_row_ref<T>;
+  k.quant_encode_block = &quant_encode_block_ref<T>;
+  k.quant_recover_block = &quant_recover_block_ref<T>;
+  k.qp2d_comp_block = &qp2d_comp_batch;
+  k.qp_sym_encode_block = &qp2d_forward_batch;
+  k.qp_sym_decode_block = &qp2d_inverse_batch;
+  return k;
+}
+
+}  // namespace qip::simd

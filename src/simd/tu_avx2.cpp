@@ -1,0 +1,20 @@
+// AVX2-tier kernel tables. This TU (alone) is compiled with -mavx2; its
+// code is only reached after dispatch.cpp's cpuid check.
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_interp.hpp"
+#include "simd/vec_avx2.hpp"
+
+namespace qip::simd::detail {
+
+const Kernels<float>* avx2_kernels_f32() {
+  static const Kernels<float> k = make_kernels<AvxF32>(Tier::kAVX2);
+  return &k;
+}
+
+const Kernels<double>* avx2_kernels_f64() {
+  static const Kernels<double> k = make_kernels<AvxF64>(Tier::kAVX2);
+  return &k;
+}
+
+}  // namespace qip::simd::detail

@@ -1,0 +1,19 @@
+// Scalar-tier kernel tables (reference loops; see kernels_ref.hpp).
+// Compiled with the project's baseline flags on every platform.
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_ref.hpp"
+
+namespace qip::simd::detail {
+
+const Kernels<float>& scalar_ref_f32() {
+  static const Kernels<float> k = make_scalar_kernels<float>();
+  return k;
+}
+
+const Kernels<double>& scalar_ref_f64() {
+  static const Kernels<double> k = make_scalar_kernels<double>();
+  return k;
+}
+
+}  // namespace qip::simd::detail

@@ -1,0 +1,20 @@
+// SSE4.2-tier kernel tables. This TU (alone) is compiled with -msse4.2;
+// its code is only reached after dispatch.cpp's cpuid check.
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_interp.hpp"
+#include "simd/vec_sse42.hpp"
+
+namespace qip::simd::detail {
+
+const Kernels<float>* sse42_kernels_f32() {
+  static const Kernels<float> k = make_kernels<SseF32>(Tier::kSSE42);
+  return &k;
+}
+
+const Kernels<double>* sse42_kernels_f64() {
+  static const Kernels<double> k = make_kernels<SseF64>(Tier::kSSE42);
+  return &k;
+}
+
+}  // namespace qip::simd::detail

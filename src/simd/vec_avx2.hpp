@@ -1,0 +1,198 @@
+#pragma once
+
+// 256-bit (AVX2 tier) vector traits consumed by the kernel templates.
+// Include only from TUs compiled with -mavx2 (src/simd/tu_avx2.cpp);
+// see vec_sse42.hpp for the shared bit-identity notes.
+
+#include <cstdint>
+#include <cstring>
+#include <immintrin.h>
+
+namespace qip::simd {
+
+namespace detail {
+
+inline __m256i iload256(const void* p, std::size_t bytes) {
+  __m256i v = _mm256_setzero_si256();
+  std::memcpy(&v, p, bytes);
+  return v;
+}
+
+inline void istore256(void* p, __m256i v, std::size_t bytes) {
+  std::memcpy(p, &v, bytes);
+}
+
+}  // namespace detail
+
+/// 8 x f32 per step.
+struct AvxF32 {
+  using T = float;
+  static constexpr int K = 8;
+  using VT = __m256;
+  struct VD {
+    __m256d lo, hi;  // lanes 0-3, 4-7
+  };
+  using VI = __m256i;
+
+  static VT vload(const T* p) { return _mm256_loadu_ps(p); }
+  static VT vload2(const T* p) {
+    const __m256 v0 = _mm256_loadu_ps(p);
+    const __m256 v1 = _mm256_loadu_ps(p + 8);
+    // Per 128-bit half: take even lanes of v0 then v1, giving 64-bit
+    // chunks [0,2][8,10] | [4,6][12,14]; permute chunks to row order.
+    const __m256 s = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+    return _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(s),
+                                                  _MM_SHUFFLE(3, 1, 2, 0)));
+  }
+  static void vstore(T* p, VT v) { _mm256_storeu_ps(p, v); }
+  static VT vsplat(T x) { return _mm256_set1_ps(x); }
+  static VT vadd(VT a, VT b) { return _mm256_add_ps(a, b); }
+  static VT vsub(VT a, VT b) { return _mm256_sub_ps(a, b); }
+  static VT vmul(VT a, VT b) { return _mm256_mul_ps(a, b); }
+
+  static VD widen(VT v) {
+    return {_mm256_cvtps_pd(_mm256_castps256_ps128(v)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1))};
+  }
+  static VT narrow(VD d) {
+    return _mm256_set_m128(_mm256_cvtpd_ps(d.hi), _mm256_cvtpd_ps(d.lo));
+  }
+  static VD dsplat(double x) {
+    return {_mm256_set1_pd(x), _mm256_set1_pd(x)};
+  }
+  static VD dadd(VD a, VD b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  static VD dsub(VD a, VD b) {
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+  }
+  static VD dmul(VD a, VD b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  static VD dabs(VD a) {
+    const __m256d m =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+    return {_mm256_and_pd(a.lo, m), _mm256_and_pd(a.hi, m)};
+  }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(
+               _mm256_movemask_pd(_mm256_cmp_pd(a.lo, b.lo, _CMP_LT_OQ))) |
+           (static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_cmp_pd(a.hi, b.hi, _CMP_LT_OQ)))
+            << 4);
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(
+               _mm256_movemask_pd(_mm256_cmp_pd(a.lo, b.lo, _CMP_LE_OQ))) |
+           (static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_cmp_pd(a.hi, b.hi, _CMP_LE_OQ)))
+            << 4);
+  }
+  static VI drint(VD d) {
+    return _mm256_set_m128i(_mm256_cvtpd_epi32(d.hi),
+                            _mm256_cvtpd_epi32(d.lo));
+  }
+  static VD dfromi(VI v) {
+    return {_mm256_cvtepi32_pd(_mm256_castsi256_si128(v)),
+            _mm256_cvtepi32_pd(_mm256_extracti128_si256(v, 1))};
+  }
+
+  static VI iload(const std::uint32_t* p) { return detail::iload256(p, 32); }
+  static VI iload2(const std::uint32_t* p) {
+    const __m256 v0 = _mm256_castsi256_ps(detail::iload256(p, 32));
+    const __m256 v1 = _mm256_castsi256_ps(detail::iload256(p + 8, 32));
+    const __m256 s = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+    return _mm256_castpd_si256(_mm256_permute4x64_pd(_mm256_castps_pd(s),
+                                                     _MM_SHUFFLE(3, 1, 2, 0)));
+  }
+  static void istore(std::uint32_t* p, VI v) { detail::istore256(p, v, 32); }
+  static VI isplat(std::int32_t x) { return _mm256_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm256_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm256_sub_epi32(a, b); }
+  static VI icmpeq(VI a, VI b) { return _mm256_cmpeq_epi32(a, b); }
+  static VI icmpgt(VI a, VI b) { return _mm256_cmpgt_epi32(a, b); }
+  static VI iand(VI a, VI b) { return _mm256_and_si256(a, b); }
+  static VI ior(VI a, VI b) { return _mm256_or_si256(a, b); }
+  static VI ixor(VI a, VI b) { return _mm256_xor_si256(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm256_andnot_si256(a, b); }
+  static VI ishl1(VI a) { return _mm256_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm256_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm256_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(a)));
+  }
+};
+
+/// 4 x f64 per step; VI is the matching 4 x i32 128-bit vector.
+struct AvxF64 {
+  using T = double;
+  static constexpr int K = 4;
+  using VT = __m256d;
+  using VD = __m256d;
+  using VI = __m128i;
+
+  static VT vload(const T* p) { return _mm256_loadu_pd(p); }
+  static VT vload2(const T* p) {
+    const __m256d v0 = _mm256_loadu_pd(p);
+    const __m256d v1 = _mm256_loadu_pd(p + 4);
+    // unpacklo gives chunks [0][4] | [2][6]; permute to row order.
+    return _mm256_permute4x64_pd(_mm256_unpacklo_pd(v0, v1),
+                                 _MM_SHUFFLE(3, 1, 2, 0));
+  }
+  static void vstore(T* p, VT v) { _mm256_storeu_pd(p, v); }
+  static VT vsplat(T x) { return _mm256_set1_pd(x); }
+  static VT vadd(VT a, VT b) { return _mm256_add_pd(a, b); }
+  static VT vsub(VT a, VT b) { return _mm256_sub_pd(a, b); }
+  static VT vmul(VT a, VT b) { return _mm256_mul_pd(a, b); }
+
+  static VD widen(VT v) { return v; }
+  static VT narrow(VD d) { return d; }
+  static VD dsplat(double x) { return _mm256_set1_pd(x); }
+  static VD dadd(VD a, VD b) { return _mm256_add_pd(a, b); }
+  static VD dsub(VD a, VD b) { return _mm256_sub_pd(a, b); }
+  static VD dmul(VD a, VD b) { return _mm256_mul_pd(a, b); }
+  static VD dabs(VD a) {
+    return _mm256_and_pd(a, _mm256_castsi256_pd(_mm256_set1_epi64x(
+                                0x7FFFFFFFFFFFFFFFll)));
+  }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a, b, _CMP_LT_OQ)));
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a, b, _CMP_LE_OQ)));
+  }
+  static VI drint(VD d) { return _mm256_cvtpd_epi32(d); }
+  static VD dfromi(VI v) { return _mm256_cvtepi32_pd(v); }
+
+  static VI iload(const std::uint32_t* p) {
+    __m128i v = _mm_setzero_si128();
+    std::memcpy(&v, p, 16);
+    return v;
+  }
+  static VI iload2(const std::uint32_t* p) {
+    return _mm_set_epi32(static_cast<std::int32_t>(p[6]),
+                         static_cast<std::int32_t>(p[4]),
+                         static_cast<std::int32_t>(p[2]),
+                         static_cast<std::int32_t>(p[0]));
+  }
+  static void istore(std::uint32_t* p, VI v) { std::memcpy(p, &v, 16); }
+  static VI isplat(std::int32_t x) { return _mm_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm_sub_epi32(a, b); }
+  static VI icmpeq(VI a, VI b) { return _mm_cmpeq_epi32(a, b); }
+  static VI icmpgt(VI a, VI b) { return _mm_cmpgt_epi32(a, b); }
+  static VI iand(VI a, VI b) { return _mm_and_si128(a, b); }
+  static VI ior(VI a, VI b) { return _mm_or_si128(a, b); }
+  static VI ixor(VI a, VI b) { return _mm_xor_si128(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm_andnot_si128(a, b); }
+  static VI ishl1(VI a) { return _mm_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(a)));
+  }
+};
+
+}  // namespace qip::simd

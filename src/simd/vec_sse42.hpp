@@ -1,0 +1,183 @@
+#pragma once
+
+// 128-bit (SSE4.2 tier) vector traits consumed by the kernel templates.
+// This header may only be included from TUs compiled with -msse4.2
+// (src/simd/tu_sse42.cpp); intrinsics are confined to src/simd/ by the
+// qip_lint.py `simd-confined` rule.
+//
+// Bit-identity notes (shared with vec_avx2.hpp):
+//  * no FMA is ever used, and the TUs are compiled with
+//    -ffp-contract=off, so every add/mul rounds exactly like the scalar
+//    expression it mirrors;
+//  * cvtpd_epi32 rounds per MXCSR (round-to-nearest-even by default),
+//    matching std::lrint under the default FP environment; kernels only
+//    consume lanes the range gate proved in-range;
+//  * compares use ordered non-signaling predicates, so NaN lanes fail
+//    the gate and take the scalar escape exactly like the scalar code.
+
+#include <cstdint>
+#include <cstring>
+#include <nmmintrin.h>
+
+namespace qip::simd {
+
+namespace detail {
+
+inline __m128i iload128(const void* p, std::size_t bytes) {
+  __m128i v = _mm_setzero_si128();
+  std::memcpy(&v, p, bytes);
+  return v;
+}
+
+inline void istore128(void* p, __m128i v, std::size_t bytes) {
+  std::memcpy(p, &v, bytes);
+}
+
+}  // namespace detail
+
+/// 4 x f32 per step.
+struct SseF32 {
+  using T = float;
+  static constexpr int K = 4;
+  using VT = __m128;
+  struct VD {
+    __m128d lo, hi;  // lanes 0-1, 2-3
+  };
+  using VI = __m128i;
+
+  static VT vload(const T* p) { return _mm_loadu_ps(p); }
+  static VT vload2(const T* p) {
+    const __m128 v0 = _mm_loadu_ps(p);
+    const __m128 v1 = _mm_loadu_ps(p + 4);
+    return _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+  }
+  static void vstore(T* p, VT v) { _mm_storeu_ps(p, v); }
+  static VT vsplat(T x) { return _mm_set1_ps(x); }
+  static VT vadd(VT a, VT b) { return _mm_add_ps(a, b); }
+  static VT vsub(VT a, VT b) { return _mm_sub_ps(a, b); }
+  static VT vmul(VT a, VT b) { return _mm_mul_ps(a, b); }
+
+  static VD widen(VT v) {
+    return {_mm_cvtps_pd(v),
+            _mm_cvtps_pd(_mm_movehl_ps(v, v))};
+  }
+  static VT narrow(VD d) {
+    return _mm_movelh_ps(_mm_cvtpd_ps(d.lo), _mm_cvtpd_ps(d.hi));
+  }
+  static VD dsplat(double x) { return {_mm_set1_pd(x), _mm_set1_pd(x)}; }
+  static VD dadd(VD a, VD b) {
+    return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+  }
+  static VD dsub(VD a, VD b) {
+    return {_mm_sub_pd(a.lo, b.lo), _mm_sub_pd(a.hi, b.hi)};
+  }
+  static VD dmul(VD a, VD b) {
+    return {_mm_mul_pd(a.lo, b.lo), _mm_mul_pd(a.hi, b.hi)};
+  }
+  static VD dabs(VD a) {
+    const __m128d m = _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+    return {_mm_and_pd(a.lo, m), _mm_and_pd(a.hi, m)};
+  }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(_mm_movemask_pd(_mm_cmplt_pd(a.lo, b.lo))) |
+           (static_cast<unsigned>(_mm_movemask_pd(_mm_cmplt_pd(a.hi, b.hi)))
+            << 2);
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(_mm_movemask_pd(_mm_cmple_pd(a.lo, b.lo))) |
+           (static_cast<unsigned>(_mm_movemask_pd(_mm_cmple_pd(a.hi, b.hi)))
+            << 2);
+  }
+  static VI drint(VD d) {
+    return _mm_unpacklo_epi64(_mm_cvtpd_epi32(d.lo), _mm_cvtpd_epi32(d.hi));
+  }
+  static VD dfromi(VI v) {
+    return {_mm_cvtepi32_pd(v),
+            _mm_cvtepi32_pd(_mm_unpackhi_epi64(v, v))};
+  }
+
+  static VI iload(const std::uint32_t* p) { return detail::iload128(p, 16); }
+  static VI iload2(const std::uint32_t* p) {
+    const __m128 v0 = _mm_castsi128_ps(detail::iload128(p, 16));
+    const __m128 v1 = _mm_castsi128_ps(detail::iload128(p + 4, 16));
+    return _mm_castps_si128(_mm_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0)));
+  }
+  static void istore(std::uint32_t* p, VI v) { detail::istore128(p, v, 16); }
+  static VI isplat(std::int32_t x) { return _mm_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm_sub_epi32(a, b); }
+  static VI icmpeq(VI a, VI b) { return _mm_cmpeq_epi32(a, b); }
+  static VI icmpgt(VI a, VI b) { return _mm_cmpgt_epi32(a, b); }
+  static VI iand(VI a, VI b) { return _mm_and_si128(a, b); }
+  static VI ior(VI a, VI b) { return _mm_or_si128(a, b); }
+  static VI ixor(VI a, VI b) { return _mm_xor_si128(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm_andnot_si128(a, b); }
+  static VI ishl1(VI a) { return _mm_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(a)));
+  }
+};
+
+/// 2 x f64 per step. Only the low two 32-bit lanes of VI are meaningful.
+struct SseF64 {
+  using T = double;
+  static constexpr int K = 2;
+  using VT = __m128d;
+  using VD = __m128d;
+  using VI = __m128i;
+
+  static VT vload(const T* p) { return _mm_loadu_pd(p); }
+  static VT vload2(const T* p) {
+    return _mm_shuffle_pd(_mm_loadu_pd(p), _mm_loadu_pd(p + 2), 0);
+  }
+  static void vstore(T* p, VT v) { _mm_storeu_pd(p, v); }
+  static VT vsplat(T x) { return _mm_set1_pd(x); }
+  static VT vadd(VT a, VT b) { return _mm_add_pd(a, b); }
+  static VT vsub(VT a, VT b) { return _mm_sub_pd(a, b); }
+  static VT vmul(VT a, VT b) { return _mm_mul_pd(a, b); }
+
+  static VD widen(VT v) { return v; }
+  static VT narrow(VD d) { return d; }
+  static VD dsplat(double x) { return _mm_set1_pd(x); }
+  static VD dadd(VD a, VD b) { return _mm_add_pd(a, b); }
+  static VD dsub(VD a, VD b) { return _mm_sub_pd(a, b); }
+  static VD dmul(VD a, VD b) { return _mm_mul_pd(a, b); }
+  static VD dabs(VD a) {
+    return _mm_and_pd(
+        a, _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFll)));
+  }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(_mm_movemask_pd(_mm_cmplt_pd(a, b)));
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(_mm_movemask_pd(_mm_cmple_pd(a, b)));
+  }
+  static VI drint(VD d) { return _mm_cvtpd_epi32(d); }
+  static VD dfromi(VI v) { return _mm_cvtepi32_pd(v); }
+
+  static VI iload(const std::uint32_t* p) { return detail::iload128(p, 8); }
+  static VI iload2(const std::uint32_t* p) {
+    return _mm_set_epi32(0, 0, static_cast<std::int32_t>(p[2]),
+                         static_cast<std::int32_t>(p[0]));
+  }
+  static void istore(std::uint32_t* p, VI v) { detail::istore128(p, v, 8); }
+  static VI isplat(std::int32_t x) { return _mm_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm_sub_epi32(a, b); }
+  static VI icmpeq(VI a, VI b) { return _mm_cmpeq_epi32(a, b); }
+  static VI icmpgt(VI a, VI b) { return _mm_cmpgt_epi32(a, b); }
+  static VI iand(VI a, VI b) { return _mm_and_si128(a, b); }
+  static VI ior(VI a, VI b) { return _mm_or_si128(a, b); }
+  static VI ixor(VI a, VI b) { return _mm_xor_si128(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm_andnot_si128(a, b); }
+  static VI ishl1(VI a) { return _mm_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(a))) & 0x3u;
+  }
+};
+
+}  // namespace qip::simd

@@ -75,9 +75,10 @@ TransferReport run_transfer_pipeline(const Field<float>& data,
   std::vector<double> ct(nslices, 0.0), dt(nslices, 0.0);
   Field<float> recon(d);
 
-  const unsigned workers =
-      cfg.workers ? cfg.workers : std::max(1u, std::thread::hardware_concurrency());
-  ThreadPool pool(workers);
+  // workers == 0 means one per hardware thread; explicit counts are
+  // capped there too (ThreadPool's default policy) so a config tuned on
+  // a big node does not oversubscribe a small one.
+  ThreadPool pool(cfg.workers);
 
   // Compress every slice (measured individually).
   pool.parallel_for(nslices, [&](std::size_t s) {

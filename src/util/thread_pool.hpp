@@ -20,10 +20,21 @@
 namespace qip {
 
 /// Join-on-destruction thread pool with a submit()->future interface.
+///
+/// Worker-count policy: 0 asks for one worker per hardware thread, and
+/// by default any request is capped at the hardware thread count —
+/// oversubscribing a compute-bound pool only adds context-switch
+/// overhead (measurably so on small machines; see BENCH_pipeline.json).
+/// Pass cap_to_hardware = false for the rare caller that genuinely
+/// wants more workers than cores (e.g. tests that need a guaranteed
+/// minimum pool size to stress the queue handoff, or blocking tasks
+/// that park in submit()->get() chains).
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned num_threads) {
-    if (num_threads == 0) num_threads = 1;
+  explicit ThreadPool(unsigned num_threads, bool cap_to_hardware = true) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (num_threads == 0) num_threads = hw;
+    if (cap_to_hardware) num_threads = std::min(num_threads, hw);
     workers_.reserve(num_threads);
     for (unsigned i = 0; i < num_threads; ++i) {
       workers_.emplace_back([this] { worker_loop(); });

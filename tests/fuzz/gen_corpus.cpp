@@ -10,7 +10,9 @@
 // Everything is deterministic so regeneration is reproducible.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -79,6 +81,35 @@ void gen_bitstream(const fs::path& root) {
   dump_with_mutants(dir, "long", pattern_bytes(1024, 99));
 }
 
+// Max canonical code length of a legacy-layout Huffman block (varint
+// n_symbols | varint n_distinct | n_distinct x (symbol, length) pairs).
+// Returns -1 for the ranged layout (leading 0 sentinel).
+int huffman_max_code_length(const Bytes& enc) {
+  qip::ByteReader r(enc);
+  if (r.get_varint() == 0) return -1;
+  const std::uint64_t distinct = r.get_varint();
+  int max_len = 0;
+  for (std::uint64_t i = 0; i < distinct; ++i) {
+    (void)r.get_varint();
+    max_len = std::max(max_len, static_cast<int>(r.get_varint()));
+  }
+  return max_len;
+}
+
+// The table-driven Huffman decoder resolves codes up to kFastBits (12)
+// via its primary table; anything longer takes the overflow slow path.
+// Seeds tagged "deep" must keep exercising that path, so regeneration
+// fails loudly if the encoded table ever flattens below 13 bits.
+void require_deep_table(const Bytes& enc, const char* what) {
+  const int max_len = huffman_max_code_length(enc);
+  if (max_len <= 12) {
+    std::cerr << "gen_corpus: " << what << " max code length " << max_len
+              << " no longer exceeds the 12-bit fast-table width; retune "
+                 "the generator so the overflow slow path stays covered\n";
+    std::exit(1);
+  }
+}
+
 void gen_huffman(const fs::path& root) {
   const fs::path dir = root / "fuzz_huffman";
   // Well-formed streams of different shapes.
@@ -96,6 +127,33 @@ void gen_huffman(const fs::path& root) {
     std::vector<std::uint32_t> syms;
     for (std::uint32_t i = 0; i < 300; ++i) syms.push_back(i * 7919u);
     dump_with_mutants(dir, "wide_alphabet", qip::huffman_encode(syms));
+  }
+  // Fibonacci-weighted alphabet: symbol s occurs fib(s+1) times, which
+  // forces a maximally skewed canonical tree (max code length ~ alphabet
+  // size, here ~23 bits), so the decoder's >12-bit overflow slow path
+  // runs on this seed and all of its mutants.
+  {
+    std::vector<std::uint32_t> syms;
+    std::uint64_t a = 1, b = 1;
+    for (std::uint32_t s = 0; s < 24; ++s) {
+      syms.insert(syms.end(), static_cast<std::size_t>(a), s);
+      const std::uint64_t next = a + b;
+      a = b;
+      b = next;
+    }
+    // Interleave so long codes are scattered through the bitstream
+    // rather than clustered at the front.
+    std::vector<std::uint32_t> mixed;
+    mixed.reserve(syms.size());
+    const std::size_t stride = 7919;  // prime, coprime to syms.size()
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+      mixed.push_back(syms[pos]);
+      pos = (pos + stride) % syms.size();
+    }
+    const Bytes enc = qip::huffman_encode(mixed);
+    require_deep_table(enc, "fuzz_huffman/deep_fibonacci");
+    dump_with_mutants(dir, "deep_fibonacci", enc);
   }
   // Hostile: over-subscribed code lengths (three symbols, all length 1).
   {
@@ -209,6 +267,39 @@ void gen_archive(const fs::path& root) {
     Bytes dflip = arc;
     dflip[8] ^= 0x01;
     dump(dir, "hostile_dims_flip.bin", dflip);
+  }
+  // A genuine SZ3 archive over a heavy-tailed field: a flat background
+  // plus spikes whose per-magnitude counts decay Fibonacci-fashion, so
+  // the quantization-code histogram is skewed enough that the Huffman
+  // table goes deeper than the decoder's 12-bit fast table and archive
+  // decode hits the overflow slow path. Verified below by parsing the
+  // kSymbols stage, so the seed cannot silently stop covering it.
+  {
+    const qip::Dims dims{24, 30, 36};
+    const std::size_t n = 24 * 30 * 36;
+    std::vector<float> field(n);
+    for (std::size_t i = 0; i < n; ++i)
+      field[i] = 0.05f * std::sin(0.01 * static_cast<double>(i));
+    const double eb = 1e-3;
+    std::uint64_t fa = 1, fb = 1;
+    std::uint32_t lcg = 12345;
+    for (int k = 18; k >= 1; --k) {  // fib(1)=1 spike of the largest k
+      for (std::uint64_t c = 0; c < fa; ++c) {
+        lcg = lcg * 1664525u + 1013904223u;
+        field[lcg % n] = static_cast<float>(2.0 * eb * (900.0 + 40.0 * k));
+      }
+      const std::uint64_t next = fa + fb;
+      fa = fb;
+      fb = next;
+    }
+    qip::SZ3Config cfg;
+    cfg.error_bound = eb;
+    const auto arc = qip::sz3_compress(field.data(), dims, cfg);
+    const qip::ContainerReader reader(arc);
+    const auto sym = reader.stage_bytes(qip::StageId::kSymbols);
+    require_deep_table(Bytes(sym.begin(), sym.end()),
+                       "fuzz_archive/sz3_deep_huffman");
+    dump_with_mutants(dir, "sz3_deep_huffman", arc);
   }
   // Hostile: valid header, bomb-sized stage-body LZB declaration.
   {

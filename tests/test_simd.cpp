@@ -1,0 +1,558 @@
+// A/B tests for the runtime-dispatched SIMD kernel layer (src/simd/) and
+// the table-driven Huffman decoder.
+//
+// The contract under test is bit-identity: every vector kernel, at every
+// compiled tier, must reproduce the scalar reference path exactly —
+// codes, reconstruction bits, outlier streams, symbols, and whole
+// archives — including on adversarial inputs (all-outlier blocks,
+// radius-edge values, NaN/Inf, segments shorter than one vector width,
+// hostile decode symbols). The force-scalar override stands in for the
+// QIP_SIMD_FORCE_SCALAR environment gate.
+
+#include "simd/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "compressors/interp_engine.hpp"
+#include "compressors/registry.hpp"
+#include "core/qp.hpp"
+#include "data/synthetic.hpp"
+#include "encode/huffman.hpp"
+#include "predict/multilevel.hpp"
+#include "quant/quantizer.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace qip {
+namespace {
+
+struct ScalarGuard {
+  ScalarGuard() { simd::set_force_scalar_override(1); }
+  ~ScalarGuard() { simd::set_force_scalar_override(-1); }
+};
+
+struct TierGuard {
+  explicit TierGuard(simd::Tier t) {
+    simd::set_tier_cap_override(static_cast<int>(t));
+  }
+  ~TierGuard() { simd::set_tier_cap_override(-1); }
+};
+
+// Pins force-scalar OFF so a test about tier selection sees the vector
+// tiers even when the suite runs under QIP_SIMD_FORCE_SCALAR=1 (the CI
+// forced-scalar leg).
+struct DispatchOnGuard {
+  DispatchOnGuard() { simd::set_force_scalar_override(0); }
+  ~DispatchOnGuard() { simd::set_force_scalar_override(-1); }
+};
+
+// Vector tiers that are both compiled into this binary and runnable on
+// this CPU. Empty on non-x86 or pre-SSE4.2 machines, in which case the
+// per-tier tests trivially pass (the engine then always runs scalar).
+std::vector<simd::Tier> runnable_vector_tiers() {
+  std::vector<simd::Tier> v;
+  for (simd::Tier t : {simd::Tier::kSSE42, simd::Tier::kAVX2}) {
+    if (simd::tier_kernels<float>(t) != nullptr &&
+        static_cast<int>(simd::cpu_tier()) >= static_cast<int>(t))
+      v.push_back(t);
+  }
+  return v;
+}
+
+TEST(SimdDispatch, ForceScalarOverrideDisablesEverything) {
+  ScalarGuard g;
+  EXPECT_TRUE(simd::force_scalar());
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  EXPECT_EQ(simd::kernels<float>(), nullptr);
+  EXPECT_EQ(simd::kernels<double>(), nullptr);
+  EXPECT_FALSE(simd::huffman_fast_enabled());
+}
+
+TEST(SimdDispatch, ScalarTierIsAlwaysCompiled) {
+  EXPECT_TRUE(simd::tier_compiled(simd::Tier::kScalar));
+  EXPECT_NE(simd::scalar_kernels<float>().quant_encode_block, nullptr);
+  EXPECT_NE(simd::scalar_kernels<double>().decode_row, nullptr);
+}
+
+TEST(SimdDispatch, TierCapIsHonored) {
+  DispatchOnGuard on;
+  for (simd::Tier t : runnable_vector_tiers()) {
+    TierGuard g(t);
+    EXPECT_EQ(simd::active_tier(), t);
+    ASSERT_NE(simd::kernels<float>(), nullptr);
+    EXPECT_EQ(simd::kernels<float>()->tier, t);
+  }
+  TierGuard g(simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  EXPECT_EQ(simd::kernels<float>(), nullptr);
+}
+
+// ---- quantizer block kernels --------------------------------------------
+
+// Input batteries stressing every branch of the quantize() contract.
+template <class T>
+std::vector<std::vector<T>> quant_value_sets(const LinearQuantizer<T>& q,
+                                             std::size_t n) {
+  const double two_eb = q.two_eb();
+  const double edge = two_eb * (q.radius() - 1);
+  std::vector<std::vector<T>> sets;
+  // Smooth in-range values.
+  std::vector<T> smooth(n);
+  for (std::size_t i = 0; i < n; ++i)
+    smooth[i] = static_cast<T>(std::sin(0.05 * static_cast<double>(i)));
+  sets.push_back(smooth);
+  // All-outlier: far beyond radius * 2eb from the (zero) predictions.
+  std::vector<T> outl(n);
+  for (std::size_t i = 0; i < n; ++i)
+    outl[i] = static_cast<T>(1e30 * (i % 2 ? 1 : -1));
+  sets.push_back(outl);
+  // Radius edge: straddle |qd| == radius - 1 from both sides.
+  std::vector<T> im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wiggle = (static_cast<double>(i % 7) - 3.0) * 0.4 * two_eb;
+    im[i] = static_cast<T>((i % 2 ? edge : -edge) + wiggle);
+  }
+  sets.push_back(im);
+  // NaN / Inf / denormal lanes mixed with ordinary ones.
+  std::vector<T> weird(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0: weird[i] = std::numeric_limits<T>::quiet_NaN(); break;
+      case 1: weird[i] = std::numeric_limits<T>::infinity(); break;
+      case 2: weird[i] = -std::numeric_limits<T>::infinity(); break;
+      case 3: weird[i] = std::numeric_limits<T>::denorm_min(); break;
+      default: weird[i] = static_cast<T>(0.25 * static_cast<double>(i));
+    }
+  }
+  sets.push_back(weird);
+  return sets;
+}
+
+// memcmp is declared nonnull, and std::vector::data() may be null when
+// empty — the n == 0 battery below needs a null-safe byte compare.
+inline bool bytes_equal(const void* a, const void* b, std::size_t nbytes) {
+  return nbytes == 0 || std::memcmp(a, b, nbytes) == 0;
+}
+
+template <class T>
+void check_quant_blocks(const simd::Kernels<T>& kt) {
+  const auto& ref = simd::scalar_kernels<T>();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{97}}) {
+    LinearQuantizer<T> proto(1e-3);
+    for (const auto& vals : quant_value_sets<T>(proto, n)) {
+      std::vector<T> preds(n);
+      for (std::size_t i = 0; i < n; ++i)
+        preds[i] = static_cast<T>(0.01 * static_cast<double>(i % 13));
+
+      LinearQuantizer<T> qa(1e-3), qb(1e-3);
+      std::vector<std::uint32_t> ca(n), cb(n);
+      std::vector<T> ra(n), rb(n);
+      ref.quant_encode_block(vals.data(), preds.data(), n, &qa, ca.data(),
+                             ra.data());
+      kt.quant_encode_block(vals.data(), preds.data(), n, &qb, cb.data(),
+                            rb.data());
+      ASSERT_EQ(ca, cb) << "tier " << simd::to_string(kt.tier) << " n=" << n;
+      ASSERT_TRUE(bytes_equal(ra.data(), rb.data(), n * sizeof(T)))
+          << "recon bits differ, tier " << simd::to_string(kt.tier);
+      ASSERT_EQ(qa.outliers().size(), qb.outliers().size());
+      ASSERT_TRUE(bytes_equal(qa.outliers().data(), qb.outliers().data(),
+                              qa.outliers().size() * sizeof(T)));
+
+      // Recover from the just-produced codes: code 0 must consume the
+      // outlier list in the same order on both paths.
+      qa.reset_cursor();
+      qb.reset_cursor();
+      std::vector<T> oa(n), ob(n);
+      ref.quant_recover_block(ca.data(), preds.data(), n, &qa, oa.data());
+      kt.quant_recover_block(cb.data(), preds.data(), n, &qb, ob.data());
+      ASSERT_TRUE(bytes_equal(oa.data(), ob.data(), n * sizeof(T)));
+    }
+  }
+}
+
+TEST(SimdQuant, BlockKernelsMatchScalarAllTiers) {
+  for (simd::Tier t : runnable_vector_tiers()) {
+    check_quant_blocks<float>(*simd::tier_kernels<float>(t));
+    check_quant_blocks<double>(*simd::tier_kernels<double>(t));
+  }
+}
+
+TEST(SimdQuant, RecoverThrowsOnExhaustedOutliersLikeScalar) {
+  for (simd::Tier t : runnable_vector_tiers()) {
+    const auto* kt = simd::tier_kernels<float>(t);
+    const std::size_t n = 24;
+    std::vector<std::uint32_t> codes(n, kUnpredictableCode);
+    std::vector<float> preds(n, 0.f), out(n);
+    LinearQuantizer<float> q(1e-3);  // no outliers recorded
+    EXPECT_THROW(
+        kt->quant_recover_block(codes.data(), preds.data(), n, &q, out.data()),
+        DecodeError);
+  }
+}
+
+// ---- QP block kernels ----------------------------------------------------
+
+// Code batteries: typical near-radius codes, unpredictable zeros, and
+// big codes with bits 22..31 set (the i64/i32 divergence region that the
+// vector compensation must hand back to the scalar path).
+std::vector<std::vector<std::uint32_t>> qp_code_sets(std::size_t n) {
+  std::vector<std::vector<std::uint32_t>> sets;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  auto next = [&] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(x >> 32);
+  };
+  std::vector<std::uint32_t> typical(n);
+  for (auto& c : typical) c = 32768u + next() % 65u - 32u;
+  sets.push_back(typical);
+  std::vector<std::uint32_t> zeros(n);
+  for (std::size_t i = 0; i < n; ++i)
+    zeros[i] = (i % 3 == 0) ? 0u : 32768u + static_cast<std::uint32_t>(i % 9);
+  sets.push_back(zeros);
+  std::vector<std::uint32_t> big(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0: big[i] = next(); break;                    // anything
+      case 1: big[i] = 0xFFFFFFFFu - next() % 1000u; break;
+      case 2: big[i] = 0x00400000u + next() % 1000u; break;
+      default: big[i] = next() % 70000u; break;
+    }
+  }
+  sets.push_back(big);
+  return sets;
+}
+
+TEST(SimdQp, CompBlockMatchesScalarAllConditionsAllTiers) {
+  const std::int32_t radius = 32768;
+  for (simd::Tier t : runnable_vector_tiers()) {
+    const auto* kt = simd::tier_kernels<float>(t);
+    const auto& ref = simd::scalar_kernels<float>();
+    for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                          std::size_t{200}}) {
+      const auto sets = qp_code_sets(3 * n);
+      for (const auto& codes : sets) {
+        const std::uint32_t* left = codes.data();
+        const std::uint32_t* top = codes.data() + n;
+        const std::uint32_t* diag = codes.data() + 2 * n;
+        for (QPCondition cond :
+             {QPCondition::kCaseI, QPCondition::kCaseII, QPCondition::kCaseIII,
+              QPCondition::kCaseIV}) {
+          std::vector<std::int32_t> ca(n), cb(n);
+          ref.qp2d_comp_block(left, top, diag, n, cond, radius, ca.data());
+          kt->qp2d_comp_block(left, top, diag, n, cond, radius, cb.data());
+          ASSERT_EQ(ca, cb) << "tier " << simd::to_string(t) << " cond "
+                            << static_cast<int>(cond) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdQp, SymbolBlocksRoundTripAndMatchScalarAllTiers) {
+  const std::int32_t radius = 32768;
+  for (simd::Tier t : runnable_vector_tiers()) {
+    const auto* kt = simd::tier_kernels<float>(t);
+    const auto& ref = simd::scalar_kernels<float>();
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                          std::size_t{333}}) {
+      // Encode inputs stay inside the documented envelope (dispatch.hpp):
+      // codes a quantizer can emit, compensations a 2-D Lorenzo over such
+      // codes can produce (|comp| <= 3 * radius).
+      std::vector<std::uint32_t> codes(n);
+      std::vector<std::int32_t> comp(n);
+      std::uint64_t x = 0xD1B54A32D192ED03ull;
+      for (std::size_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint32_t r = static_cast<std::uint32_t>(x >> 32);
+        codes[i] = (i % 5 == 0) ? 0u : r % (2u * 32768u);
+        comp[i] = static_cast<std::int32_t>(r % (6u * 32768u)) - 3 * 32768;
+      }
+      std::vector<std::uint32_t> sa(n), sb(n), da(n), db(n);
+      ref.qp_sym_encode_block(codes.data(), comp.data(), n, radius, sa.data());
+      kt->qp_sym_encode_block(codes.data(), comp.data(), n, radius, sb.data());
+      ASSERT_EQ(sa, sb) << "tier " << simd::to_string(t);
+      ref.qp_sym_decode_block(sa.data(), comp.data(), n, radius, da.data());
+      kt->qp_sym_decode_block(sa.data(), comp.data(), n, radius, db.data());
+      ASSERT_EQ(da, db) << "tier " << simd::to_string(t);
+      ASSERT_EQ(da, codes) << "round trip broke, tier " << simd::to_string(t);
+
+      // Decode is unconditionally exact: hostile symbols no encoder would
+      // emit, with arbitrary huge compensations, must still match scalar.
+      std::vector<std::int32_t> wild(n);
+      std::vector<std::uint32_t> hostile(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        hostile[i] =
+            (i % 2) ? 0xFFFFFFFFu - static_cast<std::uint32_t>(i) : codes[i];
+        wild[i] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(i * 2654435761u));
+      }
+      ref.qp_sym_decode_block(hostile.data(), wild.data(), n, radius,
+                              da.data());
+      kt->qp_sym_decode_block(hostile.data(), wild.data(), n, radius,
+                              db.data());
+      ASSERT_EQ(da, db) << "hostile decode diverged, tier "
+                        << simd::to_string(t);
+    }
+  }
+}
+
+// ---- engine-level A/B ----------------------------------------------------
+
+template <class T>
+Field<T> test_field(const Dims& dims) {
+  Field<T> f(dims);
+  const std::size_t n = f.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    f.data()[i] =
+        static_cast<T>(std::sin(0.02 * x) + 0.3 * std::cos(0.007 * x));
+  }
+  // A few extreme points so the outlier path stays busy.
+  for (std::size_t i = 0; i < n; i += 997)
+    f.data()[i] = static_cast<T>((i % 2 ? 1 : -1) * 1e30);
+  return f;
+}
+
+template <class T>
+void check_engine_ab(const Dims& dims, InterpKind kind, bool qp_on) {
+  const Field<T> f = test_field<T>(dims);
+  LevelPlan lp;
+  lp.kind = kind;
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(dims), lp);
+  const double eb = 1e-3;
+  const QPConfig qp = qp_on ? QPConfig::best_fit() : QPConfig{};
+
+  auto run = [&](bool force) {
+    if (force) simd::set_force_scalar_override(1);
+    Field<T> work = f.clone();
+    LinearQuantizer<T> q(eb);
+    auto res = InterpEngine<T>::encode(work.data(), dims, plan, eb, q, qp);
+    simd::set_force_scalar_override(-1);
+    return std::tuple{std::move(res), std::move(work), std::move(q)};
+  };
+  auto [res_s, work_s, q_s] = run(true);
+  auto [res_v, work_v, q_v] = run(false);
+
+  ASSERT_EQ(res_s.symbols, res_v.symbols)
+      << "rank " << dims.rank() << " kind " << static_cast<int>(kind)
+      << " qp=" << qp_on;
+  ASSERT_EQ(0, std::memcmp(work_s.data(), work_v.data(),
+                           f.size() * sizeof(T)))
+      << "recon bits differ";
+  ASSERT_EQ(q_s.outliers().size(), q_v.outliers().size());
+  ASSERT_TRUE(bytes_equal(q_s.outliers().data(), q_v.outliers().data(),
+                          q_s.outliers().size() * sizeof(T)));
+
+  // Decode A/B: scalar decode of the (identical) stream vs dispatched.
+  auto dec = [&](bool force) {
+    if (force) simd::set_force_scalar_override(1);
+    LinearQuantizer<T> q = q_s;
+    q.reset_cursor();
+    Field<T> out(dims);
+    InterpEngine<T>::decode(res_s.symbols, dims, plan, eb, q, qp, out.data());
+    simd::set_force_scalar_override(-1);
+    return out;
+  };
+  const Field<T> out_s = dec(true);
+  const Field<T> out_v = dec(false);
+  ASSERT_EQ(0, std::memcmp(out_s.data(), out_v.data(), f.size() * sizeof(T)));
+  ASSERT_EQ(0, std::memcmp(out_s.data(), work_s.data(), f.size() * sizeof(T)))
+      << "decode did not reproduce the encoder's reconstruction";
+}
+
+TEST(SimdEngine, ByteIdentityRanksKindsQpF32F64) {
+  const Dims shapes[] = {Dims{4096}, Dims{80, 72}, Dims{40, 36, 28},
+                         Dims{10, 9, 8, 7}};
+  for (const Dims& d : shapes) {
+    for (InterpKind kind : {InterpKind::kLinear, InterpKind::kCubic}) {
+      for (bool qp_on : {false, true}) {
+        check_engine_ab<float>(d, kind, qp_on);
+        check_engine_ab<double>(d, kind, qp_on);
+      }
+    }
+  }
+}
+
+TEST(SimdEngine, TierCapByteIdentity) {
+  // Each runnable vector tier individually reproduces the scalar stream.
+  const Dims dims{48, 40, 36};
+  const Field<float> f = test_field<float>(dims);
+  LevelPlan lp;
+  const InterpPlan plan =
+      InterpPlan::uniform(interpolation_level_count(dims), lp);
+  auto encode_now = [&] {
+    Field<float> work = f.clone();
+    LinearQuantizer<float> q(1e-3);
+    return InterpEngine<float>::encode(work.data(), dims, plan, 1e-3, q,
+                                       QPConfig::best_fit())
+        .symbols;
+  };
+  std::vector<std::uint32_t> scalar_syms;
+  {
+    ScalarGuard g;
+    scalar_syms = encode_now();
+  }
+  for (simd::Tier t : runnable_vector_tiers()) {
+    TierGuard g(t);
+    EXPECT_EQ(encode_now(), scalar_syms) << "tier " << simd::to_string(t);
+  }
+}
+
+// ---- archive-level A/B across every codec --------------------------------
+
+TEST(SimdArchive, AllCodecsByteIdenticalForcedScalarVsDispatched) {
+  const Dims dims{24, 20, 16};
+  const Field<float> f32 = test_field<float>(dims);
+  const Field<double> f64 = test_field<double>(dims);
+  for (const auto& e : compressor_registry()) {
+    for (bool qp_on : {false, true}) {
+      GenericOptions opt;
+      opt.error_bound = 1e-3;
+      if (qp_on) opt.qp = QPConfig::best_fit();
+
+      auto arc32_v = e.compress_f32(f32.data(), dims, opt);
+      auto arc64_v = e.compress_f64(f64.data(), dims, opt);
+      const Field<float> dec32_v = e.decompress_f32(arc32_v);
+      const Field<double> dec64_v = e.decompress_f64(arc64_v);
+
+      ScalarGuard g;
+      const auto arc32_s = e.compress_f32(f32.data(), dims, opt);
+      const auto arc64_s = e.compress_f64(f64.data(), dims, opt);
+      ASSERT_EQ(arc32_v, arc32_s) << e.name << " f32 qp=" << qp_on;
+      ASSERT_EQ(arc64_v, arc64_s) << e.name << " f64 qp=" << qp_on;
+      const Field<float> dec32_s = e.decompress_f32(arc32_v);
+      const Field<double> dec64_s = e.decompress_f64(arc64_v);
+      ASSERT_EQ(0, std::memcmp(dec32_v.data(), dec32_s.data(),
+                               dec32_v.size() * sizeof(float)))
+          << e.name << " f32 qp=" << qp_on;
+      ASSERT_EQ(0, std::memcmp(dec64_v.data(), dec64_s.data(),
+                               dec64_v.size() * sizeof(double)))
+          << e.name << " f64 qp=" << qp_on;
+    }
+  }
+}
+
+// ---- Huffman fast decoder ------------------------------------------------
+
+std::vector<std::uint32_t> geometric_symbols(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> s(n);
+  std::uint64_t x = seed;
+  for (auto& v : s) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint32_t r = static_cast<std::uint32_t>(x >> 33);
+    std::uint32_t g = 0;
+    while ((r & 1u) && g < 30) {
+      ++g;
+      r >>= 1;
+    }
+    v = 32768u + g;
+  }
+  return s;
+}
+
+TEST(SimdHuffman, FastMatchesLegacyOnTypicalStreams) {
+  // Below and above the ranged-layout threshold (2 * 64Ki symbols).
+  for (std::size_t n : {std::size_t{50000}, std::size_t{300000}}) {
+    const auto syms = geometric_symbols(n, 42);
+    const auto enc = huffman_encode(syms);
+    const auto fast = huffman_decode(enc);
+    ScalarGuard g;
+    const auto legacy = huffman_decode(enc);
+    ASSERT_EQ(fast, legacy);
+    ASSERT_EQ(fast, syms);
+  }
+}
+
+// Fibonacci-weighted alphabets produce maximally skewed Huffman trees
+// (depth ~ alphabet size), forcing codes past the 12-bit primary table
+// into the overflow slow path.
+std::vector<std::uint32_t> fibonacci_stream(int nsyms) {
+  std::vector<std::uint32_t> s;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < nsyms; ++i) {
+    for (std::uint64_t k = 0; k < a; ++k)
+      s.push_back(static_cast<std::uint32_t>(i));
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  // Deterministic interleave so codes of all lengths mix in the stream.
+  std::vector<std::uint32_t> mixed(s.size());
+  std::size_t lo = 0, hi = s.size();
+  for (std::size_t i = 0; i < s.size(); ++i)
+    mixed[i] = (i % 2 == 0) ? s[lo++] : s[--hi];
+  return mixed;
+}
+
+// Max code length recorded in a legacy-layout archive's code table.
+int parse_max_code_length(std::span<const std::uint8_t> enc) {
+  ByteReader r(enc);
+  const std::uint64_t n = r.get_varint();
+  EXPECT_GT(n, 0u) << "expected the legacy (non-ranged) layout";
+  const std::uint64_t distinct = r.get_varint();
+  int max_len = 0;
+  for (std::uint64_t i = 0; i < distinct; ++i) {
+    (void)r.get_varint();  // symbol
+    max_len = std::max(max_len, static_cast<int>(r.get_varint()));
+  }
+  return max_len;
+}
+
+TEST(SimdHuffman, DeepTableOverflowSlowPathMatchesLegacy) {
+  const auto syms = fibonacci_stream(24);
+  ASSERT_LT(syms.size(), std::size_t{2} << 16);  // stay in the legacy layout
+  const auto enc = huffman_encode(syms);
+  ASSERT_GT(parse_max_code_length(enc), 12)
+      << "battery no longer exercises the overflow slow path";
+  const auto fast = huffman_decode(enc);
+  ScalarGuard g;
+  const auto legacy = huffman_decode(enc);
+  ASSERT_EQ(fast, legacy);
+  ASSERT_EQ(fast, syms);
+}
+
+TEST(SimdHuffman, TruncationRejectedIdenticallyInBothModes) {
+  const auto syms = fibonacci_stream(22);
+  const auto enc = huffman_encode(syms);
+  for (std::size_t cut = 0; cut < enc.size(); cut += enc.size() / 61 + 1) {
+    const std::span<const std::uint8_t> prefix(enc.data(), cut);
+    std::string fast_err, legacy_err;
+    try {
+      (void)huffman_decode(prefix);
+    } catch (const DecodeError& e) {
+      fast_err = e.what();
+    }
+    {
+      ScalarGuard g;
+      try {
+        (void)huffman_decode(prefix);
+      } catch (const DecodeError& e) {
+        legacy_err = e.what();
+      }
+    }
+    ASSERT_EQ(fast_err, legacy_err) << "cut=" << cut;
+    ASSERT_FALSE(fast_err.empty()) << "cut=" << cut << " was not rejected";
+  }
+}
+
+TEST(SimdHuffman, SingleSymbolAndEmptyStreams) {
+  for (const std::vector<std::uint32_t>& syms :
+       {std::vector<std::uint32_t>{}, std::vector<std::uint32_t>(1000, 7u)}) {
+    const auto enc = huffman_encode(syms);
+    EXPECT_EQ(huffman_decode(enc), syms);
+    ScalarGuard g;
+    EXPECT_EQ(huffman_decode(enc), syms);
+  }
+}
+
+}  // namespace
+}  // namespace qip

@@ -23,7 +23,10 @@ namespace {
 // own workers are also dequeuing: exercises the mutex/condvar handoff from
 // both sides at once.
 TEST(StressParallel, ManyThreadsSubmitToOnePool) {
-  ThreadPool pool(4);
+  // cap_to_hardware = false throughout this file: these tests exist to
+  // exercise real worker concurrency (TSan workhorses), so the pool must
+  // not silently shrink to one worker on single-core CI machines.
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
   std::atomic<std::uint64_t> sum{0};
   constexpr int kSubmitters = 8;
   constexpr int kTasksEach = 200;
@@ -52,7 +55,7 @@ TEST(StressParallel, ManyThreadsSubmitToOnePool) {
 // slices of its own buffer: races would show as torn counts or TSan
 // reports on the block dispatch.
 TEST(StressParallel, ConcurrentParallelFor) {
-  ThreadPool pool(4);
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
   constexpr int kCallers = 6;
   constexpr std::size_t kN = 10000;
   std::vector<std::thread> callers;
@@ -79,7 +82,7 @@ TEST(StressParallel, RapidPoolChurnWithPendingWork) {
   for (int r = 0; r < kRounds; ++r) {
     std::vector<std::future<void>> futs;
     {
-      ThreadPool pool(3);
+      ThreadPool pool(3, /*cap_to_hardware=*/false);
       futs.reserve(kTasks);
       for (int i = 0; i < kTasks; ++i)
         futs.push_back(pool.submit([&done] { ++done; }));
@@ -141,7 +144,7 @@ TEST(StressParallel, SharedPoolAcrossConcurrentPipelines) {
   serial_opt.workers = 1;
   const auto expect = chunked_compress(field.data(), field.dims(), serial_opt);
 
-  ThreadPool pool(3);
+  ThreadPool pool(3, /*cap_to_hardware=*/false);
   constexpr int kCallers = 4;
   std::vector<std::thread> callers;
   std::atomic<int> failures{0};

@@ -43,10 +43,29 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, ZeroThreadsClampsToOne) {
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   ThreadPool pool(0);
-  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), hw);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, OversubscriptionCappedToHardwareByDefault) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  {
+    ThreadPool pool(hw + 13);
+    EXPECT_EQ(pool.size(), hw);
+  }
+  {
+    // Within the hardware budget the request is honored exactly.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+  }
+  {
+    // The opt-out spawns exactly what was asked for.
+    ThreadPool pool(hw + 3, /*cap_to_hardware=*/false);
+    EXPECT_EQ(pool.size(), hw + 3);
+  }
 }
 
 TEST(ThreadPool, ManyWaitingTasksDrainOnDestruction) {
@@ -62,7 +81,10 @@ TEST(ThreadPool, ManyWaitingTasksDrainOnDestruction) {
 }
 
 TEST(ThreadPool, NestedSubmissionFromWorker) {
-  ThreadPool pool(3);
+  // The outer task parks in inner.get(), so a second live worker must
+  // exist: opt out of the hardware cap (single-core CI would otherwise
+  // shrink the pool to one worker and deadlock this pattern).
+  ThreadPool pool(3, /*cap_to_hardware=*/false);
   auto outer = pool.submit([&] {
     auto inner = pool.submit([] { return 5; });
     return inner.get() + 1;
@@ -88,7 +110,9 @@ TEST(ThreadPool, ParallelForZeroIterationsIsANoop) {
 }
 
 TEST(ThreadPool, ParallelForPropagatesFirstException) {
-  ThreadPool pool(4);
+  // Uncapped: the abandoned-block bound below assumes 4 blocks of 250,
+  // which needs the pool to really have 4 workers.
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
   std::atomic<int> completed{0};
   try {
     pool.parallel_for(1000, [&](std::size_t i) {
@@ -150,7 +174,9 @@ TEST(ThreadPool, ConcurrentShutdownWithExternalSubmitters) {
     std::atomic<int> ran{0};
     std::vector<std::future<void>> futs(64);
     {
-      ThreadPool pool(3);
+      // Uncapped: the teardown handshake needs several real workers to
+      // overlap with the destructor even on single-core CI.
+      ThreadPool pool(3, /*cap_to_hardware=*/false);
       std::vector<std::thread> submitters;
       for (int t = 0; t < 4; ++t) {
         submitters.emplace_back([&pool, &futs, &ran, t] {

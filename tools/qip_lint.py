@@ -26,6 +26,11 @@ archive-magic    Archive magic literals (the 0x..504951 "QIP?" family)
 codec-options    Per-codec *Config structs must not redeclare the common
                  CodecOptions fields (error_bound, qp, radius, kind,
                  pool); they inherit them from CodecOptions.
+simd-confined    SIMD intrinsics (<immintrin.h> includes, _mm*/__m128-
+                 family identifiers) appear only under src/simd/ — the
+                 rest of the tree talks to the dispatch tables in
+                 src/simd/dispatch.hpp so scalar/vector A/B stays a
+                 runtime switch.
 
 Usage
 -----
@@ -55,6 +60,7 @@ RULES = (
     "nodiscard",
     "archive-magic",
     "codec-options",
+    "simd-confined",
 )
 
 ALLOW_RE = re.compile(r"//\s*qip-lint:\s*allow\(([a-z-]+)\)")
@@ -65,6 +71,17 @@ RAW_ALLOC_RE = re.compile(
 RAW_CAST_RE = re.compile(r"\breinterpret_cast\s*<")
 STD_ENDL_RE = re.compile(r"\bstd::endl\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+
+# Vector intrinsics: the x86 intrinsic headers, the _mm/_mm256/_mm512
+# call families, and the __m128/__m256/__m512 register types. Only
+# src/simd/ may use them; __builtin_* (bswap, cpu_supports) is portable
+# compiler surface and intentionally not matched.
+SIMD_INTRINSIC_RE = re.compile(
+    r'#\s*include\s*[<"]\w*intrin\.h[>"]'
+    r"|\b_mm(?:256|512)?_\w+\s*\("
+    r"|\b__m(?:64|128|256|512)[di]?\b"
+)
+SIMD_HOME = "src/simd/"
 
 # Both container magics ("QIPC"/"QIPP") end in the bytes "QIP", so any
 # 0x..504951 literal is an archive magic. Only the container layer may
@@ -195,6 +212,8 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
         if ARCHIVE_MAGIC_RE.search(line) and not rel.startswith(
                 ARCHIVE_MAGIC_HOME):
             add("archive-magic", idx, raw_lines[idx - 1])
+        if SIMD_INTRINSIC_RE.search(line) and not rel.startswith(SIMD_HOME):
+            add("simd-confined", idx, raw_lines[idx - 1])
 
     # --- codec-options: *Config struct bodies must not redeclare the
     # CodecOptions surface they inherit ---

@@ -12,14 +12,17 @@
 // --dims; .qfld files are self-describing.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "compressors/core/container.hpp"
 #include "compressors/registry.hpp"
 #include "data/synthetic.hpp"
 #include "parallel/chunked.hpp"
+#include "simd/dispatch.hpp"
 #include "util/field_io.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -38,6 +41,7 @@ using namespace qip;
                "  qipc gen        -d DATASET [-f IDX] [--dims ZxYxX] [--seed S] -o OUT.qfld\n"
                "  qipc eval       -a A.qfld -b B.qfld\n"
                "  qipc info       -i IN.qip\n"
+               "  qipc cpu\n"
                "compressors: MGARD SZ3 QoZ HPEZ ZFP TTHRESH SPERR\n"
                "datasets: miranda hurricane segsalt scale s3d cesm rtm\n");
   std::exit(2);
@@ -205,6 +209,26 @@ int do_eval(const Args& a) {
   return 0;
 }
 
+// Dispatch report: which SIMD tiers this binary carries, what the CPU
+// supports, and what the runtime gates resolve to right now.
+int do_cpu() {
+  using simd::Tier;
+  const char* fs = std::getenv("QIP_SIMD_FORCE_SCALAR");
+  const char* cap = std::getenv("QIP_SIMD_TIER");
+  std::printf("cpu tier:      %s\n", simd::to_string(simd::cpu_tier()));
+  std::printf("compiled:     ");
+  for (Tier t : {Tier::kScalar, Tier::kSSE42, Tier::kAVX2})
+    if (simd::tier_compiled(t)) std::printf(" %s", simd::to_string(t));
+  std::printf("\n");
+  std::printf("active tier:   %s%s\n", simd::to_string(simd::active_tier()),
+              simd::force_scalar() ? "  (forced scalar)" : "");
+  std::printf("huffman fast:  %s\n", simd::huffman_fast_enabled() ? "on" : "off");
+  std::printf("QIP_SIMD_FORCE_SCALAR=%s  QIP_SIMD_TIER=%s\n",
+              fs ? fs : "<unset>", cap ? cap : "<unset>");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  return 0;
+}
+
 const char* dtype_str(std::uint8_t tag) {
   return tag == 1 ? "f32" : tag == 2 ? "f64" : "unknown";
 }
@@ -266,6 +290,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return do_gen(a);
     if (cmd == "eval") return do_eval(a);
     if (cmd == "info") return do_info(a);
+    if (cmd == "cpu") return do_cpu();
     usage(("unknown command " + cmd).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "qipc: %s\n", e.what());
