@@ -1,0 +1,45 @@
+"""Check registry for qip_analyze.
+
+Each check module exposes ``RULES`` (the rule names it can emit) and
+``run(ctx)``; ``ctx`` is one file's analysis context. Checks call
+``ctx.add(rule, line_no, note)`` — suppression (inline allows) and
+baselining happen in the driver, not here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from qip_checklib import Finding  # noqa: E402
+
+from . import bomb_alloc, confinement, hygiene, pool_capture, taint  # noqa: E402
+
+
+class Ctx:
+    """One file under analysis: its token index, path, and raw lines."""
+
+    def __init__(self, index, rel: str, raw_lines: list[str]):
+        self.index = index
+        self.rel = rel
+        self.lines = raw_lines
+        self.findings: list[Finding] = []
+
+    def add(self, rule: str, line_no: int, note: str = "") -> None:
+        text = self.lines[line_no - 1] if 0 < line_no <= len(self.lines) \
+            else ""
+        self.findings.append(Finding(rule, self.rel, line_no, text, note))
+
+
+# name -> module; drives --checks selection and the docs catalog.
+CHECKS = {
+    "taint": taint,
+    "bomb-alloc": bomb_alloc,
+    "pool-capture": pool_capture,
+    "hygiene": hygiene,
+    "confinement": confinement,
+}
+
+ALL_RULES = tuple(r for mod in CHECKS.values() for r in mod.RULES)

@@ -1,0 +1,133 @@
+"""bomb-allocation check.
+
+In decode contexts, an allocation whose size derives from an archive
+header field (``resize``/``reserve``/``assign``, a ``std::vector``
+count constructor, or ``new T[n]``) must be dominated by a cap check —
+otherwise a 16-byte hostile archive can demand a multi-gigabyte
+allocation before any payload is validated.
+
+Accepted guard shapes (any one suffices):
+
+* an earlier ``if (n > <bound>) throw/return`` in the same body, where
+  ``<bound>`` involves the stream budget (``remaining()``), a buffer
+  size, an explicit ``max_*`` cap, ``sizeof``, validated ``dims``, or a
+  named constant;
+* an enclosing ``if``/loop condition with the same shape;
+* the size expression itself clamped through ``std::min``.
+
+Iterator-range ``assign(first, last)`` calls are skipped — they copy an
+existing in-memory range, not a header-claimed count.
+"""
+
+from __future__ import annotations
+
+from . import common
+
+RULES = ("bomb-alloc",)
+
+ALLOC_METHODS = ("resize", "reserve", "assign")
+
+
+def _direct_read_in(index, ts, lo: int, hi: int) -> bool:
+    """Reader ``get*()`` call inside the argument range."""
+    toks = index.tokens
+    for i in range(lo, hi):
+        t = toks[i]
+        if t.kind == "id" and t.text in common.TAINT_SOURCE_CALLS and \
+                i > 0 and toks[i - 1].text in (".", "->"):
+            return True
+    return False
+
+
+def _arg_ids(index, lo: int, hi: int) -> set[str]:
+    toks = index.tokens
+    out = set()
+    for i in range(lo, hi):
+        if toks[i].kind == "id" and not (
+                i > 0 and toks[i - 1].text in (".", "->", "::")):
+            out.add(toks[i].text)
+    return out
+
+
+def _flag_site(ctx, ts, site: int, alo: int, ahi: int, what: str) -> None:
+    index = ctx.index
+    args = index.text(alo, ahi)
+    if "min" in args:
+        return  # std::min-clamped size
+    tainted = _arg_ids(index, alo, ahi) & ts.scalars
+    direct = _direct_read_in(index, ts, alo, ahi)
+    if not tainted and not direct:
+        return
+    if tainted and ts.guarded(site, tainted):
+        return
+    # A size read straight from the stream into the allocation has no
+    # name a guard could mention — always a bomb; name it, check it.
+    src = ", ".join(sorted(tainted)) if tainted else "a direct stream read"
+    ctx.add("bomb-alloc", index.tokens[site].line,
+            f"in {ts.fn.name}(): {what} sized by {src} (archive header "
+            "field) with no dominating cap check; bound it against "
+            "r.remaining() or an explicit max before allocating")
+
+
+def run(ctx) -> None:
+    if not common.in_decode_scope(ctx.rel):
+        return
+    index = ctx.index
+    toks = index.tokens
+    for fn in index.functions:
+        if not fn.body or not common.is_decode_context(fn):
+            continue
+        ts = common.TaintState(index, fn, ctx.rel)
+        lo, hi = fn.body
+        i = lo
+        while i < hi:
+            t = toks[i]
+            # obj.resize(args) / obj.reserve(args) / obj.assign(args)
+            if t.kind == "id" and t.text in ALLOC_METHODS and i > lo and \
+                    toks[i - 1].text in (".", "->") and i + 1 < hi and \
+                    toks[i + 1].text == "(" and (i + 1) in index.match:
+                alo, ahi = i + 2, index.match[i + 1]
+                args = index.text(alo, ahi)
+                if t.text == "assign" and (".begin" in args.replace(" ", "")
+                                           or "begin (" in args):
+                    i = ahi + 1
+                    continue
+                _flag_site(ctx, ts, i, alo, ahi, f".{t.text}()")
+                i = ahi + 1
+                continue
+            # std::vector<T> name(count, ...)
+            if t.kind == "id" and t.text == "vector" and i + 1 < hi and \
+                    toks[i + 1].text == "<":
+                j = i + 1
+                depth = 0
+                while j < hi:
+                    if toks[j].text == "<":
+                        depth += 1
+                    elif toks[j].text == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif toks[j].text == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            break
+                    j += 1
+                j += 1
+                if j < hi and toks[j].kind == "id" and j + 1 < hi and \
+                        toks[j + 1].text == "(" and (j + 1) in index.match:
+                    alo, ahi = j + 2, index.match[j + 1]
+                    _flag_site(ctx, ts, j + 1, alo, ahi,
+                               f"vector '{toks[j].text}' constructor")
+                    i = ahi + 1
+                    continue
+            # new T[n]
+            if t.kind == "id" and t.text == "new":
+                j = i + 1
+                while j < hi and (toks[j].kind == "id" or
+                                  toks[j].text in ("::", "<", ">", "const")):
+                    j += 1
+                if j < hi and toks[j].text == "[" and j in index.match:
+                    _flag_site(ctx, ts, j, j + 1, index.match[j], "new[]")
+                    i = index.match[j] + 1
+                    continue
+            i += 1

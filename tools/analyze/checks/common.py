@@ -1,0 +1,226 @@
+"""Shared machinery for the qip_analyze checks: decode-context
+classification, intraprocedural taint propagation, and guard queries.
+
+Terminology (see docs/ANALYSIS.md for the full model):
+
+* A **decode context** is a function that handles archive-derived bytes:
+  its name matches the decode-family pattern, or it takes a cursor/
+  reader parameter (ByteReader/BitReader/ContainerReader), or it takes
+  an archive byte span.
+* A value is **tainted** when it derives from archive bytes through a
+  reader ``get*()`` call or a decode helper; taint propagates through
+  assignments within the function (lexical fixpoint, no aliasing).
+* A tainted allocation/access is **guarded** when a dominating
+  ``if (...) throw/return`` — or an enclosing loop/if condition —
+  mentions the value together with a bounding term (``remaining``,
+  ``.size``, ``max_*``, ``sizeof``, a ``k``-constant, ``std::min``).
+  "Dominating" is approximated lexically: a throw-guard covers every
+  later token of the same function body, which matches how the decode
+  paths in this repo are written (validate first, then use).
+"""
+
+from __future__ import annotations
+
+import re
+
+DECODE_NAME_RE = re.compile(
+    r"(?:^|_)(?:decode|decompress|recover|open|parse|inspect|load|read|walk)"
+    r"(?:_|$|[A-Z0-9])?", )
+
+READER_TYPES = ("ByteReader", "BitReader", "ContainerReader")
+
+# Calls whose result is archive-derived bytes/symbols.
+TAINT_SOURCE_CALLS = (
+    "get_varint", "get_svarint", "get_bytes", "get_block", "get",
+    "stage_bytes", "huffman_decode", "rle_decode_symbols", "lzb_decompress",
+    "read_symbols_stage",
+)
+
+# Tokens that make a guard condition an actual *bound* on the value:
+# stream budget (remaining), a buffer size, an explicit cap parameter, an
+# element-size division, validated dims, or a named constant.
+BOUNDING_TOKENS = re.compile(
+    r"\bremaining\b|\bsize\b|\bmax_\w*|\bsizeof\b|\bmin\b|\bempty\b|"
+    r"\bextent\b|\bdims\b|\bk[A-Z]\w*|\b[A-Z][A-Z0-9_]{2,}\b")
+
+# Files that ARE the guarded byte-access API; raw pointer/memcpy use of
+# archive bytes is their job.
+GUARDED_API_HOMES = ("src/util/bytes.hpp", "src/encode/bitstream.hpp")
+
+# Directories whose TUs carry decode paths; taint/bomb/hygiene findings
+# are scoped here (src/simd kernels run on pre-validated buffers behind
+# the dispatch layer and are covered by the forced-scalar A/B tests).
+DECODE_DIRS = ("src/compressors/", "src/encode/", "src/lossless/",
+               "src/quant/", "src/parallel/", "src/core/", "src/predict/",
+               "src/util/", "src/transfer/")
+
+
+def in_decode_scope(rel_path: str) -> bool:
+    return rel_path.startswith(DECODE_DIRS) and \
+        rel_path not in GUARDED_API_HOMES
+
+
+def is_decode_context(fn) -> bool:
+    """Does this function handle archive-derived bytes?"""
+    if DECODE_NAME_RE.search(fn.name):
+        return True
+    for p in fn.param_list:
+        if any(rt in p.type_text for rt in READER_TYPES):
+            return True
+        if "span" in p.type_text and "const" in p.type_text and \
+                "uint8_t" in p.type_text:
+            return True
+    return False
+
+
+def reader_names(index, fn) -> set[str]:
+    """Parameters/locals of reader type within `fn`."""
+    names = set()
+    for p in fn.param_list:
+        if any(rt in p.type_text for rt in READER_TYPES):
+            if p.name:
+                names.add(p.name)
+    toks = index.tokens
+    lo, hi = fn.body
+    for i in range(lo, hi - 1):
+        if toks[i].kind == "id" and toks[i].text in READER_TYPES and \
+                toks[i + 1].kind == "id":
+            names.add(toks[i + 1].text)
+    return names
+
+
+def _stmt_assign_target(toks, lo, hi):
+    """Name assigned/initialized in statement [lo, hi), or None."""
+    depth = 0
+    for i in range(lo, hi):
+        tt = toks[i].text
+        if tt in ("(", "[", "{"):
+            depth += 1
+        elif tt in (")", "]", "}"):
+            depth -= 1
+        elif depth == 0 and tt in ("=", "+=", "-=", "*=", "|=", "&=", "^="):
+            if i > lo and toks[i - 1].kind == "id":
+                return toks[i - 1].text, i
+            return None, i
+    return None, None
+
+
+class TaintState:
+    """Per-function taint facts, computed lexically."""
+
+    def __init__(self, index, fn, rel_path: str):
+        self.index = index
+        self.fn = fn
+        self.rel = rel_path
+        self.readers = reader_names(index, fn)
+        self.scalars: set[str] = set()     # tainted integers/values
+        self.containers: set[str] = set()  # tainted byte/symbol buffers
+        self.pointer_params = {p.name for p in fn.param_list
+                               if p.type_text.rstrip().endswith("*")}
+        self._seed_params()
+        self._propagate()
+
+    def _seed_params(self):
+        for p in self.fn.param_list:
+            if not p.name:
+                continue
+            container_ty = "span" in p.type_text or "vector" in p.type_text
+            if container_ty and "const" in p.type_text and \
+                    "uint8_t" in p.type_text:
+                self.containers.add(p.name)
+            elif container_ty and p.name in ("symbols", "bytes", "archive",
+                                             "payload", "payloads", "input"):
+                self.containers.add(p.name)
+
+    def _source_call_in(self, lo: int, hi: int) -> bool:
+        """Does [lo, hi) contain reader.get*() or a decode helper call?"""
+        toks = self.index.tokens
+        for i in range(lo, hi):
+            t = toks[i]
+            if t.kind != "id" or t.text not in TAINT_SOURCE_CALLS:
+                continue
+            # Method call on a reader, or a free decode helper.
+            if i > 0 and toks[i - 1].text in (".", "->"):
+                base = toks[i - 2].text if i >= 2 else ""
+                if base in self.readers or base in ("r", "in", "h", "br"):
+                    return True
+                # `x.get(...)`-family on a known reader object is the
+                # common case; calls named get_varint/stage_bytes etc.
+                # only exist on readers/containers in this codebase.
+                if t.text != "get":
+                    return True
+            elif t.text in ("huffman_decode", "rle_decode_symbols",
+                            "lzb_decompress", "read_symbols_stage"):
+                return True
+        return False
+
+    def _expr_tainted(self, lo: int, hi: int) -> bool:
+        if self._source_call_in(lo, hi):
+            return True
+        toks = self.index.tokens
+        for i in range(lo, hi):
+            t = toks[i]
+            if t.kind != "id":
+                continue
+            if i > 0 and toks[i - 1].text in (".", "->", "::"):
+                continue  # member access: not the local name
+            if t.text in self.scalars or t.text in self.containers:
+                return True
+        return False
+
+    def _propagate(self):
+        toks = self.index.tokens
+        stmts = list(self.index.statements(*self.fn.body))
+        container_returns = ("huffman_decode", "rle_decode_symbols",
+                            "lzb_decompress", "read_symbols_stage",
+                            "get_bytes", "get_block", "stage_bytes")
+        for _ in range(3):  # lexical fixpoint: forward decl + reuse
+            changed = False
+            for lo, hi in stmts:
+                name, eq = _stmt_assign_target(toks, lo, hi)
+                if not name or eq is None:
+                    continue
+                rhs_lo, rhs_hi = eq + 1, hi
+                if not self._expr_tainted(rhs_lo, rhs_hi):
+                    continue
+                is_container = any(
+                    toks[i].kind == "id" and toks[i].text in container_returns
+                    for i in range(rhs_lo, rhs_hi)) or any(
+                    toks[i].kind == "id" and toks[i].text in self.containers
+                    for i in range(rhs_lo, rhs_hi))
+                target = self.containers if is_container else self.scalars
+                if name not in target:
+                    target.add(name)
+                    changed = True
+            if not changed:
+                break
+
+    # -- guard queries -----------------------------------------------------
+
+    def guarded(self, at: int, names: set[str]) -> bool:
+        """Is a use of `names` at token `at` dominated by a bound check?
+
+        True when an earlier `if (...) throw/return` in the same body, or
+        any enclosing if/while/for condition, mentions one of `names`
+        together with a bounding term.
+        """
+        def cond_bounds(cond_text: str) -> bool:
+            mentions = any(re.search(r"\b" + re.escape(n) + r"\b", cond_text)
+                           for n in names if n)
+            return mentions and bool(BOUNDING_TOKENS.search(cond_text))
+
+        lo, hi = self.fn.body
+        for pos, cond in self.index.throw_guards(lo, hi):
+            if pos <= at and cond_bounds(cond):
+                return True
+        for _kw, cond, scope in self.index.control_scopes(lo, hi):
+            if scope[0] <= at < scope[1] and \
+                    cond_bounds(self.index.text(*cond)):
+                return True
+        return False
+
+    def size_guarded(self, at: int, container: str) -> bool:
+        """Like guarded(), for `container[...]` accesses: the condition
+        must mention the container (its .size()/.empty(), or an arithmetic
+        bound derived from it)."""
+        return self.guarded(at, {container})

@@ -1,0 +1,49 @@
+"""Layer-confinement checks — AST ports of two qip_lint regex rules.
+
+Working on tokens instead of raw lines means string literals, comments
+and doc examples can mention intrinsics or magic values freely; only
+real code trips the rules.
+
+* ``simd-confined`` — vector-intrinsic surface (``*intrin.h`` includes,
+  ``_mm*``/``_mm256_*``/``_mm512_*`` calls, ``__m64/128/256/512``
+  register types) appears only under ``src/simd/``; everyone else goes
+  through the dispatch tables so scalar/vector A/B stays a runtime
+  switch.
+* ``archive-magic`` — the ``0x..504951`` ("QIP?") container magics are
+  spelled out only in ``src/compressors/core/container.*``; other
+  layers name ``kContainerMagic``/``kChunkedMagic``.
+"""
+
+from __future__ import annotations
+
+import re
+
+RULES = ("simd-confined", "archive-magic")
+
+SIMD_HOME = "src/simd/"
+ARCHIVE_MAGIC_HOME = "src/compressors/core/container"
+
+SIMD_ID_RE = re.compile(r"^_mm(?:256|512)?_\w+$|^__m(?:64|128|256|512)[di]?$")
+INTRIN_INCLUDE_RE = re.compile(r'#\s*include\s*[<"]\w*intrin\.h[>"]')
+MAGIC_NUM_RE = re.compile(r"^0[xX][0-9a-fA-F]{1,2}504951[uUlL]*$")
+
+
+def run(ctx) -> None:
+    index = ctx.index
+    if not ctx.rel.startswith(SIMD_HOME):
+        for d in index.directives:
+            if INTRIN_INCLUDE_RE.search(d.text):
+                ctx.add("simd-confined", d.line,
+                        "intrinsic header include outside src/simd/; call "
+                        "through the src/simd/dispatch.hpp tables")
+        for t in index.tokens:
+            if t.kind == "id" and SIMD_ID_RE.match(t.text):
+                ctx.add("simd-confined", t.line,
+                        f"intrinsic '{t.text}' outside src/simd/; call "
+                        "through the src/simd/dispatch.hpp tables")
+    if not ctx.rel.startswith(ARCHIVE_MAGIC_HOME):
+        for t in index.tokens:
+            if t.kind == "num" and MAGIC_NUM_RE.match(t.text):
+                ctx.add("archive-magic", t.line,
+                        f"archive magic {t.text} spelled outside the "
+                        "container layer; use kContainerMagic/kChunkedMagic")

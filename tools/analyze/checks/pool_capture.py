@@ -1,0 +1,209 @@
+"""ThreadPool capture-discipline check.
+
+Lambdas handed to ``ThreadPool::parallel_for`` (or ``submit``) run
+concurrently, so the rules are:
+
+* ``pool-shared-write`` — a by-reference-captured local must not be
+  mutated unless the write is index-partitioned (``parts[b] = ...``
+  where the subscript derives from the lambda's own index parameter),
+  the local is a ``std::atomic``, or the mutation sits under a lock.
+* ``pool-reentry`` — the lambda must not re-enter pool scheduling
+  (nested ``parallel_for``, ``submit``, constructing a ``ThreadPool``):
+  the pool is nest-safe for *callers* (the submitting thread
+  participates), not for tasks scheduling more tasks, and TSan only
+  catches the resulting deadlocks probabilistically.
+
+Both literal lambdas in the call and named lambdas
+(``auto work = [&](...){...}; pool.parallel_for(..., work);``) are
+resolved.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import common  # noqa: F401  (scope helpers shared across checks)
+
+RULES = ("pool-shared-write", "pool-reentry")
+
+SCHEDULING_APIS = ("parallel_for", "submit")
+MUTATE_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+              "<<=", ">>=", "++", "--")
+MUTATE_METHODS = ("push_back", "emplace_back", "insert", "emplace",
+                  "resize", "clear", "assign", "pop_back", "erase")
+LOCK_TYPES = ("lock_guard", "scoped_lock", "unique_lock")
+CXX_KEYWORDS = {"if", "for", "while", "return", "const", "auto", "else",
+                "switch", "case", "break", "continue", "do", "throw",
+                "new", "delete", "static", "sizeof", "true", "false"}
+
+
+def _byref_captures(capture_text: str):
+    """(default_byref, explicit byref names) from a capture list."""
+    toks = capture_text.split()
+    default_byref = False
+    names: set[str] = set()
+    i = 0
+    while i < len(toks):
+        if toks[i] == "&":
+            if i + 1 < len(toks) and re.fullmatch(r"\w+", toks[i + 1]) and \
+                    toks[i + 1] != "this":
+                names.add(toks[i + 1])
+                i += 2
+            else:
+                default_byref = True
+                i += 1
+        else:
+            i += 1
+    return default_byref, names
+
+
+def _declared_in(index, lo: int, hi: int) -> set[str]:
+    """Names declared inside [lo, hi): `Type [&*>] name =/;/{/(` pairs."""
+    toks = index.tokens
+    out = set()
+    for i in range(lo + 1, hi):
+        a, b = toks[i - 1], toks[i]
+        if b.kind != "id" or b.text in CXX_KEYWORDS or i + 1 >= hi or \
+                toks[i + 1].text not in ("=", ";", "{", "("):
+            continue
+        # Walk back over declarator punctuation (`Field<T>& name`,
+        # `auto& name`, `const T* name`) to the type token.
+        j = i - 1
+        while j > lo and toks[j].text in ("&", "*", "&&", ">"):
+            j -= 1
+        a = toks[j]
+        if a.kind == "id" and a.text not in CXX_KEYWORDS - {"auto", "const"}:
+            out.add(b.text)
+    return out
+
+
+def _atomic_names(index, fn) -> set[str]:
+    """Locals of the enclosing function declared std::atomic."""
+    toks = index.tokens
+    out = set()
+    lo, hi = fn.body
+    for i in range(lo, hi - 1):
+        if toks[i].kind == "id" and toks[i].text.startswith("atomic"):
+            for j in range(i + 1, min(i + 8, hi)):
+                if toks[j].kind == "id" and toks[j - 1].text in (">", "&"):
+                    out.add(toks[j].text)
+                    break
+                if toks[j].text in (";", "("):
+                    break
+    return out
+
+
+def _resolve_lambdas(index, fn, call_open: int):
+    """Lambdas passed to the scheduling call at paren `call_open`."""
+    close = index.match[call_open]
+    toks = index.tokens
+    found = []
+    # Literal lambdas whose capture list opens inside the call.
+    for lam in index.lambdas:
+        if call_open < lam.captures[0] - 1 < close:
+            found.append(lam)
+    # Named lambdas: bare-id args matching `auto NAME = [...]` earlier.
+    arg_names = {toks[i].text for i in range(call_open + 1, close)
+                 if toks[i].kind == "id" and
+                 not (i > 0 and toks[i - 1].text in (".", "->", "::"))}
+    lo, hi = fn.body
+    for i in range(lo, min(call_open, hi) - 2):
+        if toks[i].text == "auto" and toks[i + 1].kind == "id" and \
+                toks[i + 1].text in arg_names and toks[i + 2].text == "=":
+            for lam in index.lambdas:
+                if lam.captures[0] - 1 == i + 3:
+                    found.append(lam)
+    return found
+
+
+def _check_lambda(ctx, fn, lam, atomics: set[str]) -> None:
+    index = ctx.index
+    toks = index.tokens
+    blo, bhi = lam.body
+    default_byref, byref = _byref_captures(lam.capture_text)
+    local = _declared_in(index, blo, bhi) | set(lam.param_names)
+
+    # Token positions already holding a scope lock (everything after the
+    # first lock_guard/scoped_lock declaration in the body).
+    lock_at = bhi
+    for i in range(blo, bhi):
+        if toks[i].kind == "id" and toks[i].text in LOCK_TYPES:
+            lock_at = i
+            break
+
+    for i in range(blo, bhi):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        # -- re-entry ------------------------------------------------------
+        if t.text in SCHEDULING_APIS and i + 1 < bhi and \
+                toks[i + 1].text == "(":
+            ctx.add("pool-reentry", t.line,
+                    f"in {fn.name}(): lambda passed to the pool re-enters "
+                    f"scheduling via {t.text}(); restructure so only the "
+                    "submitting thread schedules work")
+            continue
+        if t.text == "ThreadPool" and i + 1 < bhi and \
+                toks[i + 1].kind == "id":
+            ctx.add("pool-reentry", t.line,
+                    f"in {fn.name}(): lambda constructs a ThreadPool; "
+                    "pools must be created by the submitting thread")
+            continue
+        # -- shared-write --------------------------------------------------
+        if i > blo and toks[i - 1].text in (".", "->", "::"):
+            continue
+        name = t.text
+        if name in local or name in atomics or name in CXX_KEYWORDS:
+            continue
+        if not default_byref and name not in byref:
+            continue
+        if i >= lock_at:
+            continue  # mutation under a scope lock
+        nxt = toks[i + 1].text if i + 1 < bhi else ""
+        # The lexer emits ==/<=/>= as single tokens, so a bare "=" here
+        # really is an assignment, not half of a comparison.
+        mutated = nxt in MUTATE_OPS
+        if i > blo and toks[i - 1].text in ("++", "--"):
+            mutated = True
+        if nxt in (".", "->") and i + 2 < bhi and \
+                toks[i + 2].text in MUTATE_METHODS:
+            mutated = True
+        if nxt == "[" and (i + 1) in index.match:
+            # Index-partitioned write: subscript mentions a lambda param
+            # or a body-local index.
+            sub_ids = {toks[j].text
+                       for j in range(i + 2, index.match[i + 1])
+                       if toks[j].kind == "id"}
+            if sub_ids & local:
+                continue
+            after = index.match[i + 1] + 1
+            nxt2 = toks[after].text if after < bhi else ""
+            mutated = nxt2 in MUTATE_OPS or (
+                nxt2 in (".", "->") and after + 1 < bhi and
+                toks[after + 1].text in MUTATE_METHODS)
+        if mutated:
+            ctx.add("pool-shared-write", t.line,
+                    f"in {fn.name}(): pool lambda mutates by-ref capture "
+                    f"'{name}' without index partitioning, atomics, or a "
+                    "lock; give each task its own slot (see "
+                    "docs/ANALYSIS.md#pool-capture)")
+
+
+def run(ctx) -> None:
+    index = ctx.index
+    toks = index.tokens
+    for fn in index.functions:
+        if not fn.body:
+            continue
+        atomics = _atomic_names(index, fn)
+        lo, hi = fn.body
+        seen: set[int] = set()
+        for i in range(lo, hi):
+            if toks[i].kind == "id" and toks[i].text in SCHEDULING_APIS \
+                    and i + 1 < hi and toks[i + 1].text == "(" and \
+                    (i + 1) in index.match:
+                for lam in _resolve_lambdas(index, fn, i + 1):
+                    if lam.body[0] in seen:
+                        continue
+                    seen.add(lam.body[0])
+                    _check_lambda(ctx, fn, lam, atomics)

@@ -1,0 +1,101 @@
+"""untrusted-byte taint check.
+
+In decode contexts, archive-derived buffers must only be read through
+guarded accesses: either the ByteReader/BitReader APIs, or a subscript
+dominated by an explicit size check. Three patterns are flagged:
+
+* ``untrusted-index`` — ``buf[i]`` where ``buf`` is archive-derived and
+  no dominating condition bounds the access against ``buf``'s size.
+* ``untrusted-cursor`` — cursor-walk subscripts (``buf[cur++]``,
+  ``buf[pos]``) on container members/params with no dominating bound;
+  this is exactly the shape of the two hostile-archive holes the PR 3
+  fuzz sweep found (lorenzo_walk, LinearQuantizer::recover).
+* ``unguarded-memcpy`` — ``memcpy``/``memmove`` whose source is a
+  tainted container's ``.data()`` with no dominating size check.
+
+Raw-pointer parameters are exempt: they have no queryable size, so the
+invariant there is "the public boundary validates before handing out the
+pointer" (InterpEngine::decode is the template: it checks
+``symbols.size() < dims.size()`` once, then walks raw pointers).
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import common
+
+RULES = ("untrusted-index", "untrusted-cursor", "unguarded-memcpy")
+
+CURSOR_ID_RE = re.compile(r"\b\w*(?:cursor|pos)\w*\b")
+
+
+def _index_ids(index, lo: int, hi: int) -> set[str]:
+    out = set()
+    toks = index.tokens
+    for i in range(lo, hi):
+        if toks[i].kind != "id":
+            continue
+        if i > 0 and toks[i - 1].text in (".", "->", "::"):
+            continue
+        out.add(toks[i].text)
+    return out
+
+
+def run(ctx) -> None:
+    if not common.in_decode_scope(ctx.rel):
+        return
+    index = ctx.index
+    toks = index.tokens
+    for fn in index.functions:
+        if not fn.body or not common.is_decode_context(fn):
+            continue
+        ts = common.TaintState(index, fn, ctx.rel)
+        lo, hi = fn.body
+
+        for i in range(lo, hi):
+            t = toks[i]
+            # -- subscript patterns ----------------------------------------
+            if t.text == "[" and i in index.match and i > lo and \
+                    toks[i - 1].kind == "id":
+                base = toks[i - 1].text
+                if i >= 2 and toks[i - 2].text in (".", "->", "::"):
+                    continue  # member chain (table.symbols[...]): the
+                    # owning object's invariants cover it
+                if base in ts.pointer_params:
+                    continue
+                close = index.match[i]
+                idx_text = index.text(i + 1, close)
+                cursor_like = ("++" in idx_text or "+=" in idx_text or
+                               CURSOR_ID_RE.search(idx_text))
+                tainted = base in ts.containers
+                member_container = base.endswith("_")
+                if not tainted and not (cursor_like and member_container):
+                    continue
+                names = {base} | _index_ids(index, i + 1, close)
+                if ts.guarded(i, names):
+                    continue
+                rule = "untrusted-cursor" if cursor_like else \
+                    "untrusted-index"
+                ctx.add(rule, t.line,
+                        f"in {fn.name}(): subscript of archive-derived "
+                        f"'{base}' with no dominating size check; bound it "
+                        "against the stream (see docs/ANALYSIS.md#taint)")
+            # -- memcpy/memmove from tainted .data() -----------------------
+            elif t.kind == "id" and t.text in ("memcpy", "memmove") and \
+                    i + 1 < hi and toks[i + 1].text == "(" and \
+                    (i + 1) in index.match:
+                close = index.match[i + 1]
+                args = index.text(i + 2, close)
+                hit = None
+                for c in ts.containers:
+                    if re.search(r"\b" + re.escape(c) + r"\s*(?:\.|->)\s*data\b",
+                                 args):
+                        hit = c
+                        break
+                if hit is None or ts.guarded(i, {hit}):
+                    continue
+                ctx.add("unguarded-memcpy", t.line,
+                        f"in {fn.name}(): {t.text} from archive-derived "
+                        f"'{hit}' with no dominating size check; use the "
+                        "ByteReader get_block/get_bytes APIs instead")

@@ -1,0 +1,506 @@
+"""cxx: a self-contained C++ token/structure front-end for qip_analyze.
+
+The container image this repo builds in ships the clang C++ shared
+library but neither the libclang C API nor its Python bindings, so the
+analyzer carries its own front-end: a lexer plus a structural pass that
+recovers exactly what the checks need — functions (name, head tokens,
+parameters, body extent), lambdas (captures, parameters, body extent),
+bracket matching, statement segmentation, and control-flow guard
+queries. When python bindings for libclang are present they can be
+selected with ``qip_analyze.py --engine=libclang`` (see ENGINES in
+qip_analyze.py); the bundled engine is the default and the one CI runs.
+
+This is *not* a general C++ parser. It is deliberately scoped to the
+syntactic shapes in src/ (see docs/ANALYSIS.md "Engine notes"): it
+understands nesting, comments, strings, raw strings, preprocessor
+directives, template heads, constructor init lists and trailing return
+types well enough to attribute every token to the right function or
+lambda body, which is the level the checks reason at.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# Keywords that can precede '(' without being a function name.
+NOT_A_FUNCTION = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "new", "delete", "throw", "assert",
+    "alignas", "noexcept", "defined", "constexpr", "requires", "typeid",
+    "co_await", "co_return", "co_yield", "and", "or", "not",
+}
+
+# Tokens allowed between a function declarator's ')' and its body '{'.
+POST_PARAM_OK = {"const", "noexcept", "override", "final", "mutable",
+                 "volatile", "&", "&&", "throw", "try", "requires"}
+
+# Head tokens that are not part of the return type proper.
+HEAD_SPECIFIERS = {"static", "inline", "constexpr", "consteval", "constinit",
+                   "virtual", "explicit", "friend", "typename", "extern",
+                   "export", "class", "struct", "public", "private",
+                   "protected", "using", "template"}
+
+PUNCTUATORS = [
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "##", "(", ")", "{", "}", "[", "]", "<", ">", ";", ",", ".", "?",
+    ":", "=", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "#", "@",
+]
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|0[bB][01']+|[0-9][0-9a-fA-F'."
+                     r"xXbBpP+-]*)[uUlLfz]*")
+
+
+@dataclass
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'chr' | 'punct'
+    text: str
+    line: int
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"{self.text}@{self.line}"
+
+
+@dataclass
+class Directive:
+    line: int
+    text: str  # full directive text, continuations joined
+
+
+def lex(source: str):
+    """Tokenize. Returns (tokens, directives)."""
+    tokens: list[Token] = []
+    directives: list[Directive] = []
+    i, n, line = 0, len(source), 1
+    at_line_start = True
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                break
+            line += source.count("\n", i, end + 2)
+            i = end + 2
+            continue
+        if c == "#" and at_line_start:
+            start, dl = i, line
+            buf = []
+            while i < n:
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    buf.append(source[start:i])
+                    i += 2
+                    line += 1
+                    start = i
+                    continue
+                if source[i] == "\n":
+                    break
+                i += 1
+            buf.append(source[start:i])
+            directives.append(Directive(dl, " ".join(b.strip() for b in buf)))
+            continue
+        at_line_start = False
+        # Raw strings: R"delim( ... )delim"  (also u8R", LR", ...).
+        m = re.match(r'(?:u8|[uUL])?R"([^ ()\\\t\n]*)\(', source[i:])
+        if m:
+            close = ")" + m.group(1) + '"'
+            end = source.find(close, i + m.end())
+            if end < 0:
+                break
+            text = source[i:end + len(close)]
+            tokens.append(Token("str", text, line))
+            line += text.count("\n")
+            i = end + len(close)
+            continue
+        if c == '"' or (c in "uUL" and source[i:i + 2] in ('u"', 'U"', 'L"')):
+            j = source.find('"', i) + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == '"':
+                    break
+                j += 1
+            tokens.append(Token("str", source[i:j + 1], line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == "'":
+                    break
+                j += 1
+            tokens.append(Token("chr", source[i:j + 1], line))
+            i = j + 1
+            continue
+        m = _ID_RE.match(source, i)
+        if m:
+            tokens.append(Token("id", m.group(), line))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            m = _NUM_RE.match(source, i)
+            if m:
+                tokens.append(Token("num", m.group(), line))
+                i = m.end()
+                continue
+        for p in PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # unknown byte: skip
+    return tokens, directives
+
+
+@dataclass
+class Param:
+    type_text: str
+    name: str
+
+
+@dataclass
+class Function:
+    name: str
+    line: int
+    head: tuple[int, int]    # token range [start, name_idx) — attrs + type
+    name_idx: int
+    params: tuple[int, int]  # token range inside the parens
+    body: tuple[int, int] | None  # token range inside the braces
+    param_list: list[Param] = field(default_factory=list)
+
+    def is_definition(self) -> bool:
+        return self.body is not None
+
+
+@dataclass
+class Lambda:
+    line: int
+    captures: tuple[int, int]  # token range inside [ ]
+    params: tuple[int, int]    # token range inside ( ), possibly empty
+    body: tuple[int, int]      # token range inside { }
+    param_names: list[str] = field(default_factory=list)
+    capture_text: str = ""
+
+
+class Index:
+    """Token stream + bracket matching + functions/lambdas for one file."""
+
+    def __init__(self, source: str, path: str = "<memory>",
+                 pretokens=None):
+        self.path = path
+        # An alternative engine (libclang) may supply the token stream;
+        # the structural pass is engine-independent.
+        self.tokens, self.directives = pretokens if pretokens is not None \
+            else lex(source)
+        self.match = self._match_brackets()
+        self.lambdas = self._find_lambdas()
+        self.functions = self._find_functions()
+
+    # -- generic helpers ---------------------------------------------------
+
+    def text(self, lo: int, hi: int) -> str:
+        return " ".join(t.text for t in self.tokens[lo:hi])
+
+    def _match_brackets(self) -> dict[int, int]:
+        match: dict[int, int] = {}
+        stacks: dict[str, list[int]] = {"(": [], "{": [], "[": []}
+        pairs = {")": "(", "}": "{", "]": "["}
+        for i, t in enumerate(self.tokens):
+            if t.kind != "punct":
+                continue
+            if t.text in stacks:
+                stacks[t.text].append(i)
+            elif t.text in pairs and stacks[pairs[t.text]]:
+                j = stacks[pairs[t.text]].pop()
+                match[i] = j
+                match[j] = i
+        return match
+
+    def _skip_group(self, i: int) -> int:
+        """Token index just past the group opened at i (or i+1)."""
+        return self.match.get(i, i) + 1 if i in self.match else i + 1
+
+    # -- lambdas -----------------------------------------------------------
+
+    def _find_lambdas(self) -> list[Lambda]:
+        out: list[Lambda] = []
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "punct" or t.text != "[" or i not in self.match:
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            if prev is not None and (
+                    prev.kind in ("id", "num", "str") and
+                    prev.text != "return" or
+                    prev.kind == "punct" and prev.text in (")", "]")):
+                continue  # subscript or array declarator
+            close = self.match[i]
+            # Attribute [[...]]:
+            if close + 1 < len(toks) and i + 1 < len(toks) and \
+                    toks[i + 1].text == "[":
+                continue
+            j = close + 1
+            params = (j, j)
+            if j < len(toks) and toks[j].text == "(" and j in self.match:
+                params = (j + 1, self.match[j])
+                j = self.match[j] + 1
+            # Skip specifiers / trailing return up to the body.
+            while j < len(toks) and toks[j].text != "{":
+                if toks[j].text in ("mutable", "noexcept", "constexpr"):
+                    j += 1
+                elif toks[j].text == "(" and j in self.match:
+                    j = self.match[j] + 1
+                elif toks[j].text == "->":
+                    j += 1
+                elif toks[j].kind == "id" or toks[j].text in ("::", "<", ">",
+                                                              "&", "*", ","):
+                    j += 1
+                else:
+                    break
+            if j >= len(toks) or toks[j].text != "{" or j not in self.match:
+                continue
+            lam = Lambda(t.line, (i + 1, close), params,
+                         (j + 1, self.match[j]))
+            lam.capture_text = self.text(i + 1, close)
+            lam.param_names = [p.name for p in
+                               self._parse_params(*params) if p.name]
+            out.append(lam)
+        return out
+
+    def lambda_at(self, idx: int) -> Lambda | None:
+        """Innermost lambda whose body contains token idx."""
+        best = None
+        for lam in self.lambdas:
+            if lam.body[0] <= idx < lam.body[1]:
+                if best is None or lam.body[0] > best.body[0]:
+                    best = lam
+        return best
+
+    # -- functions ---------------------------------------------------------
+
+    def _find_functions(self) -> list[Function]:
+        out: list[Function] = []
+        toks = self.tokens
+
+        def in_lambda_head(i: int) -> bool:
+            for lam in self.lambdas:
+                if lam.captures[0] - 1 <= i < lam.body[0]:
+                    return True
+            return False
+
+        for i, t in enumerate(toks):
+            if t.kind != "punct" or t.text != "(" or i not in self.match:
+                continue
+            if i == 0 or toks[i - 1].kind != "id":
+                continue
+            name = toks[i - 1].text
+            if name in NOT_A_FUNCTION or in_lambda_head(i):
+                continue
+            close = self.match[i]
+            body = self._body_after(close)
+            if body is None:
+                continue
+            head_start = self._head_start(i - 1)
+            fn = Function(name, toks[i - 1].line, (head_start, i - 1), i - 1,
+                          (i + 1, close), body)
+            fn.param_list = self._parse_params(i + 1, close)
+            out.append(fn)
+        return out
+
+    def _body_after(self, close: int) -> tuple[int, int] | None:
+        """Body token range if the ')' at `close` heads a definition."""
+        toks = self.tokens
+        j = close + 1
+        seen_arrow = False
+        while j < len(toks):
+            tt = toks[j].text
+            if tt == "{":
+                if j not in self.match:
+                    return None
+                return (j + 1, self.match[j])
+            if tt in (";", "=", ",", ")"):
+                return None
+            if tt in POST_PARAM_OK:
+                j += 1
+            elif tt == "(" and j in self.match:  # noexcept(...)
+                j = self.match[j] + 1
+            elif tt == "->":
+                seen_arrow = True
+                j += 1
+            elif tt == ":":
+                # Constructor init list: skip `name(...)` / `name{...}`
+                # pairs until the body brace.
+                j += 1
+                while j < len(toks) and toks[j].text != "{":
+                    if toks[j].text in ("(",) and j in self.match:
+                        j = self.match[j] + 1
+                    elif toks[j].kind == "id" or toks[j].text in (
+                            "::", ",", "<", ">", "...", "{", "}"):
+                        if toks[j].text == "{" :
+                            break
+                        j += 1
+                    else:
+                        return None
+                # Brace groups in the init list: skip `member{...}` pairs
+                # while the next-but-one token keeps the list going.
+                while (j < len(toks) and toks[j].text == "{" and
+                       j in self.match and self.match[j] + 1 < len(toks) and
+                       toks[self.match[j] + 1].text in (",",)):
+                    j = self.match[j] + 1
+            elif seen_arrow and (toks[j].kind == "id" or toks[j].text in (
+                    "::", "<", ">", "*", "&", ",", "[", "]")):
+                j += 1  # trailing return type tokens
+            elif toks[j].kind == "id" and toks[j].text in ("override", "final"):
+                j += 1
+            else:
+                return None
+        return None
+
+    def _head_start(self, name_idx: int) -> int:
+        """Walk back from the function name over its attrs/type tokens."""
+        toks = self.tokens
+        i = name_idx - 1
+        while i >= 0:
+            tt = toks[i].text
+            if tt in (";", "{", "}"):  # previous declaration/body boundary
+                return i + 1
+            if tt == ":" and i >= 1 and toks[i - 1].text in (
+                    "public", "private", "protected"):
+                return i + 1
+            i -= 1
+        return 0
+
+    def _parse_params(self, lo: int, hi: int) -> list[Param]:
+        toks = self.tokens
+        params: list[Param] = []
+        start = lo
+        depth = 0
+        i = lo
+        while i <= hi:
+            at_end = i == hi
+            tt = toks[i].text if not at_end else ","
+            if not at_end and tt in ("(", "[", "{"):
+                depth += 1
+            elif not at_end and tt in (")", "]", "}"):
+                depth -= 1
+            elif not at_end and tt == "<":
+                depth += 1
+            elif not at_end and tt == ">":
+                depth = max(0, depth - 1)
+            if (at_end or (tt == "," and depth == 0)):
+                if i > start:
+                    seg = toks[start:i]
+                    # Strip default argument.
+                    for k, s in enumerate(seg):
+                        if s.text == "=":
+                            seg = seg[:k]
+                            break
+                    name = ""
+                    if seg and seg[-1].kind == "id" and len(seg) > 1:
+                        name = seg[-1].text
+                        type_toks = seg[:-1]
+                    else:
+                        type_toks = seg
+                    params.append(Param(" ".join(s.text for s in type_toks),
+                                        name))
+                start = i + 1
+            i += 1
+        return params
+
+    def enclosing_function(self, idx: int) -> Function | None:
+        best = None
+        for fn in self.functions:
+            if fn.body and fn.body[0] <= idx < fn.body[1]:
+                if best is None or fn.body[0] > best.body[0]:
+                    best = fn
+        return best
+
+    # -- statements and guards ---------------------------------------------
+
+    def statements(self, lo: int, hi: int):
+        """Yield (start, end) token ranges of statements in [lo, hi).
+
+        Splits on ';' and on brace boundaries, skipping ';' inside paren
+        groups (for-headers). Nested statements are yielded too (the
+        ranges of outer compound statements are not).
+        """
+        i = lo
+        start = lo
+        while i < hi:
+            tt = self.tokens[i].text
+            if tt == "(" and i in self.match:
+                i = self.match[i] + 1
+                continue
+            if tt == ";":
+                yield (start, i)
+                start = i + 1
+            elif tt in ("{", "}"):
+                if i > start:
+                    yield (start, i)
+                start = i + 1
+            i += 1
+        if hi > start:
+            yield (start, hi)
+
+    def control_scopes(self, lo: int, hi: int):
+        """(keyword, cond_range, scope_range) for if/while/for in [lo, hi).
+
+        scope_range covers the controlled statement (block body or single
+        statement up to ';').
+        """
+        out = []
+        i = lo
+        toks = self.tokens
+        while i < hi:
+            t = toks[i]
+            if t.kind == "id" and t.text in ("if", "while", "for") and \
+                    i + 1 < hi and toks[i + 1].text == "(" and \
+                    (i + 1) in self.match:
+                cond = (i + 2, self.match[i + 1])
+                j = self.match[i + 1] + 1
+                if j < hi and toks[j].text == "{" and j in self.match:
+                    scope = (j + 1, self.match[j])
+                else:
+                    k = j
+                    while k < hi and toks[k].text != ";":
+                        if toks[k].text in ("(", "{") and k in self.match:
+                            k = self.match[k]
+                        k += 1
+                    scope = (j, k)
+                out.append((t.text, cond, scope))
+            i += 1
+        return out
+
+    def throw_guards(self, lo: int, hi: int):
+        """(position, cond_text) for every `if (cond) <throw|return|break>`.
+
+        A guard at position p dominates (lexically) every later token in
+        the same function body — the approximation the checks use for
+        "a cap check dominates the allocation".
+        """
+        guards = []
+        for kw, cond, scope in self.control_scopes(lo, hi):
+            if kw != "if":
+                continue
+            body_text = self.text(*scope)
+            if re.search(r"\b(throw|return|break|continue)\b", body_text):
+                guards.append((scope[1], self.text(*cond)))
+        return guards

@@ -1,0 +1,70 @@
+"""Optional libclang lexer backend for qip_analyze.
+
+Selected with ``qip_analyze.py --engine=libclang``. The container image
+this repo targets ships libclang-cpp.so but not the C-API python
+bindings, so the import is performed lazily by the driver and a clear
+error is raised when the bindings are absent; the bundled pure-python
+lexer (cxx.lex) remains the default and the engine CI runs.
+
+When the bindings are available, this backend tokenizes each file with
+clang's own lexer and maps the result onto the cxx.Token stream the
+structural Index consumes — the checks themselves are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from cxx import Directive, Token
+
+_KIND_MAP = {
+    "IDENTIFIER": "id",
+    "KEYWORD": "id",
+    "LITERAL": None,  # refined by spelling below
+    "PUNCTUATION": "punct",
+}
+
+
+def lex_with_libclang(path: Path):
+    import clang.cindex as ci
+
+    tu = ci.Index.create().parse(
+        str(path), args=["-std=c++20", "-fsyntax-only"],
+        options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    tokens: list[Token] = []
+    directives: list[Directive] = []
+    pending_directive: list[str] | None = None
+    directive_line = 0
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        kind = tok.kind.name
+        text = tok.spelling
+        line = tok.location.line
+        if kind == "COMMENT":
+            continue
+        if text == "#" and kind == "PUNCTUATION":
+            if pending_directive is not None:
+                directives.append(
+                    Directive(directive_line, " ".join(pending_directive)))
+            pending_directive = ["#"]
+            directive_line = line
+            continue
+        if pending_directive is not None and line == directive_line:
+            pending_directive.append(text)
+            continue
+        if pending_directive is not None:
+            directives.append(
+                Directive(directive_line, " ".join(pending_directive)))
+            pending_directive = None
+        mapped = _KIND_MAP.get(kind, "punct")
+        if mapped is None:  # LITERAL: number vs string vs char
+            if text.startswith(('"', 'u"', 'U"', 'L"', 'u8"', 'R"')):
+                mapped = "str"
+            elif text.startswith("'"):
+                mapped = "chr"
+            else:
+                mapped = "num"
+        tokens.append(Token(mapped, text, line))
+    if pending_directive is not None:
+        directives.append(
+            Directive(directive_line, " ".join(pending_directive)))
+    return tokens, directives

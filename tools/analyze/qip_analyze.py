@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""qip_analyze: AST-level invariant analyzer for the qip codebase.
+
+Where tools/qip_lint.py enforces layout conventions with line regexes,
+this tool reasons about structure and data flow: which function a token
+belongs to, whether a subscript's buffer derives from archive bytes,
+whether an allocation size is dominated by a cap check, what a pool
+lambda captures. See docs/ANALYSIS.md for the full check catalog.
+
+Checks
+------
+taint         untrusted-index / untrusted-cursor / unguarded-memcpy —
+              archive-derived buffers in decode contexts are read only
+              through guarded APIs or size-check-dominated subscripts.
+bomb-alloc    resize/reserve/vector-ctor/new[] sized by archive header
+              fields must be dominated by a cap check.
+pool-capture  pool-shared-write / pool-reentry — parallel_for lambdas
+              must not mutate un-partitioned by-ref captures nor
+              re-enter pool scheduling.
+hygiene       codec-nodiscard / typed-errors — registry-reachable entry
+              points are [[nodiscard]] and throw the typed hierarchy.
+confinement   simd-confined / archive-magic — AST ports of the old
+              regex rules (no string/comment false matches).
+
+Usage
+-----
+    tools/analyze/qip_analyze.py [--repo DIR] [--compdb PATH|DIR]
+        [--checks a,b,...] [--engine internal|libclang]
+        [--update-baseline] [--strict] [--list-checks]
+
+The TU list comes from compile_commands.json (every preset exports one;
+--compdb points at the file or its build directory, otherwise build*/ is
+searched). Headers reachable from src/ are analyzed alongside the TUs.
+
+Exit code 0 when every finding is baselined or allowed inline
+(`// qip-analyze: allow(<rule>)`), 1 otherwise; --strict additionally
+fails on stale baseline entries so CI keeps the baseline tight. The
+baseline lives at tools/qip_analyze_baseline.json and must stay free of
+taint/bomb-alloc entries — those are real holes; fix them instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+import cxx  # noqa: E402
+from checks import CHECKS, Ctx  # noqa: E402
+from qip_checklib import Baseline, Finding, collect_allows, report  # noqa: E402
+
+ENGINES = ("internal", "libclang")
+
+
+def find_compdb(repo: Path, arg: str | None) -> Path | None:
+    if arg:
+        p = Path(arg)
+        if p.is_dir():
+            p = p / "compile_commands.json"
+        return p if p.exists() else None
+    for cand in sorted(repo.glob("build*/compile_commands.json")):
+        return cand
+    return None
+
+
+def compdb_sources(compdb: Path, repo: Path) -> list[Path]:
+    entries = json.loads(compdb.read_text())
+    out = []
+    for e in entries:
+        f = Path(e["file"])
+        if not f.is_absolute():
+            f = Path(e.get("directory", ".")) / f
+        try:
+            rel = f.resolve().relative_to(repo)
+        except ValueError:
+            continue
+        if rel.as_posix().startswith("src/"):
+            out.append(repo / rel)
+    return out
+
+
+def discover_files(repo: Path, compdb: Path | None, err) -> list[Path]:
+    """TUs from the compile database plus all src/ headers."""
+    files: set[Path] = set()
+    if compdb is not None:
+        files.update(compdb_sources(compdb, repo))
+    else:
+        print("qip_analyze: note: no compile_commands.json found "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON or pass "
+              "--compdb); falling back to src/**/*.cpp", file=err)
+        files.update(repo.glob("src/**/*.cpp"))
+    files.update(repo.glob("src/**/*.hpp"))
+    return sorted(files)
+
+
+def make_index(path: Path, rel: str, source: str, engine: str):
+    if engine == "libclang":
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            sys.exit("qip_analyze: error: --engine=libclang needs the "
+                     "libclang python bindings (pip package `libclang` or "
+                     "distro python3-clang), which this environment lacks; "
+                     "use the default --engine=internal")
+        from libclang_engine import lex_with_libclang
+        tokens, directives = lex_with_libclang(path)
+        return cxx.Index(source, rel, pretokens=(tokens, directives))
+    return cxx.Index(source, rel)
+
+
+def analyze_file(repo: Path, path: Path, selected: list[str],
+                 engine: str) -> list[Finding]:
+    rel = path.relative_to(repo).as_posix()
+    source = path.read_text()
+    raw_lines = source.splitlines()
+    ctx = Ctx(make_index(path, rel, source, engine), rel, raw_lines)
+    for name in selected:
+        CHECKS[name].run(ctx)
+    allows = collect_allows(raw_lines, "qip-analyze")
+    return [f for f in ctx.findings
+            if f.rule not in allows.get(f.line_no, set())]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--repo", type=Path,
+                    default=Path(__file__).resolve().parents[2])
+    ap.add_argument("--compdb", help="compile_commands.json or its build dir")
+    ap.add_argument("--checks", default=",".join(CHECKS),
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--engine", choices=ENGINES, default="internal")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail on stale baseline entries (CI mode)")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="restrict analysis to these files")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for name, mod in CHECKS.items():
+            print(f"{name}: {', '.join(mod.RULES)}")
+        return 0
+
+    selected = [c for c in args.checks.split(",") if c]
+    unknown = [c for c in selected if c not in CHECKS]
+    if unknown:
+        print(f"qip_analyze: error: unknown check(s): {', '.join(unknown)} "
+              f"(have: {', '.join(CHECKS)})", file=sys.stderr)
+        return 2
+
+    repo = args.repo.resolve()
+    if args.paths:
+        files = [p.resolve() for p in args.paths]
+    else:
+        compdb = find_compdb(repo, args.compdb)
+        files = discover_files(repo, compdb, sys.stderr)
+    if not files:
+        print(f"qip_analyze: error: no sources under {repo}/src — "
+              "wrong --repo?", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(analyze_file(repo, path, selected, args.engine))
+
+    baseline = Baseline(repo / "tools" / "qip_analyze_baseline.json")
+    rc = report("qip_analyze", findings, baseline, args.update_baseline,
+                len(files), sys.stderr)
+    if rc == 0 and args.strict and not args.update_baseline:
+        _, stale = baseline.split(findings)
+        if stale:
+            print("qip_analyze: --strict: stale baseline entries present; "
+                  "run --update-baseline", file=sys.stderr)
+            return 1
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

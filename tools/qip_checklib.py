@@ -1,0 +1,161 @@
+"""qip_checklib: the finding/baseline/suppression layer shared by
+tools/qip_lint.py (regex rules) and tools/analyze/qip_analyze.py (AST
+rules).
+
+Both tools speak the same three mechanisms so a developer learns them
+once:
+
+* **Finding** — one violation, keyed on ``rule::path::text`` so the
+  baseline survives unrelated edits that shift line numbers.
+* **Inline allows** — a ``// <tag>: allow(<rule>)`` comment on the
+  offending line suppresses that rule there. Each tool has its own tag
+  (``qip-lint`` / ``qip-analyze``) so a lint allow never silences an
+  analyzer finding by accident.
+* **Baseline** — a committed JSON file of reviewed, pre-existing finding
+  keys. Fresh findings (not in the baseline, not allowed inline) fail
+  the run; stale baseline entries are reported so the file shrinks over
+  time. ``--update-baseline`` rewrites it from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+
+class Finding:
+    """One rule violation at a specific source line."""
+
+    def __init__(self, rule: str, path: str, line_no: int, text: str,
+                 note: str = ""):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.text = text.strip()
+        self.note = note
+
+    def key(self) -> str:
+        # Line numbers drift; key on rule + path + offending text so the
+        # baseline survives unrelated edits to the same file.
+        return f"{self.rule}::{self.path}::{self.text}"
+
+    def __str__(self) -> str:
+        msg = f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
+        if self.note:
+            msg += f"\n    note: {self.note}"
+        return msg
+
+
+def make_allow_re(tag: str) -> re.Pattern:
+    """Regex matching ``// <tag>: allow(rule-name)``."""
+    return re.compile(r"//\s*" + re.escape(tag) + r":\s*allow\(([a-z0-9-]+)\)")
+
+
+def collect_allows(lines: list[str], tag: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of rules allowed on that line."""
+    allow_re = make_allow_re(tag)
+    allows: dict[int, set[str]] = {}
+    for idx, raw in enumerate(lines, 1):
+        for m in allow_re.finditer(raw):
+            allows.setdefault(idx, set()).add(m.group(1))
+    return allows
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crudely blank out string/char literals and // comments.
+
+    Good enough for grep-style rules; block comments are handled by the
+    caller tracking state across lines (see clean_lines()).
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def clean_lines(raw_lines: list[str]) -> list[str]:
+    """Per-line source with comments and string/char bodies blanked."""
+    cleaned: list[str] = []
+    in_block_comment = False
+    for raw in raw_lines:
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                cleaned.append("")
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+        cleaned.append(strip_comments_and_strings(line))
+    return cleaned
+
+
+class Baseline:
+    """The committed set of reviewed finding keys for one tool."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.known: set[str] = set()
+        if path.exists():
+            self.known = set(json.loads(path.read_text()).get("findings", []))
+
+    def update(self, findings: list[Finding]) -> None:
+        self.path.write_text(
+            json.dumps({"findings": sorted(f.key() for f in findings)},
+                       indent=2) + "\n")
+
+    def split(self, findings: list[Finding]):
+        """(fresh findings, stale baseline keys)."""
+        keys = {f.key() for f in findings}
+        fresh = [f for f in findings if f.key() not in self.known]
+        stale = self.known - keys
+        return fresh, stale
+
+
+def report(tool: str, findings: list[Finding], baseline: Baseline,
+           update_baseline: bool, file_count: int, err) -> int:
+    """Shared exit-code logic: 0 clean/baselined, 1 fresh findings."""
+    if update_baseline:
+        baseline.update(findings)
+        print(f"{tool}: baseline updated with {len(findings)} finding(s)")
+        return 0
+    fresh, stale = baseline.split(findings)
+    for f in fresh:
+        print(f, file=err)
+    if stale:
+        print(f"{tool}: note: {len(stale)} baselined finding(s) no longer "
+              "occur; consider --update-baseline", file=err)
+    if fresh:
+        print(f"{tool}: {len(fresh)} new violation(s) "
+              f"({len(findings) - len(fresh)} baselined)", file=err)
+        return 1
+    print(f"{tool}: clean ({len(findings)} baselined finding(s), "
+          f"{file_count} files)")
+    return 0

@@ -4,6 +4,10 @@
 Enforces the C++ conventions that clang-tidy/compilers don't catch for us
 (CONTRIBUTING.md "Layout and conventions"), with a baseline file so
 pre-existing, reviewed exceptions stay green while new violations fail.
+The finding/baseline/suppression mechanics live in tools/qip_checklib.py
+and are shared with the AST analyzer (tools/analyze/qip_analyze.py); the
+old `archive-magic` and `simd-confined` regex rules moved there as the
+token-level `confinement` check, which doesn't trip on strings/comments.
 
 Rules
 -----
@@ -20,17 +24,9 @@ std-endl         No `std::endl` in src/ (flushes in hot loops); use '\n'.
 nodiscard        Status/value-returning codec APIs in src/ headers
                  (encode/decode/compress/decompress/codec_*/container
                  names) carry [[nodiscard]].
-archive-magic    Archive magic literals (the 0x..504951 "QIP?" family)
-                 appear only in compressors/core/container.* — every
-                 other layer must name the shared constants.
 codec-options    Per-codec *Config structs must not redeclare the common
                  CodecOptions fields (error_bound, qp, radius, kind,
                  pool); they inherit them from CodecOptions.
-simd-confined    SIMD intrinsics (<immintrin.h> includes, _mm*/__m128-
-                 family identifiers) appear only under src/simd/ — the
-                 rest of the tree talks to the dispatch tables in
-                 src/simd/dispatch.hpp so scalar/vector A/B stays a
-                 runtime switch.
 
 Usage
 -----
@@ -46,10 +42,14 @@ offending line also suppresses a finding.
 from __future__ import annotations
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from qip_checklib import (  # noqa: E402
+    Baseline, Finding, clean_lines, collect_allows, report)
 
 RULES = (
     "raw-alloc",
@@ -58,12 +58,8 @@ RULES = (
     "include-order",
     "std-endl",
     "nodiscard",
-    "archive-magic",
     "codec-options",
-    "simd-confined",
 )
-
-ALLOW_RE = re.compile(r"//\s*qip-lint:\s*allow\(([a-z-]+)\)")
 
 RAW_ALLOC_RE = re.compile(
     r"\bnew\s+[A-Za-z_][\w:<>]*\s*\[|\b(?:malloc|calloc|realloc|free)\s*\("
@@ -71,23 +67,6 @@ RAW_ALLOC_RE = re.compile(
 RAW_CAST_RE = re.compile(r"\breinterpret_cast\s*<")
 STD_ENDL_RE = re.compile(r"\bstd::endl\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
-
-# Vector intrinsics: the x86 intrinsic headers, the _mm/_mm256/_mm512
-# call families, and the __m128/__m256/__m512 register types. Only
-# src/simd/ may use them; __builtin_* (bswap, cpu_supports) is portable
-# compiler surface and intentionally not matched.
-SIMD_INTRINSIC_RE = re.compile(
-    r'#\s*include\s*[<"]\w*intrin\.h[>"]'
-    r"|\b_mm(?:256|512)?_\w+\s*\("
-    r"|\b__m(?:64|128|256|512)[di]?\b"
-)
-SIMD_HOME = "src/simd/"
-
-# Both container magics ("QIPC"/"QIPP") end in the bytes "QIP", so any
-# 0x..504951 literal is an archive magic. Only the container layer may
-# spell them out; everyone else uses kContainerMagic / kChunkedMagic.
-ARCHIVE_MAGIC_RE = re.compile(r"0[xX][0-9a-fA-F]{1,2}504951")
-ARCHIVE_MAGIC_HOME = "src/compressors/core/container"
 
 # Member declarations of the common CodecOptions fields inside per-codec
 # *Config structs. A leading type token keeps call sites and `cfg.qp = x`
@@ -115,50 +94,6 @@ NODISCARD_DECL_RE = re.compile(
 )
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Crudely blank out string/char literals and // comments.
-
-    Good enough for grep-style rules; block comments are handled by the
-    caller tracking state across lines.
-    """
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and line[i] != quote:
-                if line[i] == "\\":
-                    i += 1
-                i += 1
-            out.append(quote)
-            i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, rule: str, path: str, line_no: int, text: str):
-        self.rule = rule
-        self.path = path
-        self.line_no = line_no
-        self.text = text.strip()
-
-    def key(self) -> str:
-        # Line numbers drift; key on rule + path + offending text so the
-        # baseline survives unrelated edits to the same file.
-        return f"{self.rule}::{self.path}::{self.text}"
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
-
-
 def iter_source_files(repo: Path):
     for pattern in ("src/**/*.hpp", "src/**/*.cpp"):
         yield from sorted(repo.glob(pattern))
@@ -168,33 +103,8 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
     rel = path.relative_to(repo).as_posix()
     raw_lines = path.read_text().splitlines()
     findings: list[Finding] = []
-    allows: dict[int, set[str]] = {}
-    clean_lines: list[str] = []
-
-    in_block_comment = False
-    for idx, raw in enumerate(raw_lines, 1):
-        for m in ALLOW_RE.finditer(raw):
-            allows.setdefault(idx, set()).add(m.group(1))
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                clean_lines.append("")
-                continue
-            line = line[end + 2:]
-            in_block_comment = False
-        # Strip /* ... */ possibly opening here.
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block_comment = True
-                break
-            line = line[:start] + line[end + 2:]
-        clean_lines.append(strip_comments_and_strings(line))
+    allows = collect_allows(raw_lines, "qip-lint")
+    cleaned = clean_lines(raw_lines)
 
     def add(rule: str, line_no: int, text: str):
         if rule in allows.get(line_no, set()):
@@ -202,18 +112,13 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
         findings.append(Finding(rule, rel, line_no, text))
 
     # --- line-oriented rules ---
-    for idx, line in enumerate(clean_lines, 1):
+    for idx, line in enumerate(cleaned, 1):
         if RAW_ALLOC_RE.search(line):
             add("raw-alloc", idx, raw_lines[idx - 1])
         if RAW_CAST_RE.search(line):
             add("raw-cast", idx, raw_lines[idx - 1])
         if STD_ENDL_RE.search(line):
             add("std-endl", idx, raw_lines[idx - 1])
-        if ARCHIVE_MAGIC_RE.search(line) and not rel.startswith(
-                ARCHIVE_MAGIC_HOME):
-            add("archive-magic", idx, raw_lines[idx - 1])
-        if SIMD_INTRINSIC_RE.search(line) and not rel.startswith(SIMD_HOME):
-            add("simd-confined", idx, raw_lines[idx - 1])
 
     # --- codec-options: *Config struct bodies must not redeclare the
     # CodecOptions surface they inherit ---
@@ -221,7 +126,7 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
             and rel != CODEC_OPTIONS_HOME):
         depth = 0
         in_config = False
-        for idx, line in enumerate(clean_lines, 1):
+        for idx, line in enumerate(cleaned, 1):
             if not in_config:
                 if CODEC_CONFIG_STRUCT_RE.search(line) and ";" not in line:
                     in_config = True
@@ -236,7 +141,7 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
     # --- pragma-once: first non-blank, non-comment line of a header ---
     if path.suffix == ".hpp":
         first = next(
-            ((i, l) for i, l in enumerate(clean_lines, 1) if l.strip()), None
+            ((i, l) for i, l in enumerate(cleaned, 1) if l.strip()), None
         )
         if first is None or first[1].strip() != "#pragma once":
             add("pragma-once", first[0] if first else 1,
@@ -258,23 +163,21 @@ def lint_file(repo: Path, path: Path) -> list[Finding]:
                     "mixed <...> and \"...\" in one include block")
         block = []
 
-    for idx, line in enumerate(clean_lines, 1):
+    for idx, line in enumerate(cleaned, 1):
         m = INCLUDE_RE.match(line)
         if m:
             block.append((idx, m.group(1)))
-        elif line.strip():
-            flush_block()
         else:
             flush_block()
     flush_block()
 
     # --- nodiscard on codec APIs in headers ---
     if path.suffix == ".hpp":
-        for idx, line in enumerate(clean_lines, 1):
+        for idx, line in enumerate(cleaned, 1):
             m = NODISCARD_DECL_RE.match(line)
             if not m:
                 continue
-            window = " ".join(clean_lines[max(0, idx - 3):idx])
+            window = " ".join(cleaned[max(0, idx - 3):idx])
             if "[[nodiscard]]" not in window:
                 add("nodiscard", idx, raw_lines[idx - 1])
 
@@ -289,12 +192,6 @@ def main() -> int:
     args = ap.parse_args()
 
     repo = args.repo.resolve()
-    baseline_path = repo / "tools" / "qip_lint_baseline.json"
-    baseline = {"findings": []}
-    if baseline_path.exists():
-        baseline = json.loads(baseline_path.read_text())
-    known = set(baseline.get("findings", []))
-
     files = list(iter_source_files(repo))
     if not files:
         print(f"qip_lint: error: no sources under {repo}/src — wrong --repo?",
@@ -305,27 +202,9 @@ def main() -> int:
     for path in files:
         findings.extend(lint_file(repo, path))
 
-    if args.update_baseline:
-        baseline_path.write_text(
-            json.dumps({"findings": sorted(f.key() for f in findings)},
-                       indent=2) + "\n")
-        print(f"qip_lint: baseline updated with {len(findings)} finding(s)")
-        return 0
-
-    fresh = [f for f in findings if f.key() not in known]
-    stale = known - {f.key() for f in findings}
-    for f in fresh:
-        print(f, file=sys.stderr)
-    if stale:
-        print(f"qip_lint: note: {len(stale)} baselined finding(s) no longer "
-              "occur; consider --update-baseline", file=sys.stderr)
-    if fresh:
-        print(f"qip_lint: {len(fresh)} new violation(s) "
-              f"({len(findings) - len(fresh)} baselined)", file=sys.stderr)
-        return 1
-    print(f"qip_lint: clean ({len(findings)} baselined finding(s), "
-          f"{sum(1 for _ in iter_source_files(repo))} files)")
-    return 0
+    baseline = Baseline(repo / "tools" / "qip_lint_baseline.json")
+    return report("qip_lint", findings, baseline, args.update_baseline,
+                  len(files), sys.stderr)
 
 
 if __name__ == "__main__":
