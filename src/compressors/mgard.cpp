@@ -6,6 +6,7 @@
 #include "compressors/core/driver.hpp"
 #include "predict/interpolation.hpp"
 #include "predict/multilevel.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 namespace {
@@ -37,6 +38,16 @@ void mgard_walk(const T* src, T* recon, const Dims& dims,
   const std::int32_t radius = quant.radius();
   const int levels = static_cast<int>(level_eb.size());
   const auto order = default_order(dims.rank());
+
+  if constexpr (!kEncode) {
+    // The walk consumes one symbol per visited point — dims.size() for a
+    // full decode, fewer for a resolution-reduced one, but the encoder
+    // always writes the full count. Checking once up front keeps hostile
+    // archives from driving the cursor out of bounds (mirrors
+    // lorenzo_walk).
+    if (cursor > symbols.size() || symbols.size() - cursor < dims.size())
+      throw DecodeError("mgard: symbol stream shorter than field");
+  }
 
   quant.set_error_bound(base_eb);
   if constexpr (kEncode) {
