@@ -124,7 +124,11 @@ MGARDStream<T> mgard_read_stream(const ContainerReader& in, ThreadPool* pool) {
   MGARDStream<T> s;
   ByteReader h = in.stage(StageId::kConfig);
   s.c = load_interp_common(h);
-  const int levels = static_cast<int>(h.get_varint());
+  const std::uint64_t levels = h.get_varint();
+  // Each level costs one 8-byte eb below, so the stream itself bounds a
+  // truthful count; anything larger is an allocation bomb.
+  if (levels > h.remaining() / sizeof(double))
+    throw DecodeError("mgard: level count exceeds stream");
   s.level_eb.resize(static_cast<std::size_t>(levels));
   for (auto& e : s.level_eb) e = h.get<double>();
   s.quant = LinearQuantizer<T>(s.c.error_bound);

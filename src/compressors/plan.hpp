@@ -12,6 +12,7 @@
 #include "predict/interpolation.hpp"
 #include "util/bytes.hpp"
 #include "util/dims.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -89,12 +90,25 @@ struct InterpPlan {
   }
   static InterpPlan load(ByteReader& r) {
     InterpPlan p;
-    p.levels.resize(static_cast<std::size_t>(r.get_varint()));
+    // Every list entry consumes at least one stream byte (a LevelPlan
+    // costs 14, a block-choice row at least its length varint), so
+    // r.remaining() caps any truthful count; larger values are
+    // allocation bombs from a hostile header.
+    const std::uint64_t nlevels = r.get_varint();
+    if (nlevels > r.remaining())
+      throw DecodeError("plan: level count exceeds stream");
+    p.levels.resize(static_cast<std::size_t>(nlevels));
     for (auto& l : p.levels) l = LevelPlan::load(r);
     p.block_size = static_cast<std::size_t>(r.get_varint());
-    p.candidates.resize(static_cast<std::size_t>(r.get_varint()));
+    const std::uint64_t ncand = r.get_varint();
+    if (ncand > r.remaining())
+      throw DecodeError("plan: candidate count exceeds stream");
+    p.candidates.resize(static_cast<std::size_t>(ncand));
     for (auto& c : p.candidates) c = LevelPlan::load(r);
-    p.block_choice.resize(static_cast<std::size_t>(r.get_varint()));
+    const std::uint64_t nchoice = r.get_varint();
+    if (nchoice > r.remaining())
+      throw DecodeError("plan: block-choice count exceeds stream");
+    p.block_choice.resize(static_cast<std::size_t>(nchoice));
     for (auto& bc : p.block_choice) {
       const std::size_t n = static_cast<std::size_t>(r.get_varint());
       auto bytes = r.get_bytes(n);

@@ -276,7 +276,8 @@ struct SPERRCodec {
     const double quant_factor = h.get<double>();
     const bool index_prediction = h.get<std::uint8_t>() != 0;
     const Dims& dims = in.dims();
-    auto symbols = rle_decode_symbols(in.stage_bytes(StageId::kSymbols));
+    auto symbols =
+        rle_decode_symbols(in.stage_bytes(StageId::kSymbols), dims.size());
     if (symbols.size() < dims.size())
       throw DecodeError("sperr: symbol stream shorter than field");
     if (index_prediction) subband_index_predict<false>(symbols, dims, levels);

@@ -270,12 +270,18 @@ struct TTHRESHCodec {
         mode_rank[static_cast<std::size_t>(axis)] =
             static_cast<std::uint32_t>(rk);
         auto& u = factors[static_cast<std::size_t>(axis)];
+        // The factor matrix is read as n*rk floats right below; a rank
+        // the stream cannot back is an allocation bomb. (n >= rk >= 1
+        // here, so the division is safe.)
+        if (rk > h.remaining() / sizeof(float) / n)
+          throw DecodeError("tthresh: factor matrix exceeds stream");
         u.resize(n * rk);
         for (auto& e : u) e = static_cast<double>(h.get<float>());
         core_dims = with_extent(core_dims, axis, rk);
       }
     }
-    const auto symbols = rle_decode_symbols(in.stage_bytes(StageId::kSymbols));
+    const auto symbols = rle_decode_symbols(
+        in.stage_bytes(StageId::kSymbols), core_dims.size());
     if (symbols.size() != core_dims.size())
       throw DecodeError("tthresh core size mismatch");
 

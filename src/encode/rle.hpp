@@ -16,6 +16,7 @@
 
 #include "encode/huffman.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 
 namespace qip {
 
@@ -44,25 +45,35 @@ namespace qip {
   return w.take();
 }
 
-/// Inverse of rle_encode_symbols().
+/// Inverse of rle_encode_symbols(). `max_total` caps the declared output
+/// length — callers pass the field size they are about to fill, so a
+/// hostile stream can never demand more memory than the legitimate
+/// payload would (run lengths amplify: a few bytes of input can declare
+/// gigabytes of zeros).
 [[nodiscard]] inline std::vector<std::uint32_t> rle_decode_symbols(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes, std::size_t max_total) {
   ByteReader r(bytes);
   const std::size_t total = static_cast<std::size_t>(r.get_varint());
+  if (total > max_total)
+    throw DecodeError("rle: declared symbol count exceeds cap");
   const std::size_t trailing = static_cast<std::size_t>(r.get_varint());
   const auto runs = huffman_decode(r.get_block());
   const auto values = huffman_decode(r.get_block());
   if (runs.size() != values.size())
-    throw std::runtime_error("qip: rle run/value length mismatch");
+    throw DecodeError("rle: run/value length mismatch");
   std::vector<std::uint32_t> out;
   out.reserve(total);
   for (std::size_t i = 0; i < runs.size(); ++i) {
+    // Bound every expansion by the declared (already capped) total
+    // before allocating, so runs cannot overshoot it even transiently.
+    if (total - out.size() < static_cast<std::size_t>(runs[i]) + 1)
+      throw DecodeError("rle: runs exceed declared total");
     out.insert(out.end(), runs[i], 0u);
     out.push_back(values[i]);
   }
+  if (trailing != total - out.size())
+    throw DecodeError("rle: total length mismatch");
   out.insert(out.end(), trailing, 0u);
-  if (out.size() != total)
-    throw std::runtime_error("qip: rle total length mismatch");
   return out;
 }
 

@@ -112,6 +112,10 @@ class LinearQuantizer {
     set_error_bound(r.get<double>());
     radius_ = r.get<std::int32_t>();
     const std::uint64_t n = r.get_varint();
+    // Each outlier costs sizeof(T) stream bytes below; a count the
+    // stream cannot back is an allocation bomb, not a real table.
+    if (n > r.remaining() / sizeof(T))
+      throw DecodeError("quantizer: outlier count exceeds stream");
     outliers_.resize(static_cast<std::size_t>(n));
     for (auto& v : outliers_) v = r.get<T>();
     outlier_cursor_ = 0;

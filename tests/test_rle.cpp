@@ -11,7 +11,7 @@ namespace qip {
 namespace {
 
 std::vector<std::uint32_t> roundtrip(const std::vector<std::uint32_t>& in) {
-  return rle_decode_symbols(rle_encode_symbols(in));
+  return rle_decode_symbols(rle_encode_symbols(in), in.size());
 }
 
 TEST(Rle, Empty) { EXPECT_TRUE(roundtrip({}).empty()); }
@@ -19,7 +19,7 @@ TEST(Rle, Empty) { EXPECT_TRUE(roundtrip({}).empty()); }
 TEST(Rle, AllZeros) {
   std::vector<std::uint32_t> in(100000, 0);
   const auto enc = rle_encode_symbols(in);
-  EXPECT_EQ(rle_decode_symbols(enc), in);
+  EXPECT_EQ(rle_decode_symbols(enc, in.size()), in);
   EXPECT_LT(enc.size(), 64u);  // one trailing-run varint + empty tables
 }
 
@@ -48,7 +48,7 @@ TEST(Rle, BeatsPlainHuffmanOnSparseStreams) {
     if (rng() % 100 == 0) v = 1 + rng() % 8;
   const auto rle = rle_encode_symbols(in);
   const auto plain = huffman_encode(in);
-  EXPECT_EQ(rle_decode_symbols(rle), in);
+  EXPECT_EQ(rle_decode_symbols(rle, in.size()), in);
   EXPECT_LT(rle.size() * 3, plain.size());
 }
 
@@ -68,7 +68,27 @@ TEST(Rle, TruncatedInputThrows) {
   std::vector<std::uint32_t> in(1000, 3);
   auto enc = rle_encode_symbols(in);
   enc.resize(enc.size() / 2);
-  EXPECT_THROW(rle_decode_symbols(enc), std::runtime_error);
+  EXPECT_THROW(rle_decode_symbols(enc, in.size()), std::runtime_error);
+}
+
+TEST(Rle, DeclaredTotalAboveCapThrows) {
+  // A stream declaring more symbols than the caller is prepared to hold
+  // must be rejected before any allocation happens.
+  std::vector<std::uint32_t> in(1000, 3);
+  const auto enc = rle_encode_symbols(in);
+  EXPECT_THROW(rle_decode_symbols(enc, in.size() - 1), DecodeError);
+}
+
+TEST(Rle, RunsBeyondDeclaredTotalThrow) {
+  // Hand-build a stream whose run table expands past the declared total:
+  // total=4 but one run of 100 zeros plus a value.
+  ByteWriter w;
+  w.put_varint(4);  // declared total
+  w.put_varint(0);  // trailing zero run
+  w.put_block(huffman_encode(std::vector<std::uint32_t>{100}));
+  w.put_block(huffman_encode(std::vector<std::uint32_t>{7}));
+  const auto enc = w.take();
+  EXPECT_THROW(rle_decode_symbols(enc, 1000), DecodeError);
 }
 
 }  // namespace
