@@ -89,6 +89,12 @@ class UnknownCodecError : public DecodeError {
                     std::uint8_t version)
       : DecodeError(what), codec_id_(codec_id), version_(version) {}
 
+  /// For lookups that never saw an archive header (find_compressor by
+  /// name): there are no offending header fields to carry, so codec_id
+  /// reports the 0xFF sentinel.
+  explicit UnknownCodecError(const std::string& what)
+      : UnknownCodecError(what, 0xFF, 0) {}
+
   std::uint8_t codec_id() const noexcept { return codec_id_; }
   std::uint8_t version() const noexcept { return version_; }
 

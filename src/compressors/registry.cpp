@@ -229,7 +229,7 @@ const std::vector<CompressorEntry>& compressor_registry() {
 const CompressorEntry& find_compressor(std::string_view name) {
   for (const auto& e : compressor_registry())
     if (e.name == name) return e;
-  throw std::runtime_error("qip: unknown compressor: " + std::string(name));
+  throw UnknownCodecError("unknown compressor: " + std::string(name));
 }
 
 const CompressorEntry& find_compressor_for(

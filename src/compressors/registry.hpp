@@ -55,7 +55,7 @@ struct CompressorEntry {
 /// MGARD, SZ3, QoZ, HPEZ, ZFP, TTHRESH, SPERR.
 [[nodiscard]] const std::vector<CompressorEntry>& compressor_registry();
 
-/// Lookup by name; throws std::runtime_error if unknown.
+/// Lookup by name; throws UnknownCodecError if unknown.
 [[nodiscard]] const CompressorEntry& find_compressor(std::string_view name);
 
 /// Lookup by the codec id in an archive's container header. Throws

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/stats.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -93,7 +94,7 @@ TransferReport run_transfer_pipeline(const Field<float>& data,
     const Field<float> dec = comp.decompress_f32(archives[s]);
     dt[s] = t.seconds();
     if (dec.size() != slice_elems)
-      throw std::runtime_error("qip: transfer slice size mismatch");
+      throw DecodeError("transfer slice size mismatch");
     std::copy(dec.data(), dec.data() + slice_elems,
               recon.data() + s * slice_elems);
   });

@@ -40,7 +40,14 @@ TEST(Registry, QpBaseCompressorsAreTheInterpolationFour) {
 }
 
 TEST(Registry, UnknownNameThrows) {
-  EXPECT_THROW((void)find_compressor("SZ4"), std::runtime_error);
+  // Typed so callers can distinguish "no such codec" from other failures;
+  // the 0xFF codec id marks a lookup that never saw an archive header.
+  try {
+    (void)find_compressor("SZ4");
+    FAIL() << "find_compressor accepted an unknown name";
+  } catch (const UnknownCodecError& e) {
+    EXPECT_EQ(e.codec_id(), 0xFF);
+  }
 }
 
 TEST(Registry, FindCompressorForResolvesArchiveCodec) {
