@@ -1,0 +1,42 @@
+// qa-path: src/compressors/fx_bomb_clean.cpp
+//
+// Known-clean twins of bomb_violations.cpp: every allocation dominated
+// by a cap in one of the accepted forms (stream-budget check, explicit
+// max parameter, std::min clamp, iterator-range assign).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace qip {
+
+struct Table {
+  std::vector<double> entries;
+
+  void load(ByteReader& r) {
+    const std::uint64_t n = r.get_varint();
+    if (n > r.remaining() / sizeof(double))
+      throw DecodeError("fx: entry count exceeds stream");
+    entries.resize(static_cast<std::size_t>(n));
+  }
+};
+
+void parse_header(ByteReader& r, std::vector<std::uint8_t>& out,
+                  std::size_t max_output) {
+  const std::size_t n = static_cast<std::size_t>(r.get_varint());
+  if (n > max_output) throw DecodeError("fx: declared size exceeds cap");
+  out.reserve(n);
+}
+
+std::vector<float> decode_block(ByteReader& h) {
+  const std::size_t count = static_cast<std::size_t>(h.get_varint());
+  std::vector<float> block(std::min(count, h.remaining() / sizeof(float)));
+  return block;
+}
+
+void decode_bytes(ByteReader& r, std::vector<std::uint8_t>& out) {
+  auto bytes = r.get_bytes(r.remaining());
+  out.assign(bytes.begin(), bytes.end());
+}
+
+}  // namespace qip

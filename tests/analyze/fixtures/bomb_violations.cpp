@@ -1,0 +1,30 @@
+// qa-path: src/compressors/fx_bomb.cpp
+//
+// Known-violating snippets for the bomb-allocation check: allocations
+// sized by archive header fields with no dominating cap.
+
+#include <cstdint>
+#include <vector>
+
+namespace qip {
+
+struct Table {
+  std::vector<double> entries;
+
+  void load(ByteReader& r) {
+    const std::uint64_t n = r.get_varint();
+    entries.resize(static_cast<std::size_t>(n));  // qa-expect: bomb-alloc
+  }
+};
+
+void parse_header(ByteReader& r, std::vector<std::uint8_t>& out) {
+  out.reserve(r.get_varint());  // qa-expect: bomb-alloc
+}
+
+std::vector<float> decode_block(ByteReader& h) {
+  const std::size_t count = static_cast<std::size_t>(h.get_varint());
+  std::vector<float> block(count);  // qa-expect: bomb-alloc
+  return block;
+}
+
+}  // namespace qip

@@ -1,0 +1,17 @@
+// qa-path: src/simd/fx_kernel.cpp
+//
+// Known-clean twin of confinement_violations.cpp: the same intrinsics
+// are fine under src/simd/, where the dispatch tables live.
+
+#include <immintrin.h>
+
+namespace qip::simd {
+
+float fx_sum4(const float* p) {
+  __m128 v = _mm_loadu_ps(p);
+  float out[4];
+  _mm_storeu_ps(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace qip::simd

@@ -1,0 +1,24 @@
+// qa-path: src/encode/fx_simd.cpp
+//
+// Known-violating snippets for the layer-confinement checks: intrinsics
+// outside src/simd/ and a container magic spelled outside the container
+// layer. Note the rule text mentioning "_mm256_add_ps" in this comment
+// must NOT trip the token-level check — only real code does.
+
+#include <immintrin.h>  // qa-expect: simd-confined
+#include <cstdint>
+
+namespace qip {
+
+float fx_sum4(const float* p) {
+  __m128 v = _mm_loadu_ps(p);  // qa-expect: simd-confined
+  float out[4];
+  _mm_storeu_ps(out, v);  // qa-expect: simd-confined
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+inline std::uint32_t fx_magic() {
+  return 0x43504951u;  // qa-expect: archive-magic
+}
+
+}  // namespace qip

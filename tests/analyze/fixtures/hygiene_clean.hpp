@@ -1,0 +1,32 @@
+// qa-path: src/compressors/fx_api_clean.hpp
+//
+// Known-clean twins of hygiene_violations.hpp: [[nodiscard]] on the
+// value-returning entry point, typed errors on decode-facing paths,
+// and a void entry point that legitimately needs no annotation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qip {
+
+[[nodiscard]] std::vector<std::uint8_t> encode_block(
+    const std::vector<float>& field) {
+  return {};
+}
+
+inline void decode_header(ByteReader& r) {
+  if (r.remaining() < 4) throw DecodeError("fx: truncated header");
+}
+
+[[nodiscard]] inline const Compressor* find_fx_compressor(
+    const std::string& name) {
+  throw UnknownCodecError("fx: unknown codec " + name);
+}
+
+inline void decode_into(ByteReader& r, std::vector<float>& out) {
+  (void)r;
+  out.clear();
+}
+
+}  // namespace qip

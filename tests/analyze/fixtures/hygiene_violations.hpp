@@ -1,0 +1,29 @@
+// qa-path: src/compressors/fx_api.hpp
+//
+// Known-violating snippets for the codec API hygiene check: a
+// discardable codec entry point and raw runtime_error throws on
+// decode-facing paths.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qip {
+
+std::vector<std::uint8_t> encode_block(  // qa-expect: codec-nodiscard
+    const std::vector<float>& field) {
+  return {};
+}
+
+inline void decode_header(ByteReader& r) {
+  if (r.remaining() < 4)
+    throw std::runtime_error("fx: truncated header");  // qa-expect: typed-errors
+}
+
+inline const Compressor* find_fx_compressor(  // qa-expect: codec-nodiscard
+    const std::string& name) {
+  throw std::runtime_error("fx: unknown codec " + name);  // qa-expect: typed-errors
+}
+
+}  // namespace qip

@@ -1,0 +1,13 @@
+// qa-path: src/compressors/core/container_fx.hpp
+//
+// Known-clean: container magics may be spelled out inside the container
+// layer — that is the one place they live.
+
+#include <cstdint>
+
+namespace qip {
+
+inline constexpr std::uint32_t kFxContainerMagic = 0x43504951u;
+inline constexpr std::uint32_t kFxChunkedMagic = 0x50504951u;
+
+}  // namespace qip

@@ -1,0 +1,46 @@
+// qa-path: src/parallel/fx_pool_clean.cpp
+//
+// Known-clean twins of pool_violations.cpp: index-partitioned writes,
+// atomics, lock-protected mutation, and task-local accumulation.
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace qip {
+
+double sum_blocks(ThreadPool& pool, const std::vector<double>& parts) {
+  std::vector<double> partial(parts.size(), 0.0);
+  pool.parallel_for(parts.size(), [&](std::size_t b) {
+    partial[b] = parts[b];  // partitioned by the task index: no two tasks alias
+  });
+  double sum = 0.0;
+  for (double v : partial) sum += v;
+  return sum;
+}
+
+std::size_t count_hits(ThreadPool& pool, std::size_t n) {
+  std::atomic<std::size_t> hits{0};
+  pool.parallel_for(n, [&](std::size_t b) {
+    if (b % 2 == 0) ++hits;
+  });
+  return hits.load();
+}
+
+void guarded_push(ThreadPool& pool, std::vector<double>& out, std::size_t n) {
+  std::mutex mu;
+  pool.parallel_for(n, [&](std::size_t b) {
+    std::lock_guard<std::mutex> lock(mu);
+    out.push_back(static_cast<double>(b));
+  });
+}
+
+void task_local(ThreadPool& pool, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t b) {
+    std::size_t local = 0;
+    for (std::size_t i = 0; i < b; ++i) ++local;
+  });
+}
+
+}  // namespace qip

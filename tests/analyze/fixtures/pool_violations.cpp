@@ -1,0 +1,39 @@
+// qa-path: src/parallel/fx_pool.cpp
+//
+// Known-violating snippets for the ThreadPool capture-discipline check:
+// un-partitioned by-ref mutation and pool re-entry from inside a task.
+
+#include <cstddef>
+#include <vector>
+
+namespace qip {
+
+double sum_blocks(ThreadPool& pool, const std::vector<double>& parts) {
+  double sum = 0.0;
+  pool.parallel_for(parts.size(), [&](std::size_t b) {
+    sum += parts[b];  // qa-expect: pool-shared-write
+  });
+  return sum;
+}
+
+void gather(ThreadPool& pool, std::vector<double>& out, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t b) {
+    out.push_back(static_cast<double>(b));  // qa-expect: pool-shared-write
+  });
+}
+
+void nested(ThreadPool& pool, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t b) {
+    pool.parallel_for(b, [&](std::size_t) {});  // qa-expect: pool-reentry
+  });
+}
+
+void named_lambda(ThreadPool& pool, std::size_t n) {
+  std::size_t hits = 0;
+  auto work = [&](std::size_t b) {
+    if (b % 2 == 0) ++hits;  // qa-expect: pool-shared-write
+  };
+  pool.parallel_for(n, work);
+}
+
+}  // namespace qip

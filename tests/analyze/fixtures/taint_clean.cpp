@@ -1,0 +1,50 @@
+// qa-path: src/compressors/fx_taint_clean.cpp
+//
+// Known-clean twins of taint_violations.cpp: the same access shapes,
+// each dominated by a size check in one of the accepted guard forms
+// (up-front if+throw, enclosing loop condition, early return).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace qip {
+
+void decode_walk(std::vector<std::uint32_t>& symbols, std::size_t& cursor,
+                 std::uint32_t* out, std::size_t n) {
+  if (cursor > symbols.size() || symbols.size() - cursor < n)
+    throw DecodeError("fx: symbol stream shorter than field");
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = symbols[cursor++];
+}
+
+std::uint8_t decode_first(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 1) throw DecodeError("fx: empty stream");
+  return bytes[0];
+}
+
+void decode_copy(std::span<const std::uint8_t> payload, std::uint8_t* dst,
+                 std::size_t n) {
+  if (payload.size() < n) throw DecodeError("fx: payload too short");
+  std::memcpy(dst, payload.data(), n);
+}
+
+void decode_loop(std::span<const std::uint8_t> bytes, std::uint64_t& acc) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) acc += bytes[i];
+}
+
+class OutlierTable {
+ public:
+  double recover_next() {
+    if (cursor_ >= outliers_.size())
+      throw DecodeError("fx: outlier stream exhausted");
+    return outliers_[cursor_++];
+  }
+
+ private:
+  std::vector<double> outliers_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace qip

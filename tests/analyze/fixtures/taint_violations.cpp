@@ -1,0 +1,40 @@
+// qa-path: src/compressors/fx_taint.cpp
+//
+// Known-violating snippets for the taint check: archive-derived buffers
+// read without a dominating size check. Fixtures are analyzed, never
+// compiled — shapes mirror real decode paths.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace qip {
+
+void decode_walk(std::vector<std::uint32_t>& symbols, std::size_t& cursor,
+                 std::uint32_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = symbols[cursor++];  // qa-expect: untrusted-cursor
+}
+
+std::uint8_t decode_first(std::span<const std::uint8_t> bytes) {
+  return bytes[0];  // qa-expect: untrusted-index
+}
+
+void decode_copy(std::span<const std::uint8_t> payload, std::uint8_t* dst,
+                 std::size_t n) {
+  std::memcpy(dst, payload.data(), n);  // qa-expect: unguarded-memcpy
+}
+
+class OutlierTable {
+ public:
+  double recover_next() {
+    return outliers_[cursor_++];  // qa-expect: untrusted-cursor
+  }
+
+ private:
+  std::vector<double> outliers_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace qip

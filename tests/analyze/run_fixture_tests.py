@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Fixture and seeded-regression suite for tools/analyze/qip_analyze.py.
+
+Two layers:
+
+* **Fixture expectations** — every file under ``fixtures/`` carries a
+  ``// qa-path: <pseudo-path>`` first line (checks key off the path, so
+  a fixture can pretend to live anywhere in src/) and zero or more
+  ``// qa-expect: <rule>`` line annotations. The runner analyzes each
+  fixture with every check and requires the finding set to match the
+  annotations *exactly* — a missed expectation means a check regressed,
+  an unannotated finding means it grew a false positive. Clean twins
+  (``*_clean.*``) carry no annotations and must stay silent. Fixtures
+  are analyzed, never compiled.
+
+* **Seeded regressions** — the checks exist to catch real holes, so we
+  prove they would: for each shipped guard that a past PR added (the
+  lorenzo/mgard walk bounds, the quantizer outlier bounds, the mgard
+  level-count cap), strip exactly that guard from the real source text
+  and assert the analyzer flags the file, while the pristine text stays
+  clean. If a guard regex stops matching, the test fails too — the
+  harness must never silently rot into asserting nothing.
+
+Run from anywhere: ``python3 tests/analyze/run_fixture_tests.py``.
+Registered as the ``qip_analyze_fixtures`` ctest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+sys.path.insert(0, str(REPO / "tools" / "analyze"))
+sys.path.insert(0, str(REPO / "tools"))
+
+import cxx  # noqa: E402
+from checks import CHECKS, Ctx  # noqa: E402
+
+QA_PATH_RE = re.compile(r"^//\s*qa-path:\s*(\S+)\s*$")
+QA_EXPECT_RE = re.compile(r"//\s*qa-expect:\s*([\w-]+)")
+
+failures: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}"
+          + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(f"{label}: {detail}")
+
+
+def analyze(source: str, rel: str):
+    """All checks over one in-memory source; returns raw findings."""
+    lines = source.splitlines()
+    ctx = Ctx(cxx.Index(source, rel), rel, lines)
+    for mod in CHECKS.values():
+        mod.run(ctx)
+    return ctx.findings
+
+
+def fixture_tests() -> None:
+    print("fixture expectations:")
+    fixtures = sorted(p for p in (HERE / "fixtures").iterdir()
+                      if p.suffix in (".cpp", ".hpp"))
+    check("fixtures present", len(fixtures) >= 10,
+          f"found only {len(fixtures)}")
+    covered: set[str] = set()
+    for path in fixtures:
+        source = path.read_text()
+        lines = source.splitlines()
+        m = QA_PATH_RE.match(lines[0]) if lines else None
+        if not m:
+            check(path.name, False, "missing '// qa-path:' first line")
+            continue
+        expected = {(em.group(1), no)
+                    for no, line in enumerate(lines, 1)
+                    for em in [QA_EXPECT_RE.search(line)] if em}
+        actual = {(f.rule, f.line_no) for f in analyze(source, m.group(1))}
+        missing = sorted(expected - actual)
+        unexpected = sorted(actual - expected)
+        check(path.name, not missing and not unexpected,
+              f"missing={missing} unexpected={unexpected}")
+        covered.update(rule for rule, _ in expected)
+    # The violating fixtures must exercise every check module.
+    for name, mod in CHECKS.items():
+        check(f"coverage: {name}", bool(covered & set(mod.RULES)),
+              f"no fixture expects any of {mod.RULES}")
+
+
+# (label, repo-relative file, guard regex, rule the strip must surface).
+# The replacement keeps the line count so finding lines stay meaningful.
+SEEDS = [
+    ("lorenzo-walk-bound", "src/compressors/lorenzo_path.hpp",
+     r'if \(cursor > symbols\.size\(\) \|\| symbols\.size\(\) - cursor < '
+     r'dims\.size\(\)\)\s*\n\s*throw DecodeError\("lorenzo:[^"]*"\);',
+     "untrusted-cursor"),
+    ("mgard-walk-bound", "src/compressors/mgard.cpp",
+     r'if \(cursor > symbols\.size\(\) \|\| symbols\.size\(\) - cursor < '
+     r'dims\.size\(\)\)\s*\n\s*throw DecodeError\("mgard:[^"]*"\);',
+     "untrusted-cursor"),
+    ("quantizer-outlier-bound", "src/quant/quantizer.hpp",
+     r'if \(outlier_cursor_ >= outliers_\.size\(\)\)\s*\n\s*'
+     r'throw DecodeError\("quantizer: outlier stream exhausted"\);',
+     "untrusted-cursor"),
+    ("quantizer-outlier-cap", "src/quant/quantizer.hpp",
+     r'if \(n > r\.remaining\(\) / sizeof\(T\)\)\s*\n\s*'
+     r'throw DecodeError\("quantizer: outlier count exceeds stream"\);',
+     "bomb-alloc"),
+    ("mgard-level-cap", "src/compressors/mgard.cpp",
+     r'if \(levels > h\.remaining\(\) / sizeof\(double\)\)\s*\n\s*'
+     r'throw DecodeError\("mgard: level count exceeds stream"\);',
+     "bomb-alloc"),
+]
+
+
+def seeded_regression_tests() -> None:
+    print("seeded regressions (guard stripped from real sources):")
+    for label, rel, pattern, rule in SEEDS:
+        source = (REPO / rel).read_text()
+        guard = re.compile(pattern)
+        if not guard.search(source):
+            check(label, False, f"guard regex no longer matches {rel}")
+            continue
+        stripped = guard.sub(lambda m: "\n" * m.group(0).count("\n"), source)
+        pristine_hits = [f for f in analyze(source, rel) if f.rule == rule]
+        stripped_hits = [f for f in analyze(stripped, rel) if f.rule == rule]
+        ok = not pristine_hits and bool(stripped_hits)
+        check(label, ok,
+              f"pristine {rule}={[(f.line_no) for f in pristine_hits]}, "
+              f"stripped {rule}={[(f.line_no) for f in stripped_hits]}")
+
+
+def main() -> int:
+    fixture_tests()
+    seeded_regression_tests()
+    if failures:
+        print(f"run_fixture_tests: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("run_fixture_tests: all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
