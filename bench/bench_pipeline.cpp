@@ -4,12 +4,15 @@
 //
 //   bench_pipeline [nx [ny [nz]]] [--reps N] [--workers W] [--out FILE]
 //
-// Defaults: 256x256x256 Miranda float field, eb 1e-3, 3 repetitions
-// (best-of-N: the minimum wall time is reported, which filters scheduler
-// noise on shared machines), worker counts {1, W} with W defaulting to 8.
-// All throughputs are relative to the raw input bytes, so stages are
-// directly comparable. The archive must be byte-identical across worker
-// counts; the harness verifies this and records the verdict.
+// Defaults: 256x256x256 Miranda float field, eb 1e-3, 3 timed
+// repetitions after one untimed warm-up. Each stage reports its minimum
+// wall time (the noise floor; "seconds"/"bytes_per_s" keep meaning that
+// for before/after diffs) plus the median ("median_seconds"), which
+// shows whether the minimum was representative. Worker counts {1, W}
+// with W defaulting to the hardware thread count. All throughputs are
+// relative to the raw input bytes, so stages are directly comparable.
+// The archive must be byte-identical across worker counts; the harness
+// verifies this and records the verdict.
 //
 // docs/PERFORMANCE.md explains how to read and compare the output.
 
@@ -21,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "compressors/interp_engine.hpp"
 #include "compressors/sz3.hpp"
 #include "data/synthetic.hpp"
@@ -32,37 +36,26 @@
 #include "util/timer.hpp"
 
 using namespace qip;
+using bench::Timing;
 
 namespace {
 
-/// Best-of-N wall time of `body` in seconds.
-template <class F>
-double best_of(int reps, F&& body) {
-  double best = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    Timer t;
-    body();
-    best = std::min(best, t.seconds());
-  }
-  return best;
-}
-
 struct StageTimes {
-  double compress_e2e = 0;
-  double decompress_e2e = 0;
-  double interp_enc = 0;
-  double huffman_enc = 0;
-  double lzb_enc = 0;
-  double huffman_dec = 0;
-  double interp_dec = 0;
-  double lzb_dec = 0;
+  Timing compress_e2e;
+  Timing decompress_e2e;
+  Timing interp_enc;
+  Timing huffman_enc;
+  Timing lzb_enc;
+  Timing huffman_dec;
+  Timing interp_dec;
+  Timing lzb_dec;
 };
 
 void print_stages(std::FILE* out, const StageTimes& s, std::size_t bytes,
                   const char* indent) {
   const struct {
     const char* name;
-    double sec;
+    Timing t;
   } rows[] = {{"compress_e2e", s.compress_e2e},
               {"decompress_e2e", s.decompress_e2e},
               {"interp_enc", s.interp_enc},
@@ -73,9 +66,11 @@ void print_stages(std::FILE* out, const StageTimes& s, std::size_t bytes,
               {"lzb_dec", s.lzb_dec}};
   const int n = static_cast<int>(sizeof(rows) / sizeof(rows[0]));
   for (int i = 0; i < n; ++i) {
-    std::fprintf(out, "%s\"%s\": {\"seconds\": %.6f, \"bytes_per_s\": %.0f}%s\n",
-                 indent, rows[i].name, rows[i].sec,
-                 static_cast<double>(bytes) / rows[i].sec,
+    std::fprintf(out,
+                 "%s\"%s\": {\"seconds\": %.6f, \"median_seconds\": %.6f, "
+                 "\"bytes_per_s\": %.0f}%s\n",
+                 indent, rows[i].name, rows[i].t.min_s, rows[i].t.median_s,
+                 static_cast<double>(bytes) / rows[i].t.min_s,
                  i + 1 < n ? "," : "");
   }
 }
@@ -146,30 +141,34 @@ int main(int argc, char** argv) {
 
     std::vector<std::uint8_t> arc;
     s.compress_e2e =
-        best_of(reps, [&] { arc = sz3_compress(f.data(), f.dims(), wcfg); });
+        bench::time_reps(reps, [&] { arc = sz3_compress(f.data(), f.dims(), wcfg); });
     if (reference_arc.empty())
       reference_arc = arc;
     else if (arc != reference_arc)
       identical = false;
     s.decompress_e2e =
-        best_of(reps, [&] { (void)sz3_decompress<float>(arc, p); });
+        bench::time_reps(reps, [&] { (void)sz3_decompress<float>(arc, p); });
 
-    s.interp_enc = best_of(reps, [&] {
+    s.interp_enc = bench::time_reps(reps, [&] {
       Field<float> w2 = f.clone();
       LinearQuantizer<float> q(eb);
       (void)InterpEngine<float>::encode(w2.data(), dims, plan, eb, q, cfg.qp);
     });
-    s.huffman_enc = best_of(reps, [&] { (void)huffman_encode(res.symbols, p); });
-    s.lzb_enc = best_of(reps, [&] { (void)lzb_compress(henc, p); });
-    s.huffman_dec = best_of(reps, [&] { (void)huffman_decode(henc, p); });
-    s.interp_dec = best_of(reps, [&] {
+    s.huffman_enc =
+        bench::time_reps(reps, [&] { (void)huffman_encode(res.symbols, p); });
+    s.lzb_enc = bench::time_reps(reps, [&] { (void)lzb_compress(henc, p); });
+    s.huffman_dec = bench::time_reps(reps, [&] { (void)huffman_decode(henc, p); });
+    // The stage is the decode walk, not the allocator: the output field
+    // is constructed (and faulted in) once, outside the timed region.
+    Field<float> dec_out(dims);
+    s.interp_dec = bench::time_reps(reps, [&] {
       LinearQuantizer<float> q = quant;
       q.reset_cursor();
-      Field<float> out(dims);
       InterpEngine<float>::decode(res.symbols, dims, plan, eb, q, cfg.qp,
-                                  out.data());
+                                  dec_out.data());
     });
-    s.lzb_dec = best_of(reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
+    s.lzb_dec =
+        bench::time_reps(reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
   }
 
   const double cr = static_cast<double>(bytes) / reference_arc.size();
@@ -210,8 +209,9 @@ int main(int argc, char** argv) {
     const StageTimes& s = times[wi];
     std::printf("workers=%u compress %.3fs (%.1f MB/s)  decompress %.3fs "
                 "(%.1f MB/s)\n",
-                workers[wi], s.compress_e2e, bytes / s.compress_e2e / 1e6,
-                s.decompress_e2e, bytes / s.decompress_e2e / 1e6);
+                workers[wi], s.compress_e2e.min_s,
+                bytes / s.compress_e2e.min_s / 1e6, s.decompress_e2e.min_s,
+                bytes / s.decompress_e2e.min_s / 1e6);
   }
   return identical ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 // DESIGN.md Sec. 3 for the experiment index and EXPERIMENTS.md for the
 // paper-vs-measured record.
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -19,6 +20,34 @@
 #include "util/timer.hpp"
 
 namespace qip::bench {
+
+/// Summary of repeated timed runs of one body.
+struct Timing {
+  double min_s = 0;     ///< noise floor: best observed wall time
+  double median_s = 0;  ///< typical wall time (robust to stragglers)
+};
+
+/// Run `body` once untimed (fault in pages, grow allocator arenas, warm
+/// branch predictors and caches), then `reps` timed iterations. The
+/// minimum filters scheduler noise on shared machines; the median shows
+/// whether the minimum is representative or a lucky outlier.
+template <class F>
+Timing time_reps(int reps, F&& body) {
+  body();  // warm-up, untimed
+  std::vector<double> t(static_cast<std::size_t>(reps));
+  for (auto& sec : t) {
+    Timer timer;
+    body();
+    sec = timer.seconds();
+  }
+  std::sort(t.begin(), t.end());
+  Timing out;
+  out.min_s = t.front();
+  const std::size_t n = t.size();
+  out.median_s =
+      n % 2 ? t[n / 2] : 0.5 * (t[n / 2 - 1] + t[n / 2]);
+  return out;
+}
 
 /// One timed compression + decompression run.
 struct RunResult {

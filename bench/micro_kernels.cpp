@@ -232,6 +232,161 @@ BENCHMARK(BM_QuantRecoverBlock)
     ->Args({1 << 16, 0})
     ->Args({1 << 16, 1});
 
+// The estep>2 gather path: a level>=2 row whose points sit 4 elements
+// apart. The dispatched kernel stages the stencil operand rows into
+// contiguous scratch tiles and runs the stride-1 vector loop; the
+// scalar reference walks the strided memory directly.
+void BM_InterpRowGather(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const std::size_t estep = 4;
+  const std::size_t total = (count + 8) * estep;
+  std::vector<float> data(total);
+  for (std::size_t i = 0; i < total; ++i)
+    data[i] = std::sin(0.003f * static_cast<float>(i));
+  std::vector<std::uint32_t> syms(count);
+  LinearQuantizer<float> q(1e-3);
+  const QPConfig qp;  // disabled: isolates gather + predict + quantize
+  const auto* kt =
+      state.range(1) ? &simd::scalar_kernels<float>() : simd::kernels<float>();
+  if (!kt) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  simd::RowArgs<float> ra;
+  ra.data = data.data();
+  ra.codes = nullptr;
+  ra.total = total;
+  ra.i0 = 4 * estep;  // room for the f(x-3s) taps of the cubic stencil
+  ra.count = count;
+  ra.estep = estep;
+  ra.st = static_cast<std::ptrdiff_t>(estep);
+  ra.kind = PredKind::kCubic;
+  ra.quant = &q;
+  ra.qp = &qp;
+  ra.level = 3;
+  ra.radius = q.radius();
+  ra.qp_active = false;
+  ra.qp_serial = false;
+  ra.syms_out = syms.data();
+  for (auto _ : state) {
+    kt->encode_row(ra);
+    benchmark::DoNotOptimize(syms.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_InterpRowGather)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1});
+
+// The fused symbols-to-reconstruction decode kernel: zigzag + QP inverse
+// + quantizer recovery in one pass, vs the scalar per-point chain.
+void BM_SymRecoverFused(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  LinearQuantizer<float> q(1e-3);
+  const std::int32_t radius = q.radius();
+  std::vector<std::uint32_t> syms(n);
+  std::vector<std::int32_t> comp(n, 0);
+  std::vector<float> preds(n), out(n);
+  std::mt19937 rng(17);
+  std::geometric_distribution<int> geo(0.4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(radius + (geo(rng) - geo(rng)));  // never 0
+    syms[i] = qp_encode_symbol(code, 0, radius);
+    preds[i] = std::sin(0.01f * static_cast<float>(i));
+  }
+  const auto* kt =
+      state.range(1) ? &simd::scalar_kernels<float>() : simd::kernels<float>();
+  if (!kt) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  for (auto _ : state) {
+    kt->sym_recover_block(syms.data(), comp.data(), preds.data(), n, radius,
+                          &q, nullptr, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SymRecoverFused)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1});
+
+// Huffman histogram accumulation: per-lane sub-histograms vs the plain
+// single-counter loop, on a skewed quantization-symbol stream.
+void BM_HistU32(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  std::uint32_t maxs = 0;
+  for (std::uint32_t s : syms) maxs = std::max(maxs, s);
+  const std::size_t alphabet = static_cast<std::size_t>(maxs) + 1;
+  const auto* bk = state.range(1) ? &simd::scalar_byte_kernels()
+                                  : simd::byte_kernels();
+  if (!bk) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  std::vector<std::uint64_t> hist(alphabet);
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), 0);
+    bk->hist_u32(syms.data(), syms.size(), hist.data(), alphabet);
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistU32)
+    ->ArgNames({"n", "scalar"})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+// Forces the scalar histogram + BitWriter code emission so the batched
+// encode path measured by BM_HuffmanEncode has a same-binary baseline
+// (pairs with BM_HuffmanDecodeLegacy above).
+void BM_HuffmanEncodeLegacy(benchmark::State& state) {
+  const auto syms = quant_like_symbols(static_cast<std::size_t>(state.range(0)));
+  simd::set_force_scalar_override(1);
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_encode(syms));
+  simd::set_force_scalar_override(-1);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncodeLegacy)->Arg(1 << 16)->Arg(1 << 20);
+
+// LZB match scan: W-byte vector compares vs the 8-byte XOR scalar loop,
+// on a periodic buffer whose matches run ~1 KiB before a mismatch.
+void BM_LzbMatchScan(benchmark::State& state) {
+  constexpr std::size_t kPeriod = 251;
+  const std::size_t n = std::size_t{1} << 20;
+  std::vector<std::uint8_t> buf(n);
+  std::mt19937 rng(7);
+  for (std::size_t i = 0; i < kPeriod; ++i)
+    buf[i] = static_cast<std::uint8_t>(rng());
+  for (std::size_t i = kPeriod; i < n; ++i)
+    buf[i] = static_cast<std::uint8_t>(buf[i - kPeriod] ^ (i % 1024 == 0));
+  const auto* bk = state.range(0) ? &simd::scalar_byte_kernels()
+                                  : simd::byte_kernels();
+  if (!bk) {
+    state.SkipWithError("no SIMD tier compiled/active on this machine");
+    return;
+  }
+  const std::uint8_t* base = buf.data();
+  const std::uint8_t* end = base + n;
+  std::size_t compared = 0;
+  for (auto _ : state) {
+    compared = 0;
+    for (std::size_t p = 0; p + kPeriod + 64 < n; p += 4096)
+      compared += bk->match_len(base + p, base + p + kPeriod, end);
+    benchmark::DoNotOptimize(compared);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(compared));
+}
+BENCHMARK(BM_LzbMatchScan)
+    ->ArgNames({"scalar"})
+    ->Arg(0)
+    ->Arg(1);
+
 // The 2-D stage-grid Lorenzo transform: compensation, forward symbol
 // mapping, and the inverse, on quantization-code-shaped inputs.
 void BM_Qp2dKernels(benchmark::State& state) {

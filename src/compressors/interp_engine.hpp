@@ -25,6 +25,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "quant/quantizer.hpp"
 #include "simd/dispatch.hpp"
 #include "util/dims.hpp"
+#include "util/scratch.hpp"
 #include "util/status.hpp"
 
 namespace qip {
@@ -64,10 +66,24 @@ class InterpEngine {
                              const QPConfig& qp, bool keep_codes = false) {
     EncodeResult res;
     res.symbols.assign(dims.size(), 0);
-    std::vector<std::uint32_t> codes(dims.size(), 0);
+    // The spatial codes array is QP state: compensation reads same-stage
+    // neighbors out of it. Without QP it is write-only, so skip the
+    // allocation (and every store into it) unless the caller keeps it.
+    const bool qp_live = qp.enabled && qp.dimension != QPDimension::kNone;
+    std::vector<std::uint32_t> codes;
+    std::uint32_t* codes_p = nullptr;
+    if (keep_codes) {
+      codes.assign(dims.size(), 0);
+      codes_p = codes.data();
+    } else if (qp_live) {
+      // Same contract as decode below: compensation never reads an entry
+      // the stage traversal has not already written, so the scratch needs
+      // neither zeroing nor a fresh allocation per call.
+      codes_p = scratch_cache<std::uint32_t>(dims.size());
+    }
     if (keep_codes) res.symbols_spatial.assign(dims.size(), 0);
-    walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols.data(), codes,
-               keep_codes ? &res.symbols_spatial : nullptr);
+    walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols.data(),
+               codes_p, keep_codes ? &res.symbols_spatial : nullptr);
     if (keep_codes) res.codes = std::move(codes);
     return res;
   }
@@ -80,7 +96,14 @@ class InterpEngine {
                      LinearQuantizer<T>& quant, const QPConfig& qp, T* data) {
     if (symbols.size() < dims.size())
       throw DecodeError("interp: symbol stream shorter than field");
-    std::vector<std::uint32_t> codes(dims.size(), 0);
+    const bool qp_live = qp.enabled && qp.dimension != QPDimension::kNone;
+    // Deliberately uninitialized (and reused across calls on this
+    // thread): compensation only ever reads entries a same-stage point
+    // wrote earlier in traversal order (the avail gates floor at the
+    // stage grid / block entry), so neither zero-filling 4 bytes per
+    // point nor a fresh fault-in per decode would ever be observed.
+    std::uint32_t* codes =
+        qp_live ? scratch_cache<std::uint32_t>(dims.size()) : nullptr;
     walk<false>(data, dims, plan, base_eb, quant, qp, symbols.data(), codes,
                 nullptr);
   }
@@ -232,7 +255,7 @@ class InterpEngine {
   static void run_stage(T* data, const Dims& dims, const StageCtx& ctx,
                         InterpKind kind, LinearQuantizer<T>& quant,
                         const QPConfig& qp, SymPtr<kEncode> syms,
-                        std::size_t& cursor, std::vector<std::uint32_t>& codes,
+                        std::size_t& cursor, std::uint32_t* codes,
                         std::vector<std::uint32_t>* sym_spatial, bool blocked,
                         const std::array<std::size_t, kMaxRank>& lo,
                         const std::array<std::size_t, kMaxRank>& hi) {
@@ -292,20 +315,20 @@ class InterpEngine {
       nb.avail_top = avail(ctx.top_axis, ctx.top_off);
 
       const std::int64_t comp =
-          qp_compensation(codes.data(), idx, nb, qp, ctx.g.level, radius);
+          qp_compensation(codes, idx, nb, qp, ctx.g.level, radius);
 
       if constexpr (kEncode) {
         T recon;
         const std::uint32_t code = quant.quantize(data[idx], pred, &recon);
         data[idx] = recon;
-        codes[idx] = code;
+        if (codes) codes[idx] = code;
         const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
         if (sym_spatial) (*sym_spatial)[idx] = sym;
         syms[cursor++] = sym;
       } else {
         const std::uint32_t code =
             qp_decode_symbol(syms[cursor++], comp, radius);
-        codes[idx] = code;
+        if (codes) codes[idx] = code;
         data[idx] = quant.recover(code, pred);
       }
     };
@@ -329,8 +352,7 @@ class InterpEngine {
   static void run_stage_seq(T* data, const Dims& dims, const StageCtx& ctx,
                             InterpKind kind, LinearQuantizer<T>& quant,
                             const QPConfig& qp, SymPtr<kEncode> syms,
-                            std::size_t& cursor,
-                            std::vector<std::uint32_t>& codes,
+                            std::size_t& cursor, std::uint32_t* codes,
                             std::vector<std::uint32_t>* sym_spatial) {
     const StageGrid& g = ctx.g;
     const int last = dims.rank() - 1;
@@ -340,7 +362,12 @@ class InterpEngine {
     const std::int32_t radius = quant.radius();
     const bool qp_active = qp.enabled && level <= qp.max_level &&
                            qp.dimension != QPDimension::kNone;
-    std::uint32_t* const codes_p = codes.data();
+    std::uint32_t* const codes_p = codes;
+    // Codes written by this stage are read back only by same-level QP
+    // compensation (and by the characterization tools); when neither
+    // consumer exists the stores are dead — skip them.
+    std::uint32_t* const cstore =
+        (qp_active || sym_spatial != nullptr) ? codes_p : nullptr;
 
     const std::size_t n_l = dims.extent(last);
     const std::size_t start_l = g.start[last];
@@ -349,6 +376,25 @@ class InterpEngine {
     const std::size_t cnt = (n_l - start_l - 1) / step_l + 1;
     for (int a = 0; a < last; ++a)
       if (g.start[a] >= dims.extent(a)) return;
+
+    // Compact stage-local codes layout (see RowArgs::ci0): every QP
+    // neighbor offset is one stage-grid step (multilevel.hpp), so codes
+    // can index by grid coordinate instead of spatial position — rows
+    // become unit-stride and the traffic shrinks from the whole field's
+    // span to the stage's own footprint. The characterization path
+    // (sym_spatial) keeps the spatial layout its consumers expect.
+    const bool compact = cstore != nullptr && sym_spatial == nullptr;
+    std::array<std::size_t, kMaxRank> cstr{};
+    {
+      std::size_t acc = 1;
+      for (int a2 = kMaxRank - 1; a2 >= 0; --a2) {
+        cstr[a2] = acc;
+        acc *= (dims.extent(a2) - g.start[a2] - 1) / g.step[a2] + 1;
+      }
+    }
+    const std::size_t cback = ctx.back_axis >= 0 ? cstr[ctx.back_axis] : 0;
+    const std::size_t cleft = ctx.left_axis >= 0 ? cstr[ctx.left_axis] : 0;
+    const std::size_t ctop = ctx.top_axis >= 0 ? cstr[ctx.top_axis] : 0;
 
     // Stencil geometry. When the interpolation axis is the row axis, the
     // boundary rules change along the row at fixed positions: jc = first
@@ -364,15 +410,15 @@ class InterpEngine {
       st = static_cast<std::ptrdiff_t>(s * dims.stride(d));
     }
 
-    // SIMD row-kernel eligibility for this stage. The kernels cover the
-    // dominant geometry (points 1 or 2 elements apart — all of level 1
-    // plus the partially-refined level-2 stages) and a sane radius; the
-    // characterization path (sym_spatial) and exotic radii stay on the
-    // engine's own loops. See simd/dispatch.hpp for the identity
-    // contract and QIP_SIMD_FORCE_SCALAR.
+    // SIMD row-kernel eligibility for this stage. Stride-1/2 rows run
+    // the direct vector loads; wider spacings (levels >= 2 along the row
+    // axis) go through the kernels' gather path, which stages each tile
+    // into contiguous scratch rows first. The characterization path
+    // (sym_spatial) and exotic radii stay on the engine's own loops. See
+    // simd/dispatch.hpp for the identity contract, QIP_SIMD_FORCE_SCALAR
+    // and QIP_SIMD_TIER.
     const simd::Kernels<T>* kt = simd::kernels<T>();
-    if (kt && (sym_spatial != nullptr || step_l > 2 || radius <= 0 ||
-               radius > (1 << 20)))
+    if (kt && (sym_spatial != nullptr || radius <= 0 || radius > (1 << 20)))
       kt = nullptr;
     // Decode must chain point-by-point when a QP-read axis runs along
     // the row: compensation at point j then consumes codes decoded by
@@ -408,13 +454,17 @@ class InterpEngine {
     for (;;) {
       std::size_t base = 0;
       for (int a = 0; a < last; ++a) base += c[a] * dims.stride(a);
+      std::size_t cbase = 0;
+      if (compact)
+        for (int a = 0; a < last; ++a)
+          cbase += (c[a] - g.start[a]) / g.step[a] * cstr[a];
 
       // QP neighbor availability is constant along the row except on the
       // row axis, where only j == 0 lacks its stage-grid predecessor.
       QPNeighborhood nbR;
-      nbR.back = ctx.back_off;
-      nbR.left = ctx.left_off;
-      nbR.top = ctx.top_off;
+      nbR.back = compact ? cback : ctx.back_off;
+      nbR.left = compact ? cleft : ctx.left_off;
+      nbR.top = compact ? ctop : ctx.top_off;
       auto row_avail = [&](int axis, std::size_t off) {
         if (axis < 0 || off == 0) return false;
         if (axis == last) return true;
@@ -428,22 +478,23 @@ class InterpEngine {
       if (ctx.left_axis == last) nb0.avail_left = false;
       if (ctx.top_axis == last) nb0.avail_top = false;
 
-      auto emit = [&](std::size_t idx, T pred, const QPNeighborhood& nb) {
+      auto emit = [&](std::size_t idx, std::size_t ci, T pred,
+                      const QPNeighborhood& nb) {
         const std::int64_t comp =
-            qp_active ? qp_compensation(codes_p, idx, nb, qp, level, radius)
+            qp_active ? qp_compensation(codes_p, ci, nb, qp, level, radius)
                       : 0;
         if constexpr (kEncode) {
           T recon;
           const std::uint32_t code = quant.quantize(data[idx], pred, &recon);
           data[idx] = recon;
-          codes_p[idx] = code;
+          if (cstore) cstore[ci] = code;
           const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
           if (sym_spatial) (*sym_spatial)[idx] = sym;
           syms[cursor++] = sym;
         } else {
           const std::uint32_t code =
               qp_decode_symbol(syms[cursor++], comp, radius);
-          codes_p[idx] = code;
+          if (cstore) cstore[ci] = code;
           data[idx] = quant.recover(code, pred);
         }
       };
@@ -455,21 +506,26 @@ class InterpEngine {
       auto run_seg = [&](std::size_t j0, std::size_t j1, PredKind pk,
                          auto&& predfn) {
         if (j0 >= j1) return;
+        const std::size_t cistep = compact ? 1 : step_l;
         std::size_t i = base + start_l + j0 * step_l;
+        std::size_t ci = compact ? cbase + j0 : i;
         std::size_t j = j0;
         if (j == 0) {
-          emit(i, predfn(i), nb0);
+          emit(i, ci, predfn(i), nb0);
           ++j;
           i += step_l;
+          ci += cistep;
         }
         if (kt != nullptr && j1 - j >= simd::kMinKernelPoints) {
           simd::RowArgs<T> ra;
           ra.data = data;
-          ra.codes = codes_p;
+          ra.codes = cstore;
           ra.total = dims.size();
           ra.i0 = i;
           ra.count = j1 - j;
           ra.estep = step_l;
+          ra.ci0 = ci;
+          ra.cestep = cistep;
           ra.st = st;
           ra.kind = pk;
           ra.quant = &quant;
@@ -489,7 +545,8 @@ class InterpEngine {
           cursor += ra.count;
           return;
         }
-        for (; j < j1; ++j, i += step_l) emit(i, predfn(i), nbR);
+        for (; j < j1; ++j, i += step_l, ci += cistep)
+          emit(i, ci, predfn(i), nbR);
       };
 
       auto p_copy = [&](std::size_t i) { return data[i - st]; };
@@ -585,7 +642,7 @@ class InterpEngine {
   static void walk(T* data, const Dims& dims, const InterpPlan& plan,
                    double base_eb, LinearQuantizer<T>& quant,
                    const QPConfig& qp, SymPtr<kEncode> syms,
-                   std::vector<std::uint32_t>& codes,
+                   std::uint32_t* codes,
                    std::vector<std::uint32_t>* sym_spatial) {
     std::size_t cursor = 0;
 
@@ -595,14 +652,14 @@ class InterpEngine {
       T recon;
       const std::uint32_t code = quant.quantize(data[0], T{0}, &recon);
       data[0] = recon;
-      codes[0] = code;
+      if (codes) codes[0] = code;
       const std::uint32_t sym = qp_encode_symbol(code, 0, quant.radius());
       if (sym_spatial) (*sym_spatial)[0] = sym;
       syms[cursor++] = sym;
     } else {
       const std::uint32_t code =
           qp_decode_symbol(syms[cursor++], 0, quant.radius());
-      codes[0] = code;
+      if (codes) codes[0] = code;
       data[0] = quant.recover(code, T{0});
     }
 

@@ -169,8 +169,15 @@ CanonicalTable build_table(const std::vector<SymbolInfo>& syms) {
 // build downstream is deterministic either way.
 std::vector<SymbolInfo> collect_symbols(std::span<const std::uint32_t> symbols,
                                         ThreadPool* pool) {
-  std::uint32_t max_sym = 0;
-  for (std::uint32_t s : symbols) max_sym = std::max(max_sym, s);
+  // Max scan and histogram accumulation go through the dispatched byte
+  // kernels (vector max reduction; per-lane sub-histograms that sidestep
+  // the store-to-load stalls of a single counter array on skewed
+  // streams). Counts are exact integers, so every tier — and the scalar
+  // reference under QIP_SIMD_FORCE_SCALAR — produces the same histogram.
+  const simd::ByteKernels* vk = simd::byte_kernels();
+  const simd::ByteKernels& bkn = vk ? *vk : simd::scalar_byte_kernels();
+  const std::uint32_t max_sym =
+      symbols.empty() ? 0 : bkn.max_u32(symbols.data(), symbols.size());
 
   std::vector<SymbolInfo> syms;
   if (max_sym < kDenseAlphabetCap) {
@@ -183,15 +190,14 @@ std::vector<SymbolInfo> collect_symbols(std::span<const std::uint32_t> symbols,
           nparts, std::vector<std::uint64_t>(alphabet, 0));
       const std::size_t chunk = (symbols.size() + nparts - 1) / nparts;
       pool->parallel_for(nparts, [&](std::size_t p) {
-        const std::size_t lo = p * chunk;
+        const std::size_t lo = std::min(symbols.size(), p * chunk);
         const std::size_t hi = std::min(symbols.size(), lo + chunk);
-        auto& h = partial[p];
-        for (std::size_t i = lo; i < hi; ++i) ++h[symbols[i]];
+        bkn.hist_u32(symbols.data() + lo, hi - lo, partial[p].data(), alphabet);
       });
       for (const auto& h : partial)
         for (std::size_t s = 0; s < alphabet; ++s) hist[s] += h[s];
     } else {
-      for (std::uint32_t s : symbols) ++hist[s];
+      bkn.hist_u32(symbols.data(), symbols.size(), hist.data(), alphabet);
     }
     for (std::size_t s = 0; s < alphabet; ++s)
       if (hist[s]) syms.push_back({static_cast<std::uint32_t>(s), hist[s], 0, 0});
@@ -240,8 +246,54 @@ EncBook build_encbook(const std::vector<SymbolInfo>& syms) {
   return bk;
 }
 
+// Batched emitter for dense books. BitWriter's output is a pure
+// MSB-first bitstring padded to a byte boundary, so any emitter that
+// produces the same bitstring is byte-identical by construction. This
+// one keeps the invariant "the top `fill` bits of `acc` are valid" and
+// spills whole 64-bit words with a byte swap + memcpy instead of
+// BitWriter's per-call shift/mask bookkeeping; canonical codes satisfy
+// code < 2^len, so ORing them in unmasked is exact.
+std::vector<std::uint8_t> encode_stream_fast(
+    std::span<const std::uint32_t> symbols, const EncBook& bk) {
+  std::vector<std::uint8_t> out;
+  out.reserve(symbols.size());  // ~8 bits/symbol starting guess
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  auto push_be64 = [&out](std::uint64_t w) {
+    if constexpr (std::endian::native == std::endian::little)
+      w = __builtin_bswap64(w);
+    const std::size_t n = out.size();
+    out.resize(n + 8);
+    std::memcpy(out.data() + n, &w, 8);
+  };
+  for (std::uint32_t s : symbols) {
+    const std::uint64_t code = bk.code[s];
+    const unsigned len = bk.len[s];
+    const unsigned rem = 64 - fill;
+    if (len < rem) {
+      acc |= code << (rem - len);
+      fill += len;
+    } else {
+      // Split: top `rem` bits complete the word, the rest restart it.
+      acc |= code >> (len - rem);
+      push_be64(acc);
+      const unsigned r = len - rem;
+      acc = r ? code << (64 - r) : 0;
+      fill = r;
+    }
+  }
+  while (fill > 0) {
+    out.push_back(static_cast<std::uint8_t>(acc >> 56));
+    acc <<= 8;
+    fill = fill > 8 ? fill - 8 : 0;
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> encode_stream(std::span<const std::uint32_t> symbols,
                                         const EncBook& bk) {
+  if (bk.dense && simd::huffman_fast_enabled())
+    return encode_stream_fast(symbols, bk);
   BitWriter bw;
   if (bk.dense) {
     for (std::uint32_t s : symbols) bw.write(bk.code[s], bk.len[s]);

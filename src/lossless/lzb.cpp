@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "simd/dispatch.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
@@ -29,26 +30,6 @@ inline std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
-                                const std::uint8_t* end) {
-  const std::uint8_t* start = b;
-  while (b + 8 <= end) {
-    std::uint64_t x, y;
-    std::memcpy(&x, a, 8);
-    std::memcpy(&y, b, 8);
-    const std::uint64_t diff = x ^ y;
-    if (diff) return static_cast<std::size_t>(b - start) +
-                     (std::countr_zero(diff) >> 3);
-    a += 8;
-    b += 8;
-  }
-  while (b < end && *a == *b) {
-    ++a;
-    ++b;
-  }
-  return static_cast<std::size_t>(b - start);
-}
-
 struct Match {
   std::size_t length = 0;
   std::size_t offset = 0;
@@ -59,7 +40,14 @@ class Matcher {
   explicit Matcher(std::span<const std::uint8_t> data)
       : data_(data),
         head_(kHashSize, kNone),
-        prev_(data.size(), kNone) {}
+        prev_(data.size(), kNone),
+        // The match scan is the hot inner loop of the chain walk; resolve
+        // the dispatched kernel (W-byte vector compares) once per stream.
+        // Prefix lengths are exact either way, so tiers agree bit-for-bit.
+        match_len_(
+            (simd::byte_kernels() ? *simd::byte_kernels()
+                                  : simd::scalar_byte_kernels())
+                .match_len) {}
 
   /// Best match at position `pos`, or length 0.
   Match find(std::size_t pos) const {
@@ -71,7 +59,7 @@ class Matcher {
     while (cand != kNone && depth-- > 0) {
       if (pos - cand > kWindow) break;
       const std::size_t len =
-          match_length(data_.data() + cand, data_.data() + pos, end);
+          match_len_(data_.data() + cand, data_.data() + pos, end);
       if (len > best.length) {
         best.length = len;
         best.offset = pos - cand;
@@ -95,6 +83,8 @@ class Matcher {
   std::span<const std::uint8_t> data_;
   std::vector<std::size_t> head_;
   std::vector<std::size_t> prev_;
+  std::size_t (*match_len_)(const std::uint8_t*, const std::uint8_t*,
+                            const std::uint8_t*);
 };
 
 /// Compress one span with the sequence layout (no framing decisions).

@@ -15,13 +15,21 @@ namespace qip::simd {
 namespace detail {
 const Kernels<float>& scalar_ref_f32();
 const Kernels<double>& scalar_ref_f64();
+const ByteKernels& scalar_byte_ref();
 #ifdef QIP_SIMD_HAVE_SSE42
 const Kernels<float>* sse42_kernels_f32();
 const Kernels<double>* sse42_kernels_f64();
+const ByteKernels* sse42_byte_kernels();
 #endif
 #ifdef QIP_SIMD_HAVE_AVX2
 const Kernels<float>* avx2_kernels_f32();
 const Kernels<double>* avx2_kernels_f64();
+const ByteKernels* avx2_byte_kernels();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX512
+const Kernels<float>* avx512_kernels_f32();
+const Kernels<double>* avx512_kernels_f64();
+const ByteKernels* avx512_byte_kernels();
 #endif
 }  // namespace detail
 
@@ -41,11 +49,12 @@ bool env_force_scalar() {
 Tier env_tier_cap() {
   static const Tier v = [] {
     const char* e = std::getenv("QIP_SIMD_TIER");
-    if (e == nullptr) return Tier::kAVX2;  // no cap
+    if (e == nullptr) return Tier::kAVX512;  // no cap
     const std::string s(e);
     if (s == "scalar") return Tier::kScalar;
     if (s == "sse42") return Tier::kSSE42;
-    return Tier::kAVX2;
+    if (s == "avx2") return Tier::kAVX2;
+    return Tier::kAVX512;  // "avx512" or unrecognized: no cap
   }();
   return v;
 }
@@ -57,14 +66,34 @@ const char* to_string(Tier t) {
     case Tier::kScalar: return "scalar";
     case Tier::kSSE42: return "sse42";
     case Tier::kAVX2: return "avx2";
+    case Tier::kAVX512: return "avx512";
   }
   return "?";
+}
+
+bool cpu_has_avx512() {
+  static const bool v = [] {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    // The kernels use 512-bit f32/f64/i32 ops (f), byte compares (bw),
+    // 256-bit lane insert/extract (dq) and 256-bit masked integer ops
+    // (vl); require the whole set so one probe gates the whole tier.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+  }();
+  return v;
 }
 
 Tier cpu_tier() {
   static const Tier t = [] {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_cpu_init();
+    if (cpu_has_avx512()) return Tier::kAVX512;
     if (__builtin_cpu_supports("avx2")) return Tier::kAVX2;
     if (__builtin_cpu_supports("sse4.2")) return Tier::kSSE42;
 #endif
@@ -89,6 +118,12 @@ bool tier_compiled(Tier t) {
 #else
       return false;
 #endif
+    case Tier::kAVX512:
+#ifdef QIP_SIMD_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -99,11 +134,15 @@ bool force_scalar() {
   return env_force_scalar();
 }
 
+Tier tier_cap() {
+  const int cap = g_cap_override.load(std::memory_order_relaxed);
+  return cap >= 0 ? static_cast<Tier>(cap) : env_tier_cap();
+}
+
 Tier active_tier() {
   if (force_scalar()) return Tier::kScalar;
   Tier t = cpu_tier();
-  const int cap = g_cap_override.load(std::memory_order_relaxed);
-  const Tier capt = cap >= 0 ? static_cast<Tier>(cap) : env_tier_cap();
+  const Tier capt = tier_cap();
   if (static_cast<int>(capt) < static_cast<int>(t)) t = capt;
   while (t != Tier::kScalar && !tier_compiled(t))
     t = static_cast<Tier>(static_cast<int>(t) - 1);
@@ -129,6 +168,9 @@ const Kernels<float>* tier_kernels<float>(Tier t) {
 #ifdef QIP_SIMD_HAVE_AVX2
     case Tier::kAVX2: return detail::avx2_kernels_f32();
 #endif
+#ifdef QIP_SIMD_HAVE_AVX512
+    case Tier::kAVX512: return detail::avx512_kernels_f32();
+#endif
     default: break;
   }
   return nullptr;
@@ -143,10 +185,36 @@ const Kernels<double>* tier_kernels<double>(Tier t) {
 #ifdef QIP_SIMD_HAVE_AVX2
     case Tier::kAVX2: return detail::avx2_kernels_f64();
 #endif
+#ifdef QIP_SIMD_HAVE_AVX512
+    case Tier::kAVX512: return detail::avx512_kernels_f64();
+#endif
     default: break;
   }
   return nullptr;
 }
+
+const ByteKernels* tier_byte_kernels(Tier t) {
+  switch (t) {
+#ifdef QIP_SIMD_HAVE_SSE42
+    case Tier::kSSE42: return detail::sse42_byte_kernels();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX2
+    case Tier::kAVX2: return detail::avx2_byte_kernels();
+#endif
+#ifdef QIP_SIMD_HAVE_AVX512
+    case Tier::kAVX512: return detail::avx512_byte_kernels();
+#endif
+    default: break;
+  }
+  return nullptr;
+}
+
+const ByteKernels* byte_kernels() {
+  const Tier t = active_tier();
+  return t == Tier::kScalar ? nullptr : tier_byte_kernels(t);
+}
+
+const ByteKernels& scalar_byte_kernels() { return detail::scalar_byte_ref(); }
 
 template <>
 const Kernels<float>* kernels<float>() {

@@ -1,0 +1,118 @@
+#pragma once
+
+// Element-type-independent byte/u32 kernel templates behind the
+// ByteKernels dispatch table (dispatch.hpp): the Huffman alphabet max
+// scan, the Huffman histogram with per-lane sub-histograms, and the LZB
+// match scan. All three are exact integer computations, so every tier
+// produces identical results by construction; they dispatch anyway so
+// QIP_SIMD_FORCE_SCALAR/QIP_SIMD_TIER stay the single A/B switch for
+// the whole pipeline.
+//
+// Instantiate with a byte trait (SseBytes/AvxBytes/Avx512Bytes) from a
+// vec_*.hpp header, inside the matching per-ISA TU only.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+
+namespace qip::simd {
+
+template <class B>
+std::uint32_t max_u32_v(const std::uint32_t* v, std::size_t n) {
+  constexpr std::size_t KU = B::KU;
+  std::uint32_t m = 0;
+  std::size_t i = 0;
+  if (n >= KU) {
+    auto acc = B::uload(v);
+    for (i = KU; i + KU <= n; i += KU) acc = B::umax(acc, B::uload(v + i));
+    std::uint32_t lanes[KU];
+    B::ustore(lanes, acc);
+    for (std::size_t k = 0; k < KU; ++k) m = std::max(m, lanes[k]);
+  }
+  for (; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+/// Histogram accumulation with one sub-histogram per vector lane.
+/// A single counter array serializes skewed streams (every increment of
+/// a hot symbol waits on the store-to-load forward of the previous one);
+/// KU interleaved sub-histograms restore the ILP and merge exactly.
+template <class B>
+void hist_u32_v(const std::uint32_t* v, std::size_t n, std::uint64_t* hist,
+                std::size_t alphabet) {
+  constexpr std::size_t KU = B::KU;
+  // Sub-histograms cost KU*alphabet zeroing plus a merge pass; skip them
+  // for short streams, and for alphabets past 2^16 (kDenseAlphabetCap is
+  // 2^21, which would be a 256 MiB scratch at KU=16) where the stream is
+  // spread too thin for forwarding stalls to dominate anyway.
+  if (alphabet > (std::size_t{1} << 16) ||
+      n < KU * std::max<std::size_t>(alphabet, 1024)) {
+    for (std::size_t i = 0; i < n; ++i) ++hist[v[i]];
+    return;
+  }
+  std::vector<std::uint64_t> scratch(KU * alphabet, 0);
+  std::uint64_t* sub[KU];
+  for (std::size_t k = 0; k < KU; ++k) sub[k] = scratch.data() + k * alphabet;
+  std::uint32_t lane[KU];
+  std::size_t i = 0;
+  for (; i + KU <= n; i += KU) {
+    B::ustore(lane, B::uload(v + i));
+    for (std::size_t k = 0; k < KU; ++k) ++sub[k][lane[k]];
+  }
+  for (; i < n; ++i) ++sub[0][v[i]];
+  for (std::size_t s = 0; s < alphabet; ++s) {
+    std::uint64_t t = hist[s];
+    for (std::size_t k = 0; k < KU; ++k) t += sub[k][s];
+    hist[s] = t;
+  }
+}
+
+/// Common-prefix length of a and b (b bounded by `end`), W bytes per
+/// compare. The caller guarantees a < b, so a never reads past bytes b
+/// itself may touch; the tails replay the scalar 8-byte/1-byte loops.
+template <class B>
+std::size_t match_len_v(const std::uint8_t* a, const std::uint8_t* b,
+                        const std::uint8_t* end) {
+  const std::uint8_t* const start = b;
+  constexpr std::size_t W = B::W;
+  while (b + W <= end) {
+    const std::uint64_t ne = B::bdiff(a, b);
+    if (ne)
+      return static_cast<std::size_t>(b - start) +
+             static_cast<std::size_t>(std::countr_zero(ne));
+    a += W;
+    b += W;
+  }
+  while (b + 8 <= end) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff)
+      return static_cast<std::size_t>(b - start) +
+             static_cast<std::size_t>(std::countr_zero(diff) >> 3);
+    a += 8;
+    b += 8;
+  }
+  while (b < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(b - start);
+}
+
+template <class B>
+ByteKernels make_byte_kernels(Tier tier) {
+  ByteKernels k;
+  k.tier = tier;
+  k.max_u32 = &max_u32_v<B>;
+  k.hist_u32 = &hist_u32_v<B>;
+  k.match_len = &match_len_v<B>;
+  return k;
+}
+
+}  // namespace qip::simd

@@ -6,8 +6,11 @@
 // code, no copies of the arithmetic — and serve as the A/B ground truth
 // for the vector tiers in tests and benches.
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "core/qp.hpp"
 #include "quant/quantizer.hpp"
@@ -20,15 +23,16 @@ template <class T>
 void encode_row_ref(const RowArgs<T>& a) {
   for (std::size_t j = 0; j < a.count; ++j) {
     const std::size_t i = a.i0 + j * a.estep;
+    const std::size_t ci = a.ci0 + j * a.cestep;
     const T pred = predict_scalar(a.data, i, a.st, a.kind);
     const std::int64_t comp =
-        a.qp_active ? qp_compensation(a.codes, i, a.nb, *a.qp, a.level,
+        a.qp_active ? qp_compensation(a.codes, ci, a.nb, *a.qp, a.level,
                                       a.radius)
                     : 0;
     T recon;
     const std::uint32_t code = a.quant->quantize(a.data[i], pred, &recon);
     a.data[i] = recon;
-    a.codes[i] = code;
+    if (a.codes) a.codes[ci] = code;
     a.syms_out[j] = qp_encode_symbol(code, comp, a.radius);
   }
 }
@@ -37,13 +41,14 @@ template <class T>
 void decode_row_ref(const RowArgs<T>& a) {
   for (std::size_t j = 0; j < a.count; ++j) {
     const std::size_t i = a.i0 + j * a.estep;
+    const std::size_t ci = a.ci0 + j * a.cestep;
     const T pred = predict_scalar(a.data, i, a.st, a.kind);
     const std::int64_t comp =
-        a.qp_active ? qp_compensation(a.codes, i, a.nb, *a.qp, a.level,
+        a.qp_active ? qp_compensation(a.codes, ci, a.nb, *a.qp, a.level,
                                       a.radius)
                     : 0;
     const std::uint32_t code = qp_decode_symbol(a.syms_in[j], comp, a.radius);
-    a.codes[i] = code;
+    if (a.codes) a.codes[ci] = code;
     a.data[i] = a.quant->recover(code, pred);
   }
 }
@@ -62,6 +67,18 @@ void quant_recover_block_ref(const std::uint32_t* codes, const T* preds,
   for (std::size_t i = 0; i < n; ++i) out[i] = q->recover(codes[i], preds[i]);
 }
 
+template <class T>
+void sym_recover_block_ref(const std::uint32_t* syms, const std::int32_t* comp,
+                           const T* preds, std::size_t n, std::int32_t radius,
+                           LinearQuantizer<T>* q, std::uint32_t* codes,
+                           T* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t code = qp_decode_symbol(syms[i], comp[i], radius);
+    if (codes) codes[i] = code;
+    out[i] = q->recover(code, preds[i]);
+  }
+}
+
 /// The QP block entries reuse the batch references from core/qp.cpp,
 /// whose signatures match the dispatch table exactly.
 template <class T>
@@ -75,6 +92,51 @@ Kernels<T> make_scalar_kernels() {
   k.qp2d_comp_block = &qp2d_comp_batch;
   k.qp_sym_encode_block = &qp2d_forward_batch;
   k.qp_sym_decode_block = &qp2d_inverse_batch;
+  k.sym_recover_block = &sym_recover_block_ref<T>;
+  return k;
+}
+
+inline std::uint32_t max_u32_ref(const std::uint32_t* v, std::size_t n) {
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+inline void hist_u32_ref(const std::uint32_t* v, std::size_t n,
+                         std::uint64_t* hist, std::size_t /*alphabet*/) {
+  for (std::size_t i = 0; i < n; ++i) ++hist[v[i]];
+}
+
+/// The 8-byte XOR + countr_zero scan that was lossless/lzb.cpp's scalar
+/// match loop before the dispatch table took over; still the scalar
+/// baseline benches and the forced-scalar path measure.
+inline std::size_t match_len_ref(const std::uint8_t* a, const std::uint8_t* b,
+                                 const std::uint8_t* end) {
+  const std::uint8_t* const start = b;
+  while (b + 8 <= end) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff)
+      return static_cast<std::size_t>(b - start) +
+             static_cast<std::size_t>(std::countr_zero(diff) >> 3);
+    a += 8;
+    b += 8;
+  }
+  while (b < end && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(b - start);
+}
+
+inline ByteKernels make_scalar_byte_kernels() {
+  ByteKernels k;
+  k.tier = Tier::kScalar;
+  k.max_u32 = &max_u32_ref;
+  k.hist_u32 = &hist_u32_ref;
+  k.match_len = &match_len_ref;
   return k;
 }
 

@@ -2,6 +2,7 @@
 // code is only reached after dispatch.cpp's cpuid check.
 
 #include "simd/dispatch.hpp"
+#include "simd/kernels_bytes.hpp"
 #include "simd/kernels_interp.hpp"
 #include "simd/vec_avx2.hpp"
 
@@ -14,6 +15,11 @@ const Kernels<float>* avx2_kernels_f32() {
 
 const Kernels<double>* avx2_kernels_f64() {
   static const Kernels<double> k = make_kernels<AvxF64>(Tier::kAVX2);
+  return &k;
+}
+
+const ByteKernels* avx2_byte_kernels() {
+  static const ByteKernels k = make_byte_kernels<AvxBytes>(Tier::kAVX2);
   return &k;
 }
 

@@ -1,0 +1,27 @@
+// AVX-512-tier kernel tables. This TU (alone) is compiled with the
+// -mavx512{f,bw,dq,vl} flag set; its code is only reached after
+// dispatch.cpp's cpuid check confirms the full feature set.
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_bytes.hpp"
+#include "simd/kernels_interp.hpp"
+#include "simd/vec_avx512.hpp"
+
+namespace qip::simd::detail {
+
+const Kernels<float>* avx512_kernels_f32() {
+  static const Kernels<float> k = make_kernels<Avx512F32>(Tier::kAVX512);
+  return &k;
+}
+
+const Kernels<double>* avx512_kernels_f64() {
+  static const Kernels<double> k = make_kernels<Avx512F64>(Tier::kAVX512);
+  return &k;
+}
+
+const ByteKernels* avx512_byte_kernels() {
+  static const ByteKernels k = make_byte_kernels<Avx512Bytes>(Tier::kAVX512);
+  return &k;
+}
+
+}  // namespace qip::simd::detail

@@ -16,4 +16,9 @@ const Kernels<double>& scalar_ref_f64() {
   return k;
 }
 
+const ByteKernels& scalar_byte_ref() {
+  static const ByteKernels k = make_scalar_byte_kernels();
+  return k;
+}
+
 }  // namespace qip::simd::detail

@@ -2,6 +2,7 @@
 // its code is only reached after dispatch.cpp's cpuid check.
 
 #include "simd/dispatch.hpp"
+#include "simd/kernels_bytes.hpp"
 #include "simd/kernels_interp.hpp"
 #include "simd/vec_sse42.hpp"
 
@@ -14,6 +15,11 @@ const Kernels<float>* sse42_kernels_f32() {
 
 const Kernels<double>* sse42_kernels_f64() {
   static const Kernels<double> k = make_kernels<SseF64>(Tier::kSSE42);
+  return &k;
+}
+
+const ByteKernels* sse42_byte_kernels() {
+  static const ByteKernels k = make_byte_kernels<SseBytes>(Tier::kSSE42);
   return &k;
 }
 

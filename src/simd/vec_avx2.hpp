@@ -195,4 +195,22 @@ struct AvxF64 {
   }
 };
 
+/// Byte/u32 trait for the entropy-stage kernels (kernels_bytes.hpp).
+struct AvxBytes {
+  static constexpr std::size_t W = 32;  ///< bytes per match-scan step
+  static constexpr int KU = 8;          ///< u32 lanes per step
+  using VU = __m256i;
+
+  /// Bitmask (bit i = byte i, LSB = lowest address) of differing bytes.
+  static std::uint64_t bdiff(const std::uint8_t* a, const std::uint8_t* b) {
+    const std::uint32_t eq = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+        _mm256_cmpeq_epi8(detail::iload256(a, 32), detail::iload256(b, 32))));
+    return static_cast<std::uint64_t>(~eq);
+  }
+
+  static VU uload(const std::uint32_t* p) { return detail::iload256(p, 32); }
+  static void ustore(std::uint32_t* p, VU v) { detail::istore256(p, v, 32); }
+  static VU umax(VU a, VU b) { return _mm256_max_epu32(a, b); }
+};
+
 }  // namespace qip::simd

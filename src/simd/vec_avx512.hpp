@@ -1,0 +1,224 @@
+#pragma once
+
+// 512-bit (AVX-512 tier) vector traits consumed by the kernel templates.
+// Include only from TUs compiled with -mavx512f -mavx512bw -mavx512dq
+// -mavx512vl (src/simd/tu_avx512.cpp); see vec_sse42.hpp for the shared
+// bit-identity notes. AVX-512 adds nothing to the exactness envelope:
+//  * the double arithmetic is the same no-FMA add/mul sequence;
+//  * _mm512_cvtpd_epi32 rounds per MXCSR exactly like its 128/256-bit
+//    siblings, matching std::lrint in the default FP environment;
+//  * compares that feed gates use ordered non-signaling predicates
+//    (mask registers here instead of movemask, same lane semantics).
+
+#include <cstdint>
+#include <cstring>
+#include <immintrin.h>
+
+namespace qip::simd {
+
+namespace detail {
+
+inline __m512i iload512(const void* p, std::size_t bytes) {
+  __m512i v = _mm512_setzero_si512();
+  std::memcpy(&v, p, bytes);
+  return v;
+}
+
+inline void istore512(void* p, __m512i v, std::size_t bytes) {
+  std::memcpy(p, &v, bytes);
+}
+
+/// Cross-register even-lane selector for the stride-2 loads: lane j of
+/// the result is element 2j of the 32-element (a, b) concatenation.
+inline __m512i even_idx32() {
+  return _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26,
+                           28, 30);
+}
+
+inline __m512i even_idx64() {
+  return _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+}
+
+}  // namespace detail
+
+/// 16 x f32 per step.
+struct Avx512F32 {
+  using T = float;
+  static constexpr int K = 16;
+  using VT = __m512;
+  struct VD {
+    __m512d lo, hi;  // lanes 0-7, 8-15
+  };
+  using VI = __m512i;
+
+  static VT vload(const T* p) { return _mm512_loadu_ps(p); }
+  static VT vload2(const T* p) {
+    const __m512 v0 = _mm512_loadu_ps(p);
+    const __m512 v1 = _mm512_loadu_ps(p + 16);
+    return _mm512_permutex2var_ps(v0, detail::even_idx32(), v1);
+  }
+  static void vstore(T* p, VT v) { _mm512_storeu_ps(p, v); }
+  static VT vsplat(T x) { return _mm512_set1_ps(x); }
+  static VT vadd(VT a, VT b) { return _mm512_add_ps(a, b); }
+  static VT vsub(VT a, VT b) { return _mm512_sub_ps(a, b); }
+  static VT vmul(VT a, VT b) { return _mm512_mul_ps(a, b); }
+
+  static VD widen(VT v) {
+    return {_mm512_cvtps_pd(_mm512_castps512_ps256(v)),
+            _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1))};
+  }
+  static VT narrow(VD d) {
+    return _mm512_insertf32x8(
+        _mm512_castps256_ps512(_mm512_cvtpd_ps(d.lo)), _mm512_cvtpd_ps(d.hi),
+        1);
+  }
+  static VD dsplat(double x) {
+    return {_mm512_set1_pd(x), _mm512_set1_pd(x)};
+  }
+  static VD dadd(VD a, VD b) {
+    return {_mm512_add_pd(a.lo, b.lo), _mm512_add_pd(a.hi, b.hi)};
+  }
+  static VD dsub(VD a, VD b) {
+    return {_mm512_sub_pd(a.lo, b.lo), _mm512_sub_pd(a.hi, b.hi)};
+  }
+  static VD dmul(VD a, VD b) {
+    return {_mm512_mul_pd(a.lo, b.lo), _mm512_mul_pd(a.hi, b.hi)};
+  }
+  static VD dabs(VD a) {
+    return {_mm512_abs_pd(a.lo), _mm512_abs_pd(a.hi)};
+  }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(
+               _mm512_cmp_pd_mask(a.lo, b.lo, _CMP_LT_OQ)) |
+           (static_cast<unsigned>(_mm512_cmp_pd_mask(a.hi, b.hi, _CMP_LT_OQ))
+            << 8);
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(
+               _mm512_cmp_pd_mask(a.lo, b.lo, _CMP_LE_OQ)) |
+           (static_cast<unsigned>(_mm512_cmp_pd_mask(a.hi, b.hi, _CMP_LE_OQ))
+            << 8);
+  }
+  static VI drint(VD d) {
+    return _mm512_inserti64x4(
+        _mm512_castsi256_si512(_mm512_cvtpd_epi32(d.lo)),
+        _mm512_cvtpd_epi32(d.hi), 1);
+  }
+  static VD dfromi(VI v) {
+    return {_mm512_cvtepi32_pd(_mm512_castsi512_si256(v)),
+            _mm512_cvtepi32_pd(_mm512_extracti64x4_epi64(v, 1))};
+  }
+
+  static VI iload(const std::uint32_t* p) { return detail::iload512(p, 64); }
+  static VI iload2(const std::uint32_t* p) {
+    const __m512i v0 = detail::iload512(p, 64);
+    const __m512i v1 = detail::iload512(p + 16, 64);
+    return _mm512_permutex2var_epi32(v0, detail::even_idx32(), v1);
+  }
+  static void istore(std::uint32_t* p, VI v) { detail::istore512(p, v, 64); }
+  static VI isplat(std::int32_t x) { return _mm512_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm512_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm512_sub_epi32(a, b); }
+  // Compare results materialize the mask register back into the
+  // all-ones/all-zero lane form the shared kernel templates expect.
+  static VI icmpeq(VI a, VI b) {
+    return _mm512_maskz_set1_epi32(_mm512_cmpeq_epi32_mask(a, b), -1);
+  }
+  static VI icmpgt(VI a, VI b) {
+    return _mm512_maskz_set1_epi32(_mm512_cmpgt_epi32_mask(a, b), -1);
+  }
+  static VI iand(VI a, VI b) { return _mm512_and_si512(a, b); }
+  static VI ior(VI a, VI b) { return _mm512_or_si512(a, b); }
+  static VI ixor(VI a, VI b) { return _mm512_xor_si512(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm512_andnot_si512(a, b); }
+  static VI ishl1(VI a) { return _mm512_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm512_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm512_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm512_movepi32_mask(a));
+  }
+};
+
+/// 8 x f64 per step; VI is the matching 8 x i32 256-bit vector.
+struct Avx512F64 {
+  using T = double;
+  static constexpr int K = 8;
+  using VT = __m512d;
+  using VD = __m512d;
+  using VI = __m256i;
+
+  static VT vload(const T* p) { return _mm512_loadu_pd(p); }
+  static VT vload2(const T* p) {
+    const __m512d v0 = _mm512_loadu_pd(p);
+    const __m512d v1 = _mm512_loadu_pd(p + 8);
+    return _mm512_permutex2var_pd(v0, detail::even_idx64(), v1);
+  }
+  static void vstore(T* p, VT v) { _mm512_storeu_pd(p, v); }
+  static VT vsplat(T x) { return _mm512_set1_pd(x); }
+  static VT vadd(VT a, VT b) { return _mm512_add_pd(a, b); }
+  static VT vsub(VT a, VT b) { return _mm512_sub_pd(a, b); }
+  static VT vmul(VT a, VT b) { return _mm512_mul_pd(a, b); }
+
+  static VD widen(VT v) { return v; }
+  static VT narrow(VD d) { return d; }
+  static VD dsplat(double x) { return _mm512_set1_pd(x); }
+  static VD dadd(VD a, VD b) { return _mm512_add_pd(a, b); }
+  static VD dsub(VD a, VD b) { return _mm512_sub_pd(a, b); }
+  static VD dmul(VD a, VD b) { return _mm512_mul_pd(a, b); }
+  static VD dabs(VD a) { return _mm512_abs_pd(a); }
+  static unsigned dlt(VD a, VD b) {
+    return static_cast<unsigned>(_mm512_cmp_pd_mask(a, b, _CMP_LT_OQ));
+  }
+  static unsigned dle(VD a, VD b) {
+    return static_cast<unsigned>(_mm512_cmp_pd_mask(a, b, _CMP_LE_OQ));
+  }
+  static VI drint(VD d) { return _mm512_cvtpd_epi32(d); }
+  static VD dfromi(VI v) { return _mm512_cvtepi32_pd(v); }
+
+  static VI iload(const std::uint32_t* p) {
+    __m256i v = _mm256_setzero_si256();
+    std::memcpy(&v, p, 32);
+    return v;
+  }
+  static VI iload2(const std::uint32_t* p) {
+    // Truncating each 64-bit lane keeps elements 0,2,..,14; the 64-byte
+    // footprint matches vload2's, so the caller's full-width span check
+    // already covers it.
+    return _mm512_cvtepi64_epi32(detail::iload512(p, 64));
+  }
+  static void istore(std::uint32_t* p, VI v) { std::memcpy(p, &v, 32); }
+  static VI isplat(std::int32_t x) { return _mm256_set1_epi32(x); }
+  static VI iadd(VI a, VI b) { return _mm256_add_epi32(a, b); }
+  static VI isub(VI a, VI b) { return _mm256_sub_epi32(a, b); }
+  static VI icmpeq(VI a, VI b) { return _mm256_cmpeq_epi32(a, b); }
+  static VI icmpgt(VI a, VI b) { return _mm256_cmpgt_epi32(a, b); }
+  static VI iand(VI a, VI b) { return _mm256_and_si256(a, b); }
+  static VI ior(VI a, VI b) { return _mm256_or_si256(a, b); }
+  static VI ixor(VI a, VI b) { return _mm256_xor_si256(a, b); }
+  static VI iandnot(VI a, VI b) { return _mm256_andnot_si256(a, b); }
+  static VI ishl1(VI a) { return _mm256_slli_epi32(a, 1); }
+  static VI ishr1(VI a) { return _mm256_srli_epi32(a, 1); }
+  static VI isar31(VI a) { return _mm256_srai_epi32(a, 31); }
+  static unsigned imask(VI a) {
+    return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(a)));
+  }
+};
+
+/// Byte/u32 trait for the entropy-stage kernels (kernels_bytes.hpp).
+struct Avx512Bytes {
+  static constexpr std::size_t W = 64;  ///< bytes per match-scan step
+  static constexpr int KU = 16;         ///< u32 lanes per step
+  using VU = __m512i;
+
+  /// Bitmask (bit i = byte i, LSB = lowest address) of differing bytes.
+  static std::uint64_t bdiff(const std::uint8_t* a, const std::uint8_t* b) {
+    return static_cast<std::uint64_t>(_mm512_cmpneq_epi8_mask(
+        detail::iload512(a, 64), detail::iload512(b, 64)));
+  }
+
+  static VU uload(const std::uint32_t* p) { return detail::iload512(p, 64); }
+  static void ustore(std::uint32_t* p, VU v) { detail::istore512(p, v, 64); }
+  static VU umax(VU a, VU b) { return _mm512_max_epu32(a, b); }
+};
+
+}  // namespace qip::simd

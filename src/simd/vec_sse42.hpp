@@ -180,4 +180,22 @@ struct SseF64 {
   }
 };
 
+/// Byte/u32 trait for the entropy-stage kernels (kernels_bytes.hpp).
+struct SseBytes {
+  static constexpr std::size_t W = 16;  ///< bytes per match-scan step
+  static constexpr int KU = 4;          ///< u32 lanes per step
+  using VU = __m128i;
+
+  /// Bitmask (bit i = byte i, LSB = lowest address) of differing bytes.
+  static std::uint64_t bdiff(const std::uint8_t* a, const std::uint8_t* b) {
+    const unsigned eq = static_cast<unsigned>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(detail::iload128(a, 16), detail::iload128(b, 16))));
+    return static_cast<std::uint64_t>(~eq & 0xFFFFu);
+  }
+
+  static VU uload(const std::uint32_t* p) { return detail::iload128(p, 16); }
+  static void ustore(std::uint32_t* p, VU v) { detail::istore128(p, v, 16); }
+  static VU umax(VU a, VU b) { return _mm_max_epu32(a, b); }
+};
+
 }  // namespace qip::simd

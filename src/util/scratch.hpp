@@ -1,0 +1,75 @@
+#pragma once
+
+// THP-friendly uninitialized scratch for large per-call work arrays.
+//
+// A fresh anonymous mapping is paid for at first touch: one minor fault
+// plus one kernel zeroing pass per page. For a per-call array the size
+// of the whole field (the interp decoder's QP codes array, for one)
+// that fault storm shows up directly in the stage time. Aligning the
+// allocation to the transparent-huge-page size and advising the kernel
+// (MADV_HUGEPAGE; the default "madvise" THP mode honors exactly this)
+// collapses tens of thousands of 4 KiB faults into dozens of 2 MiB
+// ones.
+//
+// The buffer is NOT zeroed. Callers must write every entry they later
+// read; users of this header document why that holds for them.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace qip {
+
+struct ScratchFree {
+  /// THP size on every x86-64/aarch64 configuration we target; harmless
+  /// over-alignment elsewhere.
+  static constexpr std::size_t kAlign = std::size_t{2} << 20;
+
+  void operator()(void* p) const noexcept {
+    ::operator delete(p, std::align_val_t{kAlign});
+  }
+};
+
+template <class T>
+using Scratch = std::unique_ptr<T[], ScratchFree>;
+
+/// Allocate n uninitialized elements, 2 MiB-aligned, huge-page advised.
+template <class T>
+Scratch<T> make_scratch(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T> &&
+                    std::is_trivially_constructible_v<T>,
+                "scratch buffers skip construction entirely");
+  const std::size_t bytes = n * sizeof(T);
+  T* p = static_cast<T*>(
+      ::operator new(bytes, std::align_val_t{ScratchFree::kAlign}));
+#if defined(__linux__)
+  if (bytes >= ScratchFree::kAlign) ::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+  return Scratch<T>(p);
+}
+
+/// Thread-cached variant: the buffer persists (and grows monotonically)
+/// for the life of the thread, so repeated same-size calls — a stream of
+/// timesteps through the decoder, bench repetitions — pay the fault
+/// storm once instead of per call. The contents carry over from the
+/// previous use; callers must already tolerate arbitrary garbage, which
+/// is the same contract as make_scratch. Retention is bounded by the
+/// largest request, i.e. proportional to the largest field decoded on
+/// the thread.
+template <class T>
+T* scratch_cache(std::size_t n) {
+  thread_local Scratch<T> buf;
+  thread_local std::size_t cap = 0;
+  if (cap < n) {
+    buf = make_scratch<T>(n);
+    cap = n;
+  }
+  return buf.get();
+}
+
+}  // namespace qip

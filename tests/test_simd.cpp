@@ -57,7 +57,8 @@ struct DispatchOnGuard {
 // per-tier tests trivially pass (the engine then always runs scalar).
 std::vector<simd::Tier> runnable_vector_tiers() {
   std::vector<simd::Tier> v;
-  for (simd::Tier t : {simd::Tier::kSSE42, simd::Tier::kAVX2}) {
+  for (simd::Tier t :
+       {simd::Tier::kSSE42, simd::Tier::kAVX2, simd::Tier::kAVX512}) {
     if (simd::tier_kernels<float>(t) != nullptr &&
         static_cast<int>(simd::cpu_tier()) >= static_cast<int>(t))
       v.push_back(t);
@@ -322,8 +323,8 @@ Field<T> test_field(const Dims& dims) {
 }
 
 template <class T>
-void check_engine_ab(const Dims& dims, InterpKind kind, bool qp_on) {
-  const Field<T> f = test_field<T>(dims);
+void check_engine_ab_field(const Field<T>& f, InterpKind kind, bool qp_on) {
+  const Dims& dims = f.dims();
   LevelPlan lp;
   lp.kind = kind;
   const InterpPlan plan =
@@ -369,6 +370,11 @@ void check_engine_ab(const Dims& dims, InterpKind kind, bool qp_on) {
       << "decode did not reproduce the encoder's reconstruction";
 }
 
+template <class T>
+void check_engine_ab(const Dims& dims, InterpKind kind, bool qp_on) {
+  check_engine_ab_field<T>(test_field<T>(dims), kind, qp_on);
+}
+
 TEST(SimdEngine, ByteIdentityRanksKindsQpF32F64) {
   const Dims shapes[] = {Dims{4096}, Dims{80, 72}, Dims{40, 36, 28},
                          Dims{10, 9, 8, 7}};
@@ -379,6 +385,100 @@ TEST(SimdEngine, ByteIdentityRanksKindsQpF32F64) {
         check_engine_ab<double>(d, kind, qp_on);
       }
     }
+  }
+}
+
+// Adversarial field batteries, per tier. Odd extents put tile-edge
+// remainders (counts not divisible by any vector width or by the
+// kRowBlock tile) at every level of the walk; the all-outlier field
+// drives every lane of the gather path and the fused recovery through
+// the scalar outlier fallback; NaN/Inf planes stress the lane masking.
+TEST(SimdEngine, AdversarialFieldBatteriesPerTier) {
+  const Dims dims{37, 33, 29};
+  std::vector<std::pair<const char*, Field<float>>> fields;
+
+  Field<float> outl(dims);
+  for (std::size_t i = 0; i < outl.size(); ++i)
+    outl.data()[i] = (i % 2 ? 1.f : -1.f) * 1e30f;
+  fields.emplace_back("all-outlier", std::move(outl));
+
+  Field<float> weird(dims);
+  for (std::size_t z = 0; z < 37; ++z)
+    for (std::size_t y = 0; y < 33; ++y)
+      for (std::size_t x = 0; x < 29; ++x) {
+        float v = std::sin(0.05f * static_cast<float>(x + y + z));
+        if (z % 9 == 4) v = std::numeric_limits<float>::quiet_NaN();
+        if (z % 9 == 7)
+          v = (y % 2 ? 1.f : -1.f) * std::numeric_limits<float>::infinity();
+        weird.at(z, y, x) = v;
+      }
+  fields.emplace_back("nan-inf-planes", std::move(weird));
+
+  DispatchOnGuard on;
+  for (simd::Tier t : runnable_vector_tiers()) {
+    TierGuard g(t);
+    for (const auto& [name, f] : fields) {
+      SCOPED_TRACE(std::string(name) + " @ " + simd::to_string(t));
+      for (bool qp_on : {false, true})
+        check_engine_ab_field<float>(f, InterpKind::kCubic, qp_on);
+    }
+  }
+}
+
+// ---- byte kernels (Huffman max/hist, LZB match scan) ---------------------
+
+TEST(SimdBytes, KernelsMatchScalarAllTiers) {
+  const auto& ref = simd::scalar_byte_kernels();
+  for (simd::Tier t : runnable_vector_tiers()) {
+    const auto* bk = simd::tier_byte_kernels(t);
+    ASSERT_NE(bk, nullptr) << simd::to_string(t);
+
+    // Max scan: extremes in head, interior, and tail positions, around
+    // every width remainder.
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                          std::size_t{16}, std::size_t{17}, std::size_t{999}}) {
+      std::vector<std::uint32_t> v(n);
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint32_t>((i * 2654435761u) ^ 0x55555555u);
+      for (std::size_t pos : {std::size_t{0}, n / 2, n ? n - 1 : 0}) {
+        if (n) v[pos] = 0xFFFFFFFFu - static_cast<std::uint32_t>(pos);
+        ASSERT_EQ(ref.max_u32(v.data(), n), bk->max_u32(v.data(), n))
+            << simd::to_string(t) << " n=" << n;
+      }
+    }
+
+    // Histogram: a maximally skewed stream (sub-histogram path) and a
+    // spread one, accumulated on top of a non-zero running histogram to
+    // pin the add-into semantics the parallel partials rely on.
+    for (bool skewed : {true, false}) {
+      const std::size_t n = 40000, alphabet = 64;
+      std::vector<std::uint32_t> s(n);
+      for (std::size_t i = 0; i < n; ++i)
+        s[i] = skewed ? 7u
+                      : static_cast<std::uint32_t>((i * 2654435761u) %
+                                                   alphabet);
+      std::vector<std::uint64_t> ha(alphabet, 3), hb(alphabet, 3);
+      ref.hist_u32(s.data(), n, ha.data(), alphabet);
+      bk->hist_u32(s.data(), n, hb.data(), alphabet);
+      ASSERT_EQ(ha, hb) << simd::to_string(t) << " skewed=" << skewed;
+    }
+
+    // Match scan: a mismatch planted at every offset through the first
+    // two vector widths, plus the runs-to-end case.
+    const std::size_t len = 400;
+    std::vector<std::uint8_t> a(len), b(len);
+    for (std::size_t i = 0; i < len; ++i)
+      a[i] = b[i] = static_cast<std::uint8_t>(i * 131u);
+    for (std::size_t mis = 0; mis <= 130; ++mis) {
+      std::vector<std::uint8_t> c = b;
+      if (mis < len) c[mis] ^= 0x80;
+      const std::size_t la = ref.match_len(a.data(), c.data(), c.data() + len);
+      const std::size_t lb = bk->match_len(a.data(), c.data(), c.data() + len);
+      ASSERT_EQ(la, lb) << simd::to_string(t) << " mis=" << mis;
+      ASSERT_EQ(la, mis);
+    }
+    ASSERT_EQ(ref.match_len(a.data(), b.data(), b.data() + len),
+              bk->match_len(a.data(), b.data(), b.data() + len));
   }
 }
 
@@ -437,6 +537,51 @@ TEST(SimdArchive, AllCodecsByteIdenticalForcedScalarVsDispatched) {
       ASSERT_EQ(0, std::memcmp(dec64_v.data(), dec64_s.data(),
                                dec64_v.size() * sizeof(double)))
           << e.name << " f64 qp=" << qp_on;
+    }
+  }
+}
+
+// Whole-archive byte identity for every registered codec, both scalar
+// element types, QP off and on, at every runnable vector tier. This is
+// the end-to-end closure of the per-kernel contracts above: the archive
+// bytes (and thus the compression ratio) are a pure function of the
+// input, never of the ISA the encoder happened to run on.
+TEST(SimdArchive, AllCodecsByteIdenticalAcrossAllTiers) {
+  const Dims dims{24, 20, 16};
+  const Field<float> f32 = test_field<float>(dims);
+  const Field<double> f64 = test_field<double>(dims);
+  for (const auto& e : compressor_registry()) {
+    for (bool qp_on : {false, true}) {
+      GenericOptions opt;
+      opt.error_bound = 1e-3;
+      if (qp_on) opt.qp = QPConfig::best_fit();
+
+      std::vector<std::uint8_t> arc32_s, arc64_s;
+      Field<float> d32s;
+      Field<double> d64s;
+      {
+        ScalarGuard g;
+        arc32_s = e.compress_f32(f32.data(), dims, opt);
+        arc64_s = e.compress_f64(f64.data(), dims, opt);
+        d32s = e.decompress_f32(arc32_s);
+        d64s = e.decompress_f64(arc64_s);
+      }
+      DispatchOnGuard on;
+      for (simd::Tier t : runnable_vector_tiers()) {
+        TierGuard g(t);
+        ASSERT_EQ(e.compress_f32(f32.data(), dims, opt), arc32_s)
+            << e.name << " f32 qp=" << qp_on << " @ " << simd::to_string(t);
+        ASSERT_EQ(e.compress_f64(f64.data(), dims, opt), arc64_s)
+            << e.name << " f64 qp=" << qp_on << " @ " << simd::to_string(t);
+        const Field<float> d32 = e.decompress_f32(arc32_s);
+        const Field<double> d64 = e.decompress_f64(arc64_s);
+        ASSERT_EQ(0, std::memcmp(d32.data(), d32s.data(),
+                                 d32.size() * sizeof(float)))
+            << e.name << " f32 qp=" << qp_on << " @ " << simd::to_string(t);
+        ASSERT_EQ(0, std::memcmp(d64.data(), d64s.data(),
+                                 d64.size() * sizeof(double)))
+            << e.name << " f64 qp=" << qp_on << " @ " << simd::to_string(t);
+      }
     }
   }
 }
@@ -518,6 +663,24 @@ TEST(SimdHuffman, DeepTableOverflowSlowPathMatchesLegacy) {
   const auto legacy = huffman_decode(enc);
   ASSERT_EQ(fast, legacy);
   ASSERT_EQ(fast, syms);
+}
+
+// The batched encoder (histogram kernels + 64-bit-word code emission)
+// must produce the exact bytes of the BitWriter path: typical geometric
+// streams in both layouts, and a deep-table stream whose canonical
+// codes straddle the emitter's word-split branch.
+TEST(SimdHuffman, EncodeBytesIdenticalFastVsLegacy) {
+  std::vector<std::vector<std::uint32_t>> streams;
+  streams.push_back(geometric_symbols(50000, 9));   // legacy layout
+  streams.push_back(geometric_symbols(300000, 10)); // ranged layout
+  streams.push_back(fibonacci_stream(24));          // deep codes (> 12 bits)
+  for (const auto& syms : streams) {
+    const auto fast = huffman_encode(syms);
+    ScalarGuard g;
+    const auto legacy = huffman_encode(syms);
+    ASSERT_EQ(fast, legacy) << "n=" << syms.size();
+    ASSERT_EQ(huffman_decode(fast), syms);
+  }
 }
 
 TEST(SimdHuffman, TruncationRejectedIdenticallyInBothModes) {

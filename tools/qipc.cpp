@@ -216,10 +216,13 @@ int do_cpu() {
   const char* fs = std::getenv("QIP_SIMD_FORCE_SCALAR");
   const char* cap = std::getenv("QIP_SIMD_TIER");
   std::printf("cpu tier:      %s\n", simd::to_string(simd::cpu_tier()));
+  std::printf("avx512:        %s\n",
+              simd::cpu_has_avx512() ? "yes (f+bw+dq+vl)" : "no");
   std::printf("compiled:     ");
-  for (Tier t : {Tier::kScalar, Tier::kSSE42, Tier::kAVX2})
+  for (Tier t : {Tier::kScalar, Tier::kSSE42, Tier::kAVX2, Tier::kAVX512})
     if (simd::tier_compiled(t)) std::printf(" %s", simd::to_string(t));
   std::printf("\n");
+  std::printf("tier cap:      %s\n", simd::to_string(simd::tier_cap()));
   std::printf("active tier:   %s%s\n", simd::to_string(simd::active_tier()),
               simd::force_scalar() ? "  (forced scalar)" : "");
   std::printf("huffman fast:  %s\n", simd::huffman_fast_enabled() ? "on" : "off");
