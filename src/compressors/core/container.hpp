@@ -10,16 +10,37 @@
 //   u8    dtype            (dtype_tag<T>())
 //   dims  varint rank, then one varint extent per axis
 //
-// followed by a single LZB block holding the stage sections:
+// Version 3 body — three regions, in order:
 //
-//   varint section count
-//   per section: u8 stage id | varint length | payload bytes
+//   meta      varint length | LZB block of the stage sections
+//             (varint section count; per section u8 stage id |
+//              varint length | payload bytes)
+//   directory varint length | LZB block of the payload directory
+//             (varint level count | varint tile size |
+//              varint tiled-level count | varint chunk count;
+//              per chunk, in payload order: varint level |
+//              varint tile+1 (0 = whole domain) | varint length |
+//              varint symbol count (0 = raw bytes) |
+//              varint outlier count)
+//   payload   concatenated chunk frames, each an independent LZB block
 //
-// Every stage payload rides inside the one LZB pass, so the container
-// framing costs only the plaintext header versus the previous per-codec
-// ad-hoc formats. find_compressor_for, `qipc info`, and the fuzz harness
-// all parse exactly this layout and nothing else.
+// Chunk offsets are implicit — each chunk starts where the previous one
+// ends — so a hostile directory cannot alias or overlap chunks. Chunks
+// are ordered coarse level first (levels strictly descending; within a
+// tiled level, tile ids strictly ascending), which is what makes the
+// format progressive: a reader holding only a prefix of the payload can
+// still decode every chunk that fits, and the directory says exactly
+// which ones those are. Chunk byte extents are validated lazily against
+// the payload bytes actually present, so a truncated download fails only
+// when a missing chunk is really asked for.
+//
+// Version 2 archives (single LZB body holding the stage sections, with
+// the whole entropy payload inside a kSymbols section) still open; the
+// reader exposes them as stage sections with an empty chunk directory.
+// find_compressor_for, `qipc info`, and the fuzz harness all parse
+// exactly these layouts and nothing else.
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -27,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "compressors/core/tiles.hpp"
 #include "util/bytes.hpp"
 #include "util/dims.hpp"
 #include "util/status.hpp"
@@ -40,7 +62,10 @@ inline constexpr std::uint32_t kContainerMagic = 0x43504951;  // "QIPC"
 /// Current container format version. Bumped whenever the layout above or
 /// any stage payload changes incompatibly; readers reject unknown
 /// versions with UnknownCodecError instead of misparsing.
-inline constexpr std::uint8_t kContainerVersion = 2;
+inline constexpr std::uint8_t kContainerVersion = 3;
+
+/// Oldest container version this build still opens.
+inline constexpr std::uint8_t kContainerMinVersion = 2;
 
 /// Magic of multi-chunk parallel archives (parallel/chunked.cpp). Listed
 /// here so every tool can tell the two top-level formats apart from one
@@ -49,6 +74,11 @@ inline constexpr std::uint32_t kChunkedMagic = 0x50504951;  // "QIPP"
 
 /// Plaintext bytes before dims: magic(4) + version(1) + id(1) + dtype(1).
 inline constexpr std::size_t kContainerPrefixBytes = 7;
+
+/// Upper bound on the payload level count a directory may declare. The
+/// interpolation level count of a field is at most log2(max extent), so
+/// 64 covers every representable field; anything larger is a bomb.
+inline constexpr std::uint64_t kMaxPayloadLevels = 64;
 
 /// Compressor identifiers stored in archives. Serialized; append-only.
 enum class CompressorId : std::uint8_t {
@@ -72,7 +102,7 @@ constexpr std::uint8_t dtype_tag<double>() { return 2; }
 /// Stage sections a codec may store. Serialized; append-only.
 enum class StageId : std::uint8_t {
   kConfig = 1,       ///< codec knobs + model state (plan, quantizer, factors)
-  kSymbols = 2,      ///< entropy-coded symbol / coefficient stream
+  kSymbols = 2,      ///< entropy-coded symbol / coefficient stream (v2 only)
   kCorrections = 3,  ///< sparse bound-enforcing patch list
 };
 
@@ -118,7 +148,7 @@ struct ContainerInfo {
   std::uint8_t dtype = 0;
   Dims dims;
   std::size_t header_bytes = 0;  ///< plaintext header size
-  std::size_t body_bytes = 0;    ///< compressed stage-body size
+  std::size_t body_bytes = 0;    ///< bytes after the header
 };
 
 /// Parse the plaintext header only. Throws DecodeError on malformed
@@ -130,37 +160,89 @@ struct ContainerInfo {
 /// One stage section of an opened container.
 struct StageSection {
   StageId id{};
-  std::size_t offset = 0;  ///< into the decompressed body
+  std::size_t offset = 0;  ///< into the decompressed meta body
   std::size_t size = 0;
 };
 
-/// Assembles a container: per-stage byte writers, concatenated and
-/// length-prefixed into one LZB block at seal() time.
+/// One payload chunk declared by a v3 directory: the symbols (or raw
+/// stream) of one interpolation level, or of one tile within a tiled
+/// level. `offset` is implicit — the running sum of the preceding
+/// lengths — so hostile directories cannot overlap chunks.
+struct ChunkEntry {
+  int level = 1;                         ///< interpolation level (1 = finest)
+  std::uint64_t tile = kWholeDomainTile; ///< tile id, or whole-domain
+  std::uint64_t offset = 0;              ///< into the payload region
+  std::uint64_t length = 0;              ///< compressed frame bytes
+  std::size_t symbol_count = 0;          ///< decoded u32 symbols; 0 = raw
+  std::size_t outlier_count = 0;   ///< quantizer outliers consumed here
+  std::size_t outlier_start = 0;   ///< running outlier total before this chunk
+};
+
+/// Parsed v3 payload directory. Empty (zero chunks, inactive tiling) for
+/// v2 archives and v3 archives that carry no payload chunks.
+struct PayloadDirectory {
+  int level_count = 0;
+  TileLayout tiling;
+  std::vector<ChunkEntry> chunks;
+};
+
+/// Assembles a container: per-stage byte writers for the metadata
+/// sections plus an ordered list of payload chunks, sealed into the v3
+/// layout above.
 class ContainerWriter {
  public:
   ContainerWriter(CompressorId id, std::uint8_t dtype, const Dims& dims)
       : id_(id), dtype_(dtype), dims_(dims) {}
 
-  /// Writer for the section `id`; sections are emitted in first-use
+  /// Writer for the meta section `id`; sections are emitted in first-use
   /// order, and a repeated call appends to the same section.
   [[nodiscard]] ByteWriter& stage(StageId id);
 
-  /// Emit the full archive. `pool` parallelizes the lossless pass; the
-  /// bytes do not depend on it.
+  /// Record the tile layout the payload chunks were produced under.
+  void set_tiling(const TileLayout& t) { tiling_ = t; }
+
+  /// Append a payload chunk. Chunks must be added in traversal order:
+  /// levels strictly descending, tiles strictly ascending within a tiled
+  /// level. `raw` is the chunk's uncompressed frame content (Huffman
+  /// bytes for symbol chunks, arbitrary bytes for raw chunks); seal()
+  /// LZB-frames each chunk independently. `symbol_count` must be the
+  /// number of u32 symbols the frame decodes to, or 0 for raw chunks;
+  /// `outlier_count` the number of quantizer outliers the chunk's
+  /// symbols consume.
+  void add_chunk(int level, std::uint64_t tile, std::size_t symbol_count,
+                 std::size_t outlier_count, std::vector<std::uint8_t> raw);
+
+  /// Emit the full archive. `pool` parallelizes the per-chunk lossless
+  /// framing and the meta/directory passes; the bytes do not depend on
+  /// it.
   [[nodiscard]] std::vector<std::uint8_t> seal(ThreadPool* pool = nullptr);
 
  private:
+  struct PendingChunk {
+    int level;
+    std::uint64_t tile;
+    std::size_t symbol_count;
+    std::size_t outlier_count;
+    std::vector<std::uint8_t> raw;
+  };
+
   CompressorId id_;
   std::uint8_t dtype_;
   Dims dims_;
+  TileLayout tiling_;
   std::vector<std::pair<StageId, ByteWriter>> stages_;
+  std::vector<PendingChunk> chunks_;
 };
 
 /// Validates and indexes a container: plaintext header checks first,
-/// then one LZB decompression (capped at `max_body` to bound what a
-/// hostile length header can make us materialize), then the stage
-/// directory. Throws DecodeError on malformed input; never reads out of
-/// bounds.
+/// then the meta/directory LZB blocks (each capped at `max_body` to
+/// bound what a hostile length header can make us materialize), then the
+/// payload directory invariants. Chunk frames are decompressed lazily by
+/// chunk_bytes(). Throws DecodeError on malformed input; never reads out
+/// of bounds.
+///
+/// The reader borrows `bytes` for the payload region: the archive buffer
+/// must outlive any chunk_bytes() call.
 class ContainerReader {
  public:
   static constexpr std::uint64_t kNoBodyCap =
@@ -197,16 +279,50 @@ class ContainerReader {
     return ByteReader(stage_bytes(id));
   }
 
+  /// Payload directory; empty for v2 archives.
+  const PayloadDirectory& directory() const { return dir_; }
+
+  std::size_t chunk_count() const { return dir_.chunks.size(); }
+
+  /// Decompress chunk `index`'s frame. Validates the chunk's byte extent
+  /// against the payload actually present (so prefix-truncated archives
+  /// fail here, not at parse), caps the decompressed size from the
+  /// declared symbol count, and accounts the compressed bytes touched in
+  /// payload_bytes_read(). Throws DecodeError on any violation.
+  [[nodiscard]] std::vector<std::uint8_t> chunk_bytes(std::size_t index) const;
+
+  /// Compressed payload bytes materialized by chunk_bytes() so far —
+  /// the partial-decode efficiency figure surfaced by qipc and asserted
+  /// by the progressive tests. Atomic because read_symbols_stage decodes
+  /// chunks in parallel.
+  std::size_t payload_bytes_read() const {
+    return payload_bytes_read_.load(std::memory_order_relaxed);
+  }
+
+  /// Payload bytes present in the archive buffer (may be less than the
+  /// directory declares for a truncated/streamed prefix).
+  std::size_t payload_bytes_available() const { return payload_.size(); }
+
+  /// Payload bytes the directory declares.
+  std::size_t payload_bytes_declared() const { return payload_declared_; }
+
  private:
   void parse(std::span<const std::uint8_t> bytes, std::uint64_t max_body,
              ThreadPool* pool);
+  void parse_directory(std::span<const std::uint8_t> dir_bytes);
 
   std::uint8_t version_ = 0;
   CompressorId codec_{};
   std::uint8_t dtype_ = 0;
   Dims dims_;
-  std::vector<std::uint8_t> body_;
+  std::vector<std::uint8_t> body_;  ///< decompressed meta sections
   std::vector<StageSection> sections_;
+  PayloadDirectory dir_;
+  std::span<const std::uint8_t> payload_;  ///< borrowed from the archive
+  std::size_t payload_declared_ = 0;
+  std::uint64_t max_body_ = kNoBodyCap;
+  ThreadPool* pool_ = nullptr;
+  mutable std::atomic<std::size_t> payload_bytes_read_{0};
 };
 
 }  // namespace qip

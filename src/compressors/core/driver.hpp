@@ -22,6 +22,7 @@
 // dims/dtype validation for compress / decompress / decompress_into, so
 // a new codec is one policy struct plus three one-line public wrappers.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -37,6 +38,7 @@
 #include "encode/huffman.hpp"
 #include "quant/quantizer.hpp"
 #include "util/field.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qip {
 
@@ -78,6 +80,34 @@ void codec_open_into(std::span<const std::uint8_t> archive, T* out,
   Codec::template decode<T>(in, out, pool);
 }
 
+/// Decompress only the interpolation levels coarser than or equal to
+/// `level` and return the decimated level-`level` grid (extent
+/// ceil(e / 2^(level-1)) per axis). Requires a codec policy with a
+/// decode_preview member (the interpolation family).
+template <class Codec, class T>
+[[nodiscard]] Field<T> codec_open_preview(std::span<const std::uint8_t> archive,
+                                          int level,
+                                          ThreadPool* pool = nullptr,
+                                          PartialDecodeStats* stats = nullptr) {
+  const ContainerReader in(archive, Codec::kId, dtype_tag<T>(),
+                           ContainerReader::kNoBodyCap, pool);
+  return Codec::template decode_preview<T>(in, level, pool, stats);
+}
+
+/// Decompress only the sub-box [box.lo, box.hi) and return it as a field
+/// of the box's extents, reading only the tile chunks that cover it.
+/// Requires a codec policy with a decode_region member and an archive
+/// sealed with an active tile directory.
+template <class Codec, class T>
+[[nodiscard]] Field<T> codec_open_region(std::span<const std::uint8_t> archive,
+                                         const Box& box,
+                                         ThreadPool* pool = nullptr,
+                                         PartialDecodeStats* stats = nullptr) {
+  const ContainerReader in(archive, Codec::kId, dtype_tag<T>(),
+                           ContainerReader::kNoBodyCap, pool);
+  return Codec::template decode_region<T>(in, box, pool, stats);
+}
+
 // ---------------------------------------------------------------------------
 // Interpolation-family stage helpers (SZ3 / QoZ / HPEZ / MGARD).
 
@@ -103,16 +133,84 @@ inline void save_interp_common(ByteWriter& w, double error_bound,
   return c;
 }
 
-/// Huffman-code `symbols` into the kSymbols stage section.
-inline void write_symbols_stage(ContainerWriter& out,
+/// Huffman-code each recorded symbol span into its own payload chunk.
+/// Spans are natural parallel units — each gets its own histogram and
+/// frame — so the encode stage finally scales with workers (see
+/// docs/PERFORMANCE.md); the bytes are worker-count-independent because
+/// every span is encoded in isolation either way.
+inline void write_symbol_chunks(ContainerWriter& out,
                                 std::span<const std::uint32_t> symbols,
+                                std::span<const SymbolSpan> spans,
                                 ThreadPool* pool) {
-  out.stage(StageId::kSymbols).put_bytes(huffman_encode(symbols, pool));
+  std::vector<std::vector<std::uint8_t>> frames(spans.size());
+  if (pool && spans.size() > 1) {
+    pool->parallel_for(spans.size(), [&](std::size_t i) {
+      const SymbolSpan& s = spans[i];
+      frames[i] = huffman_encode(symbols.subspan(s.begin, s.count), nullptr);
+    });
+  } else {
+    for (std::size_t i = 0; i < spans.size(); ++i)
+      frames[i] =
+          huffman_encode(symbols.subspan(spans[i].begin, spans[i].count), pool);
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    out.add_chunk(spans[i].level, spans[i].tile, spans[i].count,
+                  spans[i].outlier_count, std::move(frames[i]));
 }
 
+/// Reassemble the full symbol stream: v2 archives decode the monolithic
+/// kSymbols stage, v3 archives decode every payload chunk (in directory
+/// = traversal order) and concatenate. Each v3 chunk must decode to
+/// exactly its declared symbol count — the guard that keeps hostile
+/// directories from shifting later chunks' symbols.
 [[nodiscard]] inline std::vector<std::uint32_t> read_symbols_stage(
     const ContainerReader& in, ThreadPool* pool) {
-  return huffman_decode(in.stage_bytes(StageId::kSymbols), pool);
+  if (in.version() == 2)
+    return huffman_decode(in.stage_bytes(StageId::kSymbols), pool);
+  const std::vector<ChunkEntry>& chunks = in.directory().chunks;
+  std::vector<std::size_t> offsets(chunks.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].symbol_count == 0)
+      throw DecodeError("raw payload chunk in a symbol-stream archive");
+    offsets[i] = total;
+    total += chunks[i].symbol_count;
+  }
+  std::vector<std::uint32_t> symbols(total);
+  auto decode_one = [&](std::size_t i, ThreadPool* p) {
+    const std::vector<std::uint8_t> frame = in.chunk_bytes(i);
+    const std::vector<std::uint32_t> syms = huffman_decode(frame, p);
+    if (syms.size() != chunks[i].symbol_count)
+      throw DecodeError("payload chunk symbol count mismatch");
+    std::copy(syms.begin(), syms.end(), symbols.begin() + offsets[i]);
+  };
+  if (pool && chunks.size() > 1) {
+    pool->parallel_for(chunks.size(),
+                       [&](std::size_t i) { decode_one(i, nullptr); });
+  } else {
+    for (std::size_t i = 0; i < chunks.size(); ++i) decode_one(i, pool);
+  }
+  return symbols;
+}
+
+/// Store a non-progressive codec's single opaque byte stream as the one
+/// payload chunk of its v3 archive (level 1, whole domain, raw).
+inline void write_raw_chunk(ContainerWriter& out,
+                            std::vector<std::uint8_t> bytes) {
+  out.add_chunk(1, kWholeDomainTile, 0, 0, std::move(bytes));
+}
+
+/// Counterpart of write_raw_chunk(); v2 archives read the legacy
+/// kSymbols stage instead.
+[[nodiscard]] inline std::vector<std::uint8_t> read_raw_chunk(
+    const ContainerReader& in) {
+  if (in.version() == 2) {
+    const auto s = in.stage_bytes(StageId::kSymbols);
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  }
+  if (in.chunk_count() != 1 || in.directory().chunks[0].symbol_count != 0)
+    throw DecodeError("expected a single raw payload chunk");
+  return in.chunk_bytes(0);
 }
 
 /// One interpolation encode pass over a working copy of `data`.
@@ -123,16 +221,16 @@ struct InterpEncoding {
 };
 
 template <class T>
-[[nodiscard]] InterpEncoding<T> interp_encode(const T* data, const Dims& dims,
-                                              const InterpPlan& plan,
-                                              double error_bound,
-                                              std::int32_t radius,
-                                              const QPConfig& qp,
-                                              IndexArtifacts* artifacts) {
+[[nodiscard]] InterpEncoding<T> interp_encode(
+    const T* data, const Dims& dims, const InterpPlan& plan,
+    double error_bound, std::int32_t radius, const QPConfig& qp,
+    IndexArtifacts* artifacts, const TileLayout* tiles = nullptr,
+    std::vector<SymbolSpan>* spans = nullptr) {
   Field<T> work(dims, std::vector<T>(data, data + dims.size()));
   InterpEncoding<T> enc{{}, LinearQuantizer<T>(error_bound, radius)};
   auto res = InterpEngine<T>::encode(work.data(), dims, plan, error_bound,
-                                     enc.quant, qp, artifacts != nullptr);
+                                     enc.quant, qp, artifacts != nullptr,
+                                     tiles, spans);
   enc.symbols = std::move(res.symbols);
   if (artifacts) {
     artifacts->codes = std::move(res.codes);
@@ -141,21 +239,49 @@ template <class T>
   return enc;
 }
 
-/// Run the full interpolation pipeline and emit the standard two stages:
-/// kConfig = common prefix | plan | quantizer, kSymbols = Huffman stream.
+/// The tile layout an interpolation encode will commit for a requested
+/// tile edge. Block-wise plans already reorder the traversal per level;
+/// stacking tile order on top would change their bytes for no
+/// random-access gain, so they stay untiled.
+[[nodiscard]] inline TileLayout interp_tile_layout(std::size_t tile_size,
+                                                   const Dims& dims,
+                                                   const InterpPlan& plan) {
+  if (plan.block_size > 0) return TileLayout{};
+  return TileLayout::plan(tile_size, dims,
+                          static_cast<int>(plan.levels.size()));
+}
+
+/// Run the full interpolation pipeline and emit the standard layout:
+/// kConfig = common prefix | plan | quantizer, plus one payload chunk
+/// per level span (and per tile within tiled levels when `tile_size`
+/// asks for a tile grid).
 template <class T>
 void interp_encode_stages(ContainerWriter& out, const T* data,
                           const Dims& dims, const InterpPlan& plan,
                           double error_bound, std::int32_t radius,
                           const QPConfig& qp, ThreadPool* pool,
-                          IndexArtifacts* artifacts) {
+                          IndexArtifacts* artifacts,
+                          std::size_t tile_size = 0) {
+  const TileLayout tiles = interp_tile_layout(tile_size, dims, plan);
+  std::vector<SymbolSpan> spans;
   const InterpEncoding<T> enc =
-      interp_encode(data, dims, plan, error_bound, radius, qp, artifacts);
+      interp_encode(data, dims, plan, error_bound, radius, qp, artifacts,
+                    tiles.active() ? &tiles : nullptr, &spans);
   ByteWriter& h = out.stage(StageId::kConfig);
   save_interp_common(h, error_bound, radius, qp);
   plan.save(h);
   enc.quant.save(h);
-  write_symbols_stage(out, enc.symbols, pool);
+  out.set_tiling(tiles);
+  write_symbol_chunks(out, enc.symbols, spans, pool);
+}
+
+/// The tile layout a decode must replay: the one the archive's directory
+/// committed (inactive for v2 archives).
+[[nodiscard]] inline const TileLayout* archive_tiles(
+    const ContainerReader& in) {
+  return in.version() >= 3 && in.directory().tiling.active()
+             ? &in.directory().tiling
+             : nullptr;
 }
 
 /// Decode counterpart of interp_encode_stages().
@@ -169,7 +295,7 @@ void interp_decode_stages(const ContainerReader& in, T* out,
   quant.load(h);
   const std::vector<std::uint32_t> symbols = read_symbols_stage(in, pool);
   InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
-                          c.qp, out);
+                          c.qp, out, archive_tiles(in));
 }
 
 /// Seal a complete standard interpolation archive for a fixed plan. Used
@@ -178,11 +304,229 @@ template <class T>
 [[nodiscard]] std::vector<std::uint8_t> interp_seal(
     CompressorId id, const T* data, const Dims& dims, const InterpPlan& plan,
     double error_bound, std::int32_t radius, const QPConfig& qp,
-    ThreadPool* pool, IndexArtifacts* artifacts) {
+    ThreadPool* pool, IndexArtifacts* artifacts,
+    std::size_t tile_size = 0) {
   ContainerWriter out(id, dtype_tag<T>(), dims);
   interp_encode_stages(out, data, dims, plan, error_bound, radius, qp, pool,
-                       artifacts);
+                       artifacts, tile_size);
   return out.seal(pool);
+}
+
+/// Extent of the level-`level` preview grid along an axis of extent `e`.
+inline std::size_t preview_extent(std::size_t e, int level) {
+  return (e - 1) / (std::size_t{1} << (level - 1)) + 1;
+}
+
+/// Decimate the level-`level` grid of a full-size reconstruction into
+/// its own dense field: out[c] = data[c * 2^(level-1)].
+template <class T>
+[[nodiscard]] Field<T> decimate_to_level(const T* data, const Dims& dims,
+                                         int level) {
+  const std::size_t s = std::size_t{1} << (level - 1);
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  for (int a = 0; a < dims.rank(); ++a) e[a] = preview_extent(dims.extent(a), level);
+  Dims pd;
+  switch (dims.rank()) {
+    case 1: pd = Dims{e[0]}; break;
+    case 2: pd = Dims{e[0], e[1]}; break;
+    case 3: pd = Dims{e[0], e[1], e[2]}; break;
+    default: pd = Dims{e[0], e[1], e[2], e[3]}; break;
+  }
+  Field<T> out(pd);
+  std::array<std::size_t, kMaxRank> c{};
+  for (c[0] = 0; c[0] < e[0]; ++c[0])
+    for (c[1] = 0; c[1] < e[1]; ++c[1])
+      for (c[2] = 0; c[2] < e[2]; ++c[2])
+        for (c[3] = 0; c[3] < e[3]; ++c[3])
+          out.data()[pd.index(c[0], c[1], c[2], c[3])] =
+              data[dims.index(c[0] * s, c[1] * s, c[2] * s, c[3] * s)];
+  return out;
+}
+
+/// Progressive preview for the standard interpolation pipeline: decode
+/// only the payload chunks of levels >= `level` (a prefix of the chunk
+/// list) and return the decimated level-`level` grid. Bit-identical to
+/// decimating a full decode, because every grid point's value is final
+/// the moment its own level is processed. v2 archives take the same
+/// path through their monolithic symbol stage (no byte savings, same
+/// bits).
+template <class T>
+[[nodiscard]] Field<T> interp_preview_core(const ContainerReader& in,
+                                           int level, ThreadPool* pool,
+                                           PartialDecodeStats* stats,
+                                           const InterpPlan& plan,
+                                           const InterpCommon& c,
+                                           LinearQuantizer<T>& quant) {
+  const int level_count = static_cast<int>(plan.levels.size());
+  if (level < 1 || level > level_count)
+    throw DecodeError("preview level outside the archive's level range");
+
+  std::vector<std::uint32_t> symbols;
+  if (in.version() == 2) {
+    symbols = read_symbols_stage(in, pool);
+  } else {
+    // Chunks are ordered coarse-to-fine, so "levels >= level" is a
+    // prefix; decode it chunk by chunk and stop.
+    const std::vector<ChunkEntry>& chunks = in.directory().chunks;
+    for (std::size_t i = 0; i < chunks.size() && chunks[i].level >= level;
+         ++i) {
+      if (chunks[i].symbol_count == 0)
+        throw DecodeError("raw payload chunk in a symbol-stream archive");
+      const std::vector<std::uint32_t> syms =
+          huffman_decode(in.chunk_bytes(i), pool);
+      if (syms.size() != chunks[i].symbol_count)
+        throw DecodeError("payload chunk symbol count mismatch");
+      symbols.insert(symbols.end(), syms.begin(), syms.end());
+    }
+  }
+
+  Field<T> full(in.dims());
+  InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
+                          c.qp, full.data(), archive_tiles(in), level);
+  if (stats) {
+    stats->payload_bytes_read = in.version() == 2
+                                    ? in.stage_bytes(StageId::kSymbols).size()
+                                    : in.payload_bytes_read();
+    stats->payload_bytes_total =
+        in.version() == 2 ? in.stage_bytes(StageId::kSymbols).size()
+                          : in.payload_bytes_declared();
+  }
+  return decimate_to_level(full.data(), in.dims(), level);
+}
+
+/// interp_preview_core for the standard kConfig layout
+/// (common | plan | quantizer).
+template <class T>
+[[nodiscard]] Field<T> interp_preview_stages(const ContainerReader& in,
+                                             int level, ThreadPool* pool,
+                                             PartialDecodeStats* stats) {
+  ByteReader h = in.stage(StageId::kConfig);
+  const InterpCommon c = load_interp_common(h);
+  const InterpPlan plan = InterpPlan::load(h);
+  LinearQuantizer<T> quant(c.error_bound);
+  quant.load(h);
+  return interp_preview_core(in, level, pool, stats, plan, c, quant);
+}
+
+/// Clamp and validate a region request against the archive's dims: the
+/// box must be non-empty and inside the domain on every rank axis; axes
+/// beyond the rank are normalized to [0, 1).
+[[nodiscard]] inline Box validate_region(const Box& box, const Dims& dims) {
+  Box b = box;
+  for (int a = 0; a < kMaxRank; ++a) {
+    if (a >= dims.rank()) {
+      b.lo[a] = 0;
+      b.hi[a] = 1;
+      continue;
+    }
+    if (b.lo[a] >= b.hi[a] || b.hi[a] > dims.extent(a))
+      throw DecodeError("region outside the archive's domain");
+  }
+  return b;
+}
+
+/// Random-access region decode for the standard interpolation pipeline:
+/// decode the untiled (coarse) levels globally, then only the tile
+/// chunks that intersect `box`, and crop. Byte-identical to cropping a
+/// full decode because encode ran the same tile traversal under the
+/// same cross-tile stencil guard. Requires an active tile directory.
+template <class T>
+[[nodiscard]] Field<T> interp_region_core(const ContainerReader& in,
+                                          const Box& box, ThreadPool* pool,
+                                          PartialDecodeStats* stats,
+                                          const InterpPlan& plan,
+                                          const InterpCommon& c,
+                                          LinearQuantizer<T>& quant) {
+  const TileLayout* tiles = archive_tiles(in);
+  if (!tiles)
+    throw DecodeError(
+        "archive has no tile directory; re-compress with a tile size to "
+        "enable region decode");
+  const Dims& dims = in.dims();
+  const Box b = validate_region(box, dims);
+
+  // Coarse pass: the untiled levels are the prefix of the chunk list
+  // above the tiled band; decode them globally.
+  const std::vector<ChunkEntry>& chunks = in.directory().chunks;
+  std::vector<std::uint32_t> symbols;
+  std::size_t first_tiled = 0;
+  while (first_tiled < chunks.size() &&
+         chunks[first_tiled].level > tiles->max_level) {
+    const ChunkEntry& ce = chunks[first_tiled];
+    if (ce.symbol_count == 0)
+      throw DecodeError("raw payload chunk in a symbol-stream archive");
+    const std::vector<std::uint32_t> syms =
+        huffman_decode(in.chunk_bytes(first_tiled), pool);
+    if (syms.size() != ce.symbol_count)
+      throw DecodeError("payload chunk symbol count mismatch");
+    symbols.insert(symbols.end(), syms.begin(), syms.end());
+    ++first_tiled;
+  }
+  Field<T> full(dims);
+  InterpEngine<T>::decode(symbols, dims, plan, c.error_bound, quant, c.qp,
+                          full.data(), tiles, tiles->max_level + 1);
+
+  // Tile pass: chunks stay in (level desc, tile asc) order, which is
+  // exactly the traversal a full decode runs — so applying the
+  // intersecting ones in list order is both correct and sequential in
+  // the file. The outlier cursor seeks per chunk from the directory's
+  // prefix sums; symbol counts are validated against the tile geometry
+  // inside decode_tile.
+  const TileGrid grid(dims, tiles->tile_size);
+  for (std::size_t i = first_tiled; i < chunks.size(); ++i) {
+    const ChunkEntry& ce = chunks[i];
+    if (ce.tile == kWholeDomainTile || ce.symbol_count == 0)
+      throw DecodeError("untiled chunk inside the tiled band");
+    const Box tb = grid.box(ce.tile, dims);
+    bool overlaps = true;
+    for (int a = 0; a < dims.rank(); ++a)
+      overlaps = overlaps && tb.lo[a] < b.hi[a] && b.lo[a] < tb.hi[a];
+    if (!overlaps) continue;
+    const std::vector<std::uint32_t> syms =
+        huffman_decode(in.chunk_bytes(i), pool);
+    quant.set_outlier_cursor(ce.outlier_start);
+    InterpEngine<T>::decode_tile(syms, dims, plan, c.error_bound, quant,
+                                 c.qp, full.data(), *tiles, ce.level, tb);
+  }
+
+  if (stats) {
+    stats->payload_bytes_read = in.payload_bytes_read();
+    stats->payload_bytes_total = in.payload_bytes_declared();
+  }
+
+  // Crop.
+  std::size_t e[kMaxRank] = {1, 1, 1, 1};
+  for (int a = 0; a < dims.rank(); ++a) e[a] = b.hi[a] - b.lo[a];
+  Dims rd;
+  switch (dims.rank()) {
+    case 1: rd = Dims{e[0]}; break;
+    case 2: rd = Dims{e[0], e[1]}; break;
+    case 3: rd = Dims{e[0], e[1], e[2]}; break;
+    default: rd = Dims{e[0], e[1], e[2], e[3]}; break;
+  }
+  Field<T> out(rd);
+  std::array<std::size_t, kMaxRank> c2{};
+  for (c2[0] = 0; c2[0] < e[0]; ++c2[0])
+    for (c2[1] = 0; c2[1] < e[1]; ++c2[1])
+      for (c2[2] = 0; c2[2] < e[2]; ++c2[2])
+        for (c2[3] = 0; c2[3] < e[3]; ++c2[3])
+          out.data()[rd.index(c2[0], c2[1], c2[2], c2[3])] =
+              full.data()[dims.index(b.lo[0] + c2[0], b.lo[1] + c2[1],
+                                     b.lo[2] + c2[2], b.lo[3] + c2[3])];
+  return out;
+}
+
+/// interp_region_core for the standard kConfig layout.
+template <class T>
+[[nodiscard]] Field<T> interp_region_stages(const ContainerReader& in,
+                                            const Box& box, ThreadPool* pool,
+                                            PartialDecodeStats* stats) {
+  ByteReader h = in.stage(StageId::kConfig);
+  const InterpCommon c = load_interp_common(h);
+  const InterpPlan plan = InterpPlan::load(h);
+  LinearQuantizer<T> quant(c.error_bound);
+  quant.load(h);
+  return interp_region_core(in, box, pool, stats, plan, c, quant);
 }
 
 // ---------------------------------------------------------------------------

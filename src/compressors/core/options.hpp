@@ -6,6 +6,7 @@
 // all configs uniformly (and tools/qip_lint.py enforces that no config
 // grows a duplicate copy of a common field).
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/qp.hpp"
@@ -23,6 +24,13 @@ struct CodecOptions {
   QPConfig qp;                  ///< quantization index prediction hook
   std::int32_t radius = 32768;  ///< linear-quantizer code radius
   InterpKind kind = InterpKind::kCubic;  ///< interpolator for fixed plans
+  /// Tile edge for the container-v3 tile directory (0 = untiled). When
+  /// set, codecs that support random-access region decode (SZ3/QoZ
+  /// interpolation paths) traverse the fine levels tile by tile so each
+  /// tile's payload chunk decodes independently; the slightly weaker
+  /// cross-tile prediction costs a little ratio, which is why tiling is
+  /// opt-in.
+  std::size_t tile_size = 0;
   /// Shared worker pool for the parallel entropy-coding stages; nullptr
   /// runs them inline. Parallel output is byte-identical to serial output
   /// by construction (fixed-size ranges, not worker-count-dependent).

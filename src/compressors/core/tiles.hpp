@@ -1,0 +1,135 @@
+#pragma once
+
+// Fixed tile grid over a field domain, shared by the container v3 tile
+// directory, the interpolation engine's tile-independent traversal, and
+// the partial-decode entry points.
+//
+// Tiles split only the *fine* interpolation levels: a level l is tiled
+// when l <= TileLayout::max_level. The coarse levels above stay global,
+// so after decoding them the reconstruction is known on the
+// 2^max_level-spaced grid everywhere — that grid is the only cross-tile
+// state a tile's prediction stencils may read, which is what makes a
+// tile decodable from its own symbol chunks alone (see
+// docs/FORMATS.md, "tile directory").
+
+#include <array>
+#include <cstdint>
+
+#include "util/dims.hpp"
+#include "util/status.hpp"
+
+namespace qip {
+
+/// Sentinel tile id for whole-domain payload chunks (untiled levels and
+/// non-progressive codecs).
+inline constexpr std::uint64_t kWholeDomainTile = ~std::uint64_t{0};
+
+/// How much of the payload a partial decode actually touched — the
+/// figure the progressive format exists to shrink. Surfaced by `qipc
+/// preview/extract --stats` and asserted on by the progressive tests.
+struct PartialDecodeStats {
+  std::size_t payload_bytes_read = 0;   ///< compressed chunk bytes consumed
+  std::size_t payload_bytes_total = 0;  ///< payload the archive declares
+};
+
+/// Half-open box [lo, hi) in field coordinates. Axes beyond the field's
+/// rank must span [0, 1).
+struct Box {
+  std::array<std::size_t, kMaxRank> lo{0, 0, 0, 0};
+  std::array<std::size_t, kMaxRank> hi{1, 1, 1, 1};
+
+  /// Whole-domain box for `dims`.
+  static Box whole(const Dims& dims) {
+    Box b;
+    for (int a = 0; a < kMaxRank; ++a) b.hi[a] = dims.extent(a);
+    return b;
+  }
+};
+
+/// The fixed tile grid induced by a tile edge length over `dims`. Tile
+/// ids are lexicographic (axis 0 outermost), matching the engine's
+/// traversal order and the directory's chunk order.
+struct TileGrid {
+  std::array<std::size_t, kMaxRank> count{1, 1, 1, 1};
+  std::size_t tile = 0;  ///< edge length (elements per axis)
+  std::size_t total = 1;
+
+  TileGrid() = default;
+  TileGrid(const Dims& dims, std::size_t tile_size) : tile(tile_size) {
+    for (int a = 0; a < dims.rank(); ++a) {
+      count[a] = (dims.extent(a) + tile_size - 1) / tile_size;
+      total *= count[a];
+    }
+  }
+
+  /// Box of tile `id`; clipped to the field extents.
+  Box box(std::uint64_t id, const Dims& dims) const {
+    Box b;
+    std::array<std::size_t, kMaxRank> c{};
+    std::uint64_t rest = id;
+    for (int a = kMaxRank - 1; a >= 0; --a) {
+      c[a] = static_cast<std::size_t>(rest % count[a]);
+      rest /= count[a];
+    }
+    for (int a = 0; a < kMaxRank; ++a) {
+      if (a < dims.rank()) {
+        b.lo[a] = c[a] * tile;
+        b.hi[a] = b.lo[a] + tile < dims.extent(a) ? b.lo[a] + tile
+                                                  : dims.extent(a);
+      } else {
+        b.lo[a] = 0;
+        b.hi[a] = dims.extent(a);
+      }
+    }
+    return b;
+  }
+
+  /// Id of the tile containing coordinate `c` (axes beyond rank ignored).
+  std::uint64_t id_of(const std::array<std::size_t, kMaxRank>& c) const {
+    std::uint64_t id = 0;
+    for (int a = 0; a < kMaxRank; ++a) id = id * count[a] + c[a] / tile;
+    return id;
+  }
+};
+
+/// Tiling decision committed into an archive: which edge length, and up
+/// to which interpolation level tiles apply (levels 1..max_level are
+/// tiled, coarser levels stay global). max_level == 0 means untiled.
+struct TileLayout {
+  std::size_t tile_size = 0;
+  int max_level = 0;
+
+  bool active() const { return tile_size > 0 && max_level > 0; }
+  bool tiled(int level) const { return active() && level <= max_level; }
+
+  /// Grid spacing of the globally-known reconstruction once every
+  /// untiled level has been decoded; the only out-of-tile points a tiled
+  /// level's stencils may read.
+  std::size_t known_stride() const { return std::size_t{1} << max_level; }
+
+  /// The committed layout for a request of tile edge `tile_size` over
+  /// `dims` with `level_count` interpolation levels. Returns an inactive
+  /// layout when tiling cannot pay for itself: the edge is clamped to a
+  /// power of two in [16, 4096], levels are tiled only while a tile
+  /// spans at least 8 stage strides, and a grid of fewer than two tiles
+  /// is no grid at all.
+  static TileLayout plan(std::size_t tile_size, const Dims& dims,
+                         int level_count) {
+    TileLayout t;
+    if (tile_size == 0) return t;
+    std::size_t edge = 16;
+    while (edge < tile_size && edge < 4096) edge *= 2;
+    if (edge > dims.max_extent()) return t;  // single tile: pointless
+    int ml = 0;
+    while (ml + 1 <= level_count &&
+           (std::size_t{1} << ml) * 8 <= edge)
+      ++ml;
+    if (ml == 0) return t;
+    t.tile_size = edge;
+    t.max_level = ml < level_count ? ml : level_count - 1;
+    if (t.max_level <= 0) return TileLayout{};
+    return t;
+  }
+};
+
+}  // namespace qip

@@ -178,13 +178,28 @@ struct HPEZCodec {
     // the tuner (including its sealed-size comparison) runs QP-blind,
     // and the winner is encoded with the requested QP config.
     const InterpPlan plan = hpez_tune_plan(data, dims, cfg);
+    // HPEZ plans are block-wise (plan.block_size > 0), which disables the
+    // tile grid inside interp_tile_layout — so per-level chunks (and thus
+    // progressive preview) are available, but region decode is not.
     interp_encode_stages(out, data, dims, plan, cfg.error_bound, cfg.radius,
-                         cfg.qp, cfg.pool, artifacts);
+                         cfg.qp, cfg.pool, artifacts, cfg.tile_size);
   }
 
   template <class T>
   static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
     interp_decode_stages(in, out, pool);
+  }
+
+  template <class T>
+  static Field<T> decode_preview(const ContainerReader& in, int level,
+                                 ThreadPool* pool, PartialDecodeStats* stats) {
+    return interp_preview_stages<T>(in, level, pool, stats);
+  }
+
+  template <class T>
+  static Field<T> decode_region(const ContainerReader& in, const Box& box,
+                                ThreadPool* pool, PartialDecodeStats* stats) {
+    return interp_region_stages<T>(in, box, pool, stats);
   }
 };
 
@@ -209,6 +224,20 @@ void hpez_decompress_into(std::span<const std::uint8_t> archive, T* out,
   codec_open_into<HPEZCodec, T>(archive, out, expect, pool);
 }
 
+template <class T>
+Field<T> hpez_decompress_preview(std::span<const std::uint8_t> archive,
+                                 int level, ThreadPool* pool,
+                                 PartialDecodeStats* stats) {
+  return codec_open_preview<HPEZCodec, T>(archive, level, pool, stats);
+}
+
+template <class T>
+Field<T> hpez_decompress_region(std::span<const std::uint8_t> archive,
+                                const Box& box, ThreadPool* pool,
+                                PartialDecodeStats* stats) {
+  return codec_open_region<HPEZCodec, T>(archive, box, pool, stats);
+}
+
 template std::vector<std::uint8_t> hpez_compress<float>(
     const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);
 template std::vector<std::uint8_t> hpez_compress<double>(
@@ -221,5 +250,15 @@ template void hpez_decompress_into<float>(std::span<const std::uint8_t>, float*,
                                           const Dims&, ThreadPool*);
 template void hpez_decompress_into<double>(std::span<const std::uint8_t>,
                                            double*, const Dims&, ThreadPool*);
+template Field<float> hpez_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<double> hpez_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<float> hpez_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+template Field<double> hpez_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

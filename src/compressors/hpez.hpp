@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compressors/core/options.hpp"
+#include "compressors/core/tiles.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -47,6 +48,24 @@ template <class T>
 void hpez_decompress_into(std::span<const std::uint8_t> archive, T* out,
                           const Dims& expect, ThreadPool* pool = nullptr);
 
+/// Progressive preview: decode only the interpolation levels coarser
+/// than or equal to `level` and return the decimated level-`level` grid.
+/// HPEZ payloads are chunked per level, so this reads only the coarse
+/// prefix of a v3 archive.
+template <class T>
+[[nodiscard]] Field<T> hpez_decompress_preview(
+    std::span<const std::uint8_t> archive, int level,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
+/// Random-access region decode. HPEZ's block-wise traversal is
+/// incompatible with the tile grid, so its archives never carry a tile
+/// directory and this always throws DecodeError — it exists so the
+/// registry surface is uniform and the refusal is typed.
+template <class T>
+[[nodiscard]] Field<T> hpez_decompress_region(
+    std::span<const std::uint8_t> archive, const Box& box,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
 extern template std::vector<std::uint8_t> hpez_compress<float>(
     const float*, const Dims&, const HPEZConfig&, IndexArtifacts*);
 extern template std::vector<std::uint8_t> hpez_compress<double>(
@@ -61,5 +80,15 @@ extern template void hpez_decompress_into<float>(std::span<const std::uint8_t>,
 extern template void hpez_decompress_into<double>(std::span<const std::uint8_t>,
                                                   double*, const Dims&,
                                                   ThreadPool*);
+extern template Field<float> hpez_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<double> hpez_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<float> hpez_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+extern template Field<double> hpez_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

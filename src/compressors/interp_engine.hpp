@@ -32,6 +32,7 @@
 
 #include "compressors/plan.hpp"
 #include "core/qp.hpp"
+#include "core/tiles.hpp"
 #include "predict/interpolation.hpp"
 #include "predict/multilevel.hpp"
 #include "quant/quantizer.hpp"
@@ -41,6 +42,20 @@
 #include "util/status.hpp"
 
 namespace qip {
+
+/// One contiguous run of the encoded symbol stream: the symbols of one
+/// interpolation level, or of one tile within a tiled level (tile ==
+/// kWholeDomainTile for untiled runs). Recorded by the encoder in
+/// traversal order and sealed 1:1 into container-v3 payload chunks, so
+/// partial decodes can seek by level/tile without replaying the walk.
+struct SymbolSpan {
+  int level = 0;
+  std::uint64_t tile = kWholeDomainTile;
+  std::size_t begin = 0;          ///< first symbol index
+  std::size_t count = 0;          ///< symbols in the run
+  std::size_t outlier_begin = 0;  ///< quantizer outliers before the run
+  std::size_t outlier_count = 0;  ///< outliers the run's symbols consume
+};
 
 template <class T>
 class InterpEngine {
@@ -61,9 +76,17 @@ class InterpEngine {
   /// The symbol buffer is preallocated to the exact point count and
   /// written through a cursor — the traversal visits every point exactly
   /// once, so no push_back bookkeeping is needed in the hot loop.
+  ///
+  /// With `tiles` active, levels <= tiles->max_level are traversed tile
+  /// by tile with the cross-tile stencil guard (see run_stage), making
+  /// each tile's symbols decodable on their own. `spans` (when given)
+  /// receives one SymbolSpan per level / per tile in traversal order —
+  /// the contract container v3 seals into its payload directory.
   [[nodiscard]] static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
                              double base_eb, LinearQuantizer<T>& quant,
-                             const QPConfig& qp, bool keep_codes = false) {
+                             const QPConfig& qp, bool keep_codes = false,
+                             const TileLayout* tiles = nullptr,
+                             std::vector<SymbolSpan>* spans = nullptr) {
     EncodeResult res;
     res.symbols.assign(dims.size(), 0);
     // The spatial codes array is QP state: compensation reads same-stage
@@ -83,7 +106,8 @@ class InterpEngine {
     }
     if (keep_codes) res.symbols_spatial.assign(dims.size(), 0);
     walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols.data(),
-               codes_p, keep_codes ? &res.symbols_spatial : nullptr);
+               codes_p, keep_codes ? &res.symbols_spatial : nullptr, tiles,
+               spans);
     if (keep_codes) res.codes = std::move(codes);
     return res;
   }
@@ -91,10 +115,19 @@ class InterpEngine {
   /// Reverse of encode(); fills `data` with the reconstruction. Throws
   /// DecodeError when `symbols` holds fewer entries than the traversal
   /// consumes (hostile archives must not drive the cursor out of bounds).
+  ///
+  /// `tiles` must replay the layout the archive was encoded under.
+  /// `stop_level` > 1 decodes only the levels coarser than or equal to
+  /// it — the progressive-preview path: the traversal consumes exactly
+  /// grid_point_count(dims, stop_level) symbols and fills exactly the
+  /// points whose coordinates are multiples of 2^(stop_level-1); other
+  /// points of `data` are left untouched.
   static void decode(std::span<const std::uint32_t> symbols, const Dims& dims,
                      const InterpPlan& plan, double base_eb,
-                     LinearQuantizer<T>& quant, const QPConfig& qp, T* data) {
-    if (symbols.size() < dims.size())
+                     LinearQuantizer<T>& quant, const QPConfig& qp, T* data,
+                     const TileLayout* tiles = nullptr, int stop_level = 1) {
+    if (stop_level < 1) stop_level = 1;
+    if (symbols.size() < grid_point_count(dims, stop_level))
       throw DecodeError("interp: symbol stream shorter than field");
     const bool qp_live = qp.enabled && qp.dimension != QPDimension::kNone;
     // Deliberately uninitialized (and reused across calls on this
@@ -105,7 +138,81 @@ class InterpEngine {
     std::uint32_t* codes =
         qp_live ? scratch_cache<std::uint32_t>(dims.size()) : nullptr;
     walk<false>(data, dims, plan, base_eb, quant, qp, symbols.data(), codes,
-                nullptr);
+                nullptr, tiles, nullptr, stop_level);
+  }
+
+  /// Decode the symbols of one tile chunk (one level, one tile box) into
+  /// `data`, for the region path: the untiled levels must already be
+  /// decoded into `data` (via decode() with stop_level just above the
+  /// tiled levels), and coarser tiled levels of the same tile must have
+  /// been applied first. The caller positions the quantizer's outlier
+  /// cursor from the chunk directory. Throws DecodeError when the symbol
+  /// count does not match the tile's stage-point count — the guard that
+  /// keeps hostile directories from driving the cursor out of bounds.
+  static void decode_tile(std::span<const std::uint32_t> symbols,
+                          const Dims& dims, const InterpPlan& plan,
+                          double base_eb, LinearQuantizer<T>& quant,
+                          const QPConfig& qp, T* data, const TileLayout& tiles,
+                          int level, const Box& box) {
+    const int level_count = static_cast<int>(plan.levels.size());
+    if (level < 1 || level > level_count)
+      throw DecodeError("interp: tile chunk level outside plan");
+    if (symbols.size() != tile_point_count(dims, plan, level, box))
+      throw DecodeError("interp: tile chunk symbol count mismatch");
+    const LevelPlan& lp = plan.levels[static_cast<std::size_t>(level - 1)];
+    const std::size_t stride = std::size_t{1} << (level - 1);
+    const bool qp_live = qp.enabled && qp.dimension != QPDimension::kNone;
+    std::uint32_t* codes =
+        qp_live ? scratch_cache<std::uint32_t>(dims.size()) : nullptr;
+    quant.set_error_bound(base_eb * lp.eb_scale);
+    std::size_t cursor = 0;
+    for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
+      run_stage<false>(data, dims, ctx, lp.kind, quant, qp, symbols.data(),
+                       cursor, codes, nullptr, /*blocked=*/true, box.lo,
+                       box.hi, tiles.known_stride());
+    });
+    quant.set_error_bound(base_eb);
+  }
+
+  /// Points whose every coordinate is a multiple of 2^(level-1): the
+  /// grid fully known once levels >= `level` are decoded, and exactly
+  /// the symbol count a stop_level = `level` decode consumes.
+  static std::size_t grid_point_count(const Dims& dims, int level) {
+    if (level > 64) level = 64;
+    const std::size_t s = level >= 64 ? ~std::size_t{0} >> 1
+                                      : std::size_t{1} << (level - 1);
+    std::size_t n = 1;
+    for (int a = 0; a < dims.rank(); ++a)
+      n *= (dims.extent(a) - 1) / s + 1;
+    return n;
+  }
+
+  /// Symbols the walk consumes for the whole-domain run of `level`: the
+  /// points processed at that level, plus the anchor for the coarsest.
+  static std::size_t level_symbol_count(const Dims& dims, int level,
+                                        int level_count) {
+    return grid_point_count(dims, level) - grid_point_count(dims, level + 1) +
+           (level == level_count ? 1 : 0);
+  }
+
+  /// Stage points of `level` inside the half-open box — the exact symbol
+  /// count of one tile chunk.
+  static std::size_t tile_point_count(const Dims& dims, const InterpPlan& plan,
+                                      int level, const Box& box) {
+    const LevelPlan& lp = plan.levels[static_cast<std::size_t>(level - 1)];
+    const std::size_t stride = std::size_t{1} << (level - 1);
+    std::size_t total = 0;
+    for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
+      std::size_t n = 1;
+      for (int a = 0; a < kMaxRank; ++a) {
+        const std::size_t hi = std::min(box.hi[a], dims.extent(a));
+        const std::size_t first =
+            first_on(ctx.g.start[a], ctx.g.step[a], box.lo[a]);
+        n *= first < hi ? (hi - 1 - first) / ctx.g.step[a] + 1 : 0;
+      }
+      total += n;
+    });
+    return total;
   }
 
   /// Dry-run prediction of one stage on a subsample of its points, using
@@ -251,6 +358,15 @@ class InterpEngine {
   /// Process every point of one stage, restricted to [lo, hi) when
   /// `blocked` (HPEZ-like). kEncode selects direction. The dominant
   /// unblocked sequential case takes the specialized row-major path.
+  ///
+  /// `tile_known` != 0 switches the cross-boundary stencil guard to the
+  /// stricter tile-independence rule: outside [lo, hi) only points of
+  /// the globally-known grid (every coordinate a multiple of
+  /// `tile_known` = the tiling's known stride) are usable. Unlike the
+  /// HPEZ block guard it admits neither earlier blocks nor the
+  /// level-entry 2s grid, because a region decode reconstructs *no*
+  /// tiled-level point outside the requested tiles — not even at
+  /// coarser tiled levels.
   template <bool kEncode>
   static void run_stage(T* data, const Dims& dims, const StageCtx& ctx,
                         InterpKind kind, LinearQuantizer<T>& quant,
@@ -258,7 +374,8 @@ class InterpEngine {
                         std::size_t& cursor, std::uint32_t* codes,
                         std::vector<std::uint32_t>* sym_spatial, bool blocked,
                         const std::array<std::size_t, kMaxRank>& lo,
-                        const std::array<std::size_t, kMaxRank>& hi) {
+                        const std::array<std::size_t, kMaxRank>& hi,
+                        std::size_t tile_known = 0) {
 #ifndef QIP_INTERP_FORCE_GENERIC  // A/B escape hatch for perf triage
     if (!blocked && ctx.md_mask == 0) {
       run_stage_seq<kEncode>(data, dims, ctx, kind, quant, qp, syms, cursor,
@@ -280,10 +397,18 @@ class InterpEngine {
     //    other coordinates must too, because the stencil point inherits
     //    them. Anything else in a forward block is unprocessed at decode
     //    time and must not be read.
+    // Tile mode (`tile_known` != 0) replaces the last two rules with the
+    // known-grid rule documented above.
     const std::array<std::size_t, kMaxRank>* cur = nullptr;
     auto usable = [&](int axis, std::size_t y) -> bool {
       if (!blocked) return true;
       if (y >= lo[axis] && y < hi[axis]) return true;
+      if (tile_known != 0) {
+        if (y % tile_known != 0) return false;
+        for (int a = 0; a < dims.rank(); ++a)
+          if (a != axis && (*cur)[a] % tile_known != 0) return false;
+        return true;
+      }
       if (y < lo[axis]) return true;  // earlier block along this axis
       if (y % s2 != 0) return false;
       for (int a = 0; a < dims.rank(); ++a)
@@ -643,10 +768,23 @@ class InterpEngine {
                    double base_eb, LinearQuantizer<T>& quant,
                    const QPConfig& qp, SymPtr<kEncode> syms,
                    std::uint32_t* codes,
-                   std::vector<std::uint32_t>* sym_spatial) {
+                   std::vector<std::uint32_t>* sym_spatial,
+                   const TileLayout* tiles = nullptr,
+                   std::vector<SymbolSpan>* spans = nullptr,
+                   int stop_level = 1) {
     std::size_t cursor = 0;
+    std::size_t span_begin = 0;
+    std::size_t span_out = 0;
+    auto record_span = [&](int level, std::uint64_t tile) {
+      if (!spans) return;
+      spans->push_back({level, tile, span_begin, cursor - span_begin, span_out,
+                        quant.outlier_count() - span_out});
+      span_begin = cursor;
+      span_out = quant.outlier_count();
+    };
 
-    // Anchor: the origin, predicted as 0, never QP-compensated.
+    // Anchor: the origin, predicted as 0, never QP-compensated. It rides
+    // in the coarsest level's span.
     quant.set_error_bound(base_eb);
     if constexpr (kEncode) {
       T recon;
@@ -668,10 +806,28 @@ class InterpEngine {
     std::array<std::size_t, kMaxRank> whole_hi{};
     for (int a = 0; a < kMaxRank; ++a) whole_hi[a] = dims.extent(a);
 
-    for (int level = level_count; level >= 1; --level) {
+    for (int level = level_count; level >= stop_level; --level) {
       const std::size_t stride = std::size_t{1} << (level - 1);
       const LevelPlan& lp = plan.levels[static_cast<std::size_t>(level - 1)];
       quant.set_error_bound(base_eb * lp.eb_scale);
+
+      if (tiles && tiles->tiled(level) && !plan.blockwise(level)) {
+        // Tiled level: every tile runs all its stages under the strict
+        // tile-independence guard before the next tile, in the grid's
+        // lexicographic id order — the order the v3 directory seals.
+        const TileGrid grid(dims, tiles->tile_size);
+        const std::size_t known = tiles->known_stride();
+        for (std::uint64_t t = 0; t < grid.total; ++t) {
+          const Box box = grid.box(t, dims);
+          for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
+            run_stage<kEncode>(data, dims, ctx, lp.kind, quant, qp, syms,
+                               cursor, codes, sym_spatial, /*blocked=*/true,
+                               box.lo, box.hi, known);
+          });
+          record_span(level, t);
+        }
+        continue;
+      }
 
       if (!plan.blockwise(level)) {
         for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
@@ -679,6 +835,7 @@ class InterpEngine {
                              cursor, codes, sym_spatial, /*blocked=*/false,
                              whole_lo, whole_hi);
         });
+        record_span(level, kWholeDomainTile);
         continue;
       }
 
@@ -718,6 +875,7 @@ class InterpEngine {
                              });
               ++bidx;
             }
+      record_span(level, kWholeDomainTile);
     }
     quant.set_error_bound(base_eb);
   }

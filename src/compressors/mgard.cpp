@@ -34,20 +34,24 @@ void mgard_walk(const T* src, T* recon, const Dims& dims,
                 std::vector<std::uint32_t>& symbols, std::size_t& cursor,
                 std::vector<std::uint32_t>& codes,
                 std::vector<std::uint32_t>* sym_spatial = nullptr,
-                int min_level = 1) {
+                int min_level = 1,
+                std::vector<SymbolSpan>* spans = nullptr) {
   const std::int32_t radius = quant.radius();
   const int levels = static_cast<int>(level_eb.size());
   const auto order = default_order(dims.rank());
 
   if constexpr (!kEncode) {
-    // The walk consumes one symbol per visited point — dims.size() for a
-    // full decode, fewer for a resolution-reduced one, but the encoder
-    // always writes the full count. Checking once up front keeps hostile
-    // archives from driving the cursor out of bounds (mirrors
-    // lorenzo_walk).
-    if (cursor > symbols.size() || symbols.size() - cursor < dims.size())
+    // The walk consumes one symbol per visited point — the level-
+    // `min_level` grid population, dims.size() for a full decode.
+    // Checking once up front keeps hostile (or truncated) archives from
+    // driving the cursor out of bounds (mirrors lorenzo_walk).
+    if (cursor > symbols.size() ||
+        symbols.size() - cursor <
+            InterpEngine<T>::grid_point_count(dims, min_level))
       throw DecodeError("mgard: symbol stream shorter than field");
   }
+  std::size_t span_begin = symbols.size();
+  std::size_t span_out = quant.outlier_count();
 
   quant.set_error_bound(base_eb);
   if constexpr (kEncode) {
@@ -105,12 +109,24 @@ void mgard_walk(const T* src, T* recon, const Dims& dims,
         }
       });
     }
+    if constexpr (kEncode) {
+      // One span per hierarchy level (the anchor symbol rides in the
+      // coarsest span), mirroring the interpolation engine's layout so
+      // the shared chunk writer applies unchanged.
+      if (spans) {
+        spans->push_back({level, kWholeDomainTile, span_begin,
+                          symbols.size() - span_begin, span_out,
+                          quant.outlier_count() - span_out});
+        span_begin = symbols.size();
+        span_out = quant.outlier_count();
+      }
+    }
   }
   quant.set_error_bound(base_eb);
 }
 
-/// The kConfig + kSymbols stages, parsed (shared by the full decode and
-/// the resolution-reduced decode).
+/// The kConfig stage, parsed (shared by the full, resolution-reduced and
+/// preview decodes).
 template <class T>
 struct MGARDStream {
   InterpCommon c;
@@ -120,7 +136,7 @@ struct MGARDStream {
 };
 
 template <class T>
-MGARDStream<T> mgard_read_stream(const ContainerReader& in, ThreadPool* pool) {
+MGARDStream<T> mgard_read_header(const ContainerReader& in) {
   MGARDStream<T> s;
   ByteReader h = in.stage(StageId::kConfig);
   s.c = load_interp_common(h);
@@ -133,6 +149,12 @@ MGARDStream<T> mgard_read_stream(const ContainerReader& in, ThreadPool* pool) {
   for (auto& e : s.level_eb) e = h.get<double>();
   s.quant = LinearQuantizer<T>(s.c.error_bound);
   s.quant.load(h);
+  return s;
+}
+
+template <class T>
+MGARDStream<T> mgard_read_stream(const ContainerReader& in, ThreadPool* pool) {
+  MGARDStream<T> s = mgard_read_header<T>(in);
   s.symbols = read_symbols_stage(in, pool);
   return s;
 }
@@ -163,9 +185,10 @@ struct MGARDCodec {
     std::size_t cursor = 0;
     std::vector<std::uint32_t> sym_spatial;
     if (artifacts) sym_spatial.assign(dims.size(), 0);
+    std::vector<SymbolSpan> spans;
     mgard_walk<T, true>(data, nullptr, dims, level_eb, cfg.error_bound, quant,
                         cfg.qp, symbols, cursor, codes,
-                        artifacts ? &sym_spatial : nullptr);
+                        artifacts ? &sym_spatial : nullptr, 1, &spans);
     if (artifacts) {
       artifacts->codes = codes;
       artifacts->symbols_spatial = std::move(sym_spatial);
@@ -192,7 +215,7 @@ struct MGARDCodec {
     h.put_varint(static_cast<std::uint64_t>(levels));
     for (double e : level_eb) h.put(e);
     quant.save(h);
-    write_symbols_stage(out, symbols, cfg.pool);
+    write_symbol_chunks(out, symbols, spans, cfg.pool);
     write_corrections_stage(out, corrections);
   }
 
@@ -206,6 +229,57 @@ struct MGARDCodec {
                          s.c.qp, s.symbols, cursor, codes);
     apply_corrections_stage(in, out, dims.size(), s.c.error_bound / 2.0,
                             "mgard");
+  }
+
+  /// Level-`level` preview from the coarse chunk prefix. The exact-bound
+  /// correction pass indexes the finest grid, so for level > 1 it is
+  /// skipped and a preview is bounded by the hierarchy's per-level error
+  /// budget rather than the patched worst case — the standard
+  /// progressive trade. At level 1 the preview grid *is* the finest
+  /// grid, so corrections apply and the result equals a full decode.
+  template <class T>
+  static Field<T> decode_preview(const ContainerReader& in, int level,
+                                 ThreadPool* pool, PartialDecodeStats* stats) {
+    MGARDStream<T> s = mgard_read_header<T>(in);
+    const int levels = static_cast<int>(s.level_eb.size());
+    if (level < 1 || level > levels)
+      throw DecodeError("preview level outside the archive's level range");
+    const Dims& dims = in.dims();
+
+    if (in.version() == 2) {
+      s.symbols = read_symbols_stage(in, pool);
+    } else {
+      const std::vector<ChunkEntry>& chunks = in.directory().chunks;
+      for (std::size_t i = 0;
+           i < chunks.size() && chunks[i].level >= level; ++i) {
+        if (chunks[i].symbol_count == 0)
+          throw DecodeError("raw payload chunk in a symbol-stream archive");
+        const std::vector<std::uint32_t> syms =
+            huffman_decode(in.chunk_bytes(i), pool);
+        if (syms.size() != chunks[i].symbol_count)
+          throw DecodeError("payload chunk symbol count mismatch");
+        s.symbols.insert(s.symbols.end(), syms.begin(), syms.end());
+      }
+    }
+
+    Field<T> full(dims);
+    std::vector<std::uint32_t> codes(dims.size(), 0);
+    std::size_t cursor = 0;
+    mgard_walk<T, false>(full.data(), full.data(), dims, s.level_eb,
+                         s.c.error_bound, s.quant, s.c.qp, s.symbols, cursor,
+                         codes, nullptr, level);
+    if (level == 1)
+      apply_corrections_stage(in, full.data(), dims.size(),
+                              s.c.error_bound / 2.0, "mgard");
+    if (stats) {
+      stats->payload_bytes_read =
+          in.version() == 2 ? in.stage_bytes(StageId::kSymbols).size()
+                            : in.payload_bytes_read();
+      stats->payload_bytes_total =
+          in.version() == 2 ? in.stage_bytes(StageId::kSymbols).size()
+                            : in.payload_bytes_declared();
+    }
+    return decimate_to_level(full.data(), dims, level);
   }
 };
 
@@ -273,10 +347,21 @@ Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
   return out;
 }
 
+template <class T>
+Field<T> mgard_decompress_preview(std::span<const std::uint8_t> archive,
+                                  int level, ThreadPool* pool,
+                                  PartialDecodeStats* stats) {
+  return codec_open_preview<MGARDCodec, T>(archive, level, pool, stats);
+}
+
 template Field<float> mgard_decompress_reduced<float>(
     std::span<const std::uint8_t>, int);
 template Field<double> mgard_decompress_reduced<double>(
     std::span<const std::uint8_t>, int);
+template Field<float> mgard_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<double> mgard_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
 
 template std::vector<std::uint8_t> mgard_compress<float>(
     const float*, const Dims&, const MGARDConfig&, IndexArtifacts*);

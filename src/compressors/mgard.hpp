@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "compressors/core/options.hpp"
+#include "compressors/core/tiles.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -64,10 +65,26 @@ template <class T>
 [[nodiscard]] Field<T> mgard_decompress_reduced(std::span<const std::uint8_t> archive,
                                   int skip_levels);
 
+/// Progressive preview — mgard_decompress_reduced on the container-v3
+/// per-level chunks: a level-`level` preview decodes only the coarse
+/// chunk prefix (`stats` reports how many payload bytes that touched)
+/// instead of the whole coefficient stream. For level > 1 the
+/// finest-grid correction pass is skipped (like the reduced decode), so
+/// the bound is the hierarchy's per-level budget, not the patched worst
+/// case; a level-1 preview applies corrections and equals a full decode.
+template <class T>
+[[nodiscard]] Field<T> mgard_decompress_preview(
+    std::span<const std::uint8_t> archive, int level,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
 extern template Field<float> mgard_decompress_reduced<float>(
     std::span<const std::uint8_t>, int);
 extern template Field<double> mgard_decompress_reduced<double>(
     std::span<const std::uint8_t>, int);
+extern template Field<float> mgard_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<double> mgard_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
 
 extern template std::vector<std::uint8_t> mgard_compress<float>(
     const float*, const Dims&, const MGARDConfig&, IndexArtifacts*);

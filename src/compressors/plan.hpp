@@ -38,8 +38,19 @@ struct LevelPlan {
   }
   static LevelPlan load(ByteReader& r) {
     LevelPlan p;
-    p.kind = static_cast<InterpKind>(r.get<std::uint8_t>());
-    for (auto& o : p.order) o = r.get<std::int8_t>();
+    const std::uint8_t kind = r.get<std::uint8_t>();
+    if (kind > static_cast<std::uint8_t>(InterpKind::kCubic))
+      throw DecodeError("plan: unknown interpolation kind");
+    p.kind = static_cast<InterpKind>(kind);
+    // `order` must be a permutation of the axis ids: the traversal
+    // indexes stride/extent tables by these values directly.
+    std::uint32_t seen = 0;
+    for (auto& o : p.order) {
+      o = r.get<std::int8_t>();
+      if (o < 0 || o >= kMaxRank || (seen & (1u << o)))
+        throw DecodeError("plan: axis order is not a permutation");
+      seen |= 1u << o;
+    }
     p.md = r.get<std::uint8_t>() != 0;
     p.eb_scale = r.get<double>();
     return p;

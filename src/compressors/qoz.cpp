@@ -78,12 +78,24 @@ struct QoZCodec {
     }
 
     interp_encode_stages(out, data, dims, plan, cfg.error_bound, cfg.radius,
-                         cfg.qp, cfg.pool, artifacts);
+                         cfg.qp, cfg.pool, artifacts, cfg.tile_size);
   }
 
   template <class T>
   static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
     interp_decode_stages(in, out, pool);
+  }
+
+  template <class T>
+  static Field<T> decode_preview(const ContainerReader& in, int level,
+                                 ThreadPool* pool, PartialDecodeStats* stats) {
+    return interp_preview_stages<T>(in, level, pool, stats);
+  }
+
+  template <class T>
+  static Field<T> decode_region(const ContainerReader& in, const Box& box,
+                                ThreadPool* pool, PartialDecodeStats* stats) {
+    return interp_region_stages<T>(in, box, pool, stats);
   }
 };
 
@@ -108,6 +120,20 @@ void qoz_decompress_into(std::span<const std::uint8_t> archive, T* out,
   codec_open_into<QoZCodec, T>(archive, out, expect, pool);
 }
 
+template <class T>
+Field<T> qoz_decompress_preview(std::span<const std::uint8_t> archive,
+                                int level, ThreadPool* pool,
+                                PartialDecodeStats* stats) {
+  return codec_open_preview<QoZCodec, T>(archive, level, pool, stats);
+}
+
+template <class T>
+Field<T> qoz_decompress_region(std::span<const std::uint8_t> archive,
+                               const Box& box, ThreadPool* pool,
+                               PartialDecodeStats* stats) {
+  return codec_open_region<QoZCodec, T>(archive, box, pool, stats);
+}
+
 template std::vector<std::uint8_t> qoz_compress<float>(
     const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
 template std::vector<std::uint8_t> qoz_compress<double>(
@@ -120,5 +146,15 @@ template void qoz_decompress_into<float>(std::span<const std::uint8_t>, float*,
                                          const Dims&, ThreadPool*);
 template void qoz_decompress_into<double>(std::span<const std::uint8_t>,
                                           double*, const Dims&, ThreadPool*);
+template Field<float> qoz_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<double> qoz_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<float> qoz_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+template Field<double> qoz_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compressors/core/options.hpp"
+#include "compressors/core/tiles.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -47,6 +48,21 @@ template <class T>
 void qoz_decompress_into(std::span<const std::uint8_t> archive, T* out,
                          const Dims& expect, ThreadPool* pool = nullptr);
 
+/// Progressive preview: decode only the interpolation levels coarser
+/// than or equal to `level` and return the decimated level-`level` grid,
+/// reading only the coarse prefix of a v3 payload.
+template <class T>
+[[nodiscard]] Field<T> qoz_decompress_preview(
+    std::span<const std::uint8_t> archive, int level,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
+/// Random-access region decode (requires an archive sealed with a tile
+/// directory, i.e. tile_size > 0 at compress time).
+template <class T>
+[[nodiscard]] Field<T> qoz_decompress_region(
+    std::span<const std::uint8_t> archive, const Box& box,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
 extern template std::vector<std::uint8_t> qoz_compress<float>(
     const float*, const Dims&, const QoZConfig&, IndexArtifacts*);
 extern template std::vector<std::uint8_t> qoz_compress<double>(
@@ -61,5 +77,15 @@ extern template void qoz_decompress_into<float>(std::span<const std::uint8_t>,
 extern template void qoz_decompress_into<double>(std::span<const std::uint8_t>,
                                                  double*, const Dims&,
                                                  ThreadPool*);
+extern template Field<float> qoz_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<double> qoz_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<float> qoz_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+extern template Field<double> qoz_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

@@ -38,6 +38,11 @@ struct MGARDFront {
                               const Dims& expect) {
     mgard_decompress_into<T>(a, out, expect);
   }
+  template <class T>
+  static Field<T> decompress_preview(std::span<const std::uint8_t> a,
+                                     int level, PartialDecodeStats* stats) {
+    return mgard_decompress_preview<T>(a, level, nullptr, stats);
+  }
 };
 
 struct SZ3Front {
@@ -59,6 +64,16 @@ struct SZ3Front {
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
                               const Dims& expect) {
     sz3_decompress_into<T>(a, out, expect);
+  }
+  template <class T>
+  static Field<T> decompress_preview(std::span<const std::uint8_t> a,
+                                     int level, PartialDecodeStats* stats) {
+    return sz3_decompress_preview<T>(a, level, nullptr, stats);
+  }
+  template <class T>
+  static Field<T> decompress_region(std::span<const std::uint8_t> a,
+                                    const Box& box, PartialDecodeStats* stats) {
+    return sz3_decompress_region<T>(a, box, nullptr, stats);
   }
 };
 
@@ -82,6 +97,16 @@ struct QoZFront {
                               const Dims& expect) {
     qoz_decompress_into<T>(a, out, expect);
   }
+  template <class T>
+  static Field<T> decompress_preview(std::span<const std::uint8_t> a,
+                                     int level, PartialDecodeStats* stats) {
+    return qoz_decompress_preview<T>(a, level, nullptr, stats);
+  }
+  template <class T>
+  static Field<T> decompress_region(std::span<const std::uint8_t> a,
+                                    const Box& box, PartialDecodeStats* stats) {
+    return qoz_decompress_region<T>(a, box, nullptr, stats);
+  }
 };
 
 struct HPEZFront {
@@ -104,6 +129,14 @@ struct HPEZFront {
                               const Dims& expect) {
     hpez_decompress_into<T>(a, out, expect);
   }
+  template <class T>
+  static Field<T> decompress_preview(std::span<const std::uint8_t> a,
+                                     int level, PartialDecodeStats* stats) {
+    return hpez_decompress_preview<T>(a, level, nullptr, stats);
+  }
+  // No decompress_region: HPEZ's block-wise traversal never commits a
+  // tile directory (see hpez.hpp), so the registry installs the typed
+  // refusal closure instead.
 };
 
 struct ZFPFront {
@@ -211,6 +244,59 @@ CompressorEntry make_entry() {
                              const Dims& d) {
     Front::template decompress_into<double>(a, dst, d);
   };
+  // Partial-decode entry points are optional per Front; absence installs
+  // a typed refusal so the std::function is never null and callers that
+  // skip the supports_* check still fail with UnknownCodecError.
+  if constexpr (requires(std::span<const std::uint8_t> a,
+                         PartialDecodeStats* st) {
+                  Front::template decompress_preview<float>(a, 1, st);
+                }) {
+    e.supports_preview = true;
+    e.decompress_preview_f32 = [](std::span<const std::uint8_t> a, int level,
+                                  PartialDecodeStats* st) {
+      return Front::template decompress_preview<float>(a, level, st);
+    };
+    e.decompress_preview_f64 = [](std::span<const std::uint8_t> a, int level,
+                                  PartialDecodeStats* st) {
+      return Front::template decompress_preview<double>(a, level, st);
+    };
+  } else {
+    e.decompress_preview_f32 = [](std::span<const std::uint8_t>, int,
+                                  PartialDecodeStats*) -> Field<float> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support progressive preview");
+    };
+    e.decompress_preview_f64 = [](std::span<const std::uint8_t>, int,
+                                  PartialDecodeStats*) -> Field<double> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support progressive preview");
+    };
+  }
+  if constexpr (requires(std::span<const std::uint8_t> a, const Box& b,
+                         PartialDecodeStats* st) {
+                  Front::template decompress_region<float>(a, b, st);
+                }) {
+    e.supports_region = true;
+    e.decompress_region_f32 = [](std::span<const std::uint8_t> a,
+                                 const Box& b, PartialDecodeStats* st) {
+      return Front::template decompress_region<float>(a, b, st);
+    };
+    e.decompress_region_f64 = [](std::span<const std::uint8_t> a,
+                                 const Box& b, PartialDecodeStats* st) {
+      return Front::template decompress_region<double>(a, b, st);
+    };
+  } else {
+    e.decompress_region_f32 = [](std::span<const std::uint8_t>, const Box&,
+                                 PartialDecodeStats*) -> Field<float> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support region decode");
+    };
+    e.decompress_region_f64 = [](std::span<const std::uint8_t>, const Box&,
+                                 PartialDecodeStats*) -> Field<double> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support region decode");
+    };
+  }
   return e;
 }
 

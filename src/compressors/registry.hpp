@@ -49,6 +49,32 @@ struct CompressorEntry {
       decompress_into_f32;
   std::function<void(std::span<const std::uint8_t>, double*, const Dims&)>
       decompress_into_f64;
+
+  /// Whether the partial-decode entry points below do real work. Both
+  /// are always callable: codecs without the capability install a
+  /// closure that throws UnknownCodecError, so callers that don't check
+  /// first still get a typed refusal instead of a null std::function.
+  bool supports_preview = false;
+  bool supports_region = false;
+
+  /// Progressive preview: decode only the interpolation levels coarser
+  /// than or equal to `level`, reading just the coarse prefix of a v3
+  /// payload, and return the decimated level-`level` grid.
+  std::function<Field<float>(std::span<const std::uint8_t>, int,
+                             PartialDecodeStats*)>
+      decompress_preview_f32;
+  std::function<Field<double>(std::span<const std::uint8_t>, int,
+                              PartialDecodeStats*)>
+      decompress_preview_f64;
+
+  /// Random-access region decode from the tile directory. Requires an
+  /// archive sealed with tile_size > 0 (DecodeError otherwise).
+  std::function<Field<float>(std::span<const std::uint8_t>, const Box&,
+                             PartialDecodeStats*)>
+      decompress_region_f32;
+  std::function<Field<double>(std::span<const std::uint8_t>, const Box&,
+                              PartialDecodeStats*)>
+      decompress_region_f64;
 };
 
 /// All compressors, in the paper's Table IV order:

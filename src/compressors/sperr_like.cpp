@@ -264,7 +264,7 @@ struct SPERRCodec {
     h.put(static_cast<std::int32_t>(levels));
     h.put(cfg.quant_factor);
     h.put<std::uint8_t>(cfg.index_prediction ? 1 : 0);
-    out.stage(StageId::kSymbols).put_bytes(rle_encode_symbols(symbols));
+    write_raw_chunk(out, rle_encode_symbols(symbols));
     write_corrections_stage(out, corrections);
   }
 
@@ -276,8 +276,7 @@ struct SPERRCodec {
     const double quant_factor = h.get<double>();
     const bool index_prediction = h.get<std::uint8_t>() != 0;
     const Dims& dims = in.dims();
-    auto symbols =
-        rle_decode_symbols(in.stage_bytes(StageId::kSymbols), dims.size());
+    auto symbols = rle_decode_symbols(read_raw_chunk(in), dims.size());
     if (symbols.size() < dims.size())
       throw DecodeError("sperr: symbol stream shorter than field");
     if (index_prediction) subband_index_predict<false>(symbols, dims, levels);

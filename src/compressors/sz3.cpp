@@ -98,12 +98,16 @@ struct SZ3Codec {
 
     LinearQuantizer<T> quant(cfg.error_bound, cfg.radius);
     std::vector<std::uint32_t> symbols;
+    std::vector<SymbolSpan> spans;
+    TileLayout tiles;
 
     if (predictor == SZ3Predictor::kInterpolation) {
+      tiles = interp_tile_layout(cfg.tile_size, dims, plan);
       IndexArtifacts ia;
-      InterpEncoding<T> enc =
-          interp_encode(data, dims, plan, cfg.error_bound, cfg.radius, cfg.qp,
-                        artifacts ? &ia : nullptr);
+      InterpEncoding<T> enc = interp_encode(
+          data, dims, plan, cfg.error_bound, cfg.radius, cfg.qp,
+          artifacts ? &ia : nullptr, tiles.active() ? &tiles : nullptr,
+          &spans);
       symbols = std::move(enc.symbols);
       quant = std::move(enc.quant);
       if (artifacts) {
@@ -115,6 +119,10 @@ struct SZ3Codec {
       symbols.reserve(dims.size());
       std::size_t cur = 0;
       lorenzo_walk<T, true>(work.data(), dims, quant, symbols, cur);
+      // The Lorenzo scan is a single sequential sweep: one whole-domain
+      // level-1 chunk (no progressive refinement to expose).
+      spans.push_back(
+          {1, kWholeDomainTile, 0, symbols.size(), 0, quant.outlier_count()});
       if (artifacts) {
         artifacts->codes.clear();
         artifacts->symbols_spatial.clear();
@@ -127,27 +135,79 @@ struct SZ3Codec {
     h.put(static_cast<std::uint8_t>(predictor));
     if (predictor == SZ3Predictor::kInterpolation) plan.save(h);
     quant.save(h);
-    write_symbols_stage(out, symbols, cfg.pool);
+    out.set_tiling(tiles);
+    write_symbol_chunks(out, symbols, spans, cfg.pool);
+  }
+
+  /// Parsed SZ3 kConfig stage (common | predictor | [plan] | quantizer).
+  template <class T>
+  struct LoadedConfig {
+    InterpCommon c;
+    SZ3Predictor predictor{};
+    InterpPlan plan;
+    LinearQuantizer<T> quant{1.0};
+  };
+
+  template <class T>
+  static LoadedConfig<T> load_config(const ContainerReader& in) {
+    ByteReader h = in.stage(StageId::kConfig);
+    LoadedConfig<T> lc;
+    lc.c = load_interp_common(h);
+    lc.predictor = static_cast<SZ3Predictor>(h.get<std::uint8_t>());
+    if (lc.predictor == SZ3Predictor::kInterpolation)
+      lc.plan = InterpPlan::load(h);
+    lc.quant.set_error_bound(lc.c.error_bound);
+    lc.quant.load(h);
+    return lc;
   }
 
   template <class T>
   static void decode(const ContainerReader& in, T* out, ThreadPool* pool) {
-    ByteReader h = in.stage(StageId::kConfig);
-    const InterpCommon c = load_interp_common(h);
-    const auto predictor = static_cast<SZ3Predictor>(h.get<std::uint8_t>());
-    InterpPlan plan;
-    if (predictor == SZ3Predictor::kInterpolation) plan = InterpPlan::load(h);
-    LinearQuantizer<T> quant(c.error_bound);
-    quant.load(h);
+    LoadedConfig<T> lc = load_config<T>(in);
     std::vector<std::uint32_t> symbols = read_symbols_stage(in, pool);
 
-    if (predictor == SZ3Predictor::kInterpolation) {
-      InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
-                              c.qp, out);
+    if (lc.predictor == SZ3Predictor::kInterpolation) {
+      InterpEngine<T>::decode(symbols, in.dims(), lc.plan, lc.c.error_bound,
+                              lc.quant, lc.c.qp, out, archive_tiles(in));
     } else {
       std::size_t cur = 0;
-      lorenzo_walk<T, false>(out, in.dims(), quant, symbols, cur);
+      lorenzo_walk<T, false>(out, in.dims(), lc.quant, symbols, cur);
     }
+  }
+
+  template <class T>
+  static Field<T> decode_preview(const ContainerReader& in, int level,
+                                 ThreadPool* pool, PartialDecodeStats* stats) {
+    LoadedConfig<T> lc = load_config<T>(in);
+    if (lc.predictor == SZ3Predictor::kInterpolation)
+      return interp_preview_core(in, level, pool, stats, lc.plan, lc.c,
+                                 lc.quant);
+    // The Lorenzo scan has no level structure: level 1 is simply the
+    // full decode, anything coarser does not exist in the stream.
+    if (level != 1)
+      throw DecodeError("sz3: lorenzo archives only support level-1 preview");
+    Field<T> out(in.dims());
+    decode<T>(in, out.data(), pool);
+    if (stats) {
+      stats->payload_bytes_read =
+          in.version() == 2 ? in.stage_bytes(StageId::kSymbols).size()
+                            : in.payload_bytes_read();
+      stats->payload_bytes_total =
+          in.version() == 2 ? in.stage_bytes(StageId::kSymbols).size()
+                            : in.payload_bytes_declared();
+    }
+    return out;
+  }
+
+  template <class T>
+  static Field<T> decode_region(const ContainerReader& in, const Box& box,
+                                ThreadPool* pool, PartialDecodeStats* stats) {
+    LoadedConfig<T> lc = load_config<T>(in);
+    if (lc.predictor != SZ3Predictor::kInterpolation)
+      throw DecodeError(
+          "sz3: lorenzo archives have no tile directory; region decode "
+          "requires the interpolation path with a tile size");
+    return interp_region_core(in, box, pool, stats, lc.plan, lc.c, lc.quant);
   }
 };
 
@@ -172,6 +232,20 @@ void sz3_decompress_into(std::span<const std::uint8_t> archive, T* out,
   codec_open_into<SZ3Codec, T>(archive, out, expect, pool);
 }
 
+template <class T>
+Field<T> sz3_decompress_preview(std::span<const std::uint8_t> archive,
+                                int level, ThreadPool* pool,
+                                PartialDecodeStats* stats) {
+  return codec_open_preview<SZ3Codec, T>(archive, level, pool, stats);
+}
+
+template <class T>
+Field<T> sz3_decompress_region(std::span<const std::uint8_t> archive,
+                               const Box& box, ThreadPool* pool,
+                               PartialDecodeStats* stats) {
+  return codec_open_region<SZ3Codec, T>(archive, box, pool, stats);
+}
+
 template std::vector<std::uint8_t> sz3_compress<float>(const float*, const Dims&,
                                                        const SZ3Config&,
                                                        SZ3Artifacts*);
@@ -187,5 +261,15 @@ template void sz3_decompress_into<float>(std::span<const std::uint8_t>, float*,
                                          const Dims&, ThreadPool*);
 template void sz3_decompress_into<double>(std::span<const std::uint8_t>,
                                           double*, const Dims&, ThreadPool*);
+template Field<float> sz3_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<double> sz3_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+template Field<float> sz3_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+template Field<double> sz3_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

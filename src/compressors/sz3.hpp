@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "compressors/core/options.hpp"
+#include "compressors/core/tiles.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
 
@@ -54,6 +55,25 @@ template <class T>
 void sz3_decompress_into(std::span<const std::uint8_t> archive, T* out,
                          const Dims& expect, ThreadPool* pool = nullptr);
 
+/// Progressive preview: decode only the interpolation levels coarser
+/// than or equal to `level` and return the decimated level-`level` grid.
+/// On v3 archives this reads only the coarse prefix of the payload
+/// (`stats` reports how much). Lorenzo-fallback archives support level 1
+/// only (the full decode).
+template <class T>
+[[nodiscard]] Field<T> sz3_decompress_preview(
+    std::span<const std::uint8_t> archive, int level,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
+/// Random-access region decode: return the sub-box [box.lo, box.hi),
+/// reading the coarse levels plus only the tile chunks that cover the
+/// box. Requires an archive sealed with a tile directory (tile_size > 0
+/// at compress time); throws DecodeError otherwise.
+template <class T>
+[[nodiscard]] Field<T> sz3_decompress_region(
+    std::span<const std::uint8_t> archive, const Box& box,
+    ThreadPool* pool = nullptr, PartialDecodeStats* stats = nullptr);
+
 extern template std::vector<std::uint8_t> sz3_compress<float>(
     const float*, const Dims&, const SZ3Config&, SZ3Artifacts*);
 extern template std::vector<std::uint8_t> sz3_compress<double>(
@@ -68,5 +88,15 @@ extern template void sz3_decompress_into<float>(std::span<const std::uint8_t>,
 extern template void sz3_decompress_into<double>(std::span<const std::uint8_t>,
                                                  double*, const Dims&,
                                                  ThreadPool*);
+extern template Field<float> sz3_decompress_preview<float>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<double> sz3_decompress_preview<double>(
+    std::span<const std::uint8_t>, int, ThreadPool*, PartialDecodeStats*);
+extern template Field<float> sz3_decompress_region<float>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
+extern template Field<double> sz3_decompress_region<double>(
+    std::span<const std::uint8_t>, const Box&, ThreadPool*,
+    PartialDecodeStats*);
 
 }  // namespace qip

@@ -245,7 +245,7 @@ struct TTHRESHCodec {
           h.put(static_cast<float>(u));
       }
     }
-    out.stage(StageId::kSymbols).put_bytes(rle_encode_symbols(symbols));
+    write_raw_chunk(out, rle_encode_symbols(symbols));
     write_corrections_stage(out, corrections);
   }
 
@@ -280,8 +280,8 @@ struct TTHRESHCodec {
         core_dims = with_extent(core_dims, axis, rk);
       }
     }
-    const auto symbols = rle_decode_symbols(
-        in.stage_bytes(StageId::kSymbols), core_dims.size());
+    const auto symbols =
+        rle_decode_symbols(read_raw_chunk(in), core_dims.size());
     if (symbols.size() != core_dims.size())
       throw DecodeError("tthresh core size mismatch");
 

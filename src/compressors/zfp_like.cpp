@@ -396,7 +396,7 @@ struct ZFPCodec {
     ByteWriter& h = out.stage(StageId::kConfig);
     h.put(cfg.error_bound);
     h.put(static_cast<std::int32_t>(cfg.guard_bits));
-    out.stage(StageId::kSymbols).put_bytes(stream);
+    write_raw_chunk(out, stream);
     write_corrections_stage(out, corrections);
   }
 
@@ -406,7 +406,8 @@ struct ZFPCodec {
     const double eb = h.get<double>();
     const int guard = h.get<std::int32_t>();
 
-    BitReader br(in.stage_bytes(StageId::kSymbols));
+    const std::vector<std::uint8_t> stream = read_raw_chunk(in);
+    BitReader br(stream);
     walk_blocks<T, false>(out, in.dims(), eb, guard, nullptr, &br);
     apply_corrections_stage(in, out, in.dims().size(), eb / 2.0, "zfp");
   }

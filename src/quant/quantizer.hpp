@@ -99,6 +99,17 @@ class LinearQuantizer {
   /// MGARD-like correction pass).
   void reset_cursor() { outlier_cursor_ = 0; }
 
+  /// Position the outlier cursor for a partial decode that skips earlier
+  /// chunks: the v3 directory records how many outliers each payload
+  /// chunk consumes, so a region decode seeks to the chunk's prefix sum.
+  /// An out-of-range start is refused up front rather than deferred to
+  /// the per-outlier exhaustion check in recover().
+  void set_outlier_cursor(std::size_t start) {
+    if (start > outliers_.size())
+      throw DecodeError("quantizer: outlier cursor outside table");
+    outlier_cursor_ = start;
+  }
+
   /// Serialize quantizer state (eb, radius, outliers) into `w`.
   void save(ByteWriter& w) const {
     w.put(eb_);

@@ -98,9 +98,15 @@ SEEDS = [
      r'dims\.size\(\)\)\s*\n\s*throw DecodeError\("lorenzo:[^"]*"\);',
      "untrusted-cursor"),
     ("mgard-walk-bound", "src/compressors/mgard.cpp",
-     r'if \(cursor > symbols\.size\(\) \|\| symbols\.size\(\) - cursor < '
-     r'dims\.size\(\)\)\s*\n\s*throw DecodeError\("mgard:[^"]*"\);',
+     r'if \(cursor > symbols\.size\(\) \|\|\s*\n\s*'
+     r'symbols\.size\(\) - cursor <\s*\n\s*'
+     r'InterpEngine<T>::grid_point_count\(dims, min_level\)\)\s*\n\s*'
+     r'throw DecodeError\("mgard:[^"]*"\);',
      "untrusted-cursor"),
+    ("container-chunk-count-cap", "src/compressors/core/container.cpp",
+     r'if \(count > d\.remaining\(\) / 5 \+ 1\)\s*\n\s*'
+     r'throw DecodeError\("chunk count exceeds directory"\);',
+     "bomb-alloc"),
     ("quantizer-outlier-bound", "src/quant/quantizer.hpp",
      r'if \(outlier_cursor_ >= outliers_\.size\(\)\)\s*\n\s*'
      r'throw DecodeError\("quantizer: outlier stream exhausted"\);',

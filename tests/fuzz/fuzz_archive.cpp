@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "compressors/core/container.hpp"
 #include "compressors/registry.hpp"
@@ -32,14 +34,35 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   } catch (const qip::DecodeError&) {
   }
 
-  // Full parse: header, one LZB pass, stage directory — no expectations.
+  // Full parse: header, meta/directory LZB passes, stage + chunk
+  // directories — no expectations.
   try {
     const qip::ContainerReader in(bytes, kMaxBody);
+    // Every declared payload chunk either decompresses or throws
+    // DecodeError (truncated payloads, extent lies, frame bombs).
+    std::vector<std::vector<std::uint8_t>> raw(in.chunk_count());
+    bool all_chunks_ok = true;
+    for (std::size_t i = 0; i < in.chunk_count(); ++i) {
+      try {
+        raw[i] = in.chunk_bytes(i);
+      } catch (const qip::DecodeError&) {
+        all_chunks_ok = false;
+      }
+    }
     // A successfully parsed container must reseal and reopen to the same
-    // stage directory and payloads.
+    // stage directory, payloads, and (when every chunk is present)
+    // payload directory.
     qip::ContainerWriter w(in.codec(), in.dtype(), in.dims());
     for (const auto& s : in.sections())
       w.stage(s.id).put_bytes(in.stage_bytes(s.id));
+    if (all_chunks_ok) {
+      w.set_tiling(in.directory().tiling);
+      for (std::size_t i = 0; i < in.chunk_count(); ++i) {
+        const auto& c = in.directory().chunks[i];
+        w.add_chunk(c.level, c.tile, c.symbol_count, c.outlier_count,
+                    std::move(raw[i]));
+      }
+    }
     const auto resealed = w.seal();
     const qip::ContainerReader in2(resealed, kMaxBody);
     if (in2.dims() != in.dims()) __builtin_trap();
@@ -52,6 +75,17 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       const auto pb = in2.stage_bytes(b.id);
       if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()))
         __builtin_trap();
+    }
+    if (all_chunks_ok) {
+      if (in2.chunk_count() != in.chunk_count()) __builtin_trap();
+      for (std::size_t i = 0; i < in.chunk_count(); ++i) {
+        const auto& a = in.directory().chunks[i];
+        const auto& b = in2.directory().chunks[i];
+        if (a.level != b.level || a.tile != b.tile ||
+            a.symbol_count != b.symbol_count ||
+            a.outlier_count != b.outlier_count)
+          __builtin_trap();
+      }
     }
   } catch (const qip::DecodeError&) {
   }
@@ -75,15 +109,41 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   // Full decode through the registry: exercises Huffman/RLE symbol
   // streams, quantizer outlier tables and the traversal engines against
   // the same hostile input. Anything that fails must throw DecodeError.
+  // The preview/region entry points take the same battering — they walk
+  // the v3 chunk directory with partial symbol streams and tile halos,
+  // exactly the paths a hostile progressive download reaches first.
   try {
     const auto& entry = qip::find_compressor_for(bytes);
-    if (qip::inspect_container(bytes).dims.size() <= kMaxDecodeElems) {
+    const qip::Dims dims = qip::inspect_container(bytes).dims;
+    if (dims.size() <= kMaxDecodeElems) {
       try {
         (void)entry.decompress_f32(bytes);
       } catch (const qip::DecodeError&) {
       }
       try {
         (void)entry.decompress_f64(bytes);
+      } catch (const qip::DecodeError&) {
+      }
+      const int level = 1 + (size > 1 ? data[1] % 6 : 0);
+      try {
+        (void)entry.decompress_preview_f32(bytes, level, nullptr);
+      } catch (const qip::DecodeError&) {
+      }
+      try {
+        (void)entry.decompress_preview_f64(bytes, level, nullptr);
+      } catch (const qip::DecodeError&) {
+      }
+      qip::Box box = qip::Box::whole(dims);
+      for (int a = 0; a < dims.rank(); ++a) {
+        box.lo[a] = dims.extent(a) / 4;
+        box.hi[a] = box.lo[a] + (dims.extent(a) + 1) / 2;
+      }
+      try {
+        (void)entry.decompress_region_f32(bytes, box, nullptr);
+      } catch (const qip::DecodeError&) {
+      }
+      try {
+        (void)entry.decompress_region_f64(bytes, box, nullptr);
       } catch (const qip::DecodeError&) {
       }
     }

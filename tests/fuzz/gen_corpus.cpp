@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compressors/core/container.hpp"
+#include "compressors/qoz.hpp"
 #include "compressors/sz3.hpp"
 #include "data/synthetic.hpp"
 #include "encode/huffman.hpp"
@@ -268,12 +269,33 @@ void gen_archive(const fs::path& root) {
     dflip[8] ^= 0x01;
     dump(dir, "hostile_dims_flip.bin", dflip);
   }
+  // A genuine tiled QoZ archive: v3 per-level chunks plus a tile
+  // directory, so the replay battery's truncations and bit flips hit
+  // the chunk directory parser and the preview/region decode legs of
+  // the fuzz target. Verified tiled so the seed cannot silently stop
+  // covering the directory.
+  {
+    const qip::Dims dims{64, 64};
+    const qip::Field<float> field =
+        qip::make_field(qip::DatasetId::kCESM, 0, dims, 11);
+    qip::QoZConfig cfg;
+    cfg.error_bound = 1e-3;
+    cfg.tile_size = 16;
+    const auto arc = qip::qoz_compress(field.data(), dims, cfg);
+    const qip::ContainerReader reader(arc);
+    if (!reader.directory().tiling.active()) {
+      std::cerr << "gen_corpus: qoz_tiled seed lost its tile directory; "
+                   "retune dims/tile_size\n";
+      std::exit(1);
+    }
+    dump_with_mutants(dir, "qoz_tiled_real", arc);
+  }
   // A genuine SZ3 archive over a heavy-tailed field: a flat background
   // plus spikes whose per-magnitude counts decay Fibonacci-fashion, so
   // the quantization-code histogram is skewed enough that the Huffman
   // table goes deeper than the decoder's 12-bit fast table and archive
   // decode hits the overflow slow path. Verified below by parsing the
-  // kSymbols stage, so the seed cannot silently stop covering it.
+  // largest payload chunk, so the seed cannot silently stop covering it.
   {
     const qip::Dims dims{24, 30, 36};
     const std::size_t n = 24 * 30 * 36;
@@ -296,16 +318,21 @@ void gen_archive(const fs::path& root) {
     cfg.error_bound = eb;
     const auto arc = qip::sz3_compress(field.data(), dims, cfg);
     const qip::ContainerReader reader(arc);
-    const auto sym = reader.stage_bytes(qip::StageId::kSymbols);
-    require_deep_table(Bytes(sym.begin(), sym.end()),
+    std::size_t deepest = 0;
+    for (std::size_t i = 1; i < reader.chunk_count(); ++i)
+      if (reader.directory().chunks[i].symbol_count >
+          reader.directory().chunks[deepest].symbol_count)
+        deepest = i;
+    require_deep_table(reader.chunk_bytes(deepest),
                        "fuzz_archive/sz3_deep_huffman");
     dump_with_mutants(dir, "sz3_deep_huffman", arc);
   }
-  // Hostile: valid header, bomb-sized stage-body LZB declaration.
+  // Hostile: valid v2 header, bomb-sized stage-body LZB declaration
+  // (version pinned to 2 — the compat path must keep capping it).
   {
     qip::ByteWriter w;
     w.put(qip::kContainerMagic);
-    w.put(qip::kContainerVersion);
+    w.put(std::uint8_t{2});
     w.put(static_cast<std::uint8_t>(1));  // kSZ3
     w.put(static_cast<std::uint8_t>(1));  // float
     w.put_varint(3);                      // dims 8x8x8
@@ -313,6 +340,18 @@ void gen_archive(const fs::path& root) {
     w.put_varint(std::uint64_t{1} << 50);  // LZB raw size: 1 PiB
     w.put_varint(0);
     dump(dir, "hostile_inner_bomb.bin", w.take());
+  }
+  // Hostile: same bomb as a v3 meta-block length declaration.
+  {
+    qip::ByteWriter w;
+    w.put(qip::kContainerMagic);
+    w.put(qip::kContainerVersion);
+    w.put(static_cast<std::uint8_t>(1));
+    w.put(static_cast<std::uint8_t>(1));
+    w.put_varint(3);
+    for (int a = 0; a < 3; ++a) w.put_varint(8);
+    w.put_varint(std::uint64_t{1} << 50);  // meta block length: 1 PiB
+    dump(dir, "hostile_v3_meta_bomb.bin", w.take());
   }
   // Hostile: wrong magic entirely.
   dump(dir, "hostile_bad_magic.bin",
@@ -336,7 +375,8 @@ void gen_archive(const fs::path& root) {
     w.put(static_cast<std::uint8_t>(3));
     dump(dir, "hostile_header_only.bin", w.take());
   }
-  // Hostile: duplicate stage sections inside the body.
+  // Hostile: duplicate stage sections inside a v2 body (pinned to
+  // version 2, the layout whose body is a single LZB block).
   {
     qip::ByteWriter body;
     body.put_varint(2);
@@ -346,13 +386,121 @@ void gen_archive(const fs::path& root) {
     body.put_block(Bytes{5, 6, 7, 8});
     qip::ByteWriter w;
     w.put(qip::kContainerMagic);
-    w.put(qip::kContainerVersion);
+    w.put(std::uint8_t{2});
     w.put(static_cast<std::uint8_t>(2));  // kQoZ
     w.put(static_cast<std::uint8_t>(2));  // double
     w.put_varint(1);
     w.put_varint(16);
     w.put_bytes(qip::lzb_compress(body.bytes()));
     dump(dir, "hostile_dup_stage.bin", w.take());
+  }
+  // A well-formed v2 archive (empty-config + symbols), so the compat
+  // parser and its mutants stay covered now that the writer seals v3.
+  {
+    qip::ByteWriter body;
+    body.put_varint(2);
+    body.put(static_cast<std::uint8_t>(qip::StageId::kConfig));
+    body.put_block(pattern_bytes(64, 31));
+    body.put(static_cast<std::uint8_t>(qip::StageId::kSymbols));
+    body.put_block(pattern_bytes(512, 32));
+    qip::ByteWriter w;
+    w.put(qip::kContainerMagic);
+    w.put(std::uint8_t{2});
+    w.put(static_cast<std::uint8_t>(1));  // kSZ3
+    w.put(static_cast<std::uint8_t>(1));  // float
+    w.put_varint(3);
+    for (int a = 0; a < 3; ++a) w.put_varint(8);
+    w.put_bytes(qip::lzb_compress(body.bytes()));
+    dump_with_mutants(dir, "v2_sz3_f32", w.take());
+  }
+  // Hostile v3 payload directories. Shared scaffold: valid header +
+  // empty meta sections, then a hand-written directory block.
+  const auto v3_with_dir = [](const qip::ByteWriter& dir_w,
+                              const Bytes& payload) {
+    qip::ByteWriter meta;
+    meta.put_varint(0);
+    qip::ByteWriter w;
+    w.put(qip::kContainerMagic);
+    w.put(qip::kContainerVersion);
+    w.put(static_cast<std::uint8_t>(2));  // kQoZ
+    w.put(static_cast<std::uint8_t>(1));  // float
+    w.put_varint(2);                      // dims 32x32
+    w.put_varint(32);
+    w.put_varint(32);
+    w.put_block(qip::lzb_compress(meta.bytes()));
+    w.put_block(qip::lzb_compress(dir_w.bytes()));
+    w.put_bytes(payload);
+    return w.take();
+  };
+  {
+    qip::ByteWriter d;
+    d.put_varint(65);  // level-count bomb (> kMaxPayloadLevels)
+    dump(dir, "hostile_v3_level_bomb.bin", v3_with_dir(d, {}));
+  }
+  {
+    qip::ByteWriter d;
+    d.put_varint(1);
+    d.put_varint(0);
+    d.put_varint(0);
+    d.put_varint(std::uint64_t{1} << 40);  // chunk-count bomb
+    dump(dir, "hostile_v3_chunk_count_bomb.bin", v3_with_dir(d, {}));
+  }
+  {
+    qip::ByteWriter d;
+    d.put_varint(2);
+    d.put_varint(0);
+    d.put_varint(0);
+    d.put_varint(2);
+    for (std::uint64_t level : {std::uint64_t{1}, std::uint64_t{2}}) {
+      d.put_varint(level);  // ascending levels: misordered
+      d.put_varint(0);
+      d.put_varint(0);
+      d.put_varint(1);
+      d.put_varint(0);
+    }
+    dump(dir, "hostile_v3_misordered_chunks.bin", v3_with_dir(d, {}));
+  }
+  {
+    qip::ByteWriter d;
+    d.put_varint(2);
+    d.put_varint(16);  // 2x2 tile grid over 32x32
+    d.put_varint(1);
+    d.put_varint(1);
+    d.put_varint(1);    // level
+    d.put_varint(100);  // tile id far outside the grid
+    d.put_varint(0);
+    d.put_varint(1);
+    d.put_varint(0);
+    dump(dir, "hostile_v3_tile_outside_grid.bin", v3_with_dir(d, {}));
+  }
+  {
+    qip::ByteWriter d;
+    d.put_varint(1);
+    d.put_varint(0);
+    d.put_varint(0);
+    d.put_varint(1);
+    d.put_varint(1);
+    d.put_varint(0);
+    d.put_varint(0);
+    d.put_varint((std::uint64_t{32} * 32) + 1);  // symbol bomb
+    d.put_varint(0);
+    dump(dir, "hostile_v3_symbol_bomb.bin", v3_with_dir(d, {}));
+  }
+  {
+    // Directory declares a 100-byte chunk; only 10 payload bytes exist.
+    // Parses fine (lazy extents); the chunk_bytes leg must throw.
+    qip::ByteWriter d;
+    d.put_varint(1);
+    d.put_varint(0);
+    d.put_varint(0);
+    d.put_varint(1);
+    d.put_varint(1);
+    d.put_varint(0);
+    d.put_varint(100);
+    d.put_varint(4);
+    d.put_varint(0);
+    dump(dir, "hostile_v3_chunk_past_end.bin",
+         v3_with_dir(d, Bytes(10, 0xAB)));
   }
   // Hostile dims headers (consumed by the read_dims leg of the target):
   // rank 200, a zero extent, and an extent product overflowing size_t.

@@ -59,6 +59,27 @@ TEST(Plan, FullPlanRoundtrip) {
   EXPECT_EQ(q.level_blockwise, p.level_blockwise);
 }
 
+// A hostile config stage can put anything in the serialized plan; the
+// axis order is used as a direct index into extent/stride tables, so
+// load must reject non-permutations (and unknown kinds) with a typed
+// error instead of letting the traversal index out of bounds.
+TEST(Plan, HostileLevelPlanRejected) {
+  LevelPlan p;
+  ByteWriter ok;
+  p.save(ok);
+  const auto base = ok.bytes();
+  const auto expect_reject = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> buf(base.begin(), base.end());
+    buf[offset] = value;
+    ByteReader r(buf);
+    EXPECT_THROW((void)LevelPlan::load(r), DecodeError);
+  };
+  expect_reject(0, 2);     // unknown InterpKind
+  expect_reject(1, 0xFF);  // axis -1
+  expect_reject(2, 4);     // axis >= kMaxRank
+  expect_reject(3, 0);     // duplicate axis
+}
+
 TEST(Plan, BlockwisePredicate) {
   InterpPlan p;
   p.levels.resize(3);

@@ -2,14 +2,19 @@
 //
 //   qipc compress   -i data.raw --dims 100x500x500 -o data.qip
 //                   [-c SZ3|QoZ|HPEZ|MGARD|ZFP|TTHRESH|SPERR] [-e 1e-3]
-//                   [--rel] [--qp] [--double] [--chunked [--slab N]]
+//                   [--rel] [--qp] [--tiles N] [--double]
+//                   [--chunked [--slab N]]
 //   qipc decompress -i data.qip -o recon.qfld [--raw recon.raw]
+//   qipc preview    -i data.qip --level L -o coarse.qfld [--stats]
+//   qipc extract    -i data.qip --region 0:64,0:64,0:64 -o sub.qfld [--stats]
 //   qipc gen        -d miranda [-f 0] [--dims 256x384x384] -o field.qfld
 //   qipc eval       -a orig.qfld -b recon.qfld
 //   qipc info       -i data.qip
 //
 // Raw inputs are bare little-endian scalars (SDRBench layout) and need
-// --dims; .qfld files are self-describing.
+// --dims; .qfld files are self-describing. preview/extract need a
+// container-v3 archive (preview additionally needs a progressive codec;
+// extract needs one compressed with --tiles).
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,8 +41,13 @@ using namespace qip;
   std::fprintf(stderr,
                "usage:\n"
                "  qipc compress   -i IN [--dims ZxYxX] -o OUT [-c COMP] [-e EB]\n"
-               "                  [--rel] [--qp] [--double] [--chunked] [--slab N]\n"
+               "                  [--rel] [--qp] [--tiles N] [--double]\n"
+               "                  [--chunked] [--slab N]\n"
                "  qipc decompress -i IN.qip -o OUT.qfld [--double] [--raw]\n"
+               "  qipc preview    -i IN.qip --level L -o OUT.qfld [--double]\n"
+               "                  [--raw] [--stats]\n"
+               "  qipc extract    -i IN.qip --region A:B,A:B,... -o OUT.qfld\n"
+               "                  [--double] [--raw] [--stats]\n"
                "  qipc gen        -d DATASET [-f IDX] [--dims ZxYxX] [--seed S] -o OUT.qfld\n"
                "  qipc eval       -a A.qfld -b B.qfld\n"
                "  qipc info       -i IN.qip\n"
@@ -85,7 +95,7 @@ Args parse_args(int argc, char** argv, int from) {
     std::string key = argv[i];
     if (key.rfind("-", 0) != 0) usage(("unexpected argument " + key).c_str());
     const bool flag = key == "--rel" || key == "--qp" || key == "--double" ||
-                      key == "--chunked" || key == "--raw";
+                      key == "--chunked" || key == "--raw" || key == "--stats";
     if (flag) {
       a.kv[key] = std::string("1");
     } else {
@@ -118,6 +128,8 @@ int do_compress_t(const Args& a) {
   GenericOptions opt;
   opt.error_bound = eb;
   if (a.has("--qp")) opt.qp = QPConfig::best_fit();
+  if (a.has("--tiles"))
+    opt.tile_size = static_cast<std::size_t>(std::stoull(a.get("--tiles")));
 
   Timer t;
   std::vector<std::uint8_t> arc;
@@ -172,6 +184,88 @@ int do_decompress_t(const Args& a) {
     write_qfld(out_path, out);
   std::printf("decompressed %s  %.2f MB/s -> %s\n", out.dims().str().c_str(),
               out.size() * sizeof(T) / sec / 1e6, out_path.c_str());
+  return 0;
+}
+
+void print_partial_stats(const PartialDecodeStats& st) {
+  const double pct = st.payload_bytes_total
+                         ? 100.0 * static_cast<double>(st.payload_bytes_read) /
+                               static_cast<double>(st.payload_bytes_total)
+                         : 100.0;
+  std::printf("  payload read: %zu of %zu bytes (%.1f%%)\n",
+              st.payload_bytes_read, st.payload_bytes_total, pct);
+}
+
+template <class T>
+void write_field_output(const Args& a, const Field<T>& out) {
+  const std::string out_path = a.require("-o");
+  if (a.has("--raw"))
+    write_raw(out_path, out);
+  else
+    write_qfld(out_path, out);
+}
+
+template <class T>
+int do_preview_t(const Args& a) {
+  const auto arc = read_bytes(a.require("-i"));
+  const int level = std::stoi(a.require("--level"));
+  const CompressorEntry& e = find_compressor_for(arc);
+  PartialDecodeStats st;
+  Timer t;
+  Field<T> out = [&] {
+    if constexpr (std::is_same_v<T, float>)
+      return e.decompress_preview_f32(arc, level, &st);
+    else
+      return e.decompress_preview_f64(arc, level, &st);
+  }();
+  const double sec = t.seconds();
+  write_field_output(a, out);
+  std::printf("preview level %d: %s  %.2f MB/s\n", level,
+              out.dims().str().c_str(),
+              out.size() * sizeof(T) / sec / 1e6);
+  if (a.has("--stats")) print_partial_stats(st);
+  return 0;
+}
+
+/// "A:B,A:B,..." per leading axis; unmentioned axes span the full
+/// extent. Half-open, field coordinates.
+Box parse_region(const std::string& s, const Dims& dims) {
+  Box b = Box::whole(dims);
+  int axis = 0;
+  std::size_t pos = 0;
+  while (pos < s.size() && axis < dims.rank()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    const std::string part = s.substr(pos, next - pos);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) usage("bad --region (want A:B,A:B,...)");
+    b.lo[axis] = static_cast<std::size_t>(std::stoull(part.substr(0, colon)));
+    b.hi[axis] = static_cast<std::size_t>(std::stoull(part.substr(colon + 1)));
+    ++axis;
+    pos = next + 1;
+  }
+  return b;
+}
+
+template <class T>
+int do_extract_t(const Args& a) {
+  const auto arc = read_bytes(a.require("-i"));
+  const ContainerInfo info = inspect_container(arc);
+  const Box box = parse_region(a.require("--region"), info.dims);
+  const CompressorEntry& e = find_compressor_for(arc);
+  PartialDecodeStats st;
+  Timer t;
+  Field<T> out = [&] {
+    if constexpr (std::is_same_v<T, float>)
+      return e.decompress_region_f32(arc, box, &st);
+    else
+      return e.decompress_region_f64(arc, box, &st);
+  }();
+  const double sec = t.seconds();
+  write_field_output(a, out);
+  std::printf("extracted %s of %s  %.2f MB/s\n", out.dims().str().c_str(),
+              info.dims.str().c_str(), out.size() * sizeof(T) / sec / 1e6);
+  if (a.has("--stats")) print_partial_stats(st);
   return 0;
 }
 
@@ -236,6 +330,46 @@ const char* dtype_str(std::uint8_t tag) {
   return tag == 1 ? "f32" : tag == 2 ? "f64" : "unknown";
 }
 
+double pct_of(std::size_t part, std::size_t total) {
+  return total ? 100.0 * static_cast<double>(part) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+/// Per-level payload breakdown of one container-v3 directory, with tile
+/// chunk counts on the tiled levels.
+void print_payload_directory(const ContainerReader& in) {
+  if (in.version() < 3) return;
+  const PayloadDirectory& dir = in.directory();
+  const std::size_t total = in.payload_bytes_declared();
+  if (dir.tiling.active())
+    std::printf("  tile directory: edge %zu, tiled levels 1..%d\n",
+                dir.tiling.tile_size, dir.tiling.max_level);
+  struct Agg {
+    std::size_t chunks = 0, tiled = 0, bytes = 0, symbols = 0;
+  };
+  std::map<int, Agg, std::greater<int>> by_level;
+  for (const ChunkEntry& c : dir.chunks) {
+    Agg& g = by_level[c.level];
+    ++g.chunks;
+    if (c.tile != kWholeDomainTile) ++g.tiled;
+    g.bytes += static_cast<std::size_t>(c.length);
+    g.symbols += c.symbol_count;
+  }
+  for (const auto& [level, g] : by_level) {
+    if (g.tiled)
+      std::printf(
+          "  level %-2d %8zu bytes (%5.1f%% of payload)  %zu tile chunks, "
+          "%zu symbols\n",
+          level, g.bytes, pct_of(g.bytes, total), g.tiled, g.symbols);
+    else
+      std::printf(
+          "  level %-2d %8zu bytes (%5.1f%% of payload)  %zu chunk(s), "
+          "%zu symbols\n",
+          level, g.bytes, pct_of(g.bytes, total), g.chunks, g.symbols);
+  }
+}
+
 int do_info(const Args& a) {
   const auto arc = read_bytes(a.require("-i"));
   if (arc.size() >= 4) {
@@ -255,6 +389,27 @@ int do_info(const Args& a) {
           "  slab=%zu  chunks=%zu\n",
           name.c_str(), dtype_str(dtype), dims.str().c_str(), arc.size(),
           slab, nchunks);
+      // Aggregate the slabs' stage and payload-level breakdowns so a
+      // chunked archive is as inspectable as a plain one.
+      std::map<std::string, std::size_t> stage_bytes;
+      std::map<int, std::size_t, std::greater<int>> level_bytes;
+      std::size_t payload_total = 0;
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        const ContainerReader in(r.get_block());
+        for (const auto& s : in.sections())
+          stage_bytes[stage_name(s.id)] += s.size;
+        if (in.version() >= 3) {
+          payload_total += in.payload_bytes_declared();
+          for (const ChunkEntry& ce : in.directory().chunks)
+            level_bytes[ce.level] += static_cast<std::size_t>(ce.length);
+        }
+      }
+      for (const auto& [sname, size] : stage_bytes)
+        std::printf("  stage %-11s %zu bytes (all slabs)\n", sname.c_str(),
+                    size);
+      for (const auto& [level, size] : level_bytes)
+        std::printf("  level %-2d %8zu bytes (%5.1f%% of payload, all slabs)\n",
+                    level, size, pct_of(size, payload_total));
       return 0;
     }
   }
@@ -276,6 +431,7 @@ int do_info(const Args& a) {
   for (const auto& s : in.sections())
     std::printf("  stage %-11s %zu bytes\n", stage_name(s.id).c_str(),
                 s.size);
+  print_payload_directory(in);
   return 0;
 }
 
@@ -290,6 +446,12 @@ int main(int argc, char** argv) {
     if (cmd == "decompress")
       return a.has("--double") ? do_decompress_t<double>(a)
                                : do_decompress_t<float>(a);
+    if (cmd == "preview")
+      return a.has("--double") ? do_preview_t<double>(a)
+                               : do_preview_t<float>(a);
+    if (cmd == "extract")
+      return a.has("--double") ? do_extract_t<double>(a)
+                               : do_extract_t<float>(a);
     if (cmd == "gen") return do_gen(a);
     if (cmd == "eval") return do_eval(a);
     if (cmd == "info") return do_info(a);
