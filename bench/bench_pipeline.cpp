@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
 
   const std::vector<unsigned> workers = {1u, par_workers};
   std::vector<StageTimes> times(workers.size());
+  std::vector<std::size_t> rss(workers.size());
   std::vector<std::uint8_t> reference_arc;
   bool identical = true;
 
@@ -169,6 +170,7 @@ int main(int argc, char** argv) {
     });
     s.lzb_dec =
         bench::time_reps(reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
+    rss[wi] = bench::peak_rss_bytes();
   }
 
   const double cr = static_cast<double>(bytes) / reference_arc.size();
@@ -194,7 +196,8 @@ int main(int argc, char** argv) {
                identical ? "true" : "false");
   std::fprintf(out, "  \"runs\": [\n");
   for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-    std::fprintf(out, "    {\"workers\": %u, \"stages\": {\n", workers[wi]);
+    std::fprintf(out, "    {\"workers\": %u, \"peak_rss_bytes\": %zu, \"stages\": {\n",
+                 workers[wi], rss[wi]);
     print_stages(out, times[wi], bytes, "      ");
     std::fprintf(out, "    }}%s\n", wi + 1 < workers.size() ? "," : "");
   }

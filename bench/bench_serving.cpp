@@ -1,0 +1,445 @@
+// Serving traffic harness for the qipd service: an open-loop load
+// generator (Poisson arrivals, mixed codecs, mixed sizes, a
+// preview/region mix) that measures jobs/s, p50/p99 latency, and queue
+// wait versus worker count and offered load, and writes
+// BENCH_serving.json for before/after comparison.
+//
+//   bench_serving [--jobs N] [--reps-seed S] [--out FILE] [--quick]
+//
+// Phases:
+//   1. capacity probe — closed-loop (blocking admission) run per worker
+//      count; its jobs/s is the service capacity and the scaling curve;
+//   2. open-loop runs — Poisson arrivals at fixed fractions of the
+//      1-worker capacity, reject-on-full admission (open-loop clients
+//      don't wait), per-job latency percentiles;
+//   3. scheduler A/B — the same saturated run with continuation-priority
+//      scheduling on and off, recording caller_drain_share (the share of
+//      parallel_for blocks the submitting thread had to drain itself:
+//      ~1.0 means intra-job fan-out silently degraded to serial, the
+//      defect continuations_jump_queue fixes).
+//
+// Every served output is hash-checked against a single-threaded direct
+// decode of the same bytes; the JSON records the verdict. docs/SERVING.md
+// explains how to read the output.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compressors/sz3.hpp"
+#include "parallel/chunked.hpp"
+#include "serve/service.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace qip;
+
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> b) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t c : b) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// One reusable job description plus the expected output hash from a
+/// serial direct run.
+struct JobTemplate {
+  serve::JobSpec spec;  ///< input spans borrow from Workload storage
+  std::uint64_t expect_hash = 0;
+};
+
+/// Inputs and archives live here for the whole bench; job specs borrow.
+struct Workload {
+  std::vector<Field<float>> fields;
+  std::vector<std::vector<std::uint8_t>> blobs;  ///< raw dumps + archives
+  std::vector<JobTemplate> templates;
+
+  std::span<const std::uint8_t> keep(std::vector<std::uint8_t> b) {
+    blobs.push_back(std::move(b));
+    return blobs.back();
+  }
+};
+
+std::span<const std::uint8_t> field_bytes(const Field<float>& f,
+                                          Workload& w) {
+  std::vector<std::uint8_t> raw(f.size() * sizeof(float));
+  std::memcpy(raw.data(), f.data(), raw.size());
+  return w.keep(std::move(raw));
+}
+
+/// Build the mixed workload: compress jobs (SZ3/QoZ/ZFP, plain and
+/// chunked), decompress jobs over the matching archives, and
+/// preview/region jobs over a tiled progressive SZ3+QP archive.
+Workload build_workload(bool quick) {
+  Workload w;
+  const std::vector<std::size_t> edges =
+      quick ? std::vector<std::size_t>{32, 48}
+            : std::vector<std::size_t>{32, 48, 96};
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::size_t e = edges[i];
+    w.fields.push_back(
+        make_field(DatasetId::kMiranda, 0, Dims{e, e, e}, 3 + i));
+  }
+  // Reserve so spans into `blobs` stay stable while we append.
+  w.blobs.reserve(64);
+
+  const char* codecs[] = {"SZ3", "QoZ", "ZFP"};
+  for (const Field<float>& f : w.fields) {
+    const auto raw = field_bytes(f, w);
+    for (const char* codec : codecs) {
+      // Compress template.
+      JobTemplate t;
+      t.spec.kind = serve::JobKind::kCompress;
+      t.spec.codec = codec;
+      t.spec.input = raw;
+      t.spec.dims = f.dims();
+      t.spec.options.error_bound = 1e-3;
+      const CompressorEntry& e = find_compressor(codec);
+      auto arc = e.compress_f32(f.data(), f.dims(), t.spec.options);
+      t.expect_hash = fnv1a(arc);
+      const auto arc_span = w.keep(std::move(arc));
+      w.templates.push_back(t);
+
+      // Matching decompress template, expected bytes from a serial
+      // direct decode.
+      JobTemplate d;
+      d.spec.kind = serve::JobKind::kDecompress;
+      d.spec.input = arc_span;
+      const Field<float> dec = e.decompress_f32(arc_span);
+      std::vector<std::uint8_t> db(dec.size() * sizeof(float));
+      std::memcpy(db.data(), dec.data(), db.size());
+      d.expect_hash = fnv1a(db);
+      w.templates.push_back(d);
+    }
+    // Chunked SZ3 compress of the same field (exercises slab fan-out).
+    {
+      JobTemplate t;
+      t.spec.kind = serve::JobKind::kCompress;
+      t.spec.codec = "SZ3";
+      t.spec.chunked = true;
+      t.spec.input = raw;
+      t.spec.dims = f.dims();
+      t.spec.options.error_bound = 1e-3;
+      ChunkedOptions co;
+      co.compressor = "SZ3";
+      co.options = t.spec.options;
+      auto arc = chunked_compress(f.data(), f.dims(), co);
+      t.expect_hash = fnv1a(arc);
+      const auto arc_span = w.keep(std::move(arc));
+      w.templates.push_back(t);
+
+      JobTemplate d;
+      d.spec.kind = serve::JobKind::kDecompress;
+      d.spec.input = arc_span;
+      const Field<float> dec = chunked_decompress<float>(arc_span);
+      std::vector<std::uint8_t> db(dec.size() * sizeof(float));
+      std::memcpy(db.data(), dec.data(), db.size());
+      d.expect_hash = fnv1a(db);
+      w.templates.push_back(d);
+    }
+  }
+
+  // Tiled progressive archive for the preview/region mix. Pin the
+  // interpolation path: the Lorenzo fallback commits neither a tile
+  // directory nor coarse levels, so it can serve neither job kind.
+  {
+    const Field<float>& f = w.fields[std::min<std::size_t>(1, w.fields.size() - 1)];
+    SZ3Config o;
+    o.error_bound = 1e-3;
+    o.qp = QPConfig::best_fit();
+    o.tile_size = 16;
+    o.auto_fallback = false;
+    const CompressorEntry& e = find_compressor("SZ3");
+    const auto arc_span = w.keep(sz3_compress(f.data(), f.dims(), o));
+
+    JobTemplate p;
+    p.spec.kind = serve::JobKind::kPreview;
+    p.spec.input = arc_span;
+    p.spec.level = 1;
+    const Field<float> pv = e.decompress_preview_f32(arc_span, 1, nullptr);
+    std::vector<std::uint8_t> pb(pv.size() * sizeof(float));
+    std::memcpy(pb.data(), pv.data(), pb.size());
+    p.expect_hash = fnv1a(pb);
+    w.templates.push_back(p);
+
+    JobTemplate r;
+    r.spec.kind = serve::JobKind::kRegion;
+    r.spec.input = arc_span;
+    r.spec.region = Box::whole(f.dims());
+    for (int a = 0; a < 3; ++a) {
+      r.spec.region.lo[a] = 8;
+      r.spec.region.hi[a] = 24;
+    }
+    const Field<float> rg =
+        e.decompress_region_f32(arc_span, r.spec.region, nullptr);
+    std::vector<std::uint8_t> rb(rg.size() * sizeof(float));
+    std::memcpy(rb.data(), rg.data(), rb.size());
+    r.expect_hash = fnv1a(rb);
+    w.templates.push_back(r);
+  }
+  return w;
+}
+
+/// A deterministic job sequence: template indices drawn from a seeded
+/// generator so every run (and every A/B arm) serves identical traffic.
+std::vector<std::size_t> job_sequence(const Workload& w, std::size_t n,
+                                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, w.templates.size() - 1);
+  std::vector<std::size_t> seq(n);
+  for (auto& s : seq) s = pick(rng);
+  return seq;
+}
+
+struct LoadResult {
+  std::size_t completed = 0, failed = 0, rejected = 0, mismatched = 0;
+  double wall_s = 0;
+  double jobs_per_s = 0;
+  std::vector<double> latency_s;     ///< admission -> completion
+  std::vector<double> queue_wait_s;  ///< admission -> worker pickup
+  double caller_drain_share = 0;
+  std::uint64_t large_jobs = 0;
+  std::size_t peak_rss = 0;
+};
+
+/// Serve one job sequence. rate > 0: open-loop Poisson arrivals at
+/// `rate` jobs/s with reject-on-full admission; rate == 0: closed-loop
+/// (submit as fast as admission allows, blocking when the window is
+/// full) — the capacity probe.
+LoadResult run_load(const Workload& w, const std::vector<std::size_t>& seq,
+                    unsigned workers, bool jump, double rate,
+                    std::uint64_t seed) {
+  serve::ServeOptions so;
+  so.workers = workers;
+  so.cap_to_hardware = false;  // measure the counts we claim to measure
+  so.continuations_jump_queue = jump;
+  so.queue_capacity = 32;
+  so.policy = rate > 0 ? serve::AdmitPolicy::kReject : serve::AdmitPolicy::kBlock;
+  so.large_job_bytes = std::size_t{1} << 20;
+  serve::Service svc(so);
+  svc.pool().reset_scheduler_stats();
+
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> interarrival(rate > 0 ? rate : 1.0);
+
+  struct Pending {
+    std::future<serve::JobResult> fut;
+    std::size_t tmpl;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(seq.size());
+  LoadResult res;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double next_arrival = 0;
+  for (std::size_t tmpl : seq) {
+    if (rate > 0) {
+      next_arrival += interarrival(rng);
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration<double>(next_arrival));
+    }
+    auto fut = svc.submit(w.templates[tmpl].spec);
+    if (!fut) {
+      ++res.rejected;
+      continue;
+    }
+    pending.push_back({std::move(*fut), tmpl});
+  }
+  svc.drain();
+  res.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+
+  const ThreadPool::SchedulerStats stats = svc.pool().scheduler_stats();
+  if (stats.pf_blocks)
+    res.caller_drain_share = static_cast<double>(stats.pf_blocks_caller) /
+                             static_cast<double>(stats.pf_blocks);
+  res.large_jobs = svc.metrics().large_jobs;
+
+  for (Pending& p : pending) {
+    const serve::JobResult r = p.fut.get();
+    if (!r.metrics.ok) {
+      ++res.failed;
+      std::fprintf(stderr, "job failed: %s\n", r.metrics.error.c_str());
+      continue;
+    }
+    ++res.completed;
+    if (fnv1a(r.bytes) != w.templates[p.tmpl].expect_hash) ++res.mismatched;
+    res.latency_s.push_back(r.metrics.queue_wait_s + r.metrics.service_s);
+    res.queue_wait_s.push_back(r.metrics.queue_wait_s);
+  }
+  res.jobs_per_s =
+      res.wall_s > 0 ? static_cast<double>(res.completed) / res.wall_s : 0;
+  res.peak_rss = bench::peak_rss_bytes();
+  return res;
+}
+
+void print_run(std::FILE* out, const char* phase, unsigned workers,
+               double offered, bool jump, const LoadResult& r, bool last) {
+  std::fprintf(
+      out,
+      "    {\"phase\": \"%s\", \"workers\": %u, \"offered_jobs_per_s\": %.2f, "
+      "\"continuations_jump_queue\": %s,\n"
+      "     \"completed\": %zu, \"failed\": %zu, \"rejected\": %zu, "
+      "\"output_mismatches\": %zu,\n"
+      "     \"wall_s\": %.3f, \"jobs_per_s\": %.2f, "
+      "\"p50_latency_s\": %.4f, \"p99_latency_s\": %.4f, "
+      "\"p50_queue_wait_s\": %.4f, \"p99_queue_wait_s\": %.4f,\n"
+      "     \"large_jobs\": %llu, \"caller_drain_share\": %.3f, "
+      "\"peak_rss_bytes\": %zu}%s\n",
+      phase, workers, offered, jump ? "true" : "false", r.completed, r.failed,
+      r.rejected, r.mismatched, r.wall_s, r.jobs_per_s,
+      percentile(r.latency_s, 0.50), percentile(r.latency_s, 0.99),
+      percentile(r.queue_wait_s, 0.50), percentile(r.queue_wait_s, 0.99),
+      static_cast<unsigned long long>(r.large_jobs), r.caller_drain_share,
+      r.peak_rss, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t njobs = 120;
+  std::uint64_t seed = 17;
+  std::string out_path = "BENCH_serving.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+      njobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--reps-seed") && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      out_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--quick"))
+      quick = true;
+    else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (quick) njobs = std::min<std::size_t>(njobs, 30);
+
+  std::printf("building workload (%s)...\n", quick ? "quick" : "full");
+  Workload w = build_workload(quick);
+  const std::vector<std::size_t> seq = job_sequence(w, njobs, seed);
+  std::printf("%zu job templates, %zu jobs per run\n", w.templates.size(),
+              seq.size());
+
+  const std::vector<unsigned> worker_counts =
+      quick ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4};
+
+  // Phase 1: closed-loop capacity per worker count.
+  std::vector<LoadResult> capacity;
+  for (unsigned wc : worker_counts) {
+    capacity.push_back(run_load(w, seq, wc, true, 0, seed));
+    std::printf("capacity workers=%u: %.2f jobs/s (p99 %.3fs)\n", wc,
+                capacity.back().jobs_per_s,
+                percentile(capacity.back().latency_s, 0.99));
+  }
+  const double cap1 = capacity.front().jobs_per_s;
+
+  // Phase 2: open-loop latency at fixed fractions of 1-worker capacity.
+  const std::vector<double> load_fracs =
+      quick ? std::vector<double>{0.8} : std::vector<double>{0.5, 0.8, 1.2};
+  struct OpenRun {
+    unsigned workers;
+    double offered;
+    LoadResult r;
+  };
+  std::vector<OpenRun> open_runs;
+  for (unsigned wc : worker_counts) {
+    for (double frac : load_fracs) {
+      const double rate = frac * cap1;
+      open_runs.push_back({wc, rate, run_load(w, seq, wc, true, rate, seed)});
+      const LoadResult& r = open_runs.back().r;
+      std::printf(
+          "open-loop workers=%u offered=%.2f/s: %.2f jobs/s  p50 %.3fs  "
+          "p99 %.3fs  rejected=%zu\n",
+          wc, rate, r.jobs_per_s, percentile(r.latency_s, 0.50),
+          percentile(r.latency_s, 0.99), r.rejected);
+    }
+  }
+
+  // Phase 3: scheduler A/B at the largest worker count, closed loop (a
+  // standing backlog is exactly the regime where helper tasks queued
+  // FIFO-at-the-back starve; see ThreadPool).
+  const unsigned ab_workers = worker_counts.back();
+  const LoadResult ab_on = run_load(w, seq, ab_workers, true, 0, seed);
+  const LoadResult ab_off = run_load(w, seq, ab_workers, false, 0, seed);
+  std::printf(
+      "A/B workers=%u: continuation-priority %.2f jobs/s "
+      "(caller_drain_share %.3f) vs strict FIFO %.2f jobs/s "
+      "(caller_drain_share %.3f)\n",
+      ab_workers, ab_on.jobs_per_s, ab_on.caller_drain_share,
+      ab_off.jobs_per_s, ab_off.caller_drain_share);
+
+  std::size_t mismatches = ab_on.mismatched + ab_off.mismatched;
+  std::size_t failures = ab_on.failed + ab_off.failed;
+  for (const LoadResult& r : capacity) {
+    mismatches += r.mismatched;
+    failures += r.failed;
+  }
+  for (const OpenRun& o : open_runs) {
+    mismatches += o.r.mismatched;
+    failures += o.r.failed;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"serving\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"jobs_per_run\": %zu,\n", seq.size());
+  std::fprintf(out, "  \"job_templates\": %zu,\n", w.templates.size());
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < capacity.size(); ++i)
+    print_run(out, "capacity", worker_counts[i], 0, true, capacity[i], false);
+  for (const OpenRun& o : open_runs)
+    print_run(out, "open_loop", o.workers, o.offered, true, o.r, false);
+  print_run(out, "scheduler_ab", ab_workers, 0, true, ab_on, false);
+  print_run(out, "scheduler_ab", ab_workers, 0, false, ab_off, true);
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"scaling\": {\"jobs_per_s\": [");
+  for (std::size_t i = 0; i < capacity.size(); ++i)
+    std::fprintf(out, "%s%.2f", i ? ", " : "", capacity[i].jobs_per_s);
+  std::fprintf(out, "], \"workers\": [");
+  for (std::size_t i = 0; i < worker_counts.size(); ++i)
+    std::fprintf(out, "%s%u", i ? ", " : "", worker_counts[i]);
+  std::fprintf(out,
+               "], \"speedup_max_vs_1\": %.3f},\n",
+               cap1 > 0 ? capacity.back().jobs_per_s / cap1 : 0);
+  std::fprintf(out, "  \"all_outputs_bit_identical\": %s,\n",
+               mismatches == 0 ? "true" : "false");
+  std::fprintf(out, "  \"failed_jobs\": %zu\n", failures);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("%s -> %s (mismatches=%zu failed=%zu)\n",
+              mismatches == 0 && failures == 0 ? "OK" : "PROBLEMS",
+              out_path.c_str(), mismatches, failures);
+  return mismatches == 0 && failures == 0 ? 0 : 1;
+}

@@ -19,7 +19,29 @@
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace qip::bench {
+
+/// Process-wide peak resident set size, in bytes (0 where the platform
+/// offers no getrusage). Monotonic over the process lifetime: a bench
+/// row records the high-water mark up to that point, so rows should be
+/// read as "this phase needed at most this much".
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Summary of repeated timed runs of one body.
 struct Timing {

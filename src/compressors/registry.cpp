@@ -35,8 +35,8 @@ struct MGARDFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    mgard_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    mgard_decompress_into<T>(a, out, expect, pool);
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
@@ -62,8 +62,8 @@ struct SZ3Front {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    sz3_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    sz3_decompress_into<T>(a, out, expect, pool);
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
@@ -94,8 +94,8 @@ struct QoZFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    qoz_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    qoz_decompress_into<T>(a, out, expect, pool);
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
@@ -126,8 +126,8 @@ struct HPEZFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    hpez_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    hpez_decompress_into<T>(a, out, expect, pool);
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
@@ -156,8 +156,8 @@ struct ZFPFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    zfp_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    zfp_decompress_into<T>(a, out, expect, pool);
   }
 };
 
@@ -178,8 +178,8 @@ struct TTHRESHFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    tthresh_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    tthresh_decompress_into<T>(a, out, expect, pool);
   }
 };
 
@@ -200,8 +200,8 @@ struct SPERRFront {
   }
   template <class T>
   static void decompress_into(std::span<const std::uint8_t> a, T* out,
-                              const Dims& expect) {
-    sperr_decompress_into<T>(a, out, expect);
+                              const Dims& expect, ThreadPool* pool) {
+    sperr_decompress_into<T>(a, out, expect, pool);
   }
 };
 
@@ -238,11 +238,19 @@ CompressorEntry make_entry() {
   };
   e.decompress_into_f32 = [](std::span<const std::uint8_t> a, float* dst,
                              const Dims& d) {
-    Front::template decompress_into<float>(a, dst, d);
+    Front::template decompress_into<float>(a, dst, d, nullptr);
   };
   e.decompress_into_f64 = [](std::span<const std::uint8_t> a, double* dst,
                              const Dims& d) {
-    Front::template decompress_into<double>(a, dst, d);
+    Front::template decompress_into<double>(a, dst, d, nullptr);
+  };
+  e.decompress_into_pool_f32 = [](std::span<const std::uint8_t> a, float* dst,
+                                  const Dims& d, ThreadPool* pool) {
+    Front::template decompress_into<float>(a, dst, d, pool);
+  };
+  e.decompress_into_pool_f64 = [](std::span<const std::uint8_t> a, double* dst,
+                                  const Dims& d, ThreadPool* pool) {
+    Front::template decompress_into<double>(a, dst, d, pool);
   };
   // Partial-decode entry points are optional per Front; absence installs
   // a typed refusal so the std::function is never null and callers that

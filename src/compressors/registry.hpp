@@ -50,6 +50,19 @@ struct CompressorEntry {
   std::function<void(std::span<const std::uint8_t>, double*, const Dims&)>
       decompress_into_f64;
 
+  /// Pool-threaded variant of the copy-free decode: the codec's internal
+  /// stages (cross-axis interpolation, Huffman decode) fan out over
+  /// `pool` when non-null; identical semantics otherwise. Every native
+  /// decoder already accepts the pool — these closures stop the registry
+  /// from dropping it, so the serving scheduler can give one large job
+  /// several workers.
+  std::function<void(std::span<const std::uint8_t>, float*, const Dims&,
+                     ThreadPool*)>
+      decompress_into_pool_f32;
+  std::function<void(std::span<const std::uint8_t>, double*, const Dims&,
+                     ThreadPool*)>
+      decompress_into_pool_f64;
+
   /// Whether the partial-decode entry points below do real work. Both
   /// are always callable: codecs without the capability install a
   /// closure that throws UnknownCodecError, so callers that don't check

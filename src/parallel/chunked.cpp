@@ -46,6 +46,14 @@ const auto& decompress_into_fn(const CompressorEntry& e) {
     return e.decompress_into_f64;
 }
 
+template <class T>
+const auto& decompress_into_pool_fn(const CompressorEntry& e) {
+  if constexpr (std::is_same_v<T, float>)
+    return e.decompress_into_pool_f32;
+  else
+    return e.decompress_into_pool_f64;
+}
+
 /// Resolve the pool to run on: the caller's shared pool when provided,
 /// otherwise a locally owned one with `workers` threads.
 ThreadPool* resolve_pool(ThreadPool* shared, unsigned workers,
@@ -79,7 +87,12 @@ std::vector<std::uint8_t> chunked_compress(const T* data, const Dims& dims,
   std::optional<ThreadPool> owned;
   ThreadPool* pool = resolve_pool(opt.options.pool, opt.workers, owned);
   GenericOptions slab_opt = opt.options;
-  slab_opt.pool = pool;  // intra-slab stages reuse the same workers
+  // Intra-slab stages reuse the same workers — but only when slabs alone
+  // cannot saturate the pool. Once there is at least one slab per worker,
+  // nested fan-out adds queue-lock traffic without exposing new
+  // parallelism, and under serving load it would steal continuation
+  // slots from other jobs sharing the pool.
+  slab_opt.pool = nchunks >= pool->size() ? nullptr : pool;
 
   std::vector<std::vector<std::uint8_t>> parts(nchunks);
   pool->parallel_for(nchunks, [&](std::size_t c) {
@@ -135,9 +148,19 @@ Field<T> chunked_decompress(std::span<const std::uint8_t> archive,
   std::optional<ThreadPool> owned;
   ThreadPool* pool = resolve_pool(shared_pool, workers, owned);
   const auto& dec_into = decompress_into_fn<T>(comp);
+  const auto& dec_into_pool = decompress_into_pool_fn<T>(comp);
+  // Same saturation rule as the compress side: with fewer slabs than
+  // workers, let each slab's internal stages fan out over the leftover
+  // workers; once slabs cover the pool, nested fan-out is pure overhead.
+  ThreadPool* intra = nchunks >= pool->size() ? nullptr : pool;
   pool->parallel_for(nchunks, [&](std::size_t c) {
     const std::size_t z0 = c * slab;
     const std::size_t thick = std::min(slab, dims.extent(0) - z0);
+    if (intra && dec_into_pool) {
+      dec_into_pool(parts[c], out.data() + z0 * plane, slab_dims(dims, thick),
+                    intra);
+      return;
+    }
     if (dec_into) {
       // Decode straight into the slab's final position: no per-slab
       // temporary field and no copy. A shape mismatch throws inside.

@@ -8,15 +8,36 @@
 //  * the self-describing ".qfld" container: a small header (magic, dtype,
 //    dims) followed by the raw payload, so tools can round-trip fields
 //    without remembering shapes.
+//
+// Reads go through a memory-mapped fast path (with a sequential-access
+// madvise) whenever the input is a regular mappable file, falling back
+// to buffered stdio otherwise — pipes, special files, platforms without
+// mmap, or QIP_IO_BUFFERED=1 (the test hook that pins the two paths to
+// identical results). The MappedFile/MappedField types below expose the
+// mapping itself for zero-copy consumers (the qipd serving layer feeds
+// compressors straight from the page cache).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/dims.hpp"
 #include "util/field.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QIP_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace qip {
 
@@ -37,7 +58,86 @@ inline FilePtr open_file(const std::string& path, const char* mode) {
   return f;
 }
 
+/// Test hook: QIP_IO_BUFFERED=1 forces every read through the buffered
+/// stdio path so the mapped and buffered implementations can be pinned
+/// to identical results.
+inline bool io_buffered_forced() {
+  const char* v = std::getenv("QIP_IO_BUFFERED");
+  return v && *v && *v != '0';
+}
+
 }  // namespace detail
+
+/// Read-only memory mapping of a whole regular file. Move-only RAII;
+/// an invalid (default) instance means "use the buffered fallback".
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& o) noexcept {
+    if (this != &o) {
+      reset();
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { reset(); }
+
+  /// Maps `path` read-only and advises the kernel of sequential access.
+  /// Returns an invalid MappedFile when the input cannot be mapped (not
+  /// a regular file, empty, or no mmap on this platform) — callers fall
+  /// back to buffered reads. Throws only when the file cannot be opened
+  /// at all, matching the buffered path's error.
+  static MappedFile map(const std::string& path) {
+#if defined(QIP_HAS_MMAP)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw std::runtime_error("qip: cannot open " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+      ::close(fd);
+      return {};
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p == MAP_FAILED) return {};
+    // Advisory only; a failure just means default readahead.
+    (void)::posix_madvise(p, size, POSIX_MADV_SEQUENTIAL);
+    MappedFile m;
+    m.data_ = p;
+    m.size_ = size;
+    return m;
+#else
+    detail::open_file(path, "rb");  // same not-openable error as buffered
+    return {};
+#endif
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+
+ private:
+  void reset() {
+#if defined(QIP_HAS_MMAP)
+    if (data_) ::munmap(data_, size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// Write bare scalars (SDRBench layout).
 template <class T>
@@ -51,6 +151,18 @@ void write_raw(const std::string& path, const Field<T>& field) {
 /// Read bare scalars with a caller-supplied shape.
 template <class T>
 Field<T> read_raw(const std::string& path, const Dims& dims) {
+  if (!detail::io_buffered_forced()) {
+    const MappedFile m = MappedFile::map(path);
+    if (m.valid()) {
+      const auto b = m.bytes();
+      Field<T> out(dims);
+      if (b.size() < out.size() * sizeof(T))
+        throw std::runtime_error("qip: short read from " + path +
+                                 " (expected " + dims.str() + ")");
+      std::memcpy(out.data(), b.data(), out.size() * sizeof(T));
+      return out;
+    }
+  }
   auto f = detail::open_file(path, "rb");
   Field<T> out(dims);
   if (std::fread(out.data(), sizeof(T), out.size(), f.get()) != out.size())
@@ -76,14 +188,19 @@ void write_qfld(const std::string& path, const Field<T>& field) {
     throw std::runtime_error("qip: short write to " + path);
 }
 
-/// Read a self-describing container written by write_qfld<T>. Throws on
-/// magic/dtype mismatch.
+namespace detail {
+
+struct QfldHeader {
+  Dims dims;
+  std::size_t payload_offset = 0;  ///< header bytes actually consumed
+};
+
+/// Parse the .qfld header from the file's first bytes. Throws on magic,
+/// dtype, or rank problems (same operator-facing errors as before).
 template <class T>
-Field<T> read_qfld(const std::string& path) {
-  auto f = detail::open_file(path, "rb");
-  std::uint8_t hdr[64];
-  const std::size_t got = std::fread(hdr, 1, sizeof(hdr), f.get());
-  ByteReader r({hdr, got});
+QfldHeader parse_qfld_header(std::span<const std::uint8_t> head,
+                             const std::string& path) {
+  ByteReader r(head);
   if (r.get<std::uint32_t>() != kFieldMagic)
     throw std::runtime_error("qip: " + path + " is not a .qfld file");
   const std::uint8_t dt = r.get<std::uint8_t>();
@@ -94,7 +211,8 @@ Field<T> read_qfld(const std::string& path) {
     throw std::runtime_error("qip: bad rank in " + path);
   std::size_t e[kMaxRank] = {1, 1, 1, 1};
   for (int a = 0; a < rank; ++a) e[a] = static_cast<std::size_t>(r.get_varint());
-  Dims dims = [&] {
+  QfldHeader h;
+  h.dims = [&] {
     switch (rank) {
       case 1: return Dims{e[0]};
       case 2: return Dims{e[0], e[1]};
@@ -102,10 +220,38 @@ Field<T> read_qfld(const std::string& path) {
       default: return Dims{e[0], e[1], e[2], e[3]};
     }
   }();
+  h.payload_offset = r.position();
+  return h;
+}
+
+}  // namespace detail
+
+/// Read a self-describing container written by write_qfld<T>. Throws on
+/// magic/dtype mismatch.
+template <class T>
+Field<T> read_qfld(const std::string& path) {
+  if (!detail::io_buffered_forced()) {
+    const MappedFile m = MappedFile::map(path);
+    if (m.valid()) {
+      const auto b = m.bytes();
+      const detail::QfldHeader h = detail::parse_qfld_header<T>(
+          b.first(std::min<std::size_t>(b.size(), 64)), path);
+      Field<T> out(h.dims);
+      if (b.size() < h.payload_offset + out.size() * sizeof(T))
+        throw std::runtime_error("qip: short read from " + path);
+      std::memcpy(out.data(), b.data() + h.payload_offset,
+                  out.size() * sizeof(T));
+      return out;
+    }
+  }
+  auto f = detail::open_file(path, "rb");
+  std::uint8_t hdr[64];
+  const std::size_t got = std::fread(hdr, 1, sizeof(hdr), f.get());
+  const detail::QfldHeader h = detail::parse_qfld_header<T>({hdr, got}, path);
   // Seek to the end of the header we actually consumed.
-  if (std::fseek(f.get(), static_cast<long>(r.position()), SEEK_SET) != 0)
+  if (std::fseek(f.get(), static_cast<long>(h.payload_offset), SEEK_SET) != 0)
     throw std::runtime_error("qip: seek failed on " + path);
-  Field<T> out(dims);
+  Field<T> out(h.dims);
   if (std::fread(out.data(), sizeof(T), out.size(), f.get()) != out.size())
     throw std::runtime_error("qip: short read from " + path);
   return out;
@@ -123,6 +269,13 @@ inline void write_bytes(const std::string& path,
 
 /// Read a whole file into a byte buffer.
 inline std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  if (!detail::io_buffered_forced()) {
+    const MappedFile m = MappedFile::map(path);
+    if (m.valid()) {
+      const auto b = m.bytes();
+      return std::vector<std::uint8_t>(b.begin(), b.end());
+    }
+  }
   auto f = detail::open_file(path, "rb");
   std::fseek(f.get(), 0, SEEK_END);
   const long size = std::ftell(f.get());

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <utility>
+#include <vector>
 
 namespace qip {
 namespace {
@@ -81,6 +84,74 @@ TEST_F(FieldIoTest, BytesRoundtrip) {
   write_bytes(path("e.bin"), {});
   EXPECT_TRUE(read_bytes(path("e.bin")).empty());
 }
+
+#if QIP_HAS_MMAP
+
+// RAII toggle for the QIP_IO_BUFFERED escape hatch, so a test failure
+// cannot leak the buffered override into later tests.
+class BufferedIoGuard {
+ public:
+  BufferedIoGuard() { ::setenv("QIP_IO_BUFFERED", "1", 1); }
+  ~BufferedIoGuard() { ::unsetenv("QIP_IO_BUFFERED"); }
+};
+
+TEST_F(FieldIoTest, MappedAndBufferedReadsAreIdentical) {
+  const auto f = sample_field();
+  write_raw(path("a.raw"), f);
+  write_qfld(path("a.qfld"), f);
+  const std::vector<std::uint8_t> blob{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  write_bytes(path("a.bin"), blob);
+
+  // Default path (mmap where available).
+  const auto raw_m = read_raw<float>(path("a.raw"), f.dims());
+  const auto qfld_m = read_qfld<float>(path("a.qfld"));
+  const auto bytes_m = read_bytes(path("a.bin"));
+
+  // Forced-buffered path must produce the same bytes.
+  BufferedIoGuard buffered;
+  const auto raw_b = read_raw<float>(path("a.raw"), f.dims());
+  const auto qfld_b = read_qfld<float>(path("a.qfld"));
+  const auto bytes_b = read_bytes(path("a.bin"));
+
+  ASSERT_EQ(raw_m.size(), raw_b.size());
+  for (std::size_t i = 0; i < raw_m.size(); ++i) ASSERT_EQ(raw_m[i], raw_b[i]);
+  EXPECT_EQ(qfld_m.dims(), qfld_b.dims());
+  for (std::size_t i = 0; i < qfld_m.size(); ++i)
+    ASSERT_EQ(qfld_m[i], qfld_b[i]);
+  EXPECT_EQ(bytes_m, bytes_b);
+  EXPECT_EQ(bytes_m, blob);
+}
+
+TEST_F(FieldIoTest, MappedFileExposesExactBytes) {
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  write_bytes(path("m.bin"), blob);
+  MappedFile m = MappedFile::map(path("m.bin"));
+  ASSERT_TRUE(m.valid());
+  ASSERT_EQ(m.bytes().size(), blob.size());
+  EXPECT_EQ(0, std::memcmp(m.bytes().data(), blob.data(), blob.size()));
+
+  // Move transfers ownership; the source becomes invalid.
+  MappedFile moved = std::move(m);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(m.valid());  // NOLINT(bugprone-use-after-move): tested on purpose
+  EXPECT_EQ(moved.bytes().size(), blob.size());
+}
+
+TEST_F(FieldIoTest, MappedFileFallsBackGracefully) {
+  // Empty regular file: not mappable, reported as invalid (callers fall
+  // back to the buffered path), not an exception.
+  write_bytes(path("empty.bin"), {});
+  EXPECT_FALSE(MappedFile::map(path("empty.bin")).valid());
+  // Missing file: a real open error, reported by throwing.
+  EXPECT_THROW(MappedFile::map(path("gone.bin")), std::runtime_error);
+  // Mapped reads of short files must still throw like buffered ones do.
+  const auto f = sample_field();
+  write_raw(path("short.raw"), f);
+  EXPECT_THROW(read_raw<float>(path("short.raw"), Dims{4, 6, 9}),
+               std::runtime_error);
+}
+
+#endif  // QIP_HAS_MMAP
 
 }  // namespace
 }  // namespace qip

@@ -6,10 +6,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace qip {
 namespace {
@@ -190,6 +194,161 @@ TEST(ThreadPool, ConcurrentShutdownWithExternalSubmitters) {
     for (auto& f : futs) f.get();
     EXPECT_EQ(ran.load(), 64);
   }
+}
+
+TEST(ThreadPool, ScopedWidthCapsParallelForConcurrency) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  std::atomic<int> active{0};
+  std::atomic<int> high_water{0};
+  {
+    ThreadPool::ScopedWidth cap(2);
+    EXPECT_EQ(ThreadPool::width_cap(), 2u);
+    pool.parallel_for(64, [&](std::size_t) {
+      const int now = active.fetch_add(1) + 1;
+      int hw = high_water.load();
+      while (now > hw && !high_water.compare_exchange_weak(hw, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      active.fetch_sub(1);
+    });
+  }
+  EXPECT_EQ(ThreadPool::width_cap(), 0u);  // restored on scope exit
+  // At most `width` strands (caller + 1 helper) may run the body at once,
+  // even though the pool has 4 workers.
+  EXPECT_LE(high_water.load(), 2);
+  EXPECT_GE(high_water.load(), 1);
+}
+
+TEST(ThreadPool, ScopedWidthOneRunsEntirelyInline) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  ThreadPool::ScopedWidth cap(1);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_caller{0};
+  pool.parallel_for(100, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) off_caller.fetch_add(1);
+  });
+  EXPECT_EQ(off_caller.load(), 0);
+}
+
+TEST(ThreadPool, ScopedWidthNestsAndRestores) {
+  ThreadPool::ScopedWidth outer(3);
+  EXPECT_EQ(ThreadPool::width_cap(), 3u);
+  {
+    ThreadPool::ScopedWidth inner(1);
+    EXPECT_EQ(ThreadPool::width_cap(), 1u);
+  }
+  EXPECT_EQ(ThreadPool::width_cap(), 3u);
+}
+
+TEST(ThreadPool, PlainSubmitsRunInFifoOrder) {
+  // One worker, parked on a promise while the batch is enqueued: plain
+  // jobs must then start in exactly the order they were submitted.
+  ThreadPool pool(1, /*cap_to_hardware=*/false);
+  std::promise<void> release;
+  auto blocker = pool.submit([&] { release.get_future().wait(); });
+
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i)
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+
+  release.set_value();
+  blocker.get();
+  for (auto& f : futs) f.get();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ContinuationPriorityLetsHelpersJumpABacklog) {
+  // The multi-core serving defect this repo fixed: parallel_for helper
+  // tasks used to be enqueued FIFO-back, behind every queued job, so
+  // under a backlog the caller drained all blocks alone. With the
+  // continuation-priority default the idle-soon worker picks the helper
+  // up next and shares the blocks.
+  //
+  // Layout: 2 workers. Worker A is parked; worker B chews through a
+  // backlog of slow jobs whose total run time far exceeds the caller's
+  // own parallel_for drain. Legacy FIFO: the helper sits behind the
+  // backlog forever -> caller executes 100% of blocks. Jump-queue: B
+  // reaches the helper after at most one job -> caller share < 100%.
+  for (const bool jump : {false, true}) {
+    ThreadPool pool(2, /*cap_to_hardware=*/false,
+                    /*continuations_jump_queue=*/jump);
+    std::promise<void> park;
+    auto parked = pool.submit([&] { park.get_future().wait(); });
+    std::vector<std::future<void>> backlog;
+    for (int i = 0; i < 20; ++i)
+      backlog.push_back(pool.submit(
+          [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); }));
+
+    pool.reset_scheduler_stats();
+    pool.parallel_for(8, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    });
+    const ThreadPool::SchedulerStats st = pool.scheduler_stats();
+
+    park.set_value();
+    parked.get();
+    for (auto& f : backlog) f.get();
+
+    ASSERT_GT(st.pf_blocks, 0u);
+    if (jump) {
+      // The helper must have claimed at least one block.
+      EXPECT_LT(st.pf_blocks_caller, st.pf_blocks) << "jump=" << jump;
+    } else {
+      // Legacy FIFO: caller drained everything alone.
+      EXPECT_EQ(st.pf_blocks_caller, st.pf_blocks) << "jump=" << jump;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForUnderSaturatedAdmissionWindow) {
+  // Serving-shaped stress (run under tsan): a bounded admission window
+  // is kept saturated by outside submitters while every job itself nests
+  // pool work (submit-from-worker + parallel_for under a width cap).
+  // Must terminate with every job run exactly once and no deadlock.
+  ThreadPool pool(3, /*cap_to_hardware=*/false);
+  constexpr int kJobs = 48;
+  constexpr int kWindow = 4;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0;
+
+  std::atomic<int> done{0};
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(kJobs);
+
+  for (int j = 0; j < kJobs; ++j) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return in_flight < kWindow; });
+      ++in_flight;
+    }
+    futs.push_back(pool.submit([&, j] {
+      ThreadPool::ScopedWidth cap(j % 2 ? 1u : 2u);
+      pool.parallel_for(32, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i) + 1, std::memory_order_relaxed);
+      });
+      if (j % 3 == 0) {
+        // Nested plain submission from inside a worker, waited on.
+        auto inner = pool.submit([] { return 7; });
+        sum.fetch_add(inner.get(), std::memory_order_relaxed);
+      }
+      done.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        --in_flight;
+      }
+      cv.notify_one();
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), kJobs);
+  const long per_job = 32L * 33L / 2L;
+  const long nested = 7L * ((kJobs + 2) / 3);
+  EXPECT_EQ(sum.load(), per_job * kJobs + nested);
 }
 
 }  // namespace

@@ -19,14 +19,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "compressors/core/container.hpp"
 #include "compressors/registry.hpp"
 #include "data/synthetic.hpp"
 #include "parallel/chunked.hpp"
+#include "serve/service.hpp"
 #include "simd/dispatch.hpp"
 #include "util/field_io.hpp"
 #include "util/stats.hpp"
@@ -51,6 +56,9 @@ using namespace qip;
                "  qipc gen        -d DATASET [-f IDX] [--dims ZxYxX] [--seed S] -o OUT.qfld\n"
                "  qipc eval       -a A.qfld -b B.qfld\n"
                "  qipc info       -i IN.qip\n"
+               "  qipc serve      --jobs FILE|- [--workers N] [--queue N]\n"
+               "                  [--policy block|reject] [--out-dir DIR]\n"
+               "                  [--metrics FILE]\n"
                "  qipc cpu\n"
                "compressors: MGARD SZ3 QoZ HPEZ ZFP TTHRESH SPERR\n"
                "datasets: miranda hurricane segsalt scale s3d cesm rtm\n");
@@ -435,6 +443,163 @@ int do_info(const Args& a) {
   return 0;
 }
 
+const char* kind_str(serve::JobKind k) {
+  switch (k) {
+    case serve::JobKind::kCompress: return "compress";
+    case serve::JobKind::kDecompress: return "decompress";
+    case serve::JobKind::kPreview: return "preview";
+    case serve::JobKind::kRegion: return "region";
+  }
+  return "?";
+}
+
+/// One job description per line, whitespace-separated:
+///
+///   compress   PATH ZxYxX CODEC [EB] [chunked] [double] [qp] [tiles=N]
+///   decompress PATH
+///   preview    PATH LEVEL
+///   region     PATH A:B,A:B,...
+///
+/// PATH is mapped (zero-copy when the file is mappable) and served by
+/// the qipd Service; decode-direction jobs detect dtype and format from
+/// the archive header. Blank lines and #-comments are skipped.
+bool parse_job_line(const std::string& line, serve::JobSpec& spec) {
+  std::istringstream ss(line);
+  std::string kind, path;
+  if (!(ss >> kind) || kind[0] == '#') return false;
+  if (!(ss >> path)) usage(("serve: job line needs a path: " + line).c_str());
+
+  // Map the input; non-mappable files fall back to a buffered read.
+  auto mf = std::make_shared<MappedFile>(MappedFile::map(path));
+  if (mf->valid()) {
+    spec.input = mf->bytes();
+    spec.keepalive = std::move(mf);
+  } else {
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(read_bytes(path));
+    spec.input = *buf;
+    spec.keepalive = std::move(buf);
+  }
+
+  if (kind == "compress") {
+    spec.kind = serve::JobKind::kCompress;
+    std::string dims, codec;
+    if (!(ss >> dims >> codec))
+      usage(("serve: compress line needs DIMS CODEC: " + line).c_str());
+    spec.dims = parse_dims(dims);
+    spec.codec = codec;
+    std::string tok;
+    while (ss >> tok) {
+      if (tok == "chunked")
+        spec.chunked = true;
+      else if (tok == "double")
+        spec.f64 = true;
+      else if (tok == "qp")
+        spec.options.qp = QPConfig::best_fit();
+      else if (tok.rfind("tiles=", 0) == 0)
+        spec.options.tile_size =
+            static_cast<std::size_t>(std::stoull(tok.substr(6)));
+      else
+        spec.options.error_bound = std::stod(tok);
+    }
+  } else if (kind == "decompress") {
+    spec.kind = serve::JobKind::kDecompress;
+  } else if (kind == "preview") {
+    spec.kind = serve::JobKind::kPreview;
+    int level = 0;
+    if (!(ss >> level)) usage(("serve: preview line needs LEVEL: " + line).c_str());
+    spec.level = level;
+  } else if (kind == "region") {
+    spec.kind = serve::JobKind::kRegion;
+    std::string region;
+    if (!(ss >> region))
+      usage(("serve: region line needs A:B,...: " + line).c_str());
+    spec.region = parse_region(region, inspect_container(spec.input).dims);
+  } else {
+    usage(("serve: unknown job kind " + kind).c_str());
+  }
+  return true;
+}
+
+int do_serve(const Args& a) {
+  serve::ServeOptions so;
+  if (a.has("--workers"))
+    so.workers = static_cast<unsigned>(std::stoul(a.get("--workers")));
+  if (a.has("--queue"))
+    so.queue_capacity = static_cast<std::size_t>(std::stoull(a.get("--queue")));
+  if (a.get("--policy", "block") == "reject")
+    so.policy = serve::AdmitPolicy::kReject;
+  serve::Service svc(so);
+
+  const std::string jobs_path = a.require("--jobs");
+  std::FILE* jf = jobs_path == "-" ? stdin : std::fopen(jobs_path.c_str(), "r");
+  if (!jf) usage(("serve: cannot open " + jobs_path).c_str());
+
+  std::FILE* mf = nullptr;
+  if (a.has("--metrics")) {
+    mf = std::fopen(a.get("--metrics").c_str(), "w");
+    if (!mf) usage("serve: cannot open --metrics file");
+  }
+  if (a.has("--out-dir"))
+    std::filesystem::create_directories(a.get("--out-dir"));
+
+  struct Pending {
+    std::future<serve::JobResult> fut;
+    serve::JobKind kind;
+  };
+  std::vector<Pending> pending;
+  std::size_t rejected = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), jf)) {
+    const std::string line(buf);
+    serve::JobSpec spec;
+    if (!parse_job_line(line, spec)) continue;
+    const serve::JobKind kind = spec.kind;
+    auto fut = svc.submit(std::move(spec));
+    if (!fut) {
+      ++rejected;
+      continue;
+    }
+    pending.push_back({std::move(*fut), kind});
+  }
+  if (jf != stdin) std::fclose(jf);
+
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    serve::JobResult r = pending[i].fut.get();
+    const auto& m = r.metrics;
+    if (!m.ok) {
+      ++failed;
+      std::fprintf(stderr, "serve: job %zu (%s) failed: %s\n", i,
+                   kind_str(pending[i].kind), m.error.c_str());
+    }
+    if (mf)
+      std::fprintf(mf,
+                   "{\"job\":%zu,\"kind\":\"%s\",\"ok\":%s,"
+                   "\"queue_wait_s\":%.6f,\"service_s\":%.6f,"
+                   "\"input_bytes\":%zu,\"output_bytes\":%zu,\"cr\":%.3f,"
+                   "\"intra_workers\":%u}\n",
+                   i, kind_str(pending[i].kind), m.ok ? "true" : "false",
+                   m.queue_wait_s, m.service_s, m.input_bytes, m.output_bytes,
+                   m.cr, m.intra_workers);
+    if (m.ok && a.has("--out-dir")) {
+      std::ostringstream name;
+      name << a.get("--out-dir") << "/job-" << i
+           << (pending[i].kind == serve::JobKind::kCompress ? ".qip" : ".raw");
+      write_bytes(name.str(), r.bytes);
+    }
+  }
+  if (mf) std::fclose(mf);
+
+  const serve::ServiceMetrics sm = svc.metrics();
+  std::printf(
+      "served %zu jobs on %u workers: %llu ok, %zu failed, %zu rejected, "
+      "%llu with intra-job fan-out\n",
+      pending.size(), svc.workers(),
+      static_cast<unsigned long long>(sm.completed), failed, rejected,
+      static_cast<unsigned long long>(sm.large_jobs));
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +620,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return do_gen(a);
     if (cmd == "eval") return do_eval(a);
     if (cmd == "info") return do_info(a);
+    if (cmd == "serve") return do_serve(a);
     if (cmd == "cpu") return do_cpu();
     usage(("unknown command " + cmd).c_str());
   } catch (const std::exception& e) {
