@@ -8,11 +8,17 @@
 // repetitions after one untimed warm-up. Each stage reports its minimum
 // wall time (the noise floor; "seconds"/"bytes_per_s" keep meaning that
 // for before/after diffs) plus the median ("median_seconds"), which
-// shows whether the minimum was representative. Worker counts {1, W}
-// with W defaulting to the hardware thread count. All throughputs are
-// relative to the raw input bytes, so stages are directly comparable.
-// The archive must be byte-identical across worker counts; the harness
-// verifies this and records the verdict.
+// shows whether the minimum was representative. Worker counts sweep
+// {1, 2, 4} plus W (default: hardware thread count) when larger; every
+// pool is built uncapped, so on undersized machines the multi-worker
+// rows measure deliberate oversubscription. Each worker count also gets
+// a "forced_seq" A/B row (QIP_INTERP_FORCE_SEQ semantics: the
+// interpolation level walk pinned to the sequential path, everything
+// else unchanged) re-timing the four interp-bearing stages; the
+// workers=1 pair bounds the parallel walk's single-worker overhead.
+// All throughputs are relative to the raw input bytes, so stages are
+// directly comparable. The archive must be byte-identical across all
+// rows; the harness verifies this and records the verdict.
 //
 // docs/PERFORMANCE.md explains how to read and compare the output.
 
@@ -52,26 +58,29 @@ struct StageTimes {
 };
 
 void print_stages(std::FILE* out, const StageTimes& s, std::size_t bytes,
-                  const char* indent) {
+                  const char* indent, bool interp_only) {
   const struct {
     const char* name;
     Timing t;
-  } rows[] = {{"compress_e2e", s.compress_e2e},
-              {"decompress_e2e", s.decompress_e2e},
-              {"interp_enc", s.interp_enc},
-              {"huffman_enc", s.huffman_enc},
-              {"lzb_enc", s.lzb_enc},
-              {"huffman_dec", s.huffman_dec},
-              {"interp_dec", s.interp_dec},
-              {"lzb_dec", s.lzb_dec}};
+    bool interp;  // stage runs through the interpolation level walk
+  } rows[] = {{"compress_e2e", s.compress_e2e, true},
+              {"decompress_e2e", s.decompress_e2e, true},
+              {"interp_enc", s.interp_enc, true},
+              {"huffman_enc", s.huffman_enc, false},
+              {"lzb_enc", s.lzb_enc, false},
+              {"huffman_dec", s.huffman_dec, false},
+              {"interp_dec", s.interp_dec, true},
+              {"lzb_dec", s.lzb_dec, false}};
   const int n = static_cast<int>(sizeof(rows) / sizeof(rows[0]));
+  const int last = interp_only ? 6 : n - 1;  // interp_dec closes seq rows
   for (int i = 0; i < n; ++i) {
+    if (interp_only && !rows[i].interp) continue;
     std::fprintf(out,
                  "%s\"%s\": {\"seconds\": %.6f, \"median_seconds\": %.6f, "
                  "\"bytes_per_s\": %.0f}%s\n",
                  indent, rows[i].name, rows[i].t.min_s, rows[i].t.median_s,
                  static_cast<double>(bytes) / rows[i].t.min_s,
-                 i + 1 < n ? "," : "");
+                 i < last ? "," : "");
   }
 }
 
@@ -125,18 +134,33 @@ int main(int argc, char** argv) {
   const auto henc = huffman_encode(res.symbols);
   const auto lenc = lzb_compress(henc);
 
-  const std::vector<unsigned> workers = {1u, par_workers};
-  std::vector<StageTimes> times(workers.size());
-  std::vector<std::size_t> rss(workers.size());
+  // The sweep: {1, 2, 4} plus the requested/hardware count when larger,
+  // each measured with the parallel level walk allowed and again with
+  // it pinned sequential (the A/B the CI gate and the single-worker
+  // overhead criterion read).
+  std::vector<unsigned> workers = {1u, 2u, 4u};
+  if (par_workers > workers.back()) workers.push_back(par_workers);
+  struct Row {
+    unsigned workers = 1;
+    bool forced_seq = false;
+    StageTimes s;
+    std::size_t rss = 0;
+  };
+  std::vector<Row> rows;
+  for (unsigned w : workers)
+    for (bool forced_seq : {false, true})
+      rows.push_back({w, forced_seq, {}, 0});
+
   std::vector<std::uint8_t> reference_arc;
   bool identical = true;
 
-  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+  for (Row& row : rows) {
     // Uncapped: this harness measures the worker counts it claims to,
     // including deliberate oversubscription on small machines.
-    ThreadPool pool(workers[wi], /*cap_to_hardware=*/false);
-    ThreadPool* p = workers[wi] == 1 ? nullptr : &pool;
-    StageTimes& s = times[wi];
+    ThreadPool pool(row.workers, /*cap_to_hardware=*/false);
+    ThreadPool* p = &pool;
+    set_interp_force_seq_override(row.forced_seq ? 1 : 0);
+    StageTimes& s = row.s;
     SZ3Config wcfg = cfg;
     wcfg.pool = p;
 
@@ -153,12 +177,9 @@ int main(int argc, char** argv) {
     s.interp_enc = bench::time_reps(reps, [&] {
       Field<float> w2 = f.clone();
       LinearQuantizer<float> q(eb);
-      (void)InterpEngine<float>::encode(w2.data(), dims, plan, eb, q, cfg.qp);
+      (void)InterpEngine<float>::encode(w2.data(), dims, plan, eb, q, cfg.qp,
+                                        false, nullptr, nullptr, p);
     });
-    s.huffman_enc =
-        bench::time_reps(reps, [&] { (void)huffman_encode(res.symbols, p); });
-    s.lzb_enc = bench::time_reps(reps, [&] { (void)lzb_compress(henc, p); });
-    s.huffman_dec = bench::time_reps(reps, [&] { (void)huffman_decode(henc, p); });
     // The stage is the decode walk, not the allocator: the output field
     // is constructed (and faulted in) once, outside the timed region.
     Field<float> dec_out(dims);
@@ -166,12 +187,22 @@ int main(int argc, char** argv) {
       LinearQuantizer<float> q = quant;
       q.reset_cursor();
       InterpEngine<float>::decode(res.symbols, dims, plan, eb, q, cfg.qp,
-                                  dec_out.data());
+                                  dec_out.data(), nullptr, 1, p);
     });
-    s.lzb_dec =
-        bench::time_reps(reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
-    rss[wi] = bench::peak_rss_bytes();
+    if (!row.forced_seq) {
+      // The remaining stages don't route through the level walk; timing
+      // them once per worker count keeps A/B rows cheap.
+      s.huffman_enc =
+          bench::time_reps(reps, [&] { (void)huffman_encode(res.symbols, p); });
+      s.lzb_enc = bench::time_reps(reps, [&] { (void)lzb_compress(henc, p); });
+      s.huffman_dec =
+          bench::time_reps(reps, [&] { (void)huffman_decode(henc, p); });
+      s.lzb_dec = bench::time_reps(
+          reps, [&] { (void)lzb_decompress(lenc, henc.size(), p); });
+    }
+    row.rss = bench::peak_rss_bytes();
   }
+  set_interp_force_seq_override(-1);
 
   const double cr = static_cast<double>(bytes) / reference_arc.size();
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -195,11 +226,15 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"byte_identical_across_workers\": %s,\n",
                identical ? "true" : "false");
   std::fprintf(out, "  \"runs\": [\n");
-  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-    std::fprintf(out, "    {\"workers\": %u, \"peak_rss_bytes\": %zu, \"stages\": {\n",
-                 workers[wi], rss[wi]);
-    print_stages(out, times[wi], bytes, "      ");
-    std::fprintf(out, "    }}%s\n", wi + 1 < workers.size() ? "," : "");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"workers\": %u, \"interp_walk\": \"%s\", "
+                 "\"peak_rss_bytes\": %zu, \"stages\": {\n",
+                 row.workers, row.forced_seq ? "forced_seq" : "parallel",
+                 row.rss);
+    print_stages(out, row.s, bytes, "      ", row.forced_seq);
+    std::fprintf(out, "    }}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n");
   std::fprintf(out, "}\n");
@@ -208,13 +243,14 @@ int main(int argc, char** argv) {
   std::printf("dims=%s bytes=%zu arc=%zu cr=%.2f identical=%s -> %s\n",
               dims.str().c_str(), bytes, reference_arc.size(), cr,
               identical ? "yes" : "NO", out_path.c_str());
-  for (std::size_t wi = 0; wi < workers.size(); ++wi) {
-    const StageTimes& s = times[wi];
-    std::printf("workers=%u compress %.3fs (%.1f MB/s)  decompress %.3fs "
-                "(%.1f MB/s)\n",
-                workers[wi], s.compress_e2e.min_s,
-                bytes / s.compress_e2e.min_s / 1e6, s.decompress_e2e.min_s,
-                bytes / s.decompress_e2e.min_s / 1e6);
+  for (const Row& row : rows) {
+    const StageTimes& s = row.s;
+    std::printf("workers=%u %-10s compress %.3fs (%.1f MB/s)  decompress "
+                "%.3fs (%.1f MB/s)  interp enc %.3fs dec %.3fs\n",
+                row.workers, row.forced_seq ? "forced_seq" : "parallel",
+                s.compress_e2e.min_s, bytes / s.compress_e2e.min_s / 1e6,
+                s.decompress_e2e.min_s, bytes / s.decompress_e2e.min_s / 1e6,
+                s.interp_enc.min_s, s.interp_dec.min_s);
   }
   return identical ? 0 : 1;
 }

@@ -218,6 +218,7 @@ struct LoadResult {
   std::vector<double> queue_wait_s;  ///< admission -> worker pickup
   double caller_drain_share = 0;
   std::uint64_t large_jobs = 0;
+  unsigned max_intra_workers = 0;  ///< widest per-job fan-out observed
   std::size_t peak_rss = 0;
 };
 
@@ -283,6 +284,8 @@ LoadResult run_load(const Workload& w, const std::vector<std::size_t>& seq,
     }
     ++res.completed;
     if (fnv1a(r.bytes) != w.templates[p.tmpl].expect_hash) ++res.mismatched;
+    res.max_intra_workers =
+        std::max(res.max_intra_workers, r.metrics.intra_workers);
     res.latency_s.push_back(r.metrics.queue_wait_s + r.metrics.service_s);
     res.queue_wait_s.push_back(r.metrics.queue_wait_s);
   }
@@ -303,14 +306,15 @@ void print_run(std::FILE* out, const char* phase, unsigned workers,
       "     \"wall_s\": %.3f, \"jobs_per_s\": %.2f, "
       "\"p50_latency_s\": %.4f, \"p99_latency_s\": %.4f, "
       "\"p50_queue_wait_s\": %.4f, \"p99_queue_wait_s\": %.4f,\n"
-      "     \"large_jobs\": %llu, \"caller_drain_share\": %.3f, "
+      "     \"large_jobs\": %llu, \"max_intra_workers\": %u, "
+      "\"caller_drain_share\": %.3f, "
       "\"peak_rss_bytes\": %zu}%s\n",
       phase, workers, offered, jump ? "true" : "false", r.completed, r.failed,
       r.rejected, r.mismatched, r.wall_s, r.jobs_per_s,
       percentile(r.latency_s, 0.50), percentile(r.latency_s, 0.99),
       percentile(r.queue_wait_s, 0.50), percentile(r.queue_wait_s, 0.99),
-      static_cast<unsigned long long>(r.large_jobs), r.caller_drain_share,
-      r.peak_rss, last ? "" : ",");
+      static_cast<unsigned long long>(r.large_jobs), r.max_intra_workers,
+      r.caller_drain_share, r.peak_rss, last ? "" : ",");
 }
 
 }  // namespace
@@ -390,6 +394,34 @@ int main(int argc, char** argv) {
       ab_workers, ab_on.jobs_per_s, ab_on.caller_drain_share,
       ab_off.jobs_per_s, ab_off.caller_drain_share);
 
+  // Large-job probe: one decode-direction job served ALONE on a
+  // multi-worker pool must report intra-job fan-out (the whole point of
+  // the parallel level walk under serving). The traffic phases can't
+  // assert this deterministically — with several large jobs in flight
+  // the slab share can legitimately collapse to width 1 — so the probe
+  // pins the uncontended case. large_job_bytes = 1 classifies the lone
+  // job as large regardless of the workload's sizes (quick mode's
+  // fields sit below the production 4 MB threshold).
+  unsigned probe_intra = 0;
+  {
+    serve::ServeOptions so;
+    so.workers = ab_workers;
+    so.cap_to_hardware = false;
+    so.large_job_bytes = 1;
+    serve::Service svc(so);
+    const JobTemplate* big = nullptr;
+    for (const JobTemplate& t : w.templates)
+      if (t.spec.kind == serve::JobKind::kDecompress &&
+          (!big || t.spec.input.size() > big->spec.input.size()))
+        big = &t;
+    if (big) {
+      auto fut = svc.submit(big->spec);
+      if (fut) probe_intra = fut->get().metrics.intra_workers;
+    }
+  }
+  std::printf("large-job probe: workers=%u intra_workers=%u\n", ab_workers,
+              probe_intra);
+
   std::size_t mismatches = ab_on.mismatched + ab_off.mismatched;
   std::size_t failures = ab_on.failed + ab_off.failed;
   for (const LoadResult& r : capacity) {
@@ -432,6 +464,10 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "], \"speedup_max_vs_1\": %.3f},\n",
                cap1 > 0 ? capacity.back().jobs_per_s / cap1 : 0);
+  std::fprintf(out,
+               "  \"large_job_probe\": {\"workers\": %u, "
+               "\"intra_workers\": %u},\n",
+               ab_workers, probe_intra);
   std::fprintf(out, "  \"all_outputs_bit_identical\": %s,\n",
                mismatches == 0 ? "true" : "false");
   std::fprintf(out, "  \"failed_jobs\": %zu\n", failures);

@@ -225,12 +225,12 @@ template <class T>
     const T* data, const Dims& dims, const InterpPlan& plan,
     double error_bound, std::int32_t radius, const QPConfig& qp,
     IndexArtifacts* artifacts, const TileLayout* tiles = nullptr,
-    std::vector<SymbolSpan>* spans = nullptr) {
+    std::vector<SymbolSpan>* spans = nullptr, ThreadPool* pool = nullptr) {
   Field<T> work(dims, std::vector<T>(data, data + dims.size()));
   InterpEncoding<T> enc{{}, LinearQuantizer<T>(error_bound, radius)};
   auto res = InterpEngine<T>::encode(work.data(), dims, plan, error_bound,
                                      enc.quant, qp, artifacts != nullptr,
-                                     tiles, spans);
+                                     tiles, spans, pool);
   enc.symbols = std::move(res.symbols);
   if (artifacts) {
     artifacts->codes = std::move(res.codes);
@@ -240,13 +240,17 @@ template <class T>
 }
 
 /// The tile layout an interpolation encode will commit for a requested
-/// tile edge. Block-wise plans already reorder the traversal per level;
-/// stacking tile order on top would change their bytes for no
-/// random-access gain, so they stay untiled.
+/// tile edge. Block-wise levels already reorder the traversal; stacking
+/// tile order on top would change their bytes for no random-access
+/// gain. Only plans that actually commit a block-wise level stay
+/// untiled — carrying a block candidate table with every level decided
+/// globally (HPEZ when its block tuner declines, or when a tile grid
+/// was requested) tiles like any other plan.
 [[nodiscard]] inline TileLayout interp_tile_layout(std::size_t tile_size,
                                                    const Dims& dims,
                                                    const InterpPlan& plan) {
-  if (plan.block_size > 0) return TileLayout{};
+  for (std::size_t l = 1; l <= plan.levels.size(); ++l)
+    if (plan.blockwise(static_cast<int>(l))) return TileLayout{};
   return TileLayout::plan(tile_size, dims,
                           static_cast<int>(plan.levels.size()));
 }
@@ -266,7 +270,7 @@ void interp_encode_stages(ContainerWriter& out, const T* data,
   std::vector<SymbolSpan> spans;
   const InterpEncoding<T> enc =
       interp_encode(data, dims, plan, error_bound, radius, qp, artifacts,
-                    tiles.active() ? &tiles : nullptr, &spans);
+                    tiles.active() ? &tiles : nullptr, &spans, pool);
   ByteWriter& h = out.stage(StageId::kConfig);
   save_interp_common(h, error_bound, radius, qp);
   plan.save(h);
@@ -295,7 +299,8 @@ void interp_decode_stages(const ContainerReader& in, T* out,
   quant.load(h);
   const std::vector<std::uint32_t> symbols = read_symbols_stage(in, pool);
   InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
-                          c.qp, out, archive_tiles(in));
+                          c.qp, out, archive_tiles(in), /*stop_level=*/1,
+                          pool);
 }
 
 /// Seal a complete standard interpolation archive for a fixed plan. Used
@@ -366,23 +371,37 @@ template <class T>
     symbols = read_symbols_stage(in, pool);
   } else {
     // Chunks are ordered coarse-to-fine, so "levels >= level" is a
-    // prefix; decode it chunk by chunk and stop.
+    // prefix; its per-chunk symbol counts are declared in the
+    // directory, so each chunk decodes into a precomputed slot and the
+    // prefix fans out over the pool like read_symbols_stage().
     const std::vector<ChunkEntry>& chunks = in.directory().chunks;
-    for (std::size_t i = 0; i < chunks.size() && chunks[i].level >= level;
-         ++i) {
-      if (chunks[i].symbol_count == 0)
+    std::size_t n = 0, total = 0;
+    std::vector<std::size_t> offsets;
+    while (n < chunks.size() && chunks[n].level >= level) {
+      if (chunks[n].symbol_count == 0)
         throw DecodeError("raw payload chunk in a symbol-stream archive");
+      offsets.push_back(total);
+      total += chunks[n].symbol_count;
+      ++n;
+    }
+    symbols.resize(total);
+    auto decode_one = [&](std::size_t i, ThreadPool* p) {
       const std::vector<std::uint32_t> syms =
-          huffman_decode(in.chunk_bytes(i), pool);
+          huffman_decode(in.chunk_bytes(i), p);
       if (syms.size() != chunks[i].symbol_count)
         throw DecodeError("payload chunk symbol count mismatch");
-      symbols.insert(symbols.end(), syms.begin(), syms.end());
+      std::copy(syms.begin(), syms.end(), symbols.begin() + offsets[i]);
+    };
+    if (pool && n > 1) {
+      pool->parallel_for(n, [&](std::size_t i) { decode_one(i, nullptr); });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) decode_one(i, pool);
     }
   }
 
   Field<T> full(in.dims());
   InterpEngine<T>::decode(symbols, in.dims(), plan, c.error_bound, quant,
-                          c.qp, full.data(), archive_tiles(in), level);
+                          c.qp, full.data(), archive_tiles(in), level, pool);
   if (stats) {
     stats->payload_bytes_read = in.version() == 2
                                     ? in.stage_bytes(StageId::kSymbols).size()
@@ -446,47 +465,84 @@ template <class T>
   const Box b = validate_region(box, dims);
 
   // Coarse pass: the untiled levels are the prefix of the chunk list
-  // above the tiled band; decode them globally.
+  // above the tiled band; decode their frames concurrently into
+  // precomputed slots (symbol counts are declared in the directory),
+  // then run the level walk globally.
   const std::vector<ChunkEntry>& chunks = in.directory().chunks;
-  std::vector<std::uint32_t> symbols;
-  std::size_t first_tiled = 0;
+  std::size_t first_tiled = 0, coarse_total = 0;
+  std::vector<std::size_t> coarse_offsets;
   while (first_tiled < chunks.size() &&
          chunks[first_tiled].level > tiles->max_level) {
-    const ChunkEntry& ce = chunks[first_tiled];
-    if (ce.symbol_count == 0)
+    if (chunks[first_tiled].symbol_count == 0)
       throw DecodeError("raw payload chunk in a symbol-stream archive");
-    const std::vector<std::uint32_t> syms =
-        huffman_decode(in.chunk_bytes(first_tiled), pool);
-    if (syms.size() != ce.symbol_count)
-      throw DecodeError("payload chunk symbol count mismatch");
-    symbols.insert(symbols.end(), syms.begin(), syms.end());
+    coarse_offsets.push_back(coarse_total);
+    coarse_total += chunks[first_tiled].symbol_count;
     ++first_tiled;
+  }
+  std::vector<std::uint32_t> symbols(coarse_total);
+  auto decode_coarse = [&](std::size_t i, ThreadPool* p) {
+    const std::vector<std::uint32_t> syms =
+        huffman_decode(in.chunk_bytes(i), p);
+    if (syms.size() != chunks[i].symbol_count)
+      throw DecodeError("payload chunk symbol count mismatch");
+    std::copy(syms.begin(), syms.end(),
+              symbols.begin() + coarse_offsets[i]);
+  };
+  if (pool && first_tiled > 1) {
+    pool->parallel_for(first_tiled,
+                       [&](std::size_t i) { decode_coarse(i, nullptr); });
+  } else {
+    for (std::size_t i = 0; i < first_tiled; ++i) decode_coarse(i, pool);
   }
   Field<T> full(dims);
   InterpEngine<T>::decode(symbols, dims, plan, c.error_bound, quant, c.qp,
-                          full.data(), tiles, tiles->max_level + 1);
+                          full.data(), tiles, tiles->max_level + 1, pool);
 
-  // Tile pass: chunks stay in (level desc, tile asc) order, which is
-  // exactly the traversal a full decode runs — so applying the
-  // intersecting ones in list order is both correct and sequential in
-  // the file. The outlier cursor seeks per chunk from the directory's
-  // prefix sums; symbol counts are validated against the tile geometry
-  // inside decode_tile.
+  // Tile pass: chunks stay in (level desc, tile asc) order — the same
+  // traversal a full decode runs. Within one level band the
+  // intersecting tiles write disjoint point sets and read only their
+  // own region plus coarser levels (already final: encode ran under the
+  // cross-tile stencil guard), so the band fans out over the pool, each
+  // chunk decoding through its own quantizer view seeked from the
+  // directory's outlier prefix sums. The barrier between bands keeps
+  // the coarse-to-fine ordering; symbol counts are validated against
+  // the tile geometry inside decode_tile.
   const TileGrid grid(dims, tiles->tile_size);
-  for (std::size_t i = first_tiled; i < chunks.size(); ++i) {
-    const ChunkEntry& ce = chunks[i];
-    if (ce.tile == kWholeDomainTile || ce.symbol_count == 0)
-      throw DecodeError("untiled chunk inside the tiled band");
-    const Box tb = grid.box(ce.tile, dims);
-    bool overlaps = true;
-    for (int a = 0; a < dims.rank(); ++a)
-      overlaps = overlaps && tb.lo[a] < b.hi[a] && b.lo[a] < tb.hi[a];
-    if (!overlaps) continue;
-    const std::vector<std::uint32_t> syms =
-        huffman_decode(in.chunk_bytes(i), pool);
-    quant.set_outlier_cursor(ce.outlier_start);
-    InterpEngine<T>::decode_tile(syms, dims, plan, c.error_bound, quant,
-                                 c.qp, full.data(), *tiles, ce.level, tb);
+  std::size_t band = first_tiled;
+  while (band < chunks.size()) {
+    std::size_t band_end = band;
+    while (band_end < chunks.size() &&
+           chunks[band_end].level == chunks[band].level)
+      ++band_end;
+    std::vector<std::size_t> picked;
+    for (std::size_t i = band; i < band_end; ++i) {
+      const ChunkEntry& ce = chunks[i];
+      if (ce.tile == kWholeDomainTile || ce.symbol_count == 0)
+        throw DecodeError("untiled chunk inside the tiled band");
+      const Box tb = grid.box(ce.tile, dims);
+      bool overlaps = true;
+      for (int a = 0; a < dims.rank(); ++a)
+        overlaps = overlaps && tb.lo[a] < b.hi[a] && b.lo[a] < tb.hi[a];
+      if (overlaps) picked.push_back(i);
+    }
+    auto decode_chunk = [&](std::size_t i, ThreadPool* p) {
+      const ChunkEntry& ce = chunks[i];
+      const std::vector<std::uint32_t> syms =
+          huffman_decode(in.chunk_bytes(i), p);
+      LinearQuantizer<T> vq = LinearQuantizer<T>::view_of(quant);
+      vq.set_outlier_cursor(ce.outlier_start);
+      InterpEngine<T>::decode_tile(syms, dims, plan, c.error_bound, vq,
+                                   c.qp, full.data(), *tiles, ce.level,
+                                   grid.box(ce.tile, dims));
+    };
+    if (pool && picked.size() > 1) {
+      pool->parallel_for(picked.size(), [&](std::size_t k) {
+        decode_chunk(picked[k], nullptr);
+      });
+    } else {
+      for (std::size_t i : picked) decode_chunk(i, pool);
+    }
+    band = band_end;
   }
 
   if (stats) {

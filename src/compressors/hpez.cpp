@@ -94,8 +94,12 @@ InterpPlan hpez_tune_plan(const T* data, const Dims& dims,
     choice.assign(total_blocks, 0);
 
     const std::size_t stride = std::size_t{1} << (l - 1);
-    const bool try_blocks =
-        cfg.tune_blocks && stride * 4 <= bs && dims.rank() >= 2;
+    // A requested tile grid (random-access region decode) and per-block
+    // plan refinement both want to own the fine-level traversal order;
+    // the tile directory wins, so the block tuner stands down when a
+    // tile size is set (see interp_tile_layout and docs/FORMATS.md).
+    const bool try_blocks = cfg.tune_blocks && cfg.tile_size == 0 &&
+                            stride * 4 <= bs && dims.rank() >= 2;
     if (!try_blocks) continue;
 
     const std::size_t step = l == 1 ? 5 : 3;
@@ -178,9 +182,12 @@ struct HPEZCodec {
     // the tuner (including its sealed-size comparison) runs QP-blind,
     // and the winner is encoded with the requested QP config.
     const InterpPlan plan = hpez_tune_plan(data, dims, cfg);
-    // HPEZ plans are block-wise (plan.block_size > 0), which disables the
-    // tile grid inside interp_tile_layout — so per-level chunks (and thus
-    // progressive preview) are available, but region decode is not.
+    // With a tile size set, the block tuner stands down (tile order and
+    // per-block plans cannot coexist on a level), every level is decided
+    // globally, and interp_tile_layout commits a tile grid — so HPEZ
+    // archives support region decode exactly like SZ3/QoZ ones. Without
+    // a tile size the plan may go block-wise at fine levels and the
+    // archive keeps per-level chunks (progressive preview) only.
     interp_encode_stages(out, data, dims, plan, cfg.error_bound, cfg.radius,
                          cfg.qp, cfg.pool, artifacts, cfg.tile_size);
   }

@@ -40,8 +40,20 @@
 #include "util/dims.hpp"
 #include "util/scratch.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qip {
+
+/// Runtime A/B gate for the parallel level walk: QIP_INTERP_FORCE_SEQ=1
+/// forces every stage onto the sequential path even when a pool is
+/// supplied (the worker-count byte-identity oracle, and the perf-triage
+/// escape hatch — the compile-time sibling of QIP_INTERP_FORCE_GENERIC).
+/// Defined in src/compressors/interp_par.cpp.
+[[nodiscard]] bool interp_force_seq();
+
+/// Test hook: >= 0 overrides the environment (1 = forced sequential,
+/// 0 = parallel allowed); -1 restores the QIP_INTERP_FORCE_SEQ value.
+void set_interp_force_seq_override(int v);
 
 /// One contiguous run of the encoded symbol stream: the symbols of one
 /// interpolation level, or of one tile within a tiled level (tile ==
@@ -82,11 +94,16 @@ class InterpEngine {
   /// each tile's symbols decodable on their own. `spans` (when given)
   /// receives one SymbolSpan per level / per tile in traversal order —
   /// the contract container v3 seals into its payload directory.
+  ///
+  /// `pool` (when given) fans eligible stages out across the workers via
+  /// run_stage_par — bytes stay identical to the sequential walk at
+  /// every worker count; see that function for the partition rules.
   [[nodiscard]] static EncodeResult encode(T* data, const Dims& dims, const InterpPlan& plan,
                              double base_eb, LinearQuantizer<T>& quant,
                              const QPConfig& qp, bool keep_codes = false,
                              const TileLayout* tiles = nullptr,
-                             std::vector<SymbolSpan>* spans = nullptr) {
+                             std::vector<SymbolSpan>* spans = nullptr,
+                             ThreadPool* pool = nullptr) {
     EncodeResult res;
     res.symbols.assign(dims.size(), 0);
     // The spatial codes array is QP state: compensation reads same-stage
@@ -107,7 +124,7 @@ class InterpEngine {
     if (keep_codes) res.symbols_spatial.assign(dims.size(), 0);
     walk<true>(data, dims, plan, base_eb, quant, qp, res.symbols.data(),
                codes_p, keep_codes ? &res.symbols_spatial : nullptr, tiles,
-               spans);
+               spans, /*stop_level=*/1, pool);
     if (keep_codes) res.codes = std::move(codes);
     return res;
   }
@@ -125,7 +142,8 @@ class InterpEngine {
   static void decode(std::span<const std::uint32_t> symbols, const Dims& dims,
                      const InterpPlan& plan, double base_eb,
                      LinearQuantizer<T>& quant, const QPConfig& qp, T* data,
-                     const TileLayout* tiles = nullptr, int stop_level = 1) {
+                     const TileLayout* tiles = nullptr, int stop_level = 1,
+                     ThreadPool* pool = nullptr) {
     if (stop_level < 1) stop_level = 1;
     if (symbols.size() < grid_point_count(dims, stop_level))
       throw DecodeError("interp: symbol stream shorter than field");
@@ -138,7 +156,7 @@ class InterpEngine {
     std::uint32_t* codes =
         qp_live ? scratch_cache<std::uint32_t>(dims.size()) : nullptr;
     walk<false>(data, dims, plan, base_eb, quant, qp, symbols.data(), codes,
-                nullptr, tiles, nullptr, stop_level);
+                nullptr, tiles, nullptr, stop_level, pool);
   }
 
   /// Decode the symbols of one tile chunk (one level, one tile box) into
@@ -375,9 +393,14 @@ class InterpEngine {
                         std::vector<std::uint32_t>* sym_spatial, bool blocked,
                         const std::array<std::size_t, kMaxRank>& lo,
                         const std::array<std::size_t, kMaxRank>& hi,
-                        std::size_t tile_known = 0) {
+                        std::size_t tile_known = 0,
+                        ThreadPool* pool = nullptr) {
 #ifndef QIP_INTERP_FORCE_GENERIC  // A/B escape hatch for perf triage
     if (!blocked && ctx.md_mask == 0) {
+      if (pool != nullptr && sym_spatial == nullptr && !interp_force_seq() &&
+          run_stage_par<kEncode>(data, dims, ctx, kind, quant, qp, syms,
+                                 cursor, codes, pool))
+        return;
       run_stage_seq<kEncode>(data, dims, ctx, kind, quant, qp, syms, cursor,
                              codes, sym_spatial);
       return;
@@ -465,20 +488,107 @@ class InterpEngine {
     }
   }
 
+  /// Geometry of one unblocked sequential stage: per-axis stage-grid
+  /// extents and stage-local symbol strides. The strides serve double
+  /// duty — cstr[a] is both the symbol-stream distance between adjacent
+  /// grid layers along `a` and the compact-codes stride — which is what
+  /// makes every symbol's position format-determined: the row with grid
+  /// coordinates k lands at sum(k[a] * cstr[a]), independent of who
+  /// computes it. That identity is the backbone of run_stage_par.
+  struct StageShape {
+    std::array<std::size_t, kMaxRank> gext{};  ///< stage-grid extents
+    std::array<std::size_t, kMaxRank> cstr{};  ///< symbol/compact strides
+    std::size_t cnt = 0;    ///< points per row (last-axis grid extent)
+    std::size_t rows = 0;   ///< number of rows
+    std::size_t total = 0;  ///< rows * cnt: symbols this stage emits
+    bool empty = true;      ///< stage has no points on this grid
+  };
+
+  static StageShape stage_shape(const Dims& dims, const StageGrid& g) {
+    StageShape sh;
+    for (int a = 0; a < dims.rank(); ++a)
+      if (g.start[a] >= dims.extent(a)) return sh;
+    std::size_t acc = 1;
+    for (int a = kMaxRank - 1; a >= 0; --a) {
+      sh.cstr[a] = acc;
+      sh.gext[a] = (dims.extent(a) - g.start[a] - 1) / g.step[a] + 1;
+      acc *= sh.gext[a];
+    }
+    sh.cnt = sh.gext[dims.rank() - 1];
+    sh.total = acc;
+    sh.rows = acc / sh.cnt;
+    sh.empty = false;
+    return sh;
+  }
+
+  /// One partition of a stage for the parallel walk: odometer axes run
+  /// [from[a], to[a]), row points run [j0, min(j1, cnt)). `spec_axis`
+  /// (encode speculation only) floors the QP availability along that
+  /// axis at from[spec_axis] instead of the stage start, so the
+  /// partition's first layer emits compensation-free symbols rather than
+  /// reading codes across the partition boundary. The full stage is the
+  /// slice {from = start, to = extents, j0 = 0, j1 = ~0, spec_axis = -1}.
+  struct StageSlice {
+    std::array<std::size_t, kMaxRank> from{};
+    std::array<std::size_t, kMaxRank> to{};
+    std::size_t j0 = 0;
+    std::size_t j1 = ~std::size_t{0};
+    int spec_axis = -1;
+    /// Neighboring slices run concurrently on other workers, so the
+    /// SIMD row kernels must keep their full-width load footprints
+    /// inside this slice's own predicted lanes (RowArgs::shared_*).
+    bool shared = false;
+  };
+
+  static StageSlice whole_slice(const Dims& dims, const StageGrid& g) {
+    StageSlice sl;
+    for (int a = 0; a < kMaxRank; ++a) {
+      sl.from[a] = g.start[a];
+      sl.to[a] = dims.extent(a);
+    }
+    return sl;
+  }
+
   /// Specialized traversal for the dominant case: unblocked sequential
-  /// stage. Rows walk the fastest axis at element stride 1; the stencil
-  /// boundary rules (cubic -> quadratic -> linear -> copy) and the QP
-  /// neighbor availability are resolved per row (or per row segment when
-  /// the interpolation axis *is* the row axis), not per point, and the
-  /// linear index advances incrementally instead of being recomputed from
-  /// coordinates at every point. Produces exactly the same symbols, codes
-  /// and reconstruction as the generic path.
+  /// stage, whole domain, one thread. Thin wrapper over run_stage_slice
+  /// with the full-stage slice; see there for the traversal itself.
   template <bool kEncode>
   static void run_stage_seq(T* data, const Dims& dims, const StageCtx& ctx,
                             InterpKind kind, LinearQuantizer<T>& quant,
                             const QPConfig& qp, SymPtr<kEncode> syms,
                             std::size_t& cursor, std::uint32_t* codes,
                             std::vector<std::uint32_t>* sym_spatial) {
+    const StageShape sh = stage_shape(dims, ctx.g);
+    if (sh.empty) return;
+    run_stage_slice<kEncode>(data, dims, ctx, kind, quant, qp, syms, cursor,
+                             codes, sym_spatial, sh, whole_slice(dims, ctx.g),
+                             [](std::size_t, std::size_t) {});
+    cursor += sh.total;
+  }
+
+  /// Row-major traversal of one slice of an unblocked sequential stage.
+  /// Rows walk the fastest axis at element stride 1; the stencil
+  /// boundary rules (cubic -> quadratic -> linear -> copy) and the QP
+  /// neighbor availability are resolved per row (or per row segment when
+  /// the interpolation axis *is* the row axis), not per point, and the
+  /// linear index advances incrementally instead of being recomputed from
+  /// coordinates at every point. Produces exactly the same symbols, codes
+  /// and reconstruction as the generic path.
+  ///
+  /// `sym_base` is the stage's first symbol position; each row's symbols
+  /// land at sym_base + row_off + j with row_off from StageShape::cstr,
+  /// so disjoint slices write disjoint, format-determined ranges.
+  /// `seg_fn(row_off, pos)` fires once per row before its first point —
+  /// the hook run_stage_par uses to reposition per-worker outlier
+  /// cursors (decode) and record outlier segment positions (encode).
+  template <bool kEncode, class SegFn>
+  static void run_stage_slice(T* data, const Dims& dims, const StageCtx& ctx,
+                              InterpKind kind, LinearQuantizer<T>& quant,
+                              const QPConfig& qp, SymPtr<kEncode> syms,
+                              std::size_t sym_base, std::uint32_t* codes,
+                              std::vector<std::uint32_t>* sym_spatial,
+                              const StageShape& sh, const StageSlice& sl,
+                              SegFn&& seg_fn) {
     const StageGrid& g = ctx.g;
     const int last = dims.rank() - 1;
     const std::size_t s = g.stride;
@@ -494,13 +604,12 @@ class InterpEngine {
     std::uint32_t* const cstore =
         (qp_active || sym_spatial != nullptr) ? codes_p : nullptr;
 
-    const std::size_t n_l = dims.extent(last);
     const std::size_t start_l = g.start[last];
     const std::size_t step_l = g.step[last];
-    if (start_l >= n_l) return;
-    const std::size_t cnt = (n_l - start_l - 1) / step_l + 1;
-    for (int a = 0; a < last; ++a)
-      if (g.start[a] >= dims.extent(a)) return;
+    const std::size_t cnt = sh.cnt;
+    const std::size_t jlo = sl.j0;
+    const std::size_t jhi = std::min(sl.j1, cnt);
+    if (jlo >= jhi) return;
 
     // Compact stage-local codes layout (see RowArgs::ci0): every QP
     // neighbor offset is one stage-grid step (multilevel.hpp), so codes
@@ -509,14 +618,7 @@ class InterpEngine {
     // span to the stage's own footprint. The characterization path
     // (sym_spatial) keeps the spatial layout its consumers expect.
     const bool compact = cstore != nullptr && sym_spatial == nullptr;
-    std::array<std::size_t, kMaxRank> cstr{};
-    {
-      std::size_t acc = 1;
-      for (int a2 = kMaxRank - 1; a2 >= 0; --a2) {
-        cstr[a2] = acc;
-        acc *= (dims.extent(a2) - g.start[a2] - 1) / g.step[a2] + 1;
-      }
-    }
+    const std::array<std::size_t, kMaxRank>& cstr = sh.cstr;
     const std::size_t cback = ctx.back_axis >= 0 ? cstr[ctx.back_axis] : 0;
     const std::size_t cleft = ctx.left_axis >= 0 ? cstr[ctx.left_axis] : 0;
     const std::size_t ctop = ctx.top_axis >= 0 ? cstr[ctx.top_axis] : 0;
@@ -525,6 +627,7 @@ class InterpEngine {
     // boundary rules change along the row at fixed positions: jc = first
     // point whose forward neighbor f(x+s) falls off the grid, jd = first
     // point whose far forward neighbor f(x+3s) does (jd <= jc).
+    const std::size_t n_l = dims.extent(last);
     std::ptrdiff_t st;
     std::size_t jc = 0, jd = 0;
     if (d == last) {
@@ -574,18 +677,28 @@ class InterpEngine {
     }
 
     std::array<std::size_t, kMaxRank> c{};
-    for (int a = 0; a < kMaxRank; ++a) c[a] = g.start[a];
+    for (int a = 0; a < kMaxRank; ++a) c[a] = sl.from[a];
 
     for (;;) {
       std::size_t base = 0;
       for (int a = 0; a < last; ++a) base += c[a] * dims.stride(a);
-      std::size_t cbase = 0;
-      if (compact)
-        for (int a = 0; a < last; ++a)
-          cbase += (c[a] - g.start[a]) / g.step[a] * cstr[a];
+      // Stage-local row offset: symbol position of the row's j == 0
+      // point relative to the stage base, and (compact mode) the row's
+      // codes base — one value, by the cstr double duty above.
+      std::size_t row_off = 0;
+      for (int a = 0; a < last; ++a)
+        row_off += (c[a] - g.start[a]) / g.step[a] * cstr[a];
+      const std::size_t cbase = row_off;
+      std::size_t cur = sym_base + row_off + jlo;
+      seg_fn(row_off, cur);
 
       // QP neighbor availability is constant along the row except on the
       // row axis, where only j == 0 lacks its stage-grid predecessor.
+      // Along the speculation axis the floor is the slice entry, not the
+      // stage start: the partition's first layer pretends its
+      // predecessor layer does not exist (compensation 0) so pass 1
+      // never reads codes owned by another partition. run_stage_par's
+      // serial pass 2 recomputes those rows' symbols afterwards.
       QPNeighborhood nbR;
       nbR.back = compact ? cback : ctx.back_off;
       nbR.left = compact ? cleft : ctx.left_off;
@@ -593,7 +706,9 @@ class InterpEngine {
       auto row_avail = [&](int axis, std::size_t off) {
         if (axis < 0 || off == 0) return false;
         if (axis == last) return true;
-        return c[axis] >= g.start[axis] + g.step[axis];
+        const std::size_t fl =
+            axis == sl.spec_axis ? sl.from[axis] : g.start[axis];
+        return c[axis] >= fl + g.step[axis];
       };
       nbR.avail_back = row_avail(ctx.back_axis, ctx.back_off);
       nbR.avail_left = row_avail(ctx.left_axis, ctx.left_off);
@@ -615,21 +730,23 @@ class InterpEngine {
           if (cstore) cstore[ci] = code;
           const std::uint32_t sym = qp_encode_symbol(code, comp, radius);
           if (sym_spatial) (*sym_spatial)[idx] = sym;
-          syms[cursor++] = sym;
+          syms[cur++] = sym;
         } else {
-          const std::uint32_t code =
-              qp_decode_symbol(syms[cursor++], comp, radius);
+          const std::uint32_t code = qp_decode_symbol(syms[cur++], comp, radius);
           if (cstore) cstore[ci] = code;
           data[idx] = quant.recover(code, pred);
         }
       };
 
-      // Run points j0..j1 of the row through one prediction kernel.
-      // Long interior segments hand off to the dispatched SIMD row
-      // kernel (bit-identical by contract); j == 0 stays scalar because
-      // it alone uses the nb0 neighborhood.
+      // Run points j0..j1 of the row through one prediction kernel,
+      // clamped to the slice's point range. Long interior segments hand
+      // off to the dispatched SIMD row kernel (bit-identical by
+      // contract); j == 0 stays scalar because it alone uses the nb0
+      // neighborhood.
       auto run_seg = [&](std::size_t j0, std::size_t j1, PredKind pk,
                          auto&& predfn) {
+        j0 = std::max(j0, jlo);
+        j1 = std::min(j1, jhi);
         if (j0 >= j1) return;
         const std::size_t cistep = compact ? 1 : step_l;
         std::size_t i = base + start_l + j0 * step_l;
@@ -660,14 +777,21 @@ class InterpEngine {
           ra.radius = radius;
           ra.qp_active = qp_active;
           ra.qp_serial = qp_serial;
+          // Concurrent-neighbor load guards: the preceding lane is
+          // another worker's only when this kernel segment starts the
+          // row's j-slice; the trailing lanes are foreign whenever the
+          // segment runs to the slice boundary (next j-slice, or the
+          // next row in memory for row-partitioned slices).
+          ra.shared_lo = sl.shared && jlo > 0 && j == jlo;
+          ra.shared_hi = sl.shared && j1 == jhi;
           if constexpr (kEncode) {
-            ra.syms_out = syms + cursor;
+            ra.syms_out = syms + cur;
             kt->encode_row(ra);
           } else {
-            ra.syms_in = syms + cursor;
+            ra.syms_in = syms + cur;
             kt->decode_row(ra);
           }
-          cursor += ra.count;
+          cur += ra.count;
           return;
         }
         for (; j < j1; ++j, i += step_l, ci += cistep)
@@ -731,10 +855,353 @@ class InterpEngine {
       int a = last - 1;
       for (; a >= 0; --a) {
         c[a] += g.step[a];
-        if (c[a] < dims.extent(a)) break;
-        c[a] = g.start[a];
+        if (c[a] < sl.to[a]) break;
+        c[a] = sl.from[a];
       }
       if (a < 0) break;
+    }
+  }
+
+  /// Stages smaller than this stay sequential: the fan-out bookkeeping
+  /// (outlier splice / per-row prefix sums) costs more than it saves.
+  static constexpr std::size_t kParMinPoints = std::size_t{1} << 15;
+
+  /// Drive one unblocked sequential stage across `pool` with
+  /// worker-count-independent bytes. Returns false when no safe
+  /// partition exists — the caller falls back to run_stage_seq.
+  ///
+  /// Symbol (and compact-code) positions are format-determined — row
+  /// with grid coordinates k starts at sum(k[a] * cstr[a]) — so every
+  /// worker writes exactly where the sequential walk would. The only
+  /// cross-row coupling is the QP compensation chain, handled by one of
+  /// three schemes:
+  ///
+  ///  * Free-axis partitioning: the chain axes are the availability
+  ///    gates qp_compensation actually reads for this stage's
+  ///    QPDimension (a degenerate axis — off == 0 — contributes
+  ///    compensation 0 and is not a chain axis). Any other grid axis
+  ///    with >= 2 layers partitions the rows into contiguous coordinate
+  ///    ranges whose chain reads are all internal: a neighbor along a
+  ///    chain axis differs only along that axis, so it shares the
+  ///    partition-axis coordinate.
+  ///  * j-slicing: when only the row axis is chain-free, split every
+  ///    row's point range [j_w, j_{w+1}) instead. Chain reads land at
+  ///    the same j of an earlier row — again internal, because every
+  ///    partition walks all rows in order.
+  ///  * Encode speculation (no chain-free axis at all, e.g. a rank-2
+  ///    k2D stage): partition along the widest axis anyway, suppress
+  ///    availability across the boundary (the slice's spec_axis), and
+  ///    serially recompute the boundary layers' symbols afterwards from
+  ///    the committed codes (fix_boundary_layers). Codes, the
+  ///    reconstruction and the outlier list are compensation-independent
+  ///    — qp_encode_symbol returns 0 iff code == 0 — so pass 1's only
+  ///    provisional output is boundary-row symbols. Decode cannot
+  ///    speculate (codes are derived from compensations there), so such
+  ///    stages decode sequentially.
+  ///
+  /// Outliers keep the sequential order by construction: encode records
+  /// them in worker-local quantizers with per-row segment positions and
+  /// splices the segments back sorted by symbol position; decode gives
+  /// each worker a cursor-bearing view of the shared table, repositioned
+  /// per row from the per-row zero-symbol prefix sums (symbol 0 is the
+  /// only outlier consumer on a well-formed stream; a hostile stream
+  /// that wraps a nonzero symbol onto code 0 reads bounded garbage or
+  /// throws DecodeError — the same guarantee the sequential walk gives,
+  /// though the garbage may differ).
+  template <bool kEncode>
+  static bool run_stage_par(T* data, const Dims& dims, const StageCtx& ctx,
+                            InterpKind kind, LinearQuantizer<T>& quant,
+                            const QPConfig& qp, SymPtr<kEncode> syms,
+                            std::size_t& cursor, std::uint32_t* codes,
+                            ThreadPool* pool) {
+    const StageGrid& g = ctx.g;
+    const int last = dims.rank() - 1;
+    const StageShape sh = stage_shape(dims, g);
+    if (sh.empty) return false;
+    if (sh.total < kParMinPoints) return false;
+    unsigned width = pool->size();
+    if (const unsigned cap = ThreadPool::width_cap(); cap && cap < width)
+      width = cap;
+    if (width < 2) return false;
+
+    // The chain axes for this stage (see the contract above).
+    const bool qp_active = qp.enabled && g.level <= qp.max_level &&
+                           qp.dimension != QPDimension::kNone;
+    bool chain[kMaxRank] = {false, false, false, false};
+    if (qp_active) {
+      const bool b = ctx.back_axis >= 0 && ctx.back_off > 0;
+      const bool l = ctx.left_axis >= 0 && ctx.left_off > 0;
+      const bool t = ctx.top_axis >= 0 && ctx.top_off > 0;
+      switch (qp.dimension) {
+        case QPDimension::k1DBack:
+          if (b) chain[ctx.back_axis] = true;
+          break;
+        case QPDimension::k1DTop:
+          if (t) chain[ctx.top_axis] = true;
+          break;
+        case QPDimension::k1DLeft:
+          if (l) chain[ctx.left_axis] = true;
+          break;
+        case QPDimension::k2D:
+          // qp2d_compensation requires left AND top; back is unused.
+          if (l && t) {
+            chain[ctx.left_axis] = true;
+            chain[ctx.top_axis] = true;
+          }
+          break;
+        case QPDimension::k3D:
+          if (b && l && t) {
+            chain[ctx.back_axis] = true;
+            chain[ctx.left_axis] = true;
+            chain[ctx.top_axis] = true;
+          }
+          break;
+        case QPDimension::kNone:
+          break;
+      }
+    }
+
+    // Partition scheme: prefer the widest chain-free odometer axis, then
+    // j-slicing, then (encode only) speculation along the widest axis.
+    int p = -1;
+    for (int a = 0; a < last; ++a) {
+      if (chain[a] || sh.gext[a] < 2) continue;
+      if (p < 0 || sh.gext[a] > sh.gext[p]) p = a;
+    }
+    bool jslice = false;
+    bool speculate = false;
+    if (p < 0) {
+      if (!chain[last] && sh.cnt >= width * 2 * simd::kMinKernelPoints) {
+        jslice = true;
+      } else if constexpr (kEncode) {
+        for (int a = 0; a < last; ++a)
+          if (sh.gext[a] >= 2 && (p < 0 || sh.gext[a] > sh.gext[p])) p = a;
+        if (p < 0) return false;
+        speculate = true;
+      } else {
+        return false;
+      }
+    }
+
+    // Units to split: grid layers along p, or points per row (j-slicing).
+    const std::size_t units = jslice ? sh.cnt : sh.gext[p];
+    if (static_cast<std::size_t>(width) > units)
+      width = static_cast<unsigned>(units);
+    if (speculate && static_cast<std::size_t>(width) > units / 2)
+      width = static_cast<unsigned>(units / 2);  // >= 1 non-boundary layer
+    if (width < 2) return false;
+
+    const std::size_t sym_base = cursor;
+    auto make_slice = [&](unsigned w) {
+      StageSlice sl = whole_slice(dims, g);
+      sl.shared = true;
+      if (jslice) {
+        sl.j0 = units * w / width;
+        sl.j1 = units * (w + 1) / width;
+      } else {
+        sl.from[p] = g.start[p] + units * w / width * g.step[p];
+        sl.to[p] = std::min(dims.extent(p),
+                            g.start[p] + units * (w + 1) / width * g.step[p]);
+        if (speculate) sl.spec_axis = p;
+      }
+      return sl;
+    };
+
+    if constexpr (!kEncode) {
+      // Per-row zero-symbol prefix sums position each worker's outlier
+      // cursor; j-slicing additionally needs the zeros before each
+      // slice boundary within the row.
+      std::vector<std::size_t> pz(sh.rows + 1, 0);
+      std::vector<std::size_t> cut;
+      if (jslice) cut.assign(sh.rows * width, 0);
+      pool->parallel_for(width, [&](std::size_t w) {
+        const std::size_t r0 = sh.rows * w / width;
+        const std::size_t r1 = sh.rows * (w + 1) / width;
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::uint32_t* row = syms + sym_base + r * sh.cnt;
+          std::size_t z = 0;
+          if (jslice) {
+            for (unsigned v = 0; v < width; ++v) {
+              cut[r * width + v] = z;
+              const std::size_t jb = units * (v + 1) / width;
+              for (std::size_t j = units * v / width; j < jb; ++j)
+                z += row[j] == 0;
+            }
+          } else {
+            for (std::size_t j = 0; j < sh.cnt; ++j) z += row[j] == 0;
+          }
+          pz[r + 1] = z;
+        }
+      });
+      for (std::size_t r = 0; r < sh.rows; ++r) pz[r + 1] += pz[r];
+
+      const std::size_t out_base = quant.outlier_cursor();
+      pool->parallel_for(width, [&](std::size_t w) {
+        LinearQuantizer<T> vq = LinearQuantizer<T>::view_of(quant);
+        run_stage_slice<false>(
+            data, dims, ctx, kind, vq, qp, syms, sym_base, codes, nullptr, sh,
+            make_slice(static_cast<unsigned>(w)),
+            [&](std::size_t row_off, std::size_t) {
+              const std::size_t r = row_off / sh.cnt;
+              vq.set_outlier_cursor(out_base + pz[r] +
+                                    (jslice ? cut[r * width + w] : 0));
+            });
+      });
+      quant.set_outlier_cursor(out_base + pz[sh.rows]);
+      cursor = sym_base + sh.total;
+      return true;
+    } else {
+      // Encode: worker-local quantizers record outliers; one segment per
+      // outlier-producing row, keyed by the row slice's symbol position
+      // (strictly increasing in traversal order), then spliced back
+      // sorted so the parent's list is byte-identical to sequential.
+      struct OutSeg {
+        std::size_t pos;    ///< symbol position of the row slice
+        std::size_t begin;  ///< first outlier in the worker's local list
+        std::size_t count;
+        unsigned w;
+      };
+      std::vector<std::vector<T>> louts(width);
+      std::vector<std::vector<OutSeg>> lsegs(width);
+      pool->parallel_for(width, [&](std::size_t w) {
+        LinearQuantizer<T> lq(quant.error_bound(), quant.radius());
+        std::vector<OutSeg>& segs = lsegs[w];
+        std::size_t seg_pos = 0;
+        std::size_t mark = 0;
+        auto flush = [&](std::size_t next_pos) {
+          const std::size_t n = lq.outlier_count();
+          if (n > mark)
+            segs.push_back({seg_pos, mark, n - mark,
+                            static_cast<unsigned>(w)});
+          mark = n;
+          seg_pos = next_pos;
+        };
+        run_stage_slice<true>(data, dims, ctx, kind, lq, qp, syms, sym_base,
+                              codes, nullptr, sh,
+                              make_slice(static_cast<unsigned>(w)),
+                              [&](std::size_t, std::size_t pos) { flush(pos); });
+        flush(0);
+        louts[w] = lq.take_outliers();
+      });
+
+      std::size_t nseg = 0;
+      for (const auto& v : lsegs) nseg += v.size();
+      std::vector<OutSeg> all;
+      all.reserve(nseg);
+      for (const auto& v : lsegs) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end(),
+                [](const OutSeg& x, const OutSeg& y) { return x.pos < y.pos; });
+      for (const OutSeg& sg : all)
+        quant.append_outliers(
+            std::span<const T>(louts[sg.w]).subspan(sg.begin, sg.count));
+
+      if (speculate)
+        fix_boundary_layers(dims, ctx, qp, syms, sym_base, codes, sh, p, width,
+                            quant.radius());
+      cursor = sym_base + sh.total;
+      return true;
+    }
+  }
+
+  /// Pass 2 of the encode speculation: serially recompute the symbols of
+  /// every partition-boundary layer from the committed compact codes,
+  /// now with the true cross-partition availability. Codes, the
+  /// reconstruction and the outliers are compensation-independent, so
+  /// only these rows' symbols change — and a symbol flips between zero
+  /// and nonzero only with its code, which pass 1 already fixed, so the
+  /// outlier correspondence is untouched.
+  static void fix_boundary_layers(const Dims& dims, const StageCtx& ctx,
+                                  const QPConfig& qp, std::uint32_t* syms,
+                                  std::size_t sym_base, std::uint32_t* codes,
+                                  const StageShape& sh, int p, unsigned width,
+                                  std::int32_t radius) {
+    const StageGrid& g = ctx.g;
+    const int last = dims.rank() - 1;
+    const int level = g.level;
+    const simd::Kernels<T>* kt = simd::kernels<T>();
+    if (kt && (radius <= 0 || radius > (1 << 20) || kt->sym_fix_row == nullptr))
+      kt = nullptr;
+    const std::size_t cback = ctx.back_axis >= 0 ? sh.cstr[ctx.back_axis] : 0;
+    const std::size_t cleft = ctx.left_axis >= 0 ? sh.cstr[ctx.left_axis] : 0;
+    const std::size_t ctop = ctx.top_axis >= 0 ? sh.cstr[ctx.top_axis] : 0;
+
+    for (unsigned w = 1; w < width; ++w) {
+      const std::size_t layer = sh.gext[p] * w / width;
+      std::array<std::size_t, kMaxRank> c{};
+      for (int a = 0; a < kMaxRank; ++a) c[a] = g.start[a];
+      c[p] = g.start[p] + layer * g.step[p];
+      for (;;) {
+        std::size_t row_off = 0;
+        for (int a = 0; a < last; ++a)
+          row_off += (c[a] - g.start[a]) / g.step[a] * sh.cstr[a];
+
+        QPNeighborhood nb;
+        nb.back = cback;
+        nb.left = cleft;
+        nb.top = ctop;
+        auto row_avail = [&](int axis, std::size_t off) {
+          if (axis < 0 || off == 0) return false;
+          if (axis == last) return true;
+          // The true rule: the boundary layer's predecessor along p
+          // (suppressed in pass 1) exists, because layer >= 1.
+          return c[axis] >= g.start[axis] + g.step[axis];
+        };
+        nb.avail_back = row_avail(ctx.back_axis, cback);
+        nb.avail_left = row_avail(ctx.left_axis, cleft);
+        nb.avail_top = row_avail(ctx.top_axis, ctop);
+        QPNeighborhood nb0 = nb;
+        if (ctx.back_axis == last) nb0.avail_back = false;
+        if (ctx.left_axis == last) nb0.avail_left = false;
+        if (ctx.top_axis == last) nb0.avail_top = false;
+
+        std::size_t ci = row_off;
+        std::size_t pos = sym_base + row_off;
+        std::size_t j = 0;
+        if (sh.cnt > 0) {
+          syms[pos] = qp_encode_symbol(
+              codes[ci], qp_compensation(codes, ci, nb0, qp, level, radius),
+              radius);
+          ++j;
+          ++ci;
+          ++pos;
+        }
+        if (kt != nullptr && sh.cnt - j >= simd::kMinKernelPoints) {
+          simd::RowArgs<T> ra;
+          ra.data = nullptr;
+          ra.codes = codes;
+          ra.total = 0;
+          ra.i0 = 0;
+          ra.count = sh.cnt - j;
+          ra.estep = 1;
+          ra.ci0 = ci;
+          ra.cestep = 1;
+          ra.st = 0;
+          ra.kind = PredKind::kCopy;
+          ra.quant = nullptr;
+          ra.qp = &qp;
+          ra.nb = nb;
+          ra.level = level;
+          ra.radius = radius;
+          ra.qp_active = true;
+          ra.qp_serial = false;
+          ra.syms_out = syms + pos;
+          kt->sym_fix_row(ra);
+          j = sh.cnt;
+        }
+        for (; j < sh.cnt; ++j, ++ci, ++pos)
+          syms[pos] = qp_encode_symbol(
+              codes[ci], qp_compensation(codes, ci, nb, qp, level, radius),
+              radius);
+
+        int a = last - 1;
+        for (; a >= 0; --a) {
+          if (a == p) continue;
+          c[a] += g.step[a];
+          if (c[a] < dims.extent(a)) break;
+          c[a] = g.start[a];
+        }
+        if (a < 0) break;
+      }
     }
   }
 
@@ -771,7 +1238,7 @@ class InterpEngine {
                    std::vector<std::uint32_t>* sym_spatial,
                    const TileLayout* tiles = nullptr,
                    std::vector<SymbolSpan>* spans = nullptr,
-                   int stop_level = 1) {
+                   int stop_level = 1, ThreadPool* pool = nullptr) {
     std::size_t cursor = 0;
     std::size_t span_begin = 0;
     std::size_t span_out = 0;
@@ -833,7 +1300,7 @@ class InterpEngine {
         for_each_stage(dims, stride, lp, level, [&](const StageCtx& ctx) {
           run_stage<kEncode>(data, dims, ctx, lp.kind, quant, qp, syms,
                              cursor, codes, sym_spatial, /*blocked=*/false,
-                             whole_lo, whole_hi);
+                             whole_lo, whole_hi, /*tile_known=*/0, pool);
         });
         record_span(level, kWholeDomainTile);
         continue;

@@ -1,0 +1,42 @@
+// Runtime A/B gate for the parallel interpolation level walk.
+//
+// QIP_INTERP_FORCE_SEQ=1 pins every stage to the sequential traversal
+// even when a thread pool is supplied — the oracle side of the
+// worker-count byte-identity tests, and the triage switch for comparing
+// parallel against sequential on live workloads (the runtime sibling of
+// the compile-time QIP_INTERP_FORCE_GENERIC). Same shape as the SIMD
+// dispatch gate in src/simd/dispatch.cpp: the environment is read once,
+// and a test override beats it.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "compressors/interp_engine.hpp"
+
+namespace qip {
+namespace {
+
+std::atomic<int> g_force_seq_override{-1};
+
+bool env_force_seq() {
+  static const bool v = [] {
+    const char* e = std::getenv("QIP_INTERP_FORCE_SEQ");
+    return e != nullptr && std::string(e) != "0";
+  }();
+  return v;
+}
+
+}  // namespace
+
+bool interp_force_seq() {
+  const int o = g_force_seq_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return env_force_seq();
+}
+
+void set_interp_force_seq_override(int v) {
+  g_force_seq_override.store(v, std::memory_order_relaxed);
+}
+
+}  // namespace qip

@@ -40,8 +40,9 @@ struct MGARDFront {
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
-                                     int level, PartialDecodeStats* stats) {
-    return mgard_decompress_preview<T>(a, level, nullptr, stats);
+                                     int level, PartialDecodeStats* stats,
+                                     ThreadPool* pool) {
+    return mgard_decompress_preview<T>(a, level, pool, stats);
   }
 };
 
@@ -67,13 +68,15 @@ struct SZ3Front {
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
-                                     int level, PartialDecodeStats* stats) {
-    return sz3_decompress_preview<T>(a, level, nullptr, stats);
+                                     int level, PartialDecodeStats* stats,
+                                     ThreadPool* pool) {
+    return sz3_decompress_preview<T>(a, level, pool, stats);
   }
   template <class T>
   static Field<T> decompress_region(std::span<const std::uint8_t> a,
-                                    const Box& box, PartialDecodeStats* stats) {
-    return sz3_decompress_region<T>(a, box, nullptr, stats);
+                                    const Box& box, PartialDecodeStats* stats,
+                                    ThreadPool* pool) {
+    return sz3_decompress_region<T>(a, box, pool, stats);
   }
 };
 
@@ -99,13 +102,15 @@ struct QoZFront {
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
-                                     int level, PartialDecodeStats* stats) {
-    return qoz_decompress_preview<T>(a, level, nullptr, stats);
+                                     int level, PartialDecodeStats* stats,
+                                     ThreadPool* pool) {
+    return qoz_decompress_preview<T>(a, level, pool, stats);
   }
   template <class T>
   static Field<T> decompress_region(std::span<const std::uint8_t> a,
-                                    const Box& box, PartialDecodeStats* stats) {
-    return qoz_decompress_region<T>(a, box, nullptr, stats);
+                                    const Box& box, PartialDecodeStats* stats,
+                                    ThreadPool* pool) {
+    return qoz_decompress_region<T>(a, box, pool, stats);
   }
 };
 
@@ -131,12 +136,20 @@ struct HPEZFront {
   }
   template <class T>
   static Field<T> decompress_preview(std::span<const std::uint8_t> a,
-                                     int level, PartialDecodeStats* stats) {
-    return hpez_decompress_preview<T>(a, level, nullptr, stats);
+                                     int level, PartialDecodeStats* stats,
+                                     ThreadPool* pool) {
+    return hpez_decompress_preview<T>(a, level, pool, stats);
   }
-  // No decompress_region: HPEZ's block-wise traversal never commits a
-  // tile directory (see hpez.hpp), so the registry installs the typed
-  // refusal closure instead.
+  // Region decode works on HPEZ archives sealed with a tile size: the
+  // block tuner stands down for tiled encodes (see hpez.cpp), so the
+  // plan is globally tuned and the tile directory is committed like
+  // SZ3/QoZ. Untiled HPEZ archives throw DecodeError as usual.
+  template <class T>
+  static Field<T> decompress_region(std::span<const std::uint8_t> a,
+                                    const Box& box, PartialDecodeStats* stats,
+                                    ThreadPool* pool) {
+    return hpez_decompress_region<T>(a, box, pool, stats);
+  }
 };
 
 struct ZFPFront {
@@ -256,17 +269,27 @@ CompressorEntry make_entry() {
   // a typed refusal so the std::function is never null and callers that
   // skip the supports_* check still fail with UnknownCodecError.
   if constexpr (requires(std::span<const std::uint8_t> a,
-                         PartialDecodeStats* st) {
-                  Front::template decompress_preview<float>(a, 1, st);
+                         PartialDecodeStats* st, ThreadPool* p) {
+                  Front::template decompress_preview<float>(a, 1, st, p);
                 }) {
     e.supports_preview = true;
     e.decompress_preview_f32 = [](std::span<const std::uint8_t> a, int level,
                                   PartialDecodeStats* st) {
-      return Front::template decompress_preview<float>(a, level, st);
+      return Front::template decompress_preview<float>(a, level, st, nullptr);
     };
     e.decompress_preview_f64 = [](std::span<const std::uint8_t> a, int level,
                                   PartialDecodeStats* st) {
-      return Front::template decompress_preview<double>(a, level, st);
+      return Front::template decompress_preview<double>(a, level, st, nullptr);
+    };
+    e.decompress_preview_pool_f32 = [](std::span<const std::uint8_t> a,
+                                       int level, PartialDecodeStats* st,
+                                       ThreadPool* p) {
+      return Front::template decompress_preview<float>(a, level, st, p);
+    };
+    e.decompress_preview_pool_f64 = [](std::span<const std::uint8_t> a,
+                                       int level, PartialDecodeStats* st,
+                                       ThreadPool* p) {
+      return Front::template decompress_preview<double>(a, level, st, p);
     };
   } else {
     e.decompress_preview_f32 = [](std::span<const std::uint8_t>, int,
@@ -279,19 +302,41 @@ CompressorEntry make_entry() {
       throw UnknownCodecError(std::string(Front::kName) +
                               " does not support progressive preview");
     };
+    e.decompress_preview_pool_f32 =
+        [](std::span<const std::uint8_t>, int, PartialDecodeStats*,
+           ThreadPool*) -> Field<float> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support progressive preview");
+    };
+    e.decompress_preview_pool_f64 =
+        [](std::span<const std::uint8_t>, int, PartialDecodeStats*,
+           ThreadPool*) -> Field<double> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support progressive preview");
+    };
   }
   if constexpr (requires(std::span<const std::uint8_t> a, const Box& b,
-                         PartialDecodeStats* st) {
-                  Front::template decompress_region<float>(a, b, st);
+                         PartialDecodeStats* st, ThreadPool* p) {
+                  Front::template decompress_region<float>(a, b, st, p);
                 }) {
     e.supports_region = true;
     e.decompress_region_f32 = [](std::span<const std::uint8_t> a,
                                  const Box& b, PartialDecodeStats* st) {
-      return Front::template decompress_region<float>(a, b, st);
+      return Front::template decompress_region<float>(a, b, st, nullptr);
     };
     e.decompress_region_f64 = [](std::span<const std::uint8_t> a,
                                  const Box& b, PartialDecodeStats* st) {
-      return Front::template decompress_region<double>(a, b, st);
+      return Front::template decompress_region<double>(a, b, st, nullptr);
+    };
+    e.decompress_region_pool_f32 = [](std::span<const std::uint8_t> a,
+                                      const Box& b, PartialDecodeStats* st,
+                                      ThreadPool* p) {
+      return Front::template decompress_region<float>(a, b, st, p);
+    };
+    e.decompress_region_pool_f64 = [](std::span<const std::uint8_t> a,
+                                      const Box& b, PartialDecodeStats* st,
+                                      ThreadPool* p) {
+      return Front::template decompress_region<double>(a, b, st, p);
     };
   } else {
     e.decompress_region_f32 = [](std::span<const std::uint8_t>, const Box&,
@@ -301,6 +346,18 @@ CompressorEntry make_entry() {
     };
     e.decompress_region_f64 = [](std::span<const std::uint8_t>, const Box&,
                                  PartialDecodeStats*) -> Field<double> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support region decode");
+    };
+    e.decompress_region_pool_f32 =
+        [](std::span<const std::uint8_t>, const Box&, PartialDecodeStats*,
+           ThreadPool*) -> Field<float> {
+      throw UnknownCodecError(std::string(Front::kName) +
+                              " does not support region decode");
+    };
+    e.decompress_region_pool_f64 =
+        [](std::span<const std::uint8_t>, const Box&, PartialDecodeStats*,
+           ThreadPool*) -> Field<double> {
       throw UnknownCodecError(std::string(Front::kName) +
                               " does not support region decode");
     };

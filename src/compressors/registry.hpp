@@ -88,6 +88,22 @@ struct CompressorEntry {
   std::function<Field<double>(std::span<const std::uint8_t>, const Box&,
                               PartialDecodeStats*)>
       decompress_region_f64;
+
+  /// Pool-threaded variants of the partial decodes, mirroring
+  /// decompress_into_pool_*: chunk Huffman decodes, the tile fan-out,
+  /// and the parallel level walk all run over `pool` when non-null.
+  std::function<Field<float>(std::span<const std::uint8_t>, int,
+                             PartialDecodeStats*, ThreadPool*)>
+      decompress_preview_pool_f32;
+  std::function<Field<double>(std::span<const std::uint8_t>, int,
+                              PartialDecodeStats*, ThreadPool*)>
+      decompress_preview_pool_f64;
+  std::function<Field<float>(std::span<const std::uint8_t>, const Box&,
+                             PartialDecodeStats*, ThreadPool*)>
+      decompress_region_pool_f32;
+  std::function<Field<double>(std::span<const std::uint8_t>, const Box&,
+                              PartialDecodeStats*, ThreadPool*)>
+      decompress_region_pool_f64;
 };
 
 /// All compressors, in the paper's Table IV order:

@@ -107,7 +107,7 @@ struct SZ3Codec {
       InterpEncoding<T> enc = interp_encode(
           data, dims, plan, cfg.error_bound, cfg.radius, cfg.qp,
           artifacts ? &ia : nullptr, tiles.active() ? &tiles : nullptr,
-          &spans);
+          &spans, cfg.pool);
       symbols = std::move(enc.symbols);
       quant = std::move(enc.quant);
       if (artifacts) {
@@ -168,7 +168,8 @@ struct SZ3Codec {
 
     if (lc.predictor == SZ3Predictor::kInterpolation) {
       InterpEngine<T>::decode(symbols, in.dims(), lc.plan, lc.c.error_bound,
-                              lc.quant, lc.c.qp, out, archive_tiles(in));
+                              lc.quant, lc.c.qp, out, archive_tiles(in),
+                              /*stop_level=*/1, pool);
     } else {
       std::size_t cur = 0;
       lorenzo_walk<T, false>(out, in.dims(), lc.quant, symbols, cur);

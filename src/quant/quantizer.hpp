@@ -77,9 +77,10 @@ class LinearQuantizer {
     if (code == kUnpredictableCode) {
       // A corrupted symbol stream can mint extra unpredictable codes;
       // fail loudly instead of reading past the stored outlier table.
-      if (outlier_cursor_ >= outliers_.size())
+      const std::vector<T>& t = table();
+      if (outlier_cursor_ >= t.size())
         throw DecodeError("quantizer: outlier stream exhausted");
-      const T v = outliers_[outlier_cursor_++];
+      const T v = t[outlier_cursor_++];
       return v;
     }
     const std::int32_t q = static_cast<std::int32_t>(code) - radius_;
@@ -91,8 +92,38 @@ class LinearQuantizer {
     return static_cast<std::int64_t>(code) - radius_;
   }
 
-  const std::vector<T>& outliers() const { return outliers_; }
-  std::size_t outlier_count() const { return outliers_.size(); }
+  const std::vector<T>& outliers() const { return table(); }
+  std::size_t outlier_count() const { return table().size(); }
+
+  /// Worker-local decode view: shares `parent`'s outlier table by
+  /// pointer (no copy) with an independent cursor, so each partition of
+  /// a parallel stage decode seeks and consumes outliers without
+  /// touching the parent or the other partitions. Decode-only — the
+  /// parent must outlive the view, and quantize() on a view records
+  /// into the view's own (discarded) list.
+  static LinearQuantizer view_of(const LinearQuantizer& parent) {
+    LinearQuantizer v(parent.error_bound(), parent.radius());
+    v.shared_ = &parent.table();
+    return v;
+  }
+
+  /// Encode-side splice: append outliers recorded by a worker-local
+  /// quantizer, in the order the sequential walk would have produced
+  /// them (the caller sorts its per-partition segments by symbol
+  /// position first).
+  void append_outliers(std::span<const T> v) {
+    outliers_.insert(outliers_.end(), v.begin(), v.end());
+  }
+
+  /// Move the recorded outliers out of a worker-local quantizer so the
+  /// splice can slice them without copying; leaves the list empty.
+  std::vector<T> take_outliers() {
+    outlier_cursor_ = 0;
+    return std::move(outliers_);
+  }
+
+  /// Current outlier cursor position (index into outliers()).
+  std::size_t outlier_cursor() const { return outlier_cursor_; }
 
   /// Rewind the outlier cursor so recover() replays from the first
   /// outlier. Used by encoders that re-run the decode path (e.g. the
@@ -105,7 +136,7 @@ class LinearQuantizer {
   /// An out-of-range start is refused up front rather than deferred to
   /// the per-outlier exhaustion check in recover().
   void set_outlier_cursor(std::size_t start) {
-    if (start > outliers_.size())
+    if (start > table().size())
       throw DecodeError("quantizer: outlier cursor outside table");
     outlier_cursor_ = start;
   }
@@ -133,12 +164,17 @@ class LinearQuantizer {
   }
 
  private:
+  const std::vector<T>& table() const {
+    return shared_ ? *shared_ : outliers_;
+  }
+
   double eb_ = 0.0;
   double two_eb_ = 0.0;
   double inv_two_eb_ = 0.0;
   std::int32_t radius_;
   std::vector<T> outliers_;
   std::size_t outlier_cursor_ = 0;
+  const std::vector<T>* shared_ = nullptr;  ///< view_of(): borrowed table
 };
 
 }  // namespace qip

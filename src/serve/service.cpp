@@ -237,10 +237,12 @@ void Service::execute(const JobSpec& spec, unsigned width, JobResult& res) {
       const CompressorEntry& e = find_compressor_for(spec.input);
       PartialDecodeStats stats;
       if constexpr (sizeof(T) == 8)
-        field_to_bytes(e.decompress_preview_f64(spec.input, spec.level, &stats),
+        field_to_bytes(e.decompress_preview_pool_f64(spec.input, spec.level,
+                                                     &stats, intra),
                        res);
       else
-        field_to_bytes(e.decompress_preview_f32(spec.input, spec.level, &stats),
+        field_to_bytes(e.decompress_preview_pool_f32(spec.input, spec.level,
+                                                     &stats, intra),
                        res);
       // A preview's honest input cost is the prefix it actually read.
       if (stats.payload_bytes_read)
@@ -251,10 +253,12 @@ void Service::execute(const JobSpec& spec, unsigned width, JobResult& res) {
       const CompressorEntry& e = find_compressor_for(spec.input);
       PartialDecodeStats stats;
       if constexpr (sizeof(T) == 8)
-        field_to_bytes(e.decompress_region_f64(spec.input, spec.region, &stats),
+        field_to_bytes(e.decompress_region_pool_f64(spec.input, spec.region,
+                                                    &stats, intra),
                        res);
       else
-        field_to_bytes(e.decompress_region_f32(spec.input, spec.region, &stats),
+        field_to_bytes(e.decompress_region_pool_f32(spec.input, spec.region,
+                                                    &stats, intra),
                        res);
       if (stats.payload_bytes_read)
         res.metrics.input_bytes = stats.payload_bytes_read;

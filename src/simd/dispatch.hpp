@@ -140,6 +140,16 @@ struct RowArgs {
   /// The symbol->code chain must then run serially; prediction and value
   /// recovery still vectorize.
   bool qp_serial = false;
+  /// Parallel level walk: lanes outside this segment's own points may be
+  /// written concurrently by the worker owning a neighboring segment, so
+  /// full-width chunk loads (whose contiguous footprint exceeds the
+  /// lanes the stencil actually reads) must not touch them. shared_lo
+  /// guards the backward overread of the first chunk into the preceding
+  /// j-slice's last predicted lane; shared_hi clamps the vector prefix
+  /// so no chunk's footprint reaches past the segment's last own point.
+  /// Scalar fallback points are bit-identical, so bytes are unchanged.
+  bool shared_lo = false;
+  bool shared_hi = false;
   std::uint32_t* syms_out = nullptr;       ///< encode destination
   const std::uint32_t* syms_in = nullptr;  ///< decode source
 };
@@ -155,6 +165,14 @@ struct Kernels {
   void (*encode_row)(const RowArgs<T>&) = nullptr;
   /// One row segment, decode direction.
   void (*decode_row)(const RowArgs<T>&) = nullptr;
+  /// Recompute one row segment's symbols from already-committed codes:
+  /// syms_out[j] = qp_encode_symbol(codes[ci0 + j], comp_j) with the
+  /// row's QP neighborhood. The block-ranged fix-up entry of the
+  /// parallel level walk (InterpEngine::fix_boundary_layers): pass 2
+  /// re-derives the speculation-boundary rows' symbols after every
+  /// partition's codes are final. Uses codes/ci0/cestep/count/nb/qp/
+  /// level/radius only — data and quant may be null.
+  void (*sym_fix_row)(const RowArgs<T>&) = nullptr;
 
   /// Contiguous LinearQuantizer::quantize over n points: codes[i]/
   /// recon[i] from vals[i] vs preds[i]; outliers append to q's list in

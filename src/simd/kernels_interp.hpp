@@ -227,26 +227,65 @@ inline void gather_row(const T* src, std::size_t estep, std::size_t n,
   for (std::size_t j = 0; j < n; ++j) dst[j] = src[j * estep];
 }
 
+/// Leading points that must stay scalar: when the preceding j-slice of
+/// this row belongs to a concurrent worker (shared_lo) and the stencil
+/// runs along the row (st < estep), the first chunk's backward
+/// deinterleaving load — based at e - 3*st — would cover the
+/// neighbor's last predicted lane two elements below i0. From point 1
+/// on, every byte below the chunk base that a load touches is either
+/// an operand lane or this segment's own.
+template <class T>
+inline std::size_t vector_head(const RowArgs<T>& a) {
+  return a.shared_lo && a.estep == 2 &&
+                 a.st < static_cast<std::ptrdiff_t>(a.estep)
+             ? 1
+             : 0;
+}
+
 /// Number of leading segment points that full-width chunk loads may
 /// cover: a chunk based at element e touches [e - back, e + fwd +
-/// estep*K - 1], and only the forward end needs checking.
+/// estep*K - 1], and only the forward end needs checking. With
+/// shared_hi the forward check also stops at the segment itself: the
+/// first foreign predicted lane past the segment sits at own-last +
+/// estep, so the chunk footprint must stay <= own-last + 1. Only the
+/// loads whose stencil leg runs along the row extend the hazard by
+/// fwd; cross-axis legs land in operand planes, which no worker writes
+/// during the pass. estep == 1 needs no clamp (its only same-row load
+/// is the base load, confined to the segment by the chunk loop);
+/// estep > 2 takes the gather path.
 template <class V, class T>
 inline std::size_t vector_prefix(const RowArgs<T>& a) {
   const std::size_t fwd = pred_fwd(a.kind, a.st);
   const std::size_t span = a.estep * V::K - 1 + fwd;
   if (a.total <= span || a.total - 1 - span < a.i0) return 0;
-  const std::size_t max_p = (a.total - 1 - span - a.i0) / a.estep;
-  const std::size_t nc = std::min(a.count / V::K, max_p / V::K + 1);
-  return nc * V::K;
+  std::size_t max_b = (a.total - 1 - span - a.i0) / a.estep;
+  if (a.shared_hi && a.estep == 2) {
+    const std::size_t hz_fwd =
+        a.st < static_cast<std::ptrdiff_t>(a.estep) ? fwd : 0;
+    const std::size_t need = hz_fwd + 2 * V::K;
+    if (2 * a.count < need) return 0;
+    max_b = std::min(max_b, (2 * a.count - need) / 2);
+  }
+  const std::size_t h = vector_head(a);
+  if (max_b < h || a.count < h + V::K) return 0;
+  const std::size_t nc =
+      std::min((a.count - h) / V::K, (max_b - h) / V::K + 1);
+  return nc == 0 ? 0 : h + nc * V::K;
 }
 
-/// Predict block points [0, nb) into predb; the first nv points may use
-/// vector chunks. With `gather`, also copy the current values to dcur.
+/// Predict block points [0, nb) into predb; points [h, nv) may use
+/// vector chunks (h is the shared_lo scalar head, nonzero only in a
+/// segment's first block). Also copies the current values to dcur.
 template <class V, class T>
 inline void predict_block(const RowArgs<T>& a, std::size_t e0, std::size_t nb,
-                          std::size_t nv, T* predb, T* dcur) {
+                          std::size_t nv, std::size_t h, T* predb, T* dcur) {
   constexpr int K = V::K;
   std::size_t j = 0;
+  for (; j < h && j < nb; ++j) {
+    const std::size_t i = e0 + j * a.estep;
+    if (dcur) dcur[j] = a.data[i];
+    predb[j] = predict_scalar(a.data, i, a.st, a.kind);
+  }
   for (; j + K <= nv; j += K) {
     const T* pb = a.data + e0 + j * a.estep;
     if (dcur) V::vstore(dcur + j, vload_e<V>(pb, a.estep));
@@ -440,6 +479,7 @@ void encode_row_v(const RowArgs<typename V::T>& a) {
   // vector-eligible; the direct path limits full-width loads to the
   // checked prefix.
   const std::size_t vec_pts = gath ? a.count : rowdetail::vector_prefix<V>(a);
+  const std::size_t head = gath ? 0 : rowdetail::vector_head(a);
 
   T dcur[B], predb[B], recon[B];
   T m3[B], m1[B], p1[B], p3[B];  // gather scratch (estep > 2 only)
@@ -457,7 +497,8 @@ void encode_row_v(const RowArgs<typename V::T>& a) {
       rowdetail::predict_block_gather<V>(a, e0, nb, predb, dcur, m3, m1, p1,
                                          p3);
     else
-      rowdetail::predict_block<V>(a, e0, nb, nv, predb, dcur);
+      rowdetail::predict_block<V>(a, e0, nb, nv, done == 0 ? head : 0, predb,
+                                  dcur);
     quant_encode_block_v<V>(dcur, predb, nb, a.quant, codeb, recon);
     if (a.estep == 1) {
       std::memcpy(a.data + e0, recon, nb * sizeof(T));
@@ -485,6 +526,7 @@ void decode_row_v(const RowArgs<typename V::T>& a) {
   constexpr std::size_t B = kRowBlock;
   const bool gath = a.estep > 2;
   const std::size_t vec_pts = gath ? a.count : rowdetail::vector_prefix<V>(a);
+  const std::size_t head = gath ? 0 : rowdetail::vector_head(a);
 
   T predb[B], recon[B];
   T m3[B], m1[B], p1[B], p3[B];  // gather scratch (estep > 2 only)
@@ -503,7 +545,7 @@ void decode_row_v(const RowArgs<typename V::T>& a) {
                                          static_cast<T*>(nullptr), m3, m1, p1,
                                          p3);
     else
-      rowdetail::predict_block<V>(a, e0, nb, nv, predb,
+      rowdetail::predict_block<V>(a, e0, nb, nv, done == 0 ? head : 0, predb,
                                   static_cast<T*>(nullptr));
 
     if (a.qp_serial) {
@@ -590,6 +632,32 @@ void decode_row_v(const RowArgs<typename V::T>& a) {
   }
 }
 
+/// Recompute one row segment's symbols from already-committed codes
+/// (dispatch-table `sym_fix_row`): the block-ranged pass-2 entry of the
+/// parallel level walk's encode speculation. Every code this reads —
+/// the row's own and its QP neighbors' — is final, so the pass is pure
+/// comp_block + qp_sym_encode_block per kRowBlock chunk, with no
+/// prediction, quantization or data traffic at all.
+template <class V>
+void sym_fix_row_v(const RowArgs<typename V::T>& a) {
+  constexpr std::size_t B = kRowBlock;
+  std::uint32_t codeb[B];
+  std::int32_t compb[B];
+  std::size_t done = 0;
+  while (done < a.count) {
+    const std::size_t nb = std::min(B, a.count - done);
+    const std::size_t ce0 = a.ci0 + done * a.cestep;
+    rowdetail::comp_block<V>(a, ce0, nb, nb, compb);
+    const std::uint32_t* cb = a.codes + ce0;
+    if (a.cestep != 1) {
+      rowdetail::gather_row(a.codes + ce0, a.cestep, nb, codeb);
+      cb = codeb;
+    }
+    qp_sym_encode_block_v<V>(cb, compb, nb, a.radius, a.syms_out + done);
+    done += nb;
+  }
+}
+
 /// Assemble one tier's dispatch table from the templates above.
 template <class V>
 Kernels<typename V::T> make_kernels(Tier t) {
@@ -597,6 +665,7 @@ Kernels<typename V::T> make_kernels(Tier t) {
   k.tier = t;
   k.encode_row = &encode_row_v<V>;
   k.decode_row = &decode_row_v<V>;
+  k.sym_fix_row = &sym_fix_row_v<V>;
   k.quant_encode_block = &quant_encode_block_v<V>;
   k.quant_recover_block = &quant_recover_block_v<V>;
   k.qp2d_comp_block = &qp2d_comp_block_v<V>;

@@ -53,6 +53,19 @@ void decode_row_ref(const RowArgs<T>& a) {
   }
 }
 
+/// Scalar sym_fix_row: the exact per-point loop
+/// InterpEngine::fix_boundary_layers runs when no kernel table is
+/// active — symbols from committed codes, nothing else touched.
+template <class T>
+void sym_fix_row_ref(const RowArgs<T>& a) {
+  for (std::size_t j = 0; j < a.count; ++j) {
+    const std::size_t ci = a.ci0 + j * a.cestep;
+    const std::int64_t comp =
+        qp_compensation(a.codes, ci, a.nb, *a.qp, a.level, a.radius);
+    a.syms_out[j] = qp_encode_symbol(a.codes[ci], comp, a.radius);
+  }
+}
+
 template <class T>
 void quant_encode_block_ref(const T* vals, const T* preds, std::size_t n,
                             LinearQuantizer<T>* q, std::uint32_t* codes,
@@ -87,6 +100,7 @@ Kernels<T> make_scalar_kernels() {
   k.tier = Tier::kScalar;
   k.encode_row = &encode_row_ref<T>;
   k.decode_row = &decode_row_ref<T>;
+  k.sym_fix_row = &sym_fix_row_ref<T>;
   k.quant_encode_block = &quant_encode_block_ref<T>;
   k.quant_recover_block = &quant_recover_block_ref<T>;
   k.qp2d_comp_block = &qp2d_comp_batch;

@@ -43,4 +43,22 @@ void task_local(ThreadPool& pool, std::size_t n) {
   });
 }
 
+// A per-task helper lambda (the segment-flush / seg_fn idiom the
+// block-ranged interpolation slices use): it mutates state by
+// reference, but every captured name lives on the task's own stack or
+// in the task's partitioned slot, so nothing is shared.
+void task_helper(ThreadPool& pool, std::vector<std::vector<double>>& lsegs,
+                 std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t w) {
+    std::vector<double>& segs = lsegs[w];
+    std::size_t mark = 0;
+    auto flush = [&](std::size_t pos) {
+      if (pos > mark) segs.push_back(static_cast<double>(pos));
+      mark = pos;
+    };
+    for (std::size_t j = 0; j < w; ++j) flush(j);
+    flush(0);
+  });
+}
+
 }  // namespace qip

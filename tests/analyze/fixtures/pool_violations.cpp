@@ -36,4 +36,17 @@ void named_lambda(ThreadPool& pool, std::size_t n) {
   pool.parallel_for(n, work);
 }
 
+// A per-task helper lambda does NOT launder a genuinely shared capture:
+// `total` lives in the function, so mutating it from the nested helper
+// is the same race as mutating it in the task body directly.
+void nested_helper_leak(ThreadPool& pool, std::size_t n) {
+  std::size_t total = 0;
+  pool.parallel_for(n, [&](std::size_t w) {
+    auto bump = [&](std::size_t k) {
+      total += k;  // qa-expect: pool-shared-write
+    };
+    bump(w);
+  });
+}
+
 }  // namespace qip

@@ -42,7 +42,16 @@ class OutlierTable {
     return outliers_[cursor_++];
   }
 
+  double recover_shared() {
+    const std::vector<double>& t = table();
+    if (cursor_ >= t.size())
+      throw DecodeError("fx: outlier stream exhausted");
+    return t[cursor_++];
+  }
+
  private:
+  const std::vector<double>& table() const { return outliers_; }
+
   std::vector<double> outliers_;
   std::size_t cursor_ = 0;
 };

@@ -32,7 +32,17 @@ class OutlierTable {
     return outliers_[cursor_++];  // qa-expect: untrusted-cursor
   }
 
+  // A reference alias is a borrowed view of state the function does not
+  // own (here a possibly shared table); cursor walks over it need the
+  // same dominating bound as subscripts of the member itself.
+  double recover_shared() {
+    const std::vector<double>& t = table();
+    return t[cursor_++];  // qa-expect: untrusted-cursor
+  }
+
  private:
+  const std::vector<double>& table() const { return outliers_; }
+
   std::vector<double> outliers_;
   std::size_t cursor_ = 0;
 };

@@ -108,7 +108,7 @@ SEEDS = [
      r'throw DecodeError\("chunk count exceeds directory"\);',
      "bomb-alloc"),
     ("quantizer-outlier-bound", "src/quant/quantizer.hpp",
-     r'if \(outlier_cursor_ >= outliers_\.size\(\)\)\s*\n\s*'
+     r'if \(outlier_cursor_ >= t\.size\(\)\)\s*\n\s*'
      r'throw DecodeError\("quantizer: outlier stream exhausted"\);',
      "untrusted-cursor"),
     ("quantizer-outlier-cap", "src/quant/quantizer.hpp",

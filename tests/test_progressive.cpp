@@ -152,12 +152,12 @@ TEST(Progressive, SZ3InterpolationPreviewMatches) {
 }
 
 TEST(Progressive, HPEZPreviewMatchesWithoutTiles) {
-  // HPEZ's block-wise traversal forgoes the tile grid but still commits
-  // per-level chunks, so preview works and region decode must refuse.
+  // Without a tile size, HPEZ plans may go block-wise at fine levels;
+  // per-level chunks are still committed, so preview works while region
+  // decode refuses for lack of a tile directory.
   const auto f = wave_field<float>(Dims{48, 48, 48}, 3);
   HPEZConfig cfg;
   cfg.error_bound = 1e-3;
-  cfg.tile_size = 16;  // requested, but block-wise plans never tile
   const auto arc = hpez_compress(f.data(), f.dims(), cfg);
   const auto full = hpez_decompress<float>(arc);
   PartialDecodeStats st;
@@ -167,6 +167,23 @@ TEST(Progressive, HPEZPreviewMatchesWithoutTiles) {
   EXPECT_THROW(
       (void)hpez_decompress_region<float>(arc, make_box(f.dims(), {{0, 16}})),
       DecodeError);
+}
+
+TEST(Progressive, HPEZRegionDecodeWithTiles) {
+  // A requested tile size stands the block tuner down, so the archive
+  // commits a tile directory and region decode crops identically to a
+  // full decode — the same contract SZ3/QoZ honor.
+  const auto f = wave_field<float>(Dims{48, 48, 48}, 3);
+  HPEZConfig cfg;
+  cfg.error_bound = 1e-3;
+  cfg.tile_size = 16;
+  const auto arc = hpez_compress(f.data(), f.dims(), cfg);
+  const auto full = hpez_decompress<float>(arc);
+  const Box box = make_box(f.dims(), {{8, 40}, {0, 16}, {17, 48}});
+  PartialDecodeStats st;
+  const auto got = hpez_decompress_region<float>(arc, box, nullptr, &st);
+  EXPECT_LT(st.payload_bytes_read, st.payload_bytes_total);
+  expect_identical(got, crop(full, box));
 }
 
 TEST(Progressive, MGARDPreviewBoundedByLevelBudget) {
@@ -383,18 +400,24 @@ TEST(Progressive, RegistryExposesCapabilitiesPerCodec) {
     const bool progressive = e.name == "SZ3" || e.name == "QoZ" ||
                              e.name == "HPEZ" || e.name == "MGARD";
     EXPECT_EQ(e.supports_preview, progressive) << e.name;
-    EXPECT_EQ(e.supports_region, e.name == "SZ3" || e.name == "QoZ")
+    EXPECT_EQ(e.supports_region,
+              e.name == "SZ3" || e.name == "QoZ" || e.name == "HPEZ")
         << e.name;
     // Always callable: unsupported codecs install a typed refusal.
     ASSERT_TRUE(e.decompress_preview_f32 != nullptr) << e.name;
     ASSERT_TRUE(e.decompress_region_f64 != nullptr) << e.name;
+    ASSERT_TRUE(e.decompress_preview_pool_f32 != nullptr) << e.name;
+    ASSERT_TRUE(e.decompress_region_pool_f64 != nullptr) << e.name;
   }
   const auto& zfp = find_compressor("ZFP");
   EXPECT_THROW((void)zfp.decompress_preview_f32({}, 1, nullptr),
                UnknownCodecError);
-  const auto& hpez = find_compressor("HPEZ");
-  EXPECT_THROW((void)hpez.decompress_region_f32({}, Box{}, nullptr),
+  const auto& mgard = find_compressor("MGARD");
+  EXPECT_THROW((void)mgard.decompress_region_f32({}, Box{}, nullptr),
                UnknownCodecError);
+  EXPECT_THROW(
+      (void)mgard.decompress_region_pool_f32({}, Box{}, nullptr, nullptr),
+      UnknownCodecError);
 }
 
 TEST(Progressive, RegistryPreviewMatchesDirectCall) {

@@ -97,11 +97,19 @@ def _resolve_lambdas(index, fn, call_open: int):
     """Lambdas passed to the scheduling call at paren `call_open`."""
     close = index.match[call_open]
     toks = index.tokens
-    found = []
     # Literal lambdas whose capture list opens inside the call.
-    for lam in index.lambdas:
-        if call_open < lam.captures[0] - 1 < close:
-            found.append(lam)
+    cands = [lam for lam in index.lambdas
+             if call_open < lam.captures[0] - 1 < close]
+    # A lambda nested inside another candidate (a per-task helper such as
+    # an outlier-segment flush, or a seg_fn handed down to a block-ranged
+    # kernel slice) runs on that task's own stack: its by-ref captures
+    # resolve to the task's locals. Check only the outermost lambdas —
+    # their body scan spans the nested bodies too, so a nested mutation
+    # of a *function*-scope capture is still caught.
+    found = [lam for lam in cands
+             if not any(o is not lam and
+                        o.body[0] < lam.captures[0] - 1 < o.body[1]
+                        for o in cands)]
     # Named lambdas: bare-id args matching `auto NAME = [...]` earlier.
     arg_names = {toks[i].text for i in range(call_open + 1, close)
                  if toks[i].kind == "id" and

@@ -30,6 +30,20 @@ RULES = ("untrusted-index", "untrusted-cursor", "unguarded-memcpy")
 CURSOR_ID_RE = re.compile(r"\b\w*(?:cursor|pos)\w*\b")
 
 
+def _ref_alias_names(index, lo: int, hi: int) -> set[str]:
+    """Locals bound by reference (``Type& name = ...;``): borrowed views
+    of state the function does not own (a member table, a shared
+    buffer), so cursor walks over them need the same bounds discipline
+    as subscripts of the member itself."""
+    toks = index.tokens
+    out = set()
+    for i in range(lo + 1, hi - 2):
+        if toks[i].text == "&" and toks[i + 1].kind == "id" and \
+                toks[i + 2].text == "=":
+            out.add(toks[i + 1].text)
+    return out
+
+
 def _index_ids(index, lo: int, hi: int) -> set[str]:
     out = set()
     toks = index.tokens
@@ -52,6 +66,7 @@ def run(ctx) -> None:
             continue
         ts = common.TaintState(index, fn, ctx.rel)
         lo, hi = fn.body
+        ref_aliases = _ref_alias_names(index, lo, hi)
 
         for i in range(lo, hi):
             t = toks[i]
@@ -69,7 +84,7 @@ def run(ctx) -> None:
                 cursor_like = ("++" in idx_text or "+=" in idx_text or
                                CURSOR_ID_RE.search(idx_text))
                 tainted = base in ts.containers
-                member_container = base.endswith("_")
+                member_container = base.endswith("_") or base in ref_aliases
                 if not tainted and not (cursor_like and member_container):
                     continue
                 names = {base} | _index_ids(index, i + 1, close)

@@ -378,6 +378,47 @@ void print_payload_directory(const ContainerReader& in) {
   }
 }
 
+/// What `qipc preview`/`qipc extract` will do with THIS archive, and —
+/// when a capability is missing — why. Region decode needs all three of
+/// codec support, a v3 payload directory, and a tile directory, so the
+/// reason names the first missing ingredient.
+void print_partial_capabilities(const ContainerReader& in,
+                                const CompressorEntry* entry) {
+  const bool codec_preview = entry && entry->supports_preview;
+  const bool codec_region = entry && entry->supports_region;
+  const bool v3 = in.version() >= 3;
+  const bool tiled = v3 && in.directory().tiling.active();
+
+  if (codec_preview && v3)
+    std::printf("  preview: yes (per-level payload chunks)\n");
+  else if (!codec_preview)
+    std::printf("  preview: no (codec has no progressive decoder)\n");
+  else
+    std::printf(
+        "  preview: no (container v%u predates the per-level payload "
+        "directory; recompress to get v3)\n",
+        static_cast<unsigned>(in.version()));
+
+  if (codec_region && tiled) {
+    std::printf("  region:  yes (tile directory present)\n");
+  } else if (!codec_region) {
+    std::printf("  region:  no (codec has no random-access region decoder)\n");
+  } else if (!v3) {
+    std::printf("  region:  no (container predates the payload directory)\n");
+  } else {
+    // The archive could have supported regions but was written untiled.
+    // For HPEZ that is a deliberate trade: without --tiles the fine
+    // levels go to block-wise plan refinement (better ratio) instead of
+    // independently decodable tile chunks.
+    std::printf(
+        "  region:  no (archive is untiled; recompress with --tiles N%s)\n",
+        entry->name == "HPEZ"
+            ? " — untiled HPEZ spends the fine levels on block-wise plan "
+              "refinement instead"
+            : "");
+  }
+}
+
 int do_info(const Args& a) {
   const auto arc = read_bytes(a.require("-i"));
   if (arc.size() >= 4) {
@@ -427,8 +468,12 @@ int do_info(const Args& a) {
   const ContainerInfo info = inspect_container(arc);
   std::string codec =
       "unknown id " + std::to_string(static_cast<unsigned>(info.codec));
+  const CompressorEntry* entry = nullptr;
   for (const auto& e : compressor_registry())
-    if (e.id == info.codec) codec = e.name;
+    if (e.id == info.codec) {
+      codec = e.name;
+      entry = &e;
+    }
   std::printf(
       "qip container v%u: codec=%s  dtype=%s  dims=%s\n"
       "  %zu bytes = %zu header + %zu compressed stage body\n",
@@ -440,6 +485,7 @@ int do_info(const Args& a) {
     std::printf("  stage %-11s %zu bytes\n", stage_name(s.id).c_str(),
                 s.size);
   print_payload_directory(in);
+  print_partial_capabilities(in, entry);
   return 0;
 }
 
